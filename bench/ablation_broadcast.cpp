@@ -1,0 +1,67 @@
+// Ablation A1 — the ASYNCbroadcaster's communication saving (paper §4.3 and
+// Algorithm 3's red line).
+//
+// Naive Spark SAGA broadcasts the ENTIRE table of past model parameters
+// every iteration: at iteration k each worker fetches O(k·d) bytes, so total
+// traffic is O(k²·d).  ASYNC's SAGA ships only version ids; each worker
+// fetches each model version once, keeping traffic O(k·d).  Both solvers run
+// the same math on the same batches (trajectories coincide), so the only
+// difference is wire traffic and the wall-clock it costs.
+
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace asyncml;
+
+int main() {
+  bench::banner("Ablation A1: ASYNCbroadcast vs naive full-table broadcast (SAGA)",
+                "naive broadcast bytes grow ~quadratically with iterations; "
+                "ASYNCbroadcast stays linear; same convergence");
+
+  constexpr int kWorkers = 8;
+  constexpr int kPartitions = 16;
+  const bench::BenchDataset ds = bench::load_dataset("epsilon", /*row_scale=*/0.5);
+  const optim::Workload workload =
+      optim::Workload::create(ds.data, kPartitions, optim::make_least_squares());
+
+  metrics::Table table({"iterations", "ASYNC bytes", "naive bytes", "bytes ratio",
+                        "ASYNC wall ms", "naive wall ms", "|err diff|"});
+  std::vector<std::string> rows;
+
+  for (std::uint64_t iterations : {10u, 20u, 40u, 80u}) {
+    bench::RunPlan plan =
+        bench::make_plan(ds, /*saga=*/true, iterations, kPartitions, /*seed=*/37);
+
+    engine::Cluster c1(bench::cluster_config(kWorkers));
+    const optim::RunResult efficient =
+        optim::SagaSolver::run(c1, workload, plan.sync_config);
+
+    engine::Cluster c2(bench::cluster_config(kWorkers));
+    const optim::RunResult naive =
+        optim::NaiveSagaSolver::run(c2, workload, plan.sync_config);
+
+    const double ratio = efficient.broadcast_bytes > 0
+                             ? static_cast<double>(naive.broadcast_bytes) /
+                                   static_cast<double>(efficient.broadcast_bytes)
+                             : 0.0;
+    std::ostringstream os;
+    os << iterations << ',' << efficient.broadcast_bytes << ','
+       << naive.broadcast_bytes << ',' << efficient.wall_ms << ',' << naive.wall_ms;
+    rows.push_back(os.str());
+    table.add_row(
+        {std::to_string(iterations), std::to_string(efficient.broadcast_bytes),
+         std::to_string(naive.broadcast_bytes), metrics::Table::num(ratio, 3),
+         metrics::Table::num(efficient.wall_ms, 4), metrics::Table::num(naive.wall_ms, 4),
+         metrics::Table::num(
+             std::abs(efficient.final_error() - naive.final_error()))});
+  }
+
+  bench::write_csv("ablation_broadcast.csv",
+                   "iterations,async_bytes,naive_bytes,async_ms,naive_ms", rows);
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nshape check: the bytes ratio grows with the iteration count "
+               "(quadratic vs linear traffic) and |err diff| ~ 0 (same math).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation A3 — executor capacity (cores per worker).
+//
+// ASYNC inherits Spark's executor model: each worker runs C concurrent
+// tasks, and the ASYNCscheduler keeps at most C of a worker's partitions in
+// flight.  Capacity trades throughput against staleness: more in-flight
+// tasks keep cores busier but each result is computed against an older
+// model.  The paper fixes C = 2 (its executors run 2 cores); this ablation
+// shows why that knob matters — the mechanism behind the scheduler's
+// capacity-aware dispatch (DESIGN.md §5).
+
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace asyncml;
+
+int main() {
+  bench::banner("Ablation A3: executor capacity (cores per worker) for ASGD",
+                "higher capacity raises throughput and staleness; convergence "
+                "per update degrades gracefully");
+
+  constexpr int kWorkers = 8;
+  constexpr int kPartitions = 32;
+  const bench::BenchDataset ds = bench::load_dataset("epsilon", /*row_scale=*/1.0);
+  const optim::Workload workload =
+      optim::Workload::create(ds.data, kPartitions, optim::make_least_squares());
+
+  metrics::Table table(
+      {"cores/worker", "in-flight cap", "wall ms", "updates/s", "final err"});
+  std::vector<std::string> rows;
+
+  for (int cores : {1, 2, 4}) {
+    engine::Cluster::Config config = bench::cluster_config(kWorkers);
+    config.cores_per_worker = cores;
+    engine::Cluster cluster(config);
+
+    bench::RunPlan plan =
+        bench::make_plan(ds, /*saga=*/false, /*sync_iterations=*/20, kPartitions,
+                         /*seed=*/43, /*service_floor_ms=*/4.0);
+    const optim::RunResult result =
+        optim::AsgdSolver::run(cluster, workload, plan.async_config);
+
+    const double ups = result.wall_ms > 0
+                           ? 1e3 * static_cast<double>(result.updates) / result.wall_ms
+                           : 0.0;
+    std::ostringstream os;
+    os << cores << ',' << kWorkers * cores << ',' << result.wall_ms << ',' << ups
+       << ',' << result.final_error();
+    rows.push_back(os.str());
+    table.add_row({std::to_string(cores), std::to_string(kWorkers * cores),
+                   metrics::Table::num(result.wall_ms, 4), metrics::Table::num(ups, 4),
+                   metrics::Table::num(result.final_error())});
+  }
+
+  bench::write_csv("ablation_capacity.csv",
+                   "cores,inflight_cap,wall_ms,updates_per_s,final_err", rows);
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nshape check: updates/s grows with capacity (more parallel "
+               "service); final err stays the same order (staleness absorbed by "
+               "the step heuristic).\n";
+  return 0;
+}

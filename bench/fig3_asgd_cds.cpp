@@ -1,0 +1,74 @@
+// Figure 3 (a–c) — "The performance of ASGD and SGD in ASYNC with 8 workers
+// for different delay intensities of 0%, 30%, 60% and 100%."
+//
+// Controlled Delay Straggler: one of 8 workers is slowed by the delay
+// intensity.  Expected shape (paper): SGD's curves stretch right as the
+// delay grows; ASGD's curves are nearly delay-invariant; at 100% delay ASGD
+// reaches the sync run's error up to ~2x faster.
+
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace asyncml;
+
+int main() {
+  bench::banner(
+      "Figure 3: ASGD vs SGD under a controlled-delay straggler (8 workers)",
+      "ASGD converges at the same rate for every delay; SGD degrades with delay; "
+      "~2x speedup at 100% delay");
+
+  constexpr int kWorkers = 8;
+  constexpr int kPartitions = 32;
+  constexpr std::uint64_t kIterations = 40;
+  const std::vector<double> kDelays = {0.0, 0.3, 0.6, 1.0};
+
+  metrics::Table summary(
+      {"dataset", "delay", "SGD wall ms", "ASGD wall ms", "SGD err", "ASGD err",
+       "speedup(ASGD vs SGD)"});
+  std::vector<std::string> rows;
+
+  for (const bench::BenchDataset& ds : bench::all_datasets(/*row_scale=*/2.0)) {
+    const optim::Workload workload =
+        optim::Workload::create(ds.data, kPartitions, optim::make_least_squares());
+    const bench::RunPlan plan =
+        bench::make_plan(ds, /*saga=*/false, kIterations, kPartitions, /*seed=*/11,
+                        /*service_floor_ms=*/6.0);
+
+    for (double delay : kDelays) {
+      auto model = delay > 0.0
+                       ? std::make_shared<straggler::ControlledDelay>(0, delay)
+                       : std::shared_ptr<straggler::ControlledDelay>();
+
+      engine::Cluster sync_cluster(bench::cluster_config(kWorkers, model));
+      const optim::RunResult sync =
+          optim::SgdSolver::run(sync_cluster, workload, plan.sync_config);
+
+      engine::Cluster async_cluster(bench::cluster_config(kWorkers, model));
+      const optim::RunResult async_run =
+          optim::AsgdSolver::run(async_cluster, workload, plan.async_config);
+
+      const std::string tag = ds.name + "-d" + std::to_string(static_cast<int>(delay * 100));
+      for (const std::string& r : bench::trace_rows(tag + "-Sync", sync.trace)) {
+        rows.push_back(r);
+      }
+      for (const std::string& r : bench::trace_rows(tag + "-ASYNC", async_run.trace)) {
+        rows.push_back(r);
+      }
+
+      summary.add_row({ds.name, std::to_string(static_cast<int>(delay * 100)) + "%",
+                       metrics::Table::num(sync.wall_ms, 4),
+                       metrics::Table::num(async_run.wall_ms, 4),
+                       metrics::Table::num(sync.final_error()),
+                       metrics::Table::num(async_run.final_error()),
+                       bench::speedup_str(sync.trace, async_run.trace)});
+    }
+  }
+
+  bench::write_csv("fig3.csv", "series,time_ms,update,error", rows);
+  std::cout << "\n";
+  summary.print(std::cout);
+  std::cout << "\nshape check: SGD wall time grows with delay; ASGD wall time stays "
+               "~flat; speedup grows with delay (paper: up to 2x at 100%).\n";
+  return 0;
+}

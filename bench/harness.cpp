@@ -1,0 +1,177 @@
+#include "harness.hpp"
+#include <cmath>
+#include <limits>
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace asyncml::bench {
+
+namespace {
+
+/// Rough per-sample smoothness: for least squares L_sample ≈ 2·E[‖x‖²].
+double mean_row_norm_sq(const data::Dataset& d) {
+  double total = 0.0;
+  const std::size_t probe = std::min<std::size_t>(d.rows(), 512);
+  for (std::size_t r = 0; r < probe; ++r) total += d.row(r).norm_squared();
+  return probe == 0 ? 1.0 : total / static_cast<double>(probe);
+}
+
+/// Empirical step tuning — the paper's §6.1 ("we tune the initial step size
+/// α ... so it converges faster to the optimal solution"), reproduced as a
+/// geometric grid search over short *serial* runs. The grid is anchored at
+/// the conservative 1/L_sample bound and extends upward, because for
+/// well-conditioned data (normalized rows) the full-objective smoothness is
+/// far below the per-sample bound and much larger steps are optimal.
+double tune_step(const data::Dataset& dataset, const optim::Loss& loss,
+                 double fraction, bool saga) {
+  const double base = 0.25 / std::max(1e-12, 2.0 * mean_row_norm_sq(dataset));
+  double best_step = base;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (int k = 0; k < 13; ++k) {
+    const double step = base * static_cast<double>(1 << k);
+    const linalg::DenseVector w =
+        saga ? optim::serial_saga(dataset, loss, 60, fraction, step, /*seed=*/5)
+             : optim::serial_sgd(dataset, loss, 40, fraction,
+                                 optim::inv_sqrt_step(step), /*seed=*/5);
+    const double err = optim::full_objective(dataset, loss, w);
+    if (std::isfinite(err) && err < best_err) {
+      best_err = err;
+      best_step = step;
+    }
+  }
+  // Back off from the greedy winner: an exhaustive search rides the edge of
+  // the stability region, where the paper's untuned async step heuristic
+  // (α/workers) has no safety margin. A coarse manual grid — what the paper
+  // actually did — lands a factor of a few below the edge; reproduce that.
+  return best_step / 4.0;
+}
+
+}  // namespace
+
+BenchDataset load_dataset(const std::string& name, double row_scale) {
+  BenchDataset out;
+  out.name = name;
+  data::synthetic::Problem problem;
+  if (name == "rcv1") {
+    problem = data::synthetic::rcv1_like(101, row_scale);
+    out.sgd_fraction = 0.05;   // paper: b = 5% for rcv1 SGD
+    out.saga_fraction = 0.02;  // paper: b = 2% for rcv1 SAGA
+  } else if (name == "mnist8m") {
+    problem = data::synthetic::mnist8m_like(102, row_scale);
+    out.sgd_fraction = 0.10;   // paper: b = 10%
+    out.saga_fraction = 0.01;  // paper: b = 1%
+  } else if (name == "epsilon") {
+    problem = data::synthetic::epsilon_like(103, row_scale);
+    out.sgd_fraction = 0.10;   // paper: b = 10%
+    out.saga_fraction = 0.10;  // paper: b = 10%
+  } else {
+    std::cerr << "unknown dataset " << name << "\n";
+    std::abort();
+  }
+  out.data = std::make_shared<const data::Dataset>(std::move(problem.dataset));
+
+  const optim::LeastSquaresLoss loss;
+  out.sgd_step = tune_step(*out.data, loss, out.sgd_fraction, /*saga=*/false);
+  out.saga_step = tune_step(*out.data, loss, out.saga_fraction, /*saga=*/true);
+  std::cout << "  [tuned] " << out.name << ": sgd_step=" << out.sgd_step
+            << " saga_step=" << out.saga_step << "\n";
+  return out;
+}
+
+std::vector<BenchDataset> all_datasets(double row_scale) {
+  return {load_dataset("rcv1", row_scale), load_dataset("mnist8m", row_scale),
+          load_dataset("epsilon", row_scale)};
+}
+
+engine::Cluster::Config cluster_config(int workers,
+                                       std::shared_ptr<const engine::DelayModel> delay) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 2;  // the paper's executors run 2 cores
+  config.delay = std::move(delay);
+  // Realistic but cheap network: results/broadcasts cost tens of
+  // microseconds; the SAGA full-table ablation makes this matter.
+  config.network.latency_ms = 0.02;
+  config.network.bandwidth_mbps = 2000.0;
+  config.network.time_scale = 1.0;
+  return config;
+}
+
+RunPlan make_plan(const BenchDataset& dataset, bool saga,
+                  std::uint64_t sync_iterations, int partitions, std::uint64_t seed,
+                  double service_floor_ms) {
+  RunPlan plan;
+  plan.partitions = partitions;
+
+  optim::SolverConfig& sync = plan.sync_config;
+  sync.updates = sync_iterations;
+  sync.batch_fraction = saga ? dataset.saga_fraction : dataset.sgd_fraction;
+  sync.step = saga ? optim::constant_step(dataset.saga_step)
+                   : optim::inv_sqrt_step(dataset.sgd_step);
+  sync.seed = seed;
+  sync.service_floor_ms = service_floor_ms;
+  sync.eval_every = std::max<std::uint64_t>(1, sync_iterations / 30);
+
+  plan.async_config = sync;
+  // The async run gets 2x the sync task count: asynchronous updates are
+  // individually noisier (statistical efficiency, §3), so the paper's async
+  // runs also execute more iterations before reaching the common target —
+  // the comparison metric is wall-clock time at equal error, not task count.
+  plan.async_config.updates =
+      2 * sync_iterations * static_cast<std::uint64_t>(partitions);
+  plan.async_config.eval_every =
+      std::max<std::uint64_t>(1, plan.async_config.updates / 30);
+  // Per-result step scale. The paper's §6.1 heuristic divides by the worker
+  // count; we divide by the partition count so one asynchronous round (P
+  // results × α/P) applies the same aggregate step as one synchronous
+  // iteration (one averaged update × α) — with P = W in the paper's PCS
+  // setup the two are identical, and with P = 4W in the CDS setup this keeps
+  // the statistical comparison step-balanced so the figures isolate the
+  // hardware-efficiency effect they are about.
+  plan.async_config.async_step_scale = 1.0 / static_cast<double>(partitions);
+  return plan;
+}
+
+std::string results_path(const std::string& file) {
+  std::filesystem::create_directories("bench_results");
+  return (std::filesystem::path("bench_results") / file).string();
+}
+
+void write_csv(const std::string& file, const std::string& header,
+               const std::vector<std::string>& rows) {
+  std::ofstream out(results_path(file));
+  out << header << '\n';
+  for (const std::string& row : rows) out << row << '\n';
+  std::cout << "  [csv] bench_results/" << file << " (" << rows.size() << " rows)\n";
+}
+
+std::vector<std::string> trace_rows(const std::string& series,
+                                    const metrics::Trace& trace) {
+  std::vector<std::string> rows;
+  rows.reserve(trace.size());
+  for (const metrics::TracePoint& p : trace) {
+    std::ostringstream os;
+    os << series << ',' << p.time_ms << ',' << p.update << ',' << p.error;
+    rows.push_back(os.str());
+  }
+  return rows;
+}
+
+void banner(const std::string& title, const std::string& paper_claim) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "paper: " << paper_claim << "\n\n";
+}
+
+std::string speedup_str(const metrics::Trace& baseline, const metrics::Trace& contender) {
+  const auto s = metrics::speedup_at_common_target(baseline, contender);
+  if (!s.has_value()) return "n/a";
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << *s << "x";
+  return os.str();
+}
+
+}  // namespace asyncml::bench

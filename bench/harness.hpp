@@ -1,0 +1,75 @@
+#pragma once
+
+// Shared experiment harness for the per-figure benchmark binaries.
+//
+// Each bench regenerates one table/figure of the paper's evaluation:
+// it builds the scaled-down dataset stand-ins, configures the cluster and
+// straggler model, runs the solvers, and prints (a) the CSV series behind
+// the figure and (b) a paper-vs-measured summary.  CSV files are also
+// written under ./bench_results/ for plotting.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asyncml.hpp"
+
+namespace asyncml::bench {
+
+/// One of the paper's evaluation datasets (scaled stand-in) with tuned
+/// hyperparameters (the paper tunes per dataset too, §6.1).
+struct BenchDataset {
+  std::string name;          ///< rcv1 / mnist8m / epsilon
+  data::DatasetPtr data;
+  double sgd_fraction;       ///< mini-batch rate b for SGD/ASGD
+  double saga_fraction;      ///< mini-batch rate b for SAGA/ASAGA
+  double sgd_step;           ///< tuned initial step (decaying schedule)
+  double saga_step;          ///< tuned constant step
+};
+
+/// Loads one of {"rcv1", "mnist8m", "epsilon"}; `row_scale` scales the row
+/// count (1.0 = the repository's default bench size, ~1/1000 of the paper).
+[[nodiscard]] BenchDataset load_dataset(const std::string& name, double row_scale = 1.0);
+
+/// All three, in the paper's order.
+[[nodiscard]] std::vector<BenchDataset> all_datasets(double row_scale = 1.0);
+
+/// Cluster factory mirroring the paper's setups (2-core executors).
+[[nodiscard]] engine::Cluster::Config cluster_config(
+    int workers, std::shared_ptr<const engine::DelayModel> delay = nullptr);
+
+/// Builds the solver config for a (dataset, algorithm-family) pair.
+/// `sync_iterations` is the BSP iteration budget; asynchronous runs get
+/// sync_iterations × partitions updates so both consume the same task count.
+struct RunPlan {
+  optim::SolverConfig sync_config;
+  optim::SolverConfig async_config;
+  int partitions;
+};
+/// `service_floor_ms` > 0 pins the per-task base service time explicitly
+/// (CDS figures use a floor comfortably above host scheduling noise so the
+/// delay multiplier, not jitter, dominates); 0 derives it from the cost
+/// model.
+[[nodiscard]] RunPlan make_plan(const BenchDataset& dataset, bool saga,
+                                std::uint64_t sync_iterations, int partitions,
+                                std::uint64_t seed, double service_floor_ms = 0.0);
+
+/// Opens ./bench_results/<file> (directory created on demand) and returns the
+/// stream; the caller writes CSV into it.
+[[nodiscard]] std::string results_path(const std::string& file);
+void write_csv(const std::string& file, const std::string& header,
+               const std::vector<std::string>& rows);
+
+/// Emits a trace as CSV rows "series,time_ms,update,error".
+[[nodiscard]] std::vector<std::string> trace_rows(const std::string& series,
+                                                  const metrics::Trace& trace);
+
+/// Prints a figure banner.
+void banner(const std::string& title, const std::string& paper_claim);
+
+/// speedup (baseline time / contender time) at the tightest common error,
+/// "n/a" when undefined.
+[[nodiscard]] std::string speedup_str(const metrics::Trace& baseline,
+                                      const metrics::Trace& contender);
+
+}  // namespace asyncml::bench

@@ -1,0 +1,78 @@
+// Barrier-control playground: the paper's Listing 2 in runnable form.
+//
+// Runs the same ASGD problem under ASP, BSP, SSP and two *user-defined*
+// barrier controls, printing throughput, wait time and convergence for each —
+// the experiment workflow ASYNC is built to support ("practitioners need ...
+// control over the execution environment").
+
+#include <cstdio>
+
+#include "asyncml.hpp"
+
+using namespace asyncml;
+
+int main() {
+  const auto problem = data::synthetic::tiny(/*rows=*/2'000, /*cols=*/100,
+                                             /*noise_std=*/0.0, /*seed=*/5);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  const optim::Workload workload =
+      optim::Workload::create(dataset, 16, optim::make_least_squares());
+
+  // One long-tail straggler (4x) plus a mild one (1.5x) out of 8 workers.
+  struct TwoStragglers final : engine::DelayModel {
+    double multiplier(engine::WorkerId w, std::uint64_t) const override {
+      if (w == 0) return 4.0;
+      if (w == 1) return 1.5;
+      return 1.0;
+    }
+    const char* name() const override { return "two-stragglers"; }
+  };
+
+  // Listing 2's strategies plus two custom ones.
+  struct Entry {
+    const char* name;
+    core::BarrierControl barrier;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"ASP   f: STAT.foreach(true)", core::barriers::asp()});
+  entries.push_back({"BSP   f: Available_Workers == P", core::barriers::bsp()});
+  entries.push_back({"SSP   f: MAX_Staleness < 8", core::barriers::ssp(8)});
+
+  // Custom 1: skip workers whose EWMA task time exceeds 2x the cluster mean
+  // (a completion-time barrier in the spirit of adaptive-sync strategies).
+  entries.push_back(
+      {"ctime f: avg_task <= 2x mean", core::barriers::completion_time_within(2.0)});
+
+  // Custom 2: a fully hand-rolled predicate over AC.STAT — never give new
+  // work to the known long-tail worker 0.
+  core::BarrierControl no_worker0;
+  no_worker0.name = "custom";
+  no_worker0.filter = [](const core::WorkerStat& w, const core::StatSnapshot&) {
+    return w.id != 0;
+  };
+  entries.push_back({"cust  f: worker.id != 0", no_worker0});
+
+  std::printf("%-34s %10s %12s %12s %12s\n", "barrier", "wall ms", "updates/s",
+              "final err", "wait ms");
+  for (const Entry& entry : entries) {
+    engine::Cluster::Config config;
+    config.num_workers = 8;
+    config.delay = std::make_shared<TwoStragglers>();
+    engine::Cluster cluster(config);
+
+    optim::SolverConfig solver;
+    solver.updates = 600;
+    solver.batch_fraction = 0.1;
+    solver.step = optim::constant_step(0.003);
+    solver.barrier = entry.barrier;
+    solver.eval_every = 100;
+
+    const optim::RunResult r = optim::AsgdSolver::run(cluster, workload, solver);
+    std::printf("%-34s %10.1f %12.1f %12.3e %12.3f\n", entry.name, r.wall_ms,
+                1e3 * static_cast<double>(r.updates) / r.wall_ms, r.final_error(),
+                r.mean_wait_ms);
+  }
+  std::printf("\nASP maximizes throughput; BSP pays the 4x straggler at every "
+              "round; the custom filters dodge it entirely.\n");
+  return 0;
+}

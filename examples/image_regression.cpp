@@ -1,0 +1,65 @@
+// Variance-reduced training on an mnist8m-like image dataset with ASAGA.
+//
+// Demonstrates the ASYNCbroadcaster end-to-end: ASAGA's historical gradients
+// are recomputed from cached model versions, so each round ships one model
+// vector regardless of history depth.  The run reports the wire traffic so
+// you can see the saving (compare with what a naive full-history broadcast
+// would cost: sum over rounds of round × d × 8 bytes).
+
+#include <cstdio>
+
+#include "asyncml.hpp"
+
+using namespace asyncml;
+
+int main() {
+  // mnist8m-like: dense pixel rows in [0,1], 784 features, cluster structure.
+  auto problem = data::synthetic::mnist8m_like(/*seed=*/11, /*row_scale=*/0.5);
+  auto dataset = std::make_shared<const data::Dataset>(std::move(problem.dataset));
+  std::printf("images: %zu rows x %zu pixels (%.1f MB)\n", dataset->rows(),
+              dataset->cols(), dataset->feature_bytes() / 1024.0 / 1024.0);
+
+  engine::Cluster::Config config;
+  config.num_workers = 8;
+  config.delay = std::make_shared<straggler::ControlledDelay>(0, 0.6);
+  engine::Cluster cluster(config);
+
+  const optim::Workload workload =
+      optim::Workload::create(dataset, 32, optim::make_least_squares());
+
+  optim::SolverConfig solver;
+  solver.updates = 1'500;
+  solver.batch_fraction = 0.02;
+  solver.step = optim::constant_step(0.004);
+  solver.barrier = core::barriers::asp();
+  solver.eval_every = 150;
+
+  const optim::RunResult result = optim::AsagaSolver::run(cluster, workload, solver);
+
+  std::printf("\nASAGA: %llu updates in %.1f ms\n",
+              static_cast<unsigned long long>(result.updates), result.wall_ms);
+  std::printf("objective error: %.3e\n", result.final_error());
+
+  const double fetched_mb = result.broadcast_bytes / 1024.0 / 1024.0;
+  // What Algorithm 3 on stock Spark would have shipped per worker: the whole
+  // parameter table, re-broadcast every round.
+  double naive_bytes = 0.0;
+  const double d_bytes = static_cast<double>(dataset->cols()) * sizeof(double);
+  for (std::uint64_t k = 1; k <= result.updates; ++k) {
+    naive_bytes += static_cast<double>(k) * d_bytes;
+  }
+  naive_bytes *= config.num_workers;
+  std::printf("history traffic: %.1f MB fetched (cache hits: %llu)\n", fetched_mb,
+              static_cast<unsigned long long>(result.broadcast_hits));
+  std::printf("naive full-table broadcast would ship ~%.1f MB (%.0fx more)\n",
+              naive_bytes / 1024.0 / 1024.0,
+              naive_bytes / (result.broadcast_bytes + 1.0));
+
+  // Success criterion: substantial reduction from the zero-model objective
+  // (mnist-like pixel regression starts around 1e2; full convergence takes
+  // more updates than a demo should spend).
+  const double initial = result.trace.front().error;
+  std::printf("objective reduced %.0f%% from the zero model\n",
+              100.0 * (1.0 - result.final_error() / initial));
+  return result.final_error() < 0.3 * initial ? 0 : 1;
+}

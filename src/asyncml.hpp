@@ -1,0 +1,36 @@
+#pragma once
+
+// Umbrella header: everything a downstream application needs to build and run
+// synchronous/asynchronous distributed optimization with ASYNC.
+
+#include "core/api.hpp"              // Table-1-named free functions
+#include "core/async_context.hpp"   // AC, ASYNCcollect/broadcast, barriers
+#include "core/barrier.hpp"
+#include "data/dataset.hpp"
+#include "data/libsvm.hpp"
+#include "data/split.hpp"
+#include "data/synthetic.hpp"
+#include "engine/actions.hpp"
+#include "engine/cluster.hpp"
+#include "engine/rdd.hpp"
+#include "linalg/blas.hpp"
+#include "metrics/report.hpp"
+#include "metrics/trace.hpp"
+#include "optim/admm.hpp"
+#include "optim/asaga.hpp"
+#include "optim/asgd.hpp"
+#include "optim/epoch_vr.hpp"
+#include "optim/hogwild.hpp"
+#include "optim/loss.hpp"
+#include "optim/mllib_sgd.hpp"
+#include "optim/naive_saga.hpp"
+#include "optim/objective.hpp"
+#include "optim/saga.hpp"
+#include "optim/serial.hpp"
+#include "optim/sgd.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/step_size.hpp"
+#include "optim/workload.hpp"
+#include "straggler/controlled_delay.hpp"
+#include "straggler/production_cluster.hpp"
+#include "straggler/trace_replay.hpp"

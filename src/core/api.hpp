@@ -1,0 +1,71 @@
+#pragma once
+
+// Paper-parity facade: free functions named exactly as the paper's Table 1,
+// so code can be transliterated from the paper's listings symbol-for-symbol.
+// Each function is a thin forwarder to the AsyncContext method documented in
+// core/async_context.hpp; new code should prefer the methods, this header
+// exists to make the correspondence executable:
+//
+//   AC = new ASYNCcontext            AsyncContext ac(cluster, P);
+//   points.ASYNCbarrier(f, AC.STAT)
+//         .sample(b).map(g)
+//         .ASYNCreduce(_+_, AC)      ASYNCreduce(ac, points.sample(b), zero,
+//                                                seq_op, f);
+//   while (AC.hasNext())             while (ASYNChasNext(ac))
+//     grad = AC.ASYNCcollect()         grad = ASYNCcollect(ac);
+//   w_br = AC.ASYNCbroadcast(w)      w_br = ASYNCbroadcast(ac, w);
+//   AC.STAT                          STAT(ac)
+//
+// Note the one structural difference (also discussed in async_context.hpp):
+// ASYNCbarrier is expressed as the BarrierControl argument of the dispatch
+// instead of an RDD transformation, because barrier decisions happen at the
+// scheduler in this engine.
+
+#include "core/async_context.hpp"
+
+namespace asyncml::core {
+
+/// ASYNCreduce: dispatch fold tasks over `rdd` to the workers admitted by
+/// `barrier`; results stream into the context (collect with ASYNCcollect).
+template <typename T, typename Op>
+inline int ASYNCreduce(AsyncContext& ac, const engine::Rdd<T>& rdd, T identity, Op op,
+                       const BarrierControl& barrier, const SubmitOptions& options = {}) {
+  return ac.async_reduce(rdd, std::move(identity), std::move(op), barrier, options);
+}
+
+/// ASYNCaggregate: the zero/seqOp/combOp form (combOp runs server-side when
+/// the caller folds collected results; each task applies seqOp only, exactly
+/// like Spark's per-partition phase).
+template <typename T, typename U, typename SeqOp>
+inline int ASYNCaggregate(AsyncContext& ac, const engine::Rdd<T>& rdd, U zero,
+                          SeqOp seq_op, const BarrierControl& barrier,
+                          const SubmitOptions& options = {}) {
+  return ac.async_aggregate(rdd, std::move(zero), std::move(seq_op), barrier, options);
+}
+
+/// ASYNCcollect: FIFO pop of the next task result (payload only).
+[[nodiscard]] inline std::optional<engine::Payload> ASYNCcollect(AsyncContext& ac) {
+  auto collected = ac.collect();
+  if (!collected.has_value()) return std::nullopt;
+  return std::move(collected->result.payload);
+}
+
+/// ASYNCcollectAll: the result plus its worker attributes (index, staleness,
+/// mini-batch provenance) — what Listing 1 uses for staleness-aware rates.
+[[nodiscard]] inline std::optional<TaggedResult> ASYNCcollectAll(AsyncContext& ac) {
+  return ac.collect();
+}
+
+/// ASYNCbroadcast: publish a model as a dynamic (history) broadcast variable.
+[[nodiscard]] inline HistoryBroadcast ASYNCbroadcast(AsyncContext& ac,
+                                                     linalg::DenseVector w) {
+  return ac.async_broadcast(std::move(w));
+}
+
+/// AC.STAT — snapshot of all workers' status.
+[[nodiscard]] inline StatSnapshot STAT(const AsyncContext& ac) { return ac.stat(); }
+
+/// AC.hasNext().
+[[nodiscard]] inline bool ASYNChasNext(const AsyncContext& ac) { return ac.has_next(); }
+
+}  // namespace asyncml::core

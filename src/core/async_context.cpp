@@ -1,0 +1,67 @@
+#include "core/async_context.hpp"
+
+namespace asyncml::core {
+
+AsyncContext::AsyncContext(engine::Cluster& cluster, int num_partitions)
+    : cluster_(cluster),
+      coordinator_(cluster),
+      scheduler_(cluster, coordinator_),
+      registry_(std::make_shared<HistoryRegistry>(&cluster.store())) {
+  scheduler_.set_num_partitions(num_partitions);
+  coordinator_.start();
+}
+
+AsyncContext::~AsyncContext() { coordinator_.stop(); }
+
+std::optional<TaggedResult> AsyncContext::collect(
+    const AsyncScheduler::TaskFactory* retry_factory) {
+  using namespace std::chrono_literals;
+  int idle_ms = 0;
+  for (;;) {
+    // Failures are routed to their own queue; poll it so a failed task does
+    // not leave us blocked waiting for a result that will never come.
+    while (auto failed = coordinator_.try_collect_failure()) {
+      if (retry_factory == nullptr) {
+        std::fprintf(stderr,
+                     "AsyncContext::collect: task failed with no retry factory: %s\n",
+                     failed->status.to_string().c_str());
+        std::abort();
+      }
+      if (++retries_ > max_retries_total_) {
+        std::fprintf(stderr, "AsyncContext::collect: retry budget exhausted\n");
+        std::abort();
+      }
+      scheduler_.resubmit(*failed, *retry_factory);
+    }
+    auto collected = coordinator_.collect_for(2ms);
+    if (collected.has_value()) {
+      scheduler_.on_result_collected(collected->result.partition);
+      return collected;
+    }
+    if (!coordinator_.has_next() && coordinator_.stopped()) return std::nullopt;
+
+    // Deadlock guard: nothing queued, nothing in flight, and nothing arriving
+    // means no dispatch will ever reopen — a barrier configured so that its
+    // gate can never pass again. Fail loudly instead of hanging.
+    if (coordinator_.total_outstanding() == 0 && !coordinator_.has_next()) {
+      idle_ms += 2;
+      if (idle_ms > 2000) {
+        std::fprintf(stderr,
+                     "AsyncContext::collect: no tasks in flight and no results for 2s "
+                     "— barrier gate wedged shut? (%s)\n",
+                     coordinator_.stat().to_string().c_str());
+        std::abort();
+      }
+    } else {
+      idle_ms = 0;
+    }
+  }
+}
+
+HistoryBroadcast AsyncContext::async_broadcast(linalg::DenseVector w) {
+  const engine::Version version = coordinator_.current_version();
+  registry_->publish(std::move(w), version);
+  return HistoryBroadcast(registry_, version);
+}
+
+}  // namespace asyncml::core

@@ -1,0 +1,84 @@
+#include "core/barrier.hpp"
+
+#include <cmath>
+
+#include <memory>
+
+#include "support/rng.hpp"
+
+namespace asyncml::core::barriers {
+
+BarrierControl asp() {
+  BarrierControl b;
+  b.name = "ASP";
+  return b;  // default gate/filter: always true
+}
+
+BarrierControl bsp() {
+  BarrierControl b;
+  b.name = "BSP";
+  b.gate = [](const StatSnapshot& stat) {
+    return stat.available_workers() == stat.num_workers();
+  };
+  return b;
+}
+
+BarrierControl ssp(std::uint64_t bound) {
+  BarrierControl b;
+  b.name = "SSP(" + std::to_string(bound) + ")";
+  b.gate = [bound](const StatSnapshot& stat) { return stat.max_staleness() < bound; };
+  return b;
+}
+
+BarrierControl available_fraction(double beta) {
+  BarrierControl b;
+  b.name = "beta(" + std::to_string(beta) + ")";
+  b.gate = [beta](const StatSnapshot& stat) {
+    const int needed =
+        static_cast<int>(std::floor(beta * static_cast<double>(stat.num_workers())));
+    return stat.available_workers() >= std::max(1, needed);
+  };
+  return b;
+}
+
+BarrierControl completion_time_within(double ratio) {
+  BarrierControl b;
+  b.name = "ctime(" + std::to_string(ratio) + ")";
+  b.filter = [ratio](const WorkerStat& w, const StatSnapshot& stat) {
+    if (w.tasks_completed == 0) return true;
+    const double cluster_mean = stat.mean_avg_task_ms();
+    if (cluster_mean <= 0.0) return true;
+    return w.avg_task_ms <= ratio * cluster_mean;
+  };
+  return b;
+}
+
+BarrierControl probabilistic(double p, std::uint64_t seed) {
+  BarrierControl b;
+  b.name = "PSP(" + std::to_string(p) + ")";
+  // Coins come from one seeded stream consumed per filter evaluation, so
+  // repeated dispatch attempts draw *fresh* coins — keying on the model
+  // version instead would freeze the coins while the cluster is idle and
+  // could wedge dispatch permanently. Barrier evaluation happens on the
+  // driver thread only, so the shared stream needs no lock.
+  auto rng = std::make_shared<support::RngStream>(seed);
+  b.filter = [p, rng](const WorkerStat&, const StatSnapshot&) {
+    return rng->bernoulli(p);
+  };
+  return b;
+}
+
+BarrierControl both(BarrierControl a, BarrierControl b) {
+  BarrierControl out;
+  out.name = a.name + "+" + b.name;
+  out.gate = [ga = std::move(a.gate), gb = std::move(b.gate)](const StatSnapshot& s) {
+    return ga(s) && gb(s);
+  };
+  out.filter = [fa = std::move(a.filter),
+                fb = std::move(b.filter)](const WorkerStat& w, const StatSnapshot& s) {
+    return fa(w, s) && fb(w, s);
+  };
+  return out;
+}
+
+}  // namespace asyncml::core::barriers

@@ -1,0 +1,67 @@
+#pragma once
+
+// Barrier-control strategies (paper §3, §4.4, Listing 2).
+//
+// A BarrierControl decides, from the STAT snapshot, (a) whether any dispatch
+// may happen this round (the gate) and (b) which of the available workers may
+// receive tasks (the filter).  The classic strategies:
+//   ASP — always dispatch to whoever is available;
+//   BSP — dispatch only when *all* workers are available (bulk-synchronous);
+//   SSP — pause dispatch while max worker staleness exceeds a bound s.
+// User-defined controls compose arbitrary predicates over STAT, e.g. the
+// ⌊β·P⌋ availability fraction of §5.2 or completion-time filters in the
+// spirit of adaptive-synchronous strategies [69].
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/stat.hpp"
+
+namespace asyncml::core {
+
+struct BarrierControl {
+  using Gate = std::function<bool(const StatSnapshot&)>;
+  using Filter = std::function<bool(const WorkerStat&, const StatSnapshot&)>;
+
+  std::string name = "custom";
+  /// Round-level predicate: if false, nothing is dispatched this round.
+  Gate gate = [](const StatSnapshot&) { return true; };
+  /// Per-worker predicate over *available* workers.
+  Filter filter = [](const WorkerStat&, const StatSnapshot&) { return true; };
+};
+
+namespace barriers {
+
+/// Asynchronous Parallel: any available worker proceeds immediately.
+[[nodiscard]] BarrierControl asp();
+
+/// Bulk Synchronous Parallel: dispatch only when every worker is available.
+[[nodiscard]] BarrierControl bsp();
+
+/// Stale Synchronous Parallel: dispatch only while the maximum worker
+/// staleness is strictly below `bound`.
+[[nodiscard]] BarrierControl ssp(std::uint64_t bound);
+
+/// §5.2's bounded-availability barrier: dispatch only when at least
+/// ⌊beta · P⌋ workers are available (beta in (0, 1]).
+[[nodiscard]] BarrierControl available_fraction(double beta);
+
+/// Completion-time filter: dispatch only to workers whose EWMA task time is
+/// at most `ratio` × the cluster mean (skips chronic stragglers). Workers
+/// with no history yet always pass.
+[[nodiscard]] BarrierControl completion_time_within(double ratio);
+
+/// Probabilistic Synchronous Parallel (after Wang et al. [65], which the
+/// paper cites among the barrier strategies ASYNC can express): every
+/// eligible worker is admitted independently with probability `p` on each
+/// dispatch attempt. Reproducible given `seed` (one shared coin stream,
+/// consumed in evaluation order on the driver thread).
+[[nodiscard]] BarrierControl probabilistic(double p, std::uint64_t seed);
+
+/// Conjunction of two controls (gates AND, filters AND).
+[[nodiscard]] BarrierControl both(BarrierControl a, BarrierControl b);
+
+}  // namespace barriers
+
+}  // namespace asyncml::core

@@ -1,0 +1,119 @@
+#include "core/coordinator.hpp"
+
+#include "support/thread_util.hpp"
+
+namespace asyncml::core {
+
+Coordinator::Coordinator(engine::Cluster& cluster)
+    : cluster_(cluster),
+      stats_(static_cast<std::size_t>(cluster.num_workers())),
+      task_time_ewma_(static_cast<std::size_t>(cluster.num_workers())) {
+  for (int w = 0; w < cluster.num_workers(); ++w) {
+    stats_[static_cast<std::size_t>(w)].id = w;
+  }
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() {
+  if (running_.exchange(true)) return;
+  drain_thread_ = std::jthread([this] { drain_loop(); });
+}
+
+void Coordinator::stop() {
+  if (!running_.exchange(false)) return;
+  if (drain_thread_.joinable()) drain_thread_.join();
+  results_.close();
+  failures_.close();
+}
+
+void Coordinator::drain_loop() {
+  support::set_current_thread_name("coordinator");
+  while (running_.load(std::memory_order_acquire)) {
+    auto popped = cluster_.results().pop_for(std::chrono::milliseconds(2));
+    if (!popped.has_value()) continue;  // timeout or cluster shutdown; re-check flag
+    engine::TaskResult result = std::move(*popped);
+
+    TaggedResult tagged;
+    {
+      std::lock_guard lock(stat_mutex_);
+      apply_result_locked(result);
+      const engine::Version now = current_version();
+      WorkerStat row = stats_[static_cast<std::size_t>(result.worker)];
+      row.result_staleness = now - row.last_result_version;
+      row.task_staleness =
+          row.ever_dispatched ? now - row.last_dispatch_version : 0;
+      tagged.staleness = now >= result.model_version ? now - result.model_version : 0;
+      tagged.worker = row;
+    }
+    if (result.ok()) {
+      tagged.result = std::move(result);
+      results_.push(std::move(tagged));
+    } else {
+      failures_.push(std::move(result));
+    }
+  }
+}
+
+void Coordinator::apply_result_locked(const engine::TaskResult& r) {
+  WorkerStat& row = stats_[static_cast<std::size_t>(r.worker)];
+  row.outstanding = std::max(0, row.outstanding - 1);
+  row.available = row.outstanding == 0;
+  if (r.ok()) {
+    row.tasks_completed += 1;
+  } else {
+    row.tasks_failed += 1;
+  }
+  row.last_result_version = r.model_version;
+  auto& ewma = task_time_ewma_[static_cast<std::size_t>(r.worker)];
+  ewma.observe(r.service_ms);
+  row.avg_task_ms = ewma.value();
+  row.mean_task_ms = ewma.mean();
+}
+
+StatSnapshot Coordinator::stat() const {
+  StatSnapshot snap;
+  std::lock_guard lock(stat_mutex_);
+  snap.current_version = current_version();
+  snap.workers = stats_;
+  for (WorkerStat& row : snap.workers) {
+    // Staleness fields are derived at snapshot time so they reflect the
+    // *current* version, not the version when the row last changed.
+    row.result_staleness =
+        row.tasks_completed > 0 ? snap.current_version - row.last_result_version : 0;
+    row.task_staleness =
+        row.ever_dispatched ? snap.current_version - row.last_dispatch_version : 0;
+  }
+  return snap;
+}
+
+std::optional<TaggedResult> Coordinator::collect_for(std::chrono::milliseconds timeout) {
+  return results_.pop_for(timeout);
+}
+
+std::optional<TaggedResult> Coordinator::collect() { return results_.pop(); }
+
+std::optional<TaggedResult> Coordinator::try_collect() { return results_.try_pop(); }
+
+std::optional<engine::TaskResult> Coordinator::try_collect_failure() {
+  return failures_.try_pop();
+}
+
+int Coordinator::total_outstanding() const {
+  std::lock_guard lock(stat_mutex_);
+  int total = 0;
+  for (const WorkerStat& row : stats_) total += row.outstanding;
+  return total;
+}
+
+void Coordinator::on_dispatch(engine::WorkerId worker, int tasks,
+                              engine::Version version) {
+  std::lock_guard lock(stat_mutex_);
+  WorkerStat& row = stats_[static_cast<std::size_t>(worker)];
+  row.outstanding += tasks;
+  row.available = row.outstanding == 0;
+  row.last_dispatch_version = version;
+  row.ever_dispatched = true;
+}
+
+}  // namespace asyncml::core

@@ -1,0 +1,111 @@
+#pragma once
+
+// The ASYNCcoordinator (paper §4.2).
+//
+// A dedicated thread drains the cluster's result channel, annotates each task
+// result with worker attributes (staleness, mini-batch provenance, worker
+// id), maintains the STAT table, and exposes the annotated results in FIFO
+// order (ASYNCcollect).  Failed task results are routed to a separate queue
+// so the scheduler can resubmit them without disturbing the result FIFO.
+//
+// The model-parameter version is owned here: the server's solver loop calls
+// advance_version() after each update, and staleness of a result is computed
+// as (version at collection) − (version the task computed against).
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/stat.hpp"
+#include "engine/cluster.hpp"
+#include "support/blocking_queue.hpp"
+#include "support/ewma.hpp"
+
+namespace asyncml::core {
+
+/// A task result annotated with the worker attributes the paper's
+/// ASYNCcollectAll returns.
+struct TaggedResult {
+  engine::TaskResult result;
+  /// Staleness of this result: version at arrival − task's model version.
+  std::uint64_t staleness = 0;
+  /// Snapshot of the submitting worker's STAT row at arrival.
+  WorkerStat worker;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(engine::Cluster& cluster);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Starts the drain thread. Called by AsyncContext's constructor.
+  void start();
+
+  /// Stops the drain thread (does not shut the cluster down). Idempotent.
+  void stop();
+
+  // -- bookkeeping reads ----------------------------------------------------
+
+  [[nodiscard]] StatSnapshot stat() const;
+  [[nodiscard]] engine::Version current_version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// True if an annotated result is waiting (AC.hasNext()).
+  [[nodiscard]] bool has_next() const { return !results_.empty(); }
+
+  /// True once stop() has been called (collect() will not block again).
+  [[nodiscard]] bool stopped() const noexcept {
+    return !running_.load(std::memory_order_acquire);
+  }
+
+  // -- collection ------------------------------------------------------------
+
+  /// FIFO pop of the next annotated result; blocks up to `timeout`.
+  [[nodiscard]] std::optional<TaggedResult> collect_for(std::chrono::milliseconds timeout);
+
+  /// Blocking FIFO pop; returns nullopt only when stopped.
+  [[nodiscard]] std::optional<TaggedResult> collect();
+
+  /// Non-blocking pop.
+  [[nodiscard]] std::optional<TaggedResult> try_collect();
+
+  /// Failed task results (after worker-side retries are exhausted upstream).
+  [[nodiscard]] std::optional<engine::TaskResult> try_collect_failure();
+
+  // -- server-side hooks ------------------------------------------------------
+
+  /// Bumps the model version; call after every model update.
+  void advance_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Records that `tasks` tasks were dispatched to `worker` against `version`
+  /// (called by the scheduler; marks the worker unavailable).
+  void on_dispatch(engine::WorkerId worker, int tasks, engine::Version version);
+
+  /// Total tasks in flight across all workers (deadlock diagnostics).
+  [[nodiscard]] int total_outstanding() const;
+
+ private:
+  void drain_loop();
+  void apply_result_locked(const engine::TaskResult& r);
+
+  engine::Cluster& cluster_;
+  std::atomic<engine::Version> version_{0};
+
+  mutable std::mutex stat_mutex_;
+  std::vector<WorkerStat> stats_;
+  std::vector<support::Ewma> task_time_ewma_;
+
+  support::BlockingQueue<TaggedResult> results_;
+  support::BlockingQueue<engine::TaskResult> failures_;
+
+  std::atomic<bool> running_{false};
+  std::jthread drain_thread_;
+};
+
+}  // namespace asyncml::core

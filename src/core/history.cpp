@@ -1,0 +1,65 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace asyncml::core {
+
+engine::BroadcastId HistoryRegistry::publish(linalg::DenseVector w,
+                                             engine::Version version) {
+  const std::size_t bytes = w.size_bytes();
+  const engine::BroadcastId id =
+      store_->put(engine::Payload::wrap<linalg::DenseVector>(std::move(w), bytes));
+  std::lock_guard lock(mutex_);
+  ids_[version] = id;
+  return id;
+}
+
+std::optional<engine::BroadcastId> HistoryRegistry::id_of(
+    engine::Version version) const {
+  std::lock_guard lock(mutex_);
+  const auto it = ids_.find(version);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const linalg::DenseVector& HistoryRegistry::value_at(engine::Version version) const {
+  const auto id = id_of(version);
+  if (!id.has_value()) {
+    std::fprintf(stderr, "HistoryRegistry: version %llu was never published or was pruned\n",
+                 static_cast<unsigned long long>(version));
+    std::abort();
+  }
+  // Broadcast<T>::value() routes through the worker cache when called from a
+  // task, and reads the store directly on the driver. The returned reference
+  // is into the shared immutable payload.
+  engine::Broadcast<linalg::DenseVector> handle(*id, store_);
+  return handle.value();
+}
+
+void HistoryRegistry::prune_below(engine::Version min_version) {
+  std::lock_guard lock(mutex_);
+  for (auto it = ids_.begin(); it != ids_.end() && it->first < min_version;) {
+    store_->erase(it->second);
+    it = ids_.erase(it);
+  }
+}
+
+std::size_t HistoryRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return ids_.size();
+}
+
+std::optional<engine::Version> HistoryRegistry::oldest() const {
+  std::lock_guard lock(mutex_);
+  if (ids_.empty()) return std::nullopt;
+  return ids_.begin()->first;
+}
+
+engine::Version SampleVersionTable::min_version() const {
+  if (versions_.empty()) return 0;
+  return *std::min_element(versions_.begin(), versions_.end());
+}
+
+}  // namespace asyncml::core

@@ -1,0 +1,114 @@
+#pragma once
+
+// The ASYNCbroadcaster (paper §4.3): history-aware broadcast.
+//
+// Variance-reduced methods (SAGA/ASAGA) need the model parameters of *past*
+// iterations to recompute historical gradients.  Broadcasting the full table
+// of past parameters every iteration — what plain Spark forces (Algorithm 3,
+// red line) — costs O(iterations × d) per round.  The ASYNCbroadcaster
+// instead assigns every published model a version, ships only the (id,
+// version) pair with each task, and lets workers fetch values they have not
+// yet cached; a worker that already holds version v pays nothing to read it
+// again.  The `value(index)` call of Algorithm 4 resolves, through the
+// worker-local SampleVersionTable, to "the model as it was when sample
+// `index` was last used".
+//
+// HistoryRegistry is the server-side version→broadcast-id map; the
+// HistoryBroadcast handle is what task closures capture (the `w_br` of
+// Algorithm 4).  Value resolution reuses the engine's Broadcast<T> routing,
+// so worker-side reads go through the worker's cache with fetch-through
+// charging.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "engine/broadcast.hpp"
+#include "engine/types.hpp"
+#include "linalg/dense_vector.hpp"
+
+namespace asyncml::core {
+
+class HistoryRegistry {
+ public:
+  explicit HistoryRegistry(engine::BroadcastStore* store) : store_(store) {}
+
+  /// Publishes `w` as the model at `version`; returns the broadcast id.
+  engine::BroadcastId publish(linalg::DenseVector w, engine::Version version);
+
+  /// Broadcast id of a published version (nullopt if unknown/pruned).
+  [[nodiscard]] std::optional<engine::BroadcastId> id_of(engine::Version version) const;
+
+  /// Resolves the model at `version`. On a worker thread this routes through
+  /// the worker's broadcast cache (cache hit = free; miss = charged fetch).
+  /// Aborts if the version was never published — a logic error upstream.
+  [[nodiscard]] const linalg::DenseVector& value_at(engine::Version version) const;
+
+  /// Drops versions older than `min_version` from the server store.
+  /// Workers prune their caches lazily via Worker::cache().prune_below.
+  void prune_below(engine::Version min_version);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Oldest retained version (for prune policies); nullopt when empty.
+  [[nodiscard]] std::optional<engine::Version> oldest() const;
+
+ private:
+  engine::BroadcastStore* store_;
+  mutable std::mutex mutex_;
+  std::map<engine::Version, engine::BroadcastId> ids_;
+};
+
+/// Copyable handle pinned to the version that was current at dispatch time —
+/// the `w_br` of Algorithms 2 and 4.
+class HistoryBroadcast {
+ public:
+  HistoryBroadcast() = default;
+  HistoryBroadcast(std::shared_ptr<const HistoryRegistry> registry,
+                   engine::Version pinned)
+      : registry_(std::move(registry)), pinned_(pinned) {}
+
+  [[nodiscard]] bool valid() const noexcept { return registry_ != nullptr; }
+  [[nodiscard]] engine::Version version() const noexcept { return pinned_; }
+
+  /// The model this task was dispatched against (`w_br.value`).
+  [[nodiscard]] const linalg::DenseVector& value() const {
+    return registry_->value_at(pinned_);
+  }
+
+  /// A historical model (`w_br.value(index)` resolves the sample's version
+  /// through the SampleVersionTable first, then calls this).
+  [[nodiscard]] const linalg::DenseVector& value_at(engine::Version v) const {
+    return registry_->value_at(v);
+  }
+
+ private:
+  std::shared_ptr<const HistoryRegistry> registry_;
+  engine::Version pinned_ = 0;
+};
+
+/// Worker-local "last version used per sample" table — the bookkeeping that
+/// lets ASAGA recompute historical gradients instead of storing them.
+///
+/// Concurrency contract: entry i is only read/written by the task currently
+/// processing the partition that owns sample i, and the scheduler never runs
+/// two tasks of one partition concurrently; cross-worker visibility after a
+/// retry is established by the result-queue handoff.
+class SampleVersionTable {
+ public:
+  explicit SampleVersionTable(std::size_t n, engine::Version init = 0)
+      : versions_(n, init) {}
+
+  [[nodiscard]] engine::Version get(std::size_t i) const { return versions_.at(i); }
+  void set(std::size_t i, engine::Version v) { versions_.at(i) = v; }
+  [[nodiscard]] std::size_t size() const noexcept { return versions_.size(); }
+
+  /// Smallest version still referenced — safe lower bound for pruning.
+  [[nodiscard]] engine::Version min_version() const;
+
+ private:
+  std::vector<engine::Version> versions_;
+};
+
+}  // namespace asyncml::core

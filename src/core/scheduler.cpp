@@ -1,0 +1,111 @@
+#include "core/scheduler.hpp"
+
+#include "data/partition.hpp"
+
+namespace asyncml::core {
+
+AsyncScheduler::AsyncScheduler(engine::Cluster& cluster, Coordinator& coordinator)
+    : cluster_(cluster), coordinator_(coordinator) {
+  owned_.resize(static_cast<std::size_t>(cluster.num_workers()));
+}
+
+void AsyncScheduler::set_num_partitions(int num_partitions) {
+  num_partitions_ = num_partitions;
+  busy_.assign(static_cast<std::size_t>(num_partitions), false);
+  busy_count_ = 0;
+  for (int w = 0; w < cluster_.num_workers(); ++w) {
+    owned_[static_cast<std::size_t>(w)] =
+        data::partitions_of_worker(w, num_partitions, cluster_.num_workers());
+  }
+  cursor_.assign(static_cast<std::size_t>(cluster_.num_workers()), 0);
+}
+
+int AsyncScheduler::dispatch_partitions(engine::WorkerId worker,
+                                        const TaskFactory& factory, std::uint64_t seq,
+                                        int budget) {
+  const auto& partitions = owned_[static_cast<std::size_t>(worker)];
+  if (partitions.empty() || budget == 0) return 0;
+
+  // Round-robin over the worker's partitions (starting at the cursor) so a
+  // capacity-limited worker cycles through ALL its data rather than
+  // refilling the same freshly-freed partition forever. The scan base is
+  // fixed for the whole loop; the cursor advances past the last dispatch.
+  std::size_t& cursor = cursor_[static_cast<std::size_t>(worker)];
+  const std::size_t start = cursor;
+  std::vector<engine::TaskSpec> specs;
+  engine::Version version = 0;
+  for (std::size_t scanned = 0; scanned < partitions.size(); ++scanned) {
+    if (budget >= 0 && static_cast<int>(specs.size()) >= budget) break;
+    const engine::PartitionId p = partitions[(start + scanned) % partitions.size()];
+    if (busy_[static_cast<std::size_t>(p)]) continue;
+    engine::TaskSpec spec = factory(p);
+    spec.id = cluster_.next_task_id();
+    spec.seq = seq;
+    version = spec.model_version;
+    busy_[static_cast<std::size_t>(p)] = true;
+    ++busy_count_;
+    specs.push_back(std::move(spec));
+    cursor = (start + scanned + 1) % partitions.size();
+  }
+  if (specs.empty()) return 0;
+  // Mark outstanding *before* submitting so the coordinator never observes a
+  // result for a task it does not know about.
+  coordinator_.on_dispatch(worker, static_cast<int>(specs.size()), version);
+  for (engine::TaskSpec& spec : specs) cluster_.submit(worker, std::move(spec));
+  return static_cast<int>(specs.size());
+}
+
+int AsyncScheduler::dispatch_worker(engine::WorkerId worker, const TaskFactory& factory) {
+  const int cores = cluster_.config().cores_per_worker;
+  return dispatch_partitions(worker, factory, ++round_, cores);
+}
+
+int AsyncScheduler::dispatch_eligible(const BarrierControl& barrier,
+                                      const TaskFactory& factory) {
+  const StatSnapshot stat = coordinator_.stat();
+  if (!barrier.gate(stat)) return 0;
+  const int cores = cluster_.config().cores_per_worker;
+  // All tasks admitted by one dispatch call share one round sequence: they
+  // are peers of the same logical iteration (partition ids already separate
+  // their sampling streams).
+  const std::uint64_t seq = round_ + 1;
+  int submitted = 0;
+  for (const WorkerStat& w : stat.workers) {
+    const int free = cores - w.outstanding;
+    if (free <= 0) continue;
+    if (!barrier.filter(w, stat)) continue;
+    submitted += dispatch_partitions(w.id, factory, seq, free);
+  }
+  if (submitted > 0) round_ = seq;
+  return submitted;
+}
+
+int AsyncScheduler::dispatch_all(const TaskFactory& factory) {
+  const std::uint64_t seq = ++round_;
+  int submitted = 0;
+  for (int w = 0; w < cluster_.num_workers(); ++w) {
+    submitted += dispatch_partitions(w, factory, seq, /*budget=*/-1);
+  }
+  return submitted;
+}
+
+void AsyncScheduler::resubmit(const engine::TaskResult& failed,
+                              const TaskFactory& factory) {
+  const engine::WorkerId target = (failed.worker + 1) % cluster_.num_workers();
+  engine::TaskSpec spec = factory(failed.partition);
+  spec.id = cluster_.next_task_id();
+  spec.seq = failed.seq;  // keep the round: the retry recomputes the same batch
+  // The partition is still marked busy from its original dispatch.
+  coordinator_.on_dispatch(target, 1, spec.model_version);
+  cluster_.submit(target, std::move(spec));
+}
+
+void AsyncScheduler::on_result_collected(engine::PartitionId partition) {
+  if (partition < 0 || partition >= num_partitions_) return;
+  if (busy_[static_cast<std::size_t>(partition)]) {
+    busy_[static_cast<std::size_t>(partition)] = false;
+    --busy_count_;
+  }
+}
+
+}  // namespace asyncml::core

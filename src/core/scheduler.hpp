@@ -1,0 +1,90 @@
+#pragma once
+
+// The ASYNCscheduler (paper §4.4).
+//
+// Dispatches tasks to workers according to a barrier-control strategy.
+// Mirroring Spark's executor model, dispatch is *capacity aware*: a worker
+// with C executor cores holds at most C tasks in flight, and each completed
+// result frees a slot for the next idle partition owned by that worker.
+// This keeps the number of concurrently in-flight tasks — and therefore the
+// staleness of asynchronous updates — proportional to the cluster's core
+// count rather than its partition count.
+//
+// A worker is *eligible* when it has free capacity, the barrier's per-worker
+// filter passes, and the barrier's global gate allows dispatch.  The
+// synchronous path (dispatch_all) bypasses capacity and ships one task per
+// partition, which is exactly a BSP stage.
+//
+// The scheduler stamps tasks with a monotonically increasing round sequence
+// (shared by all tasks of one dispatch call); the task RNG derives from
+// (seed, partition, seq), so every round samples a fresh deterministic
+// mini-batch and a retry of the same round recomputes the same batch.
+
+#include <functional>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/coordinator.hpp"
+#include "engine/cluster.hpp"
+
+namespace asyncml::core {
+
+class AsyncScheduler {
+ public:
+  /// Builds the task for one partition; the scheduler fills in `id` and
+  /// `seq` afterwards (everything else — fn, version, service floor, rng
+  /// seed — is the solver's business).
+  using TaskFactory = std::function<engine::TaskSpec(engine::PartitionId)>;
+
+  AsyncScheduler(engine::Cluster& cluster, Coordinator& coordinator);
+
+  /// Fixes partition placement: partition p lives on worker p % W.
+  void set_num_partitions(int num_partitions);
+
+  [[nodiscard]] int num_partitions() const noexcept { return num_partitions_; }
+  [[nodiscard]] const std::vector<engine::PartitionId>& partitions_of(
+      engine::WorkerId worker) const {
+    return owned_.at(static_cast<std::size_t>(worker));
+  }
+
+  /// Fills `worker` to capacity with its idle partitions, ignoring barriers
+  /// (used for priming). Returns the number of tasks submitted.
+  int dispatch_worker(engine::WorkerId worker, const TaskFactory& factory);
+
+  /// Dispatches idle partitions to every worker with free capacity that
+  /// passes `barrier` (gate checked once against the current STAT snapshot).
+  /// Returns the number of tasks submitted.
+  int dispatch_eligible(const BarrierControl& barrier, const TaskFactory& factory);
+
+  /// One task per partition to every worker regardless of barrier or
+  /// capacity — the synchronous BSP stage used by sync algorithms running
+  /// through ASYNC.
+  int dispatch_all(const TaskFactory& factory);
+
+  /// Resubmits a failed task to the next worker (Spark retry semantics for
+  /// the asynchronous path). The factory rebuilds the task for the partition.
+  void resubmit(const engine::TaskResult& failed, const TaskFactory& factory);
+
+  /// Marks the partition idle again; AsyncContext::collect calls this for
+  /// every collected result.
+  void on_result_collected(engine::PartitionId partition);
+
+  [[nodiscard]] std::uint64_t rounds_dispatched() const noexcept { return round_; }
+  [[nodiscard]] int busy_partitions() const noexcept { return busy_count_; }
+
+ private:
+  /// Dispatches up to `budget` idle partitions of `worker`; -1 = no limit.
+  int dispatch_partitions(engine::WorkerId worker, const TaskFactory& factory,
+                          std::uint64_t seq, int budget);
+
+  engine::Cluster& cluster_;
+  Coordinator& coordinator_;
+  std::vector<std::vector<engine::PartitionId>> owned_;
+  std::vector<bool> busy_;           ///< per-partition in-flight flag
+  std::vector<std::size_t> cursor_;  ///< per-worker round-robin position
+  int busy_count_ = 0;
+  int num_partitions_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace asyncml::core

@@ -1,0 +1,44 @@
+#include "core/stat.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace asyncml::core {
+
+int StatSnapshot::available_workers() const noexcept {
+  int n = 0;
+  for (const WorkerStat& w : workers) n += w.available ? 1 : 0;
+  return n;
+}
+
+std::uint64_t StatSnapshot::max_staleness() const noexcept {
+  // Only workers with tasks in flight contribute: an idle worker's staleness
+  // is reset by the very dispatch the gate is deciding about, so counting it
+  // would wedge SSP's gate permanently once the cluster drains.
+  std::uint64_t m = 0;
+  for (const WorkerStat& w : workers) {
+    if (w.ever_dispatched && w.outstanding > 0) m = std::max(m, w.task_staleness);
+  }
+  return m;
+}
+
+double StatSnapshot::mean_avg_task_ms() const noexcept {
+  double sum = 0.0;
+  int n = 0;
+  for (const WorkerStat& w : workers) {
+    if (w.tasks_completed > 0) {
+      sum += w.avg_task_ms;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+std::string StatSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "v" << current_version << " avail=" << available_workers() << "/"
+     << num_workers() << " max_stale=" << max_staleness();
+  return os.str();
+}
+
+}  // namespace asyncml::core

@@ -1,0 +1,73 @@
+#pragma once
+
+// The STAT table — the paper's per-worker bookkeeping structure (§4.1).
+//
+// For every worker the coordinator maintains: availability, staleness,
+// average task-completion time, and progress counters.  Barrier-control
+// strategies (§4.4, Listing 2) are predicates over snapshots of this table.
+//
+// Two staleness notions are tracked because the paper's uses require both:
+//  * result_staleness — staleness of the worker's most recent *result*
+//    (current version − version the result computed against); this is the
+//    per-result attribute returned by ASYNCcollectAll and used by
+//    staleness-dependent learning rates (Listing 1).
+//  * task_staleness — how far behind the model the worker's most recent
+//    *assignment* is (current version − version of the last dispatched task);
+//    the SSP gate (max staleness < s) reads this, since it bounds the
+//    staleness of updates still in flight.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/types.hpp"
+
+namespace asyncml::core {
+
+struct WorkerStat {
+  engine::WorkerId id = 0;
+  /// True when the worker has no outstanding tasks (paper: "available if it
+  /// is not executing a task").
+  bool available = true;
+  /// Tasks currently in flight on this worker.
+  int outstanding = 0;
+  /// current_version − version of the last collected result from this worker.
+  std::uint64_t result_staleness = 0;
+  /// current_version − version of the last task dispatched to this worker.
+  std::uint64_t task_staleness = 0;
+  /// EWMA of task service time (ms) — "average-task-completion time".
+  double avg_task_ms = 0.0;
+  /// Plain mean of task service times (ms), for reporting.
+  double mean_task_ms = 0.0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_failed = 0;
+  engine::Version last_result_version = 0;
+  engine::Version last_dispatch_version = 0;
+  bool ever_dispatched = false;
+};
+
+/// Immutable snapshot of the STAT table plus the server version at the time
+/// it was taken. What `AC.STAT` returns.
+struct StatSnapshot {
+  std::vector<WorkerStat> workers;
+  engine::Version current_version = 0;
+
+  [[nodiscard]] int num_workers() const noexcept {
+    return static_cast<int>(workers.size());
+  }
+
+  [[nodiscard]] int available_workers() const noexcept;
+
+  /// Maximum task staleness over workers with tasks currently in flight —
+  /// the quantity SSP bounds. Idle workers are excluded (their staleness is
+  /// reset by the next dispatch).
+  [[nodiscard]] std::uint64_t max_staleness() const noexcept;
+
+  /// Mean of workers' EWMA task times; 0 when nothing completed yet.
+  [[nodiscard]] double mean_avg_task_ms() const noexcept;
+
+  /// Compact single-line rendering for logs.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace asyncml::core

@@ -1,0 +1,80 @@
+#include "data/dataset.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace asyncml::data {
+
+Dataset::Dataset(std::string name, linalg::DenseMatrix features,
+                 linalg::DenseVector labels)
+    : name_(std::move(name)), features_(std::move(features)), labels_(std::move(labels)) {
+  assert(rows() == labels_.size());
+}
+
+Dataset::Dataset(std::string name, linalg::CsrMatrix features, linalg::DenseVector labels)
+    : name_(std::move(name)), features_(std::move(features)), labels_(std::move(labels)) {
+  assert(rows() == labels_.size());
+}
+
+std::size_t Dataset::rows() const noexcept {
+  if (is_dense()) return std::get<linalg::DenseMatrix>(features_).rows();
+  if (std::holds_alternative<linalg::CsrMatrix>(features_)) {
+    return std::get<linalg::CsrMatrix>(features_).rows();
+  }
+  return 0;
+}
+
+std::size_t Dataset::cols() const noexcept {
+  if (is_dense()) return std::get<linalg::DenseMatrix>(features_).cols();
+  if (std::holds_alternative<linalg::CsrMatrix>(features_)) {
+    return std::get<linalg::CsrMatrix>(features_).cols();
+  }
+  return 0;
+}
+
+std::size_t Dataset::feature_bytes() const noexcept {
+  if (is_dense()) return std::get<linalg::DenseMatrix>(features_).size_bytes();
+  if (std::holds_alternative<linalg::CsrMatrix>(features_)) {
+    return std::get<linalg::CsrMatrix>(features_).size_bytes();
+  }
+  return 0;
+}
+
+RowRef Dataset::row(std::size_t r) const {
+  if (is_dense()) return RowRef(std::get<linalg::DenseMatrix>(features_).row(r));
+  return RowRef(std::get<linalg::CsrMatrix>(features_).row(r));
+}
+
+double Dataset::density() const {
+  if (is_dense()) return 1.0;
+  return std::get<linalg::CsrMatrix>(features_).density();
+}
+
+Dataset normalize_rows(const Dataset& in) {
+  if (in.is_dense()) {
+    linalg::DenseMatrix out(in.rows(), in.cols());
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+      const auto src = in.dense_features().row(r);
+      const double norm = linalg::nrm2(src);
+      const double inv = norm > 0.0 ? 1.0 / norm : 0.0;
+      auto dst = out.row(r);
+      for (std::size_t c = 0; c < in.cols(); ++c) dst[c] = src[c] * inv;
+    }
+    return Dataset(in.name(), std::move(out), in.labels());
+  }
+  linalg::CsrMatrix out = linalg::CsrMatrix::for_appending(in.cols());
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    const linalg::SparseRowView src = in.sparse_features().row(r);
+    double norm_sq = 0.0;
+    for (double v : src.values) norm_sq += v * v;
+    const double inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+    linalg::SparseVector row;
+    for (std::size_t k = 0; k < src.nnz(); ++k) {
+      row.push_back(src.indices[k], src.values[k] * inv);
+    }
+    out.append_row(row);
+  }
+  return Dataset(in.name(), std::move(out), in.labels());
+}
+
+}  // namespace asyncml::data

@@ -1,0 +1,115 @@
+#pragma once
+
+// Dataset containers and the uniform row view used by gradient kernels.
+//
+// A Dataset is features (dense row-major or CSR sparse) plus labels.  The
+// paper's three evaluation datasets split exactly along this line: mnist8m
+// and epsilon are dense, rcv1 is sparse.  Optimizers never branch on the
+// storage kind themselves; they consume RowRef, which dispatches dot/axpy to
+// the right kernel.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <variant>
+
+#include "linalg/blas.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/dense_vector.hpp"
+#include "linalg/sparse.hpp"
+
+namespace asyncml::data {
+
+/// One example's features: exactly one representation is engaged.
+class RowRef {
+ public:
+  explicit RowRef(std::span<const double> dense) : dense_(dense), is_dense_(true) {}
+  explicit RowRef(linalg::SparseRowView sparse) : sparse_(sparse), is_dense_(false) {}
+
+  [[nodiscard]] bool is_dense() const noexcept { return is_dense_; }
+
+  /// <x, w>
+  [[nodiscard]] double dot(std::span<const double> w) const {
+    return is_dense_ ? linalg::dot(dense_, w) : linalg::dot(sparse_, w);
+  }
+
+  /// y += a * x
+  void axpy_into(double a, std::span<double> y) const {
+    if (is_dense_) {
+      linalg::axpy(a, dense_, y);
+    } else {
+      linalg::axpy(a, sparse_, y);
+    }
+  }
+
+  /// ||x||²
+  [[nodiscard]] double norm_squared() const {
+    if (is_dense_) return linalg::nrm2_squared(dense_);
+    double s = 0.0;
+    for (double v : sparse_.values) s += v * v;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t nnz() const noexcept {
+    return is_dense_ ? dense_.size() : sparse_.nnz();
+  }
+
+ private:
+  std::span<const double> dense_;
+  linalg::SparseRowView sparse_;
+  bool is_dense_;
+};
+
+/// A labeled example as seen by RDD map functions: the element type of the
+/// distributed "points" collection in Algorithms 1–4.
+struct LabeledPoint {
+  std::size_t index = 0;  ///< global row index (SAGA history key)
+  double label = 0.0;
+  RowRef features;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, linalg::DenseMatrix features, linalg::DenseVector labels);
+  Dataset(std::string name, linalg::CsrMatrix features, linalg::DenseVector labels);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool is_dense() const noexcept {
+    return std::holds_alternative<linalg::DenseMatrix>(features_);
+  }
+  [[nodiscard]] std::size_t rows() const noexcept;
+  [[nodiscard]] std::size_t cols() const noexcept;
+  [[nodiscard]] std::size_t feature_bytes() const noexcept;
+
+  [[nodiscard]] const linalg::DenseVector& labels() const noexcept { return labels_; }
+
+  [[nodiscard]] RowRef row(std::size_t r) const;
+  [[nodiscard]] LabeledPoint point(std::size_t r) const {
+    return LabeledPoint{r, labels_[r], row(r)};
+  }
+
+  [[nodiscard]] const linalg::DenseMatrix& dense_features() const {
+    return std::get<linalg::DenseMatrix>(features_);
+  }
+  [[nodiscard]] const linalg::CsrMatrix& sparse_features() const {
+    return std::get<linalg::CsrMatrix>(features_);
+  }
+
+  /// Fraction of non-zero cells (1.0 for dense storage).
+  [[nodiscard]] double density() const;
+
+ private:
+  std::string name_;
+  std::variant<std::monostate, linalg::DenseMatrix, linalg::CsrMatrix> features_;
+  linalg::DenseVector labels_;
+};
+
+using DatasetPtr = std::shared_ptr<const Dataset>;
+
+/// Scales every feature row to unit L2 norm (epsilon is distributed
+/// pre-normalized; the generator reuses this).
+[[nodiscard]] Dataset normalize_rows(const Dataset& in);
+
+}  // namespace asyncml::data

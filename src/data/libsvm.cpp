@@ -1,0 +1,151 @@
+#include "data/libsvm.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asyncml::data {
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+namespace {
+
+/// Parses a double from a string_view; returns false on malformed input.
+bool parse_double(std::string_view text, double& out) {
+  // std::from_chars(double) is available in libstdc++ >= 11.
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} && result.ptr == text.data() + text.size();
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} && result.ptr == text.data() + text.size();
+}
+
+/// Splits off the next whitespace-delimited token; empty when exhausted.
+std::string_view next_token(std::string_view& rest) {
+  std::size_t start = 0;
+  while (start < rest.size() && (rest[start] == ' ' || rest[start] == '\t')) ++start;
+  std::size_t end = start;
+  while (end < rest.size() && rest[end] != ' ' && rest[end] != '\t') ++end;
+  std::string_view token = rest.substr(start, end - start);
+  rest.remove_prefix(end);
+  return token;
+}
+
+}  // namespace
+
+StatusOr<Dataset> read_libsvm(std::istream& in, std::string name,
+                              const LibsvmOptions& options) {
+  std::vector<linalg::SparseVector> rows;
+  std::vector<double> labels;
+  std::uint32_t max_index = 0;  // 1-based maximum seen
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view rest(line);
+    // Strip comments.
+    if (const auto hash = rest.find('#'); hash != std::string_view::npos) {
+      rest = rest.substr(0, hash);
+    }
+    std::string_view label_token = next_token(rest);
+    if (label_token.empty()) continue;  // blank line
+
+    double label = 0.0;
+    if (!parse_double(label_token, label)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "libsvm line " + std::to_string(line_no) + ": bad label '" +
+                        std::string(label_token) + "'");
+    }
+
+    linalg::SparseVector row;
+    std::uint32_t prev_index = 0;
+    for (std::string_view token = next_token(rest); !token.empty();
+         token = next_token(rest)) {
+      const auto colon = token.find(':');
+      if (colon == std::string_view::npos) {
+        return Status(StatusCode::kInvalidArgument,
+                      "libsvm line " + std::to_string(line_no) +
+                          ": feature token missing ':' in '" + std::string(token) + "'");
+      }
+      std::uint32_t index = 0;
+      double value = 0.0;
+      if (!parse_u32(token.substr(0, colon), index) || index == 0) {
+        return Status(StatusCode::kInvalidArgument,
+                      "libsvm line " + std::to_string(line_no) +
+                          ": bad feature index (must be 1-based integer)");
+      }
+      if (!parse_double(token.substr(colon + 1), value)) {
+        return Status(StatusCode::kInvalidArgument,
+                      "libsvm line " + std::to_string(line_no) + ": bad feature value");
+      }
+      if (index <= prev_index) {
+        return Status(StatusCode::kInvalidArgument,
+                      "libsvm line " + std::to_string(line_no) +
+                          ": indices must be strictly increasing");
+      }
+      prev_index = index;
+      max_index = std::max(max_index, index);
+      row.push_back(index - 1, value);  // store 0-based
+    }
+    rows.push_back(std::move(row));
+    labels.push_back(label);
+    if (options.max_rows != 0 && rows.size() >= options.max_rows) break;
+  }
+
+  std::size_t cols = options.num_features != 0 ? options.num_features : max_index;
+  if (options.num_features != 0 && max_index > options.num_features) {
+    return Status(StatusCode::kInvalidArgument,
+                  "libsvm: feature index " + std::to_string(max_index) +
+                      " exceeds declared num_features " +
+                      std::to_string(options.num_features));
+  }
+  return Dataset(std::move(name), linalg::csr_from_rows(rows, cols),
+                 linalg::DenseVector(std::move(labels)));
+}
+
+StatusOr<Dataset> load_libsvm(const std::string& path, const LibsvmOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "libsvm: cannot open '" + path + "'");
+  }
+  return read_libsvm(in, path, options);
+}
+
+Status write_libsvm(std::ostream& out, const Dataset& dataset) {
+  out.precision(17);
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    out << dataset.labels()[r];
+    if (dataset.is_dense()) {
+      const auto row = dataset.dense_features().row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (row[c] != 0.0) out << ' ' << (c + 1) << ':' << row[c];
+      }
+    } else {
+      const linalg::SparseRowView row = dataset.sparse_features().row(r);
+      for (std::size_t k = 0; k < row.nnz(); ++k) {
+        out << ' ' << (row.indices[k] + 1) << ':' << row.values[k];
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status(StatusCode::kInternal, "libsvm: write failed");
+  return Status::ok();
+}
+
+Status save_libsvm(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status(StatusCode::kInternal, "libsvm: cannot create '" + path + "'");
+  }
+  return write_libsvm(out, dataset);
+}
+
+}  // namespace asyncml::data

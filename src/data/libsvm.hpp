@@ -1,0 +1,42 @@
+#pragma once
+
+// LIBSVM text format I/O.
+//
+// The paper's datasets (rcv1_full.binary, mnist8m, epsilon) ship in LIBSVM
+// format; this reader lets real files drop into the harness unchanged.  The
+// format is one example per line: `label idx:val idx:val ...` with 1-based,
+// strictly increasing indices.  The writer produces the same format so
+// synthetic datasets can be exported for use with other tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "support/status.hpp"
+
+namespace asyncml::data {
+
+struct LibsvmOptions {
+  /// Total feature count; 0 means "infer from the maximum index seen".
+  std::size_t num_features = 0;
+  /// Stop after this many examples (0 = read all). Lets tests/benches cap
+  /// gigantic files.
+  std::size_t max_rows = 0;
+};
+
+/// Parses a LIBSVM stream into a sparse dataset.
+[[nodiscard]] support::StatusOr<Dataset> read_libsvm(std::istream& in,
+                                                     std::string name,
+                                                     const LibsvmOptions& options = {});
+
+/// Parses a LIBSVM file from disk.
+[[nodiscard]] support::StatusOr<Dataset> load_libsvm(const std::string& path,
+                                                     const LibsvmOptions& options = {});
+
+/// Writes a dataset (dense or sparse) in LIBSVM format.
+support::Status write_libsvm(std::ostream& out, const Dataset& dataset);
+
+/// Writes to a file path.
+support::Status save_libsvm(const std::string& path, const Dataset& dataset);
+
+}  // namespace asyncml::data

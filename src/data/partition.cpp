@@ -1,0 +1,34 @@
+#include "data/partition.hpp"
+
+#include <cassert>
+
+namespace asyncml::data {
+
+std::vector<RowRange> contiguous_partitions(std::size_t n, std::size_t parts) {
+  assert(parts > 0);
+  std::vector<RowRange> out;
+  out.reserve(parts);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < extra ? 1 : 0);
+    out.push_back(RowRange{cursor, cursor + len});
+    cursor += len;
+  }
+  assert(cursor == n);
+  return out;
+}
+
+int worker_for_partition(int partition, int num_workers) noexcept {
+  assert(num_workers > 0);
+  return partition % num_workers;
+}
+
+std::vector<int> partitions_of_worker(int worker, int num_partitions, int num_workers) {
+  std::vector<int> out;
+  for (int p = worker; p < num_partitions; p += num_workers) out.push_back(p);
+  return out;
+}
+
+}  // namespace asyncml::data

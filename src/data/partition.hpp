@@ -1,0 +1,35 @@
+#pragma once
+
+// Row-range partitioning of a dataset into P partitions.
+//
+// Spark partitions an RDD into fixed splits that live on executors; our
+// equivalent is a list of contiguous [begin, end) row ranges over a shared
+// immutable Dataset.  Partition -> worker placement is round-robin and fixed
+// for the lifetime of a run (the paper keeps data resident per executor).
+
+#include <cstddef>
+#include <vector>
+
+namespace asyncml::data {
+
+struct RowRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  friend bool operator==(const RowRange&, const RowRange&) = default;
+};
+
+/// Splits n rows into `parts` contiguous ranges whose sizes differ by at most
+/// one (first `n % parts` ranges get the extra row).
+[[nodiscard]] std::vector<RowRange> contiguous_partitions(std::size_t n,
+                                                          std::size_t parts);
+
+/// Maps partition id -> worker id round-robin.
+[[nodiscard]] int worker_for_partition(int partition, int num_workers) noexcept;
+
+/// Lists the partitions owned by `worker` under round-robin placement.
+[[nodiscard]] std::vector<int> partitions_of_worker(int worker, int num_partitions,
+                                                    int num_workers);
+
+}  // namespace asyncml::data

@@ -1,0 +1,107 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace asyncml::data {
+
+namespace {
+
+/// Gathers `rows` of `src` into a new dataset (preserves storage kind).
+Dataset gather_rows(const Dataset& src, const std::vector<std::size_t>& rows,
+                    const std::string& suffix) {
+  linalg::DenseVector labels(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) labels[i] = src.labels()[rows[i]];
+
+  if (src.is_dense()) {
+    linalg::DenseMatrix out(rows.size(), src.cols());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto from = src.dense_features().row(rows[i]);
+      auto to = out.row(i);
+      std::copy(from.begin(), from.end(), to.begin());
+    }
+    return Dataset(src.name() + suffix, std::move(out), std::move(labels));
+  }
+  linalg::CsrMatrix out = linalg::CsrMatrix::for_appending(src.cols());
+  for (std::size_t row : rows) {
+    const linalg::SparseRowView view = src.sparse_features().row(row);
+    linalg::SparseVector copy;
+    for (std::size_t k = 0; k < view.nnz(); ++k) {
+      copy.push_back(view.indices[k], view.values[k]);
+    }
+    out.append_row(copy);
+  }
+  return Dataset(src.name() + suffix, std::move(out), std::move(labels));
+}
+
+}  // namespace
+
+TrainTestSplit train_test_split(const Dataset& dataset, double test_fraction,
+                                std::uint64_t seed) {
+  const std::size_t n = dataset.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher–Yates with the library's deterministic stream.
+  support::RngStream rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  std::size_t test_count =
+      static_cast<std::size_t>(std::llround(test_fraction * static_cast<double>(n)));
+  if (n >= 2) test_count = std::clamp<std::size_t>(test_count, 1, n - 1);
+
+  const std::vector<std::size_t> test_rows(order.begin(),
+                                           order.begin() + static_cast<std::ptrdiff_t>(test_count));
+  const std::vector<std::size_t> train_rows(order.begin() + static_cast<std::ptrdiff_t>(test_count),
+                                            order.end());
+  return TrainTestSplit{gather_rows(dataset, train_rows, "/train"),
+                        gather_rows(dataset, test_rows, "/test")};
+}
+
+double rmse(const Dataset& dataset, const linalg::DenseVector& w) {
+  const std::size_t n = dataset.rows();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double residual = dataset.row(r).dot(w.span()) - dataset.labels()[r];
+    total += residual * residual;
+  }
+  return std::sqrt(total / static_cast<double>(n));
+}
+
+double sign_accuracy(const Dataset& dataset, const linalg::DenseVector& w) {
+  const std::size_t n = dataset.rows();
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double margin = dataset.row(r).dot(w.span());
+    const double predicted = margin >= 0.0 ? 1.0 : -1.0;
+    const double actual = dataset.labels()[r] >= 0.0 ? 1.0 : -1.0;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double r_squared(const Dataset& dataset, const linalg::DenseVector& w) {
+  const std::size_t n = dataset.rows();
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (std::size_t r = 0; r < n; ++r) mean += dataset.labels()[r];
+  mean /= static_cast<double>(n);
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double y = dataset.labels()[r];
+    const double residual = dataset.row(r).dot(w.span()) - y;
+    ss_res += residual * residual;
+    ss_tot += (y - mean) * (y - mean);
+  }
+  return ss_tot == 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace asyncml::data

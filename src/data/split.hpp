@@ -1,0 +1,38 @@
+#pragma once
+
+// Train/test splitting and prediction-quality metrics.
+//
+// The paper evaluates optimization error only; downstream users of the
+// library also need holdout evaluation, so the data layer provides a
+// deterministic shuffled split and the standard regression/classification
+// scores used by the examples.
+
+#include <cstdint>
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "linalg/dense_vector.hpp"
+
+namespace asyncml::data {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffles rows with `seed` and splits off `test_fraction` of them (at least
+/// one row each side when the dataset has >= 2 rows).
+[[nodiscard]] TrainTestSplit train_test_split(const Dataset& dataset,
+                                              double test_fraction,
+                                              std::uint64_t seed);
+
+/// Root-mean-square error of the linear predictions <x_i, w> vs labels.
+[[nodiscard]] double rmse(const Dataset& dataset, const linalg::DenseVector& w);
+
+/// Fraction of rows where sign(<x_i, w>) matches sign(label) (labels ±1).
+[[nodiscard]] double sign_accuracy(const Dataset& dataset, const linalg::DenseVector& w);
+
+/// Coefficient of determination R² of the linear predictions.
+[[nodiscard]] double r_squared(const Dataset& dataset, const linalg::DenseVector& w);
+
+}  // namespace asyncml::data

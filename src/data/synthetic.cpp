@@ -1,0 +1,182 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace asyncml::data::synthetic {
+
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using support::RngStream;
+
+/// Hidden parameter with O(1) entries; fixed scale keeps objective magnitudes
+/// comparable across datasets (the paper's error plots span 1e-4..1e2).
+DenseVector make_w_star(std::size_t d, RngStream& rng) {
+  DenseVector w(d);
+  for (std::size_t i = 0; i < d; ++i) w[i] = rng.next_gaussian();
+  return w;
+}
+
+/// y = Xw* + noise, dense features.
+DenseVector make_labels(const DenseMatrix& x, const DenseVector& w_star,
+                        double noise_std, RngStream& rng) {
+  DenseVector y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    y[r] = linalg::dot(x.row(r), w_star.span());
+    if (noise_std > 0.0) y[r] += noise_std * rng.next_gaussian();
+  }
+  return y;
+}
+
+/// y = Xw* + noise, sparse features.
+DenseVector make_labels(const linalg::CsrMatrix& x, const DenseVector& w_star,
+                        double noise_std, RngStream& rng) {
+  DenseVector y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    y[r] = linalg::dot(x.row(r), w_star.span());
+    if (noise_std > 0.0) y[r] += noise_std * rng.next_gaussian();
+  }
+  return y;
+}
+
+}  // namespace
+
+Problem make_dense(const DenseSpec& spec, std::uint64_t seed) {
+  RngStream root(seed);
+  RngStream feature_rng = root.substream(1);
+  RngStream label_rng = root.substream(2);
+  RngStream wstar_rng = root.substream(3);
+
+  DenseMatrix x(spec.rows, spec.cols);
+
+  if (spec.clusters > 0) {
+    // Cluster-structured rows (mnist-like): row = clamp(center + 0.2·noise).
+    DenseMatrix centers(spec.clusters, spec.cols);
+    for (std::size_t c = 0; c < spec.clusters; ++c) {
+      auto row = centers.row(c);
+      for (std::size_t j = 0; j < spec.cols; ++j) {
+        // Sparse-ish bright regions over a dark background, like digit images.
+        row[j] = feature_rng.bernoulli(0.2) ? feature_rng.uniform(0.4, 1.0) : 0.0;
+      }
+    }
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+      const std::size_t c = static_cast<std::size_t>(feature_rng.next_below(spec.clusters));
+      const auto center = centers.row(c);
+      auto row = x.row(r);
+      for (std::size_t j = 0; j < spec.cols; ++j) {
+        double v = center[j] + 0.2 * feature_rng.next_gaussian();
+        row[j] = spec.pixel_like ? std::clamp(v, 0.0, 1.0) : v;
+      }
+    }
+  } else {
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+      auto row = x.row(r);
+      for (std::size_t j = 0; j < spec.cols; ++j) row[j] = feature_rng.next_gaussian();
+    }
+  }
+
+  if (spec.normalize_rows) {
+    for (std::size_t r = 0; r < spec.rows; ++r) {
+      auto row = x.row(r);
+      const double norm = linalg::nrm2(row);
+      if (norm > 0.0) linalg::scal(1.0 / norm, row);
+    }
+  }
+
+  DenseVector w_star = make_w_star(spec.cols, wstar_rng);
+  DenseVector y = make_labels(x, w_star, spec.noise_std, label_rng);
+  return Problem{Dataset(spec.name, std::move(x), std::move(y)), std::move(w_star),
+                 spec.noise_std};
+}
+
+Problem make_sparse(const SparseSpec& spec, std::uint64_t seed) {
+  RngStream root(seed);
+  RngStream feature_rng = root.substream(1);
+  RngStream label_rng = root.substream(2);
+  RngStream wstar_rng = root.substream(3);
+
+  linalg::CsrMatrix x = linalg::CsrMatrix::for_appending(spec.cols);
+  const double expected_nnz = spec.density * static_cast<double>(spec.cols);
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    // nnz per row: 1 + Poisson-ish via rounded exponential jitter around the
+    // expectation, matching the skewed document-length distribution of rcv1.
+    const double jitter = -std::log(1.0 - feature_rng.next_double());
+    std::size_t nnz = static_cast<std::size_t>(std::max(1.0, expected_nnz * jitter));
+    nnz = std::min(nnz, spec.cols);
+    auto indices = support::sample_without_replacement(feature_rng, spec.cols, nnz);
+    std::sort(indices.begin(), indices.end());
+    linalg::SparseVector row;
+    double norm_sq = 0.0;
+    for (std::size_t idx : indices) {
+      // TF-IDF-like positive weights.
+      const double v = 0.1 + std::abs(feature_rng.next_gaussian());
+      row.push_back(static_cast<std::uint32_t>(idx), v);
+      norm_sq += v * v;
+    }
+    if (spec.normalize_rows && norm_sq > 0.0) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      linalg::SparseVector scaled;
+      for (std::size_t k = 0; k < row.nnz(); ++k) {
+        scaled.push_back(row.indices()[k], row.values()[k] * inv);
+      }
+      row = std::move(scaled);
+    }
+    x.append_row(row);
+  }
+
+  DenseVector w_star = make_w_star(spec.cols, wstar_rng);
+  DenseVector y = make_labels(x, w_star, spec.noise_std, label_rng);
+  return Problem{Dataset(spec.name, std::move(x), std::move(y)), std::move(w_star),
+                 spec.noise_std};
+}
+
+Problem rcv1_like(std::uint64_t seed, double row_scale) {
+  SparseSpec spec;
+  spec.name = "rcv1_like";
+  spec.rows = static_cast<std::size_t>(4'000 * row_scale);
+  spec.cols = 1'000;
+  // ~8 nnz per row, preserving rcv1's extreme sparsity profile while keeping
+  // n > d so the scaled problem is well conditioned enough that convergence
+  // curves show shape within bench-sized budgets (rcv1 itself has n ≈ 15·d
+  // worth of nnz mass; its curves in the paper span thousands of iterations).
+  spec.density = 0.008;
+  spec.noise_std = 0.0;
+  spec.normalize_rows = true;
+  return make_sparse(spec, seed);
+}
+
+Problem mnist8m_like(std::uint64_t seed, double row_scale) {
+  DenseSpec spec;
+  spec.name = "mnist8m_like";
+  spec.rows = static_cast<std::size_t>(8'000 * row_scale);
+  spec.cols = 784;
+  spec.clusters = 10;
+  spec.pixel_like = true;
+  spec.noise_std = 0.0;
+  return make_dense(spec, seed);
+}
+
+Problem epsilon_like(std::uint64_t seed, double row_scale) {
+  DenseSpec spec;
+  spec.name = "epsilon_like";
+  spec.rows = static_cast<std::size_t>(4'000 * row_scale);
+  spec.cols = 800;  // scaled below the row count for the same reason as rcv1_like
+  spec.normalize_rows = true;
+  spec.noise_std = 0.0;
+  return make_dense(spec, seed);
+}
+
+Problem tiny(std::size_t rows, std::size_t cols, double noise_std, std::uint64_t seed) {
+  DenseSpec spec;
+  spec.name = "tiny";
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.noise_std = noise_std;
+  return make_dense(spec, seed);
+}
+
+}  // namespace asyncml::data::synthetic

@@ -1,0 +1,68 @@
+#include "engine/actions.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace asyncml::engine {
+
+std::vector<TaskResult> run_tasks_sync(Cluster& cluster,
+                                       std::vector<std::pair<WorkerId, TaskSpec>> tasks,
+                                       int max_retries) {
+  struct Slot {
+    std::size_t index;
+    WorkerId last_worker;
+    TaskSpec spec;  // retained for resubmission
+    int attempts = 0;
+  };
+  std::unordered_map<TaskId, Slot> in_flight;
+  in_flight.reserve(tasks.size());
+
+  std::vector<TaskResult> out(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto& [worker, spec] = tasks[i];
+    const TaskId id = spec.id;
+    in_flight.emplace(id, Slot{i, worker, spec, 1});
+    cluster.submit(worker, std::move(spec));
+  }
+
+  std::size_t done = 0;
+  while (done < out.size()) {
+    auto popped = cluster.results().pop();
+    if (!popped.has_value()) {
+      std::fprintf(stderr, "run_tasks_sync: cluster shut down mid-stage\n");
+      std::abort();
+    }
+    TaskResult result = std::move(*popped);
+    const auto it = in_flight.find(result.id);
+    if (it == in_flight.end()) continue;  // stale retry duplicate; drop
+
+    if (!result.ok()) {
+      Slot& slot = it->second;
+      if (slot.attempts <= max_retries) {
+        // Spark-style retry: resubmit under a fresh id on the next worker.
+        slot.attempts += 1;
+        slot.last_worker = (slot.last_worker + 1) % cluster.num_workers();
+        slot.spec.id = cluster.next_task_id();
+        Slot moved = slot;
+        in_flight.erase(it);
+        const TaskId new_id = moved.spec.id;
+        TaskSpec spec = moved.spec;
+        const WorkerId target = moved.last_worker;
+        in_flight.emplace(new_id, std::move(moved));
+        cluster.submit(target, std::move(spec));
+        continue;
+      }
+      std::fprintf(stderr, "run_tasks_sync: task for partition %d failed after %d attempts: %s\n",
+                   result.partition, slot.attempts, result.status.to_string().c_str());
+      std::abort();
+    }
+
+    out[it->second.index] = std::move(result);
+    in_flight.erase(it);
+    ++done;
+  }
+  return out;
+}
+
+}  // namespace asyncml::engine

@@ -1,0 +1,199 @@
+#pragma once
+
+// Synchronous (BSP) actions over RDDs: Spark's `aggregate`, `reduce`, and
+// MLlib's `treeAggregate`, executed as one stage of per-partition tasks with
+// task-retry fault tolerance.
+//
+// These are the deterministic bulk-synchronous primitives the paper contrasts
+// ASYNC against: the driver blocks until *every* partition's task returns, so
+// one straggler stalls the whole stage.  The asynchronous counterparts
+// (ASYNCreduce / ASYNCaggregate) live in src/core and reuse the same task
+// builders but return immediately.
+
+#include <utility>
+#include <vector>
+
+#include "engine/cluster.hpp"
+#include "engine/rdd.hpp"
+#include "linalg/dense_vector.hpp"
+
+namespace asyncml::engine {
+
+/// Modeled wire size of a payload value. Overload for types whose size is
+/// dynamic; the generic fallback is sizeof(U).
+template <typename U>
+[[nodiscard]] std::size_t payload_size_bytes(const U&) {
+  return sizeof(U);
+}
+[[nodiscard]] inline std::size_t payload_size_bytes(const linalg::DenseVector& v) {
+  return v.size_bytes();
+}
+
+struct StageOptions {
+  std::uint64_t seq = 0;           ///< dispatch round (drives sampling RNG)
+  Version model_version = 0;       ///< version tag carried by the tasks
+  double service_floor_ms = 0.0;   ///< base service time per task
+  std::uint64_t rng_seed = 1;      ///< experiment seed for sampling
+  int max_retries = 2;             ///< per-task retry budget on failure
+};
+
+/// Builds the worker-side function of an aggregate task over one partition:
+/// acc = zero; for each element: acc = seq_op(acc, element); return acc.
+template <typename T, typename U, typename SeqOp>
+[[nodiscard]] std::shared_ptr<const TaskFn> make_aggregate_fn(Rdd<T> rdd, U zero,
+                                                              SeqOp seq_op) {
+  return std::make_shared<const TaskFn>(
+      [rdd = std::move(rdd), zero = std::move(zero),
+       seq_op = std::move(seq_op)](TaskContext& ctx) -> support::StatusOr<Payload> {
+        U acc = zero;
+        rdd.foreach_partition(ctx.partition, ctx,
+                              [&](const T& element) { acc = seq_op(std::move(acc), element); });
+        const std::size_t bytes = payload_size_bytes(acc);
+        return Payload::wrap<U>(std::move(acc), bytes);
+      });
+}
+
+/// Builds a combine task over already-aggregated values (treeAggregate's
+/// intermediate stage): folds `values` with comb_op on a worker.
+template <typename U, typename CombOp>
+[[nodiscard]] std::shared_ptr<const TaskFn> make_combine_fn(std::vector<U> values,
+                                                            CombOp comb_op) {
+  return std::make_shared<const TaskFn>(
+      [values = std::move(values),
+       comb_op = std::move(comb_op)](TaskContext&) -> support::StatusOr<Payload> {
+        U acc = values.front();
+        for (std::size_t i = 1; i < values.size(); ++i) acc = comb_op(std::move(acc), values[i]);
+        const std::size_t bytes = payload_size_bytes(acc);
+        return Payload::wrap<U>(std::move(acc), bytes);
+      });
+}
+
+/// Runs prepared (worker, spec) pairs to completion, blocking on the
+/// cluster's result queue. Failed tasks are retried on the next worker
+/// (round-robin) up to `max_retries` times; a task that exhausts its budget
+/// aborts the program (matching Spark's job-failure semantics — the paper's
+/// algorithms never continue past a lost partition).
+///
+/// Returns results ordered by submission slot. Must not run concurrently
+/// with any other consumer of cluster.results().
+[[nodiscard]] std::vector<TaskResult> run_tasks_sync(
+    Cluster& cluster, std::vector<std::pair<WorkerId, TaskSpec>> tasks, int max_retries);
+
+/// Spark `aggregate`: one task per partition, combined on the driver.
+/// Partition p runs on worker p % num_workers (fixed placement).
+template <typename T, typename U, typename SeqOp, typename CombOp>
+[[nodiscard]] U aggregate_sync(Cluster& cluster, const Rdd<T>& rdd, U zero, SeqOp seq_op,
+                               CombOp comb_op, const StageOptions& options) {
+  const int parts = rdd.num_partitions();
+  std::vector<std::pair<WorkerId, TaskSpec>> tasks;
+  tasks.reserve(static_cast<std::size_t>(parts));
+  auto fn = make_aggregate_fn<T, U, SeqOp>(rdd, zero, seq_op);
+  for (PartitionId p = 0; p < parts; ++p) {
+    TaskSpec spec;
+    spec.id = cluster.next_task_id();
+    spec.partition = p;
+    spec.seq = options.seq;
+    spec.model_version = options.model_version;
+    spec.fn = fn;
+    spec.service_floor_ms = options.service_floor_ms;
+    spec.rng_seed = options.rng_seed;
+    tasks.emplace_back(p % cluster.num_workers(), std::move(spec));
+  }
+  std::vector<TaskResult> results =
+      run_tasks_sync(cluster, std::move(tasks), options.max_retries);
+  U acc = std::move(zero);
+  for (TaskResult& r : results) acc = comb_op(std::move(acc), r.payload.get<U>());
+  return acc;
+}
+
+/// Spark `reduce` specialization: zero-less fold where U == T accumulations
+/// start from the first element. Implemented via aggregate with an engaged
+/// flag to avoid requiring a monoid identity.
+template <typename T, typename Op>
+[[nodiscard]] T reduce_sync(Cluster& cluster, const Rdd<T>& rdd, Op op,
+                            const StageOptions& options) {
+  struct Acc {
+    T value{};
+    bool engaged = false;
+  };
+  Acc out = aggregate_sync<T, Acc>(
+      cluster, rdd, Acc{},
+      [op](Acc acc, const T& t) {
+        if (!acc.engaged) {
+          acc.value = t;
+          acc.engaged = true;
+        } else {
+          acc.value = op(std::move(acc.value), t);
+        }
+        return acc;
+      },
+      [op](Acc a, const Acc& b) {
+        if (!b.engaged) return a;
+        if (!a.engaged) return Acc{b.value, true};
+        return Acc{op(std::move(a.value), b.value), true};
+      },
+      options);
+  return std::move(out.value);
+}
+
+/// MLlib-style treeAggregate: per-partition aggregation, then log-depth
+/// combine stages executed as worker tasks (fan-in `fanout`), final combine
+/// on the driver. This is the reduction MLlib's mini-batch SGD uses and is
+/// the baseline of the paper's Figure 2.
+template <typename T, typename U, typename SeqOp, typename CombOp>
+[[nodiscard]] U tree_aggregate_sync(Cluster& cluster, const Rdd<T>& rdd, U zero,
+                                    SeqOp seq_op, CombOp comb_op,
+                                    const StageOptions& options, int fanout = 4) {
+  const int parts = rdd.num_partitions();
+  std::vector<std::pair<WorkerId, TaskSpec>> tasks;
+  auto fn = make_aggregate_fn<T, U, SeqOp>(rdd, zero, seq_op);
+  for (PartitionId p = 0; p < parts; ++p) {
+    TaskSpec spec;
+    spec.id = cluster.next_task_id();
+    spec.partition = p;
+    spec.seq = options.seq;
+    spec.model_version = options.model_version;
+    spec.fn = fn;
+    spec.service_floor_ms = options.service_floor_ms;
+    spec.rng_seed = options.rng_seed;
+    tasks.emplace_back(p % cluster.num_workers(), std::move(spec));
+  }
+  std::vector<TaskResult> results =
+      run_tasks_sync(cluster, std::move(tasks), options.max_retries);
+
+  std::vector<U> level;
+  level.reserve(results.size());
+  for (TaskResult& r : results) level.push_back(r.payload.get<U>());
+
+  // Combine stages on workers until one worker-task's worth remains.
+  int combine_worker = 0;
+  while (static_cast<int>(level.size()) > fanout) {
+    std::vector<std::pair<WorkerId, TaskSpec>> combine_tasks;
+    for (std::size_t group = 0; group * fanout < level.size(); ++group) {
+      const std::size_t begin = group * fanout;
+      const std::size_t end = std::min(level.size(), begin + fanout);
+      std::vector<U> chunk(level.begin() + static_cast<std::ptrdiff_t>(begin),
+                           level.begin() + static_cast<std::ptrdiff_t>(end));
+      TaskSpec spec;
+      spec.id = cluster.next_task_id();
+      spec.partition = kNoPartition;
+      spec.seq = options.seq;
+      spec.model_version = options.model_version;
+      spec.fn = make_combine_fn<U, CombOp>(std::move(chunk), comb_op);
+      spec.service_floor_ms = 0.0;  // combine cost is the real fold time
+      spec.rng_seed = options.rng_seed;
+      combine_tasks.emplace_back(combine_worker % cluster.num_workers(), std::move(spec));
+      ++combine_worker;
+    }
+    std::vector<TaskResult> combined =
+        run_tasks_sync(cluster, std::move(combine_tasks), options.max_retries);
+    level.clear();
+    for (TaskResult& r : combined) level.push_back(r.payload.get<U>());
+  }
+
+  U acc = std::move(zero);
+  for (U& u : level) acc = comb_op(std::move(acc), u);
+  return acc;
+}
+
+}  // namespace asyncml::engine

@@ -1,0 +1,85 @@
+#include "engine/broadcast.hpp"
+
+#include "support/thread_util.hpp"
+
+namespace asyncml::engine {
+
+BroadcastId BroadcastStore::put(Payload payload) {
+  std::lock_guard lock(mutex_);
+  const BroadcastId id = next_id_++;
+  entries_.emplace(id, std::move(payload));
+  return id;
+}
+
+Payload BroadcastStore::get(BroadcastId id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? Payload{} : it->second;
+}
+
+void BroadcastStore::prune_below(BroadcastId min_id) {
+  std::lock_guard lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->first < min_id ? entries_.erase(it) : std::next(it);
+  }
+}
+
+void BroadcastStore::erase(BroadcastId id) {
+  std::lock_guard lock(mutex_);
+  entries_.erase(id);
+}
+
+std::size_t BroadcastStore::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+Payload BroadcastCache::get_or_fetch(BroadcastId id) {
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = cache_.find(id); it != cache_.end()) {
+      if (metrics_ != nullptr) metrics_->broadcast_hits.add(1);
+      return it->second;
+    }
+  }
+  // Miss: fetch from the driver store, charging transfer time. The fetch is
+  // done outside the cache lock so slow transfers don't serialize the other
+  // executor thread of this worker.
+  Payload payload = store_->get(id);
+  if (payload.has_value()) {
+    if (net_ != nullptr) support::precise_sleep_ms(net_->transfer_ms(payload.bytes()));
+    if (metrics_ != nullptr) {
+      metrics_->broadcast_fetches.add(1);
+      metrics_->broadcast_bytes.add(payload.bytes());
+    }
+    std::lock_guard lock(mutex_);
+    cache_.emplace(id, payload);
+  }
+  return payload;
+}
+
+bool BroadcastCache::contains(BroadcastId id) const {
+  std::lock_guard lock(mutex_);
+  return cache_.contains(id);
+}
+
+void BroadcastCache::prune_below(BroadcastId min_id) {
+  std::lock_guard lock(mutex_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    it = it->first < min_id ? cache_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t BroadcastCache::size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+namespace {
+thread_local WorkerEnv* t_worker_env = nullptr;
+}  // namespace
+
+WorkerEnv* current_worker_env() noexcept { return t_worker_env; }
+void set_current_worker_env(WorkerEnv* env) noexcept { t_worker_env = env; }
+
+}  // namespace asyncml::engine

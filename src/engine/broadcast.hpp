@@ -1,0 +1,111 @@
+#pragma once
+
+// Broadcast machinery: driver-side store, worker-side cache, typed handle.
+//
+// Mirrors Spark's broadcast-variable design: the driver registers a value
+// under a unique id; tasks carry only the id; the first access on a worker
+// fetches the value (charged to the network model) and caches it, so repeated
+// accesses are free.  The ASYNCbroadcaster of the paper builds on this by
+// keying history entries as (broadcast id, version) pairs — see
+// core/history.hpp.
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/metrics.hpp"
+#include "engine/network.hpp"
+#include "engine/payload.hpp"
+#include "engine/types.hpp"
+
+namespace asyncml::engine {
+
+/// Driver-side authoritative map id -> payload. Thread-safe.
+class BroadcastStore {
+ public:
+  /// Registers a payload and returns its id.
+  BroadcastId put(Payload payload);
+
+  /// Looks up a payload; returns an empty payload when absent.
+  [[nodiscard]] Payload get(BroadcastId id) const;
+
+  /// Removes entries with id < `min_id` (history pruning).
+  void prune_below(BroadcastId min_id);
+
+  /// Removes one entry; no-op if absent.
+  void erase(BroadcastId id);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<BroadcastId, Payload> entries_;
+  BroadcastId next_id_ = 1;
+};
+
+/// Per-worker cache with fetch-through to the store. A miss charges the
+/// network model (sleep) and counts fetched bytes; a hit is free — this is
+/// exactly the saving the ASYNCbroadcaster exploits for historical gradients.
+class BroadcastCache {
+ public:
+  BroadcastCache(const BroadcastStore* store, const NetworkModel* net,
+                 ClusterMetrics* metrics)
+      : store_(store), net_(net), metrics_(metrics) {}
+
+  /// Returns the payload for `id`, fetching and caching on first access.
+  [[nodiscard]] Payload get_or_fetch(BroadcastId id);
+
+  /// True if `id` is locally cached (no fetch).
+  [[nodiscard]] bool contains(BroadcastId id) const;
+
+  /// Drops cached entries with id < `min_id`.
+  void prune_below(BroadcastId min_id);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const BroadcastStore* store_;
+  const NetworkModel* net_;
+  ClusterMetrics* metrics_;
+  mutable std::mutex mutex_;
+  std::unordered_map<BroadcastId, Payload> cache_;
+};
+
+// Thread-local pointer to the executing worker's environment; set by the
+// worker loop for the duration of a task. Broadcast handles use it to route
+// value() through the worker's cache when called from task code.
+struct WorkerEnv {
+  WorkerId id = -1;
+  BroadcastCache* cache = nullptr;
+};
+
+[[nodiscard]] WorkerEnv* current_worker_env() noexcept;
+void set_current_worker_env(WorkerEnv* env) noexcept;
+
+/// Typed broadcast handle, copyable into task closures (like Spark's
+/// `Broadcast[T]`). On the driver, value() reads the store directly; inside a
+/// task it goes through the worker's cache.
+template <typename T>
+class Broadcast {
+ public:
+  Broadcast() = default;
+  Broadcast(BroadcastId id, const BroadcastStore* store) : id_(id), store_(store) {}
+
+  [[nodiscard]] BroadcastId id() const noexcept { return id_; }
+  [[nodiscard]] bool valid() const noexcept { return store_ != nullptr; }
+
+  [[nodiscard]] const T& value() const {
+    if (WorkerEnv* env = current_worker_env(); env != nullptr && env->cache != nullptr) {
+      // Payloads are shared_ptr-backed; the cache keeps the object alive for
+      // the worker's lifetime, so returning a reference is safe.
+      return env->cache->get_or_fetch(id_).template get<T>();
+    }
+    return store_->get(id_).template get<T>();
+  }
+
+ private:
+  BroadcastId id_ = 0;
+  const BroadcastStore* store_ = nullptr;
+};
+
+}  // namespace asyncml::engine

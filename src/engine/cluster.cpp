@@ -1,0 +1,50 @@
+#include "engine/cluster.hpp"
+
+#include <cassert>
+
+namespace asyncml::engine {
+
+Cluster::Cluster(Config config)
+    : config_(std::move(config)),
+      metrics_(std::make_unique<ClusterMetrics>(config_.num_workers)),
+      delay_owned_(config_.delay ? config_.delay : std::make_shared<const NoDelay>()) {
+  assert(config_.num_workers > 0 && config_.cores_per_worker > 0);
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (WorkerId w = 0; w < config_.num_workers; ++w) {
+    Worker::Deps deps;
+    deps.store = &store_;
+    deps.network = &config_.network;
+    deps.delay = delay_owned_.get();
+    deps.metrics = metrics_.get();
+    deps.results = &results_;
+    deps.fault_injector = config_.fault_injector;
+    workers_.push_back(std::make_unique<Worker>(w, config_.cores_per_worker, deps));
+  }
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+bool Cluster::submit(WorkerId worker, TaskSpec spec) {
+  if (shut_down_.load(std::memory_order_acquire)) return false;
+  assert(worker >= 0 && worker < config_.num_workers);
+  return workers_[static_cast<std::size_t>(worker)]->submit(std::move(spec));
+}
+
+std::vector<TaskResult> Cluster::collect_n(std::size_t n) {
+  std::vector<TaskResult> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    auto result = results_.pop();
+    if (!result.has_value()) break;  // queue closed during shutdown
+    out.push_back(std::move(*result));
+  }
+  return out;
+}
+
+void Cluster::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  for (auto& worker : workers_) worker->stop();
+  results_.close();
+}
+
+}  // namespace asyncml::engine

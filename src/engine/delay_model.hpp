@@ -1,0 +1,35 @@
+#pragma once
+
+// Straggler interface: how much slower is worker `w` on task sequence `seq`?
+//
+// The engine multiplies a task's base service time by this factor, emulating
+// slow machines.  Implementations (controlled delay, production-cluster
+// patterns) live in src/straggler; the engine only sees this interface so the
+// dependency points the right way.
+
+#include <cstdint>
+
+#include "engine/types.hpp"
+
+namespace asyncml::engine {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Service-time multiplier, >= 1.0. `seq` identifies the dispatch round so
+  /// models may vary delay over time; stationary models ignore it.
+  [[nodiscard]] virtual double multiplier(WorkerId worker, std::uint64_t seq) const = 0;
+
+  /// Human-readable description for experiment logs.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The no-straggler baseline.
+class NoDelay final : public DelayModel {
+ public:
+  [[nodiscard]] double multiplier(WorkerId, std::uint64_t) const override { return 1.0; }
+  [[nodiscard]] const char* name() const override { return "none"; }
+};
+
+}  // namespace asyncml::engine

@@ -1,0 +1,72 @@
+#pragma once
+
+// Engine-level instrumentation.
+//
+// Wait time — the paper's Figures 4/6 and Table 3 metric — is defined as the
+// interval from a worker submitting a task result until it receives its next
+// task.  Each executor thread records it at task-receive time into a
+// per-worker histogram.  Byte counters track the modeled wire traffic of
+// broadcasts, fetches, and results.
+
+#include <mutex>
+#include <vector>
+
+#include "engine/types.hpp"
+#include "support/histogram.hpp"
+#include "support/padded.hpp"
+
+namespace asyncml::engine {
+
+class ClusterMetrics {
+ public:
+  explicit ClusterMetrics(int num_workers)
+      : wait_hists_(num_workers), wait_mutexes_(num_workers) {}
+
+  void record_wait(WorkerId worker, double wait_ns) {
+    std::lock_guard lock(wait_mutexes_[worker].value);
+    wait_hists_[worker].record(wait_ns);
+  }
+
+  /// Copy of one worker's wait histogram.
+  [[nodiscard]] support::Histogram wait_histogram(WorkerId worker) const {
+    std::lock_guard lock(wait_mutexes_[worker].value);
+    return wait_hists_[worker];
+  }
+
+  /// All workers merged.
+  [[nodiscard]] support::Histogram total_wait_histogram() const {
+    support::Histogram total;
+    for (std::size_t w = 0; w < wait_hists_.size(); ++w) {
+      std::lock_guard lock(wait_mutexes_[w].value);
+      total.merge(wait_hists_[w]);
+    }
+    return total;
+  }
+
+  /// Mean wait in milliseconds across all workers' recorded waits.
+  [[nodiscard]] double mean_wait_ms() const { return total_wait_histogram().mean_ns() / 1e6; }
+
+  void reset_waits() {
+    for (std::size_t w = 0; w < wait_hists_.size(); ++w) {
+      std::lock_guard lock(wait_mutexes_[w].value);
+      wait_hists_[w].reset();
+    }
+  }
+
+  [[nodiscard]] int num_workers() const { return static_cast<int>(wait_hists_.size()); }
+
+  // Wire-traffic counters (modeled bytes).
+  support::RelaxedCounter broadcast_bytes;   ///< broadcast values fetched by workers
+  support::RelaxedCounter result_bytes;      ///< task result payloads
+  support::RelaxedCounter task_messages;     ///< tasks shipped
+  support::RelaxedCounter broadcast_fetches; ///< cache misses that hit the driver
+  support::RelaxedCounter broadcast_hits;    ///< cache hits (no wire traffic)
+  support::RelaxedCounter tasks_completed;
+  support::RelaxedCounter tasks_failed;
+
+ private:
+  std::vector<support::Histogram> wait_hists_;
+  mutable std::vector<support::Padded<std::mutex>> wait_mutexes_;
+};
+
+}  // namespace asyncml::engine

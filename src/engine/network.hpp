@@ -1,0 +1,30 @@
+#pragma once
+
+// Network cost model.
+//
+// The engine runs in one address space, so communication cost is *charged*
+// rather than incurred: a transfer of B bytes sleeps the sending thread for
+// `latency + B / bandwidth`, scaled by `time_scale` (the same knob that
+// scales task service times, letting whole experiments shrink).  Setting
+// `time_scale = 0` disables charging (useful in unit tests).
+
+#include <cstddef>
+
+namespace asyncml::engine {
+
+struct NetworkModel {
+  /// One-way message latency in milliseconds.
+  double latency_ms = 0.02;
+  /// Link bandwidth in megabytes per second (per worker NIC).
+  double bandwidth_mbps = 2000.0;
+  /// Global scale on charged time; 0 disables network charging entirely.
+  double time_scale = 1.0;
+
+  [[nodiscard]] double transfer_ms(std::size_t bytes) const {
+    if (time_scale <= 0.0) return 0.0;
+    const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    return time_scale * (latency_ms + 1e3 * mb / bandwidth_mbps);
+  }
+};
+
+}  // namespace asyncml::engine

@@ -1,0 +1,55 @@
+#pragma once
+
+// Type-erased, immutable task/broadcast payload with byte accounting.
+//
+// Results and broadcast values cross the (simulated) wire, so every payload
+// carries its serialized size; the NetworkModel charges transfer time from it
+// and the metrics counters accumulate it.  Payloads are shared_ptr-backed and
+// immutable after construction, hence safe to share across threads.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <typeindex>
+#include <typeinfo>
+#include <utility>
+
+namespace asyncml::engine {
+
+class Payload {
+ public:
+  Payload() : type_(typeid(void)) {}
+
+  /// Wraps `value`; `bytes` is the modeled serialized size (defaults to
+  /// sizeof(T), callers with dynamic containers should pass the real size).
+  template <typename T>
+  [[nodiscard]] static Payload wrap(T value, std::size_t bytes = sizeof(T)) {
+    Payload p;
+    p.data_ = std::make_shared<const T>(std::move(value));
+    p.bytes_ = bytes;
+    p.type_ = typeid(T);
+    return p;
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return data_ != nullptr; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+  template <typename T>
+  [[nodiscard]] const T& get() const {
+    assert(has_value() && type_ == std::type_index(typeid(T)) &&
+           "Payload::get<T>: type mismatch");
+    return *static_cast<const T*>(data_.get());
+  }
+
+  template <typename T>
+  [[nodiscard]] bool holds() const noexcept {
+    return has_value() && type_ == std::type_index(typeid(T));
+  }
+
+ private:
+  std::shared_ptr<const void> data_;
+  std::size_t bytes_ = 0;
+  std::type_index type_;
+};
+
+}  // namespace asyncml::engine

@@ -1,0 +1,154 @@
+#pragma once
+
+// Resilient-distributed-dataset abstraction (lazy, partitioned, immutable).
+//
+// An Rdd<T> is a lineage of transformations over partitioned data, evaluated
+// per partition *on the worker* when an action's task runs.  Iteration is
+// push-based: `foreach_partition(p, ctx, sink)` streams the partition's
+// elements through the composed transformation chain into `sink`, so no
+// intermediate collections are materialized (map/filter/sample fuse).
+//
+// Determinism: stochastic transformations (sample) draw from ctx.rng, which
+// the worker seeds from (rng_seed, partition, seq) — re-running a task for
+// the same round reproduces the same mini-batch, which is what makes Spark's
+// recompute-on-failure semantics (and ours) sound.
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "engine/task.hpp"
+#include "engine/types.hpp"
+
+namespace asyncml::engine {
+
+template <typename T>
+class Rdd {
+ public:
+  using Element = T;
+  using Sink = std::function<void(const T&)>;
+
+  class Impl {
+   public:
+    virtual ~Impl() = default;
+    virtual void foreach(PartitionId p, TaskContext& ctx, const Sink& sink) const = 0;
+    [[nodiscard]] virtual int num_partitions() const = 0;
+  };
+
+  Rdd() = default;
+  explicit Rdd(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+  [[nodiscard]] int num_partitions() const { return impl_->num_partitions(); }
+
+  void foreach_partition(PartitionId p, TaskContext& ctx, const Sink& sink) const {
+    impl_->foreach(p, ctx, sink);
+  }
+
+  /// Lazy element-wise transformation (Spark `map`).
+  template <typename F>
+  [[nodiscard]] auto map(F f) const {
+    using U = std::invoke_result_t<F, const T&>;
+    struct MapImpl final : Rdd<U>::Impl {
+      std::shared_ptr<const Impl> parent;
+      F fn;
+      MapImpl(std::shared_ptr<const Impl> p, F g) : parent(std::move(p)), fn(std::move(g)) {}
+      void foreach(PartitionId p, TaskContext& ctx,
+                   const typename Rdd<U>::Sink& sink) const override {
+        parent->foreach(p, ctx, [&](const T& t) { sink(fn(t)); });
+      }
+      [[nodiscard]] int num_partitions() const override { return parent->num_partitions(); }
+    };
+    return Rdd<U>(std::make_shared<const MapImpl>(impl_, std::move(f)));
+  }
+
+  /// Lazy predicate filter (Spark `filter`).
+  template <typename F>
+  [[nodiscard]] Rdd<T> filter(F f) const {
+    struct FilterImpl final : Impl {
+      std::shared_ptr<const Impl> parent;
+      F fn;
+      FilterImpl(std::shared_ptr<const Impl> p, F g)
+          : parent(std::move(p)), fn(std::move(g)) {}
+      void foreach(PartitionId p, TaskContext& ctx, const Sink& sink) const override {
+        parent->foreach(p, ctx, [&](const T& t) {
+          if (fn(t)) sink(t);
+        });
+      }
+      [[nodiscard]] int num_partitions() const override { return parent->num_partitions(); }
+    };
+    return Rdd<T>(std::make_shared<const FilterImpl>(impl_, std::move(f)));
+  }
+
+  /// Bernoulli sampling with probability `fraction` per element — Spark's
+  /// `sample(withReplacement = false, fraction)`, the mini-batch operator of
+  /// Algorithms 1–4. Draws from the task RNG (deterministic per round).
+  [[nodiscard]] Rdd<T> sample(double fraction) const {
+    struct SampleImpl final : Impl {
+      std::shared_ptr<const Impl> parent;
+      double fraction;
+      SampleImpl(std::shared_ptr<const Impl> p, double f)
+          : parent(std::move(p)), fraction(f) {}
+      void foreach(PartitionId p, TaskContext& ctx, const Sink& sink) const override {
+        parent->foreach(p, ctx, [&](const T& t) {
+          if (ctx.rng.bernoulli(fraction)) sink(t);
+        });
+      }
+      [[nodiscard]] int num_partitions() const override { return parent->num_partitions(); }
+    };
+    return Rdd<T>(std::make_shared<const SampleImpl>(impl_, fraction));
+  }
+
+ private:
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// Source RDD over a partitioned dataset: the distributed `points` collection
+/// of the paper's algorithms. The dataset is shared immutable state (our
+/// stand-in for data resident on executors).
+[[nodiscard]] inline Rdd<data::LabeledPoint> make_points_rdd(
+    data::DatasetPtr dataset, std::vector<data::RowRange> partitions) {
+  struct SourceImpl final : Rdd<data::LabeledPoint>::Impl {
+    data::DatasetPtr dataset;
+    std::vector<data::RowRange> parts;
+    SourceImpl(data::DatasetPtr d, std::vector<data::RowRange> p)
+        : dataset(std::move(d)), parts(std::move(p)) {}
+    void foreach(PartitionId p, TaskContext&,
+                 const Rdd<data::LabeledPoint>::Sink& sink) const override {
+      const data::RowRange range = parts.at(static_cast<std::size_t>(p));
+      for (std::size_t r = range.begin; r < range.end; ++r) sink(dataset->point(r));
+    }
+    [[nodiscard]] int num_partitions() const override {
+      return static_cast<int>(parts.size());
+    }
+  };
+  return Rdd<data::LabeledPoint>(
+      std::make_shared<const SourceImpl>(std::move(dataset), std::move(partitions)));
+}
+
+/// Source RDD over an in-memory vector split into `parts` contiguous ranges
+/// (handy in tests and micro-benchmarks).
+template <typename T>
+[[nodiscard]] Rdd<T> make_vector_rdd(std::vector<T> values, int parts) {
+  struct VecImpl final : Rdd<T>::Impl {
+    std::vector<T> values;
+    std::vector<data::RowRange> ranges;
+    VecImpl(std::vector<T> v, int p)
+        : values(std::move(v)),
+          ranges(data::contiguous_partitions(values.size(), static_cast<std::size_t>(p))) {}
+    void foreach(PartitionId p, TaskContext&,
+                 const typename Rdd<T>::Sink& sink) const override {
+      const data::RowRange range = ranges.at(static_cast<std::size_t>(p));
+      for (std::size_t i = range.begin; i < range.end; ++i) sink(values[i]);
+    }
+    [[nodiscard]] int num_partitions() const override {
+      return static_cast<int>(ranges.size());
+    }
+  };
+  return Rdd<T>(std::make_shared<const VecImpl>(std::move(values), parts));
+}
+
+}  // namespace asyncml::engine

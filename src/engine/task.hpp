@@ -1,0 +1,59 @@
+#pragma once
+
+// Task descriptors: what the driver ships to workers and what comes back.
+
+#include <functional>
+#include <memory>
+
+#include "engine/payload.hpp"
+#include "engine/types.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::engine {
+
+/// Per-execution context handed to the task function on the worker thread.
+struct TaskContext {
+  WorkerId worker = 0;
+  PartitionId partition = kNoPartition;
+  std::uint64_t seq = 0;      ///< dispatch round / iteration the task belongs to
+  support::RngStream rng;     ///< deterministic: substream of (seed, partition, seq)
+};
+
+/// The unit of work. Returns the result payload or an error Status; errors
+/// are materialized into TaskResult (never thrown across the thread boundary).
+using TaskFn = std::function<support::StatusOr<Payload>(TaskContext&)>;
+
+struct TaskSpec {
+  TaskId id = 0;
+  PartitionId partition = kNoPartition;
+  std::uint64_t seq = 0;
+  Version model_version = 0;  ///< version of the model this task reads
+  std::shared_ptr<const TaskFn> fn;
+  /// Base service time in ms; the worker pads execution to
+  /// `service_floor_ms × DelayModel::multiplier(worker, seq)`.
+  double service_floor_ms = 0.0;
+  /// Deterministic sampling seed; the worker derives the task RNG from
+  /// (rng_seed, partition, seq).
+  std::uint64_t rng_seed = 0;
+};
+
+struct TaskResult {
+  TaskId id = 0;
+  WorkerId worker = 0;
+  PartitionId partition = kNoPartition;
+  std::uint64_t seq = 0;
+  Version model_version = 0;
+  support::Status status;
+  Payload payload;
+  /// Milliseconds actually spent in the task function.
+  double compute_ms = 0.0;
+  /// Total execution time after service-floor padding.
+  double service_ms = 0.0;
+  support::TimePoint finished_at{};
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+}  // namespace asyncml::engine

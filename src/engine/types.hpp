@@ -1,0 +1,23 @@
+#pragma once
+
+// Shared identifier types of the engine layer.
+
+#include <cstdint>
+
+namespace asyncml::engine {
+
+using WorkerId = int;
+using PartitionId = int;
+using TaskId = std::uint64_t;
+using BroadcastId = std::uint64_t;
+
+/// Monotonically increasing model-parameter version. Version 0 is the initial
+/// model; every server-side update bumps it. Staleness of a task result is
+/// (version at collection) − (version the task computed against).
+using Version = std::uint64_t;
+
+/// Sentinel partition id for tasks that do not read a data partition
+/// (e.g. treeAggregate combine stages).
+inline constexpr PartitionId kNoPartition = -1;
+
+}  // namespace asyncml::engine

@@ -1,0 +1,125 @@
+#include "engine/worker.hpp"
+
+#include <optional>
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_util.hpp"
+
+namespace asyncml::engine {
+
+using support::Clock;
+using support::Status;
+using support::StatusCode;
+
+Worker::Worker(WorkerId id, int cores, Deps deps)
+    : id_(id), deps_(deps), cache_(deps.store, deps.network, deps.metrics) {
+  threads_.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    threads_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+Worker::~Worker() { stop(); }
+
+bool Worker::submit(TaskSpec spec) {
+  if (deps_.metrics != nullptr) deps_.metrics->task_messages.add(1);
+  return mailbox_.push(std::move(spec));
+}
+
+void Worker::stop() {
+  mailbox_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void Worker::executor_loop() {
+  support::set_current_thread_name("worker-" + std::to_string(id_));
+  WorkerEnv env{id_, &cache_};
+  set_current_worker_env(&env);
+
+  // Wait-time bookkeeping is per executor thread: "wait" is the stretch from
+  // pushing a result to dequeuing the next task (the paper's definition).
+  std::optional<support::TimePoint> last_submit;
+
+  while (auto msg = mailbox_.pop()) {
+    TaskSpec spec = std::move(*msg);
+    const auto received = Clock::now();
+    if (last_submit.has_value() && deps_.metrics != nullptr) {
+      deps_.metrics->record_wait(
+          id_, static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(received -
+                                                                        *last_submit)
+                       .count()));
+    }
+
+    TaskResult result;
+    result.id = spec.id;
+    result.worker = id_;
+    result.partition = spec.partition;
+    result.seq = spec.seq;
+    result.model_version = spec.model_version;
+
+    support::Stopwatch watch;
+    if (deps_.fault_injector && deps_.fault_injector(id_, spec)) {
+      result.status = Status(StatusCode::kInternal, "injected fault");
+    } else if (!spec.fn) {
+      result.status = Status(StatusCode::kInvalidArgument, "task has no function");
+    } else {
+      TaskContext ctx;
+      ctx.worker = id_;
+      ctx.partition = spec.partition;
+      ctx.seq = spec.seq;
+      ctx.rng = support::RngStream(spec.rng_seed)
+                    .substream(static_cast<std::uint64_t>(spec.partition) + 1)
+                    .substream(spec.seq);
+      try {
+        auto out = (*spec.fn)(ctx);
+        if (out.is_ok()) {
+          result.payload = std::move(out).value();
+        } else {
+          result.status = out.status();
+        }
+      } catch (const std::exception& e) {
+        result.status = Status(StatusCode::kInternal, std::string("task threw: ") + e.what());
+      } catch (...) {
+        result.status = Status(StatusCode::kInternal, "task threw unknown exception");
+      }
+    }
+    result.compute_ms = watch.elapsed_ms();
+
+    // Pad to the straggler-scaled service floor: this is where a slow machine
+    // becomes slow. Computed *after* the real work so fast math on scaled-down
+    // data still yields paper-shaped service times.
+    const double multiplier =
+        deps_.delay != nullptr ? deps_.delay->multiplier(id_, spec.seq) : 1.0;
+    const double target_ms = spec.service_floor_ms * multiplier;
+    if (target_ms > result.compute_ms) {
+      support::precise_sleep_ms(target_ms - result.compute_ms);
+    }
+    result.service_ms = watch.elapsed_ms();
+
+    // Charge the result payload's transfer to the driver.
+    if (deps_.network != nullptr && result.payload.has_value()) {
+      support::precise_sleep_ms(deps_.network->transfer_ms(result.payload.bytes()));
+    }
+    if (deps_.metrics != nullptr) {
+      if (result.ok()) {
+        deps_.metrics->tasks_completed.add(1);
+      } else {
+        deps_.metrics->tasks_failed.add(1);
+      }
+      deps_.metrics->result_bytes.add(result.payload.bytes());
+    }
+
+    result.finished_at = Clock::now();
+    deps_.results->push(std::move(result));
+    last_submit = Clock::now();
+  }
+
+  set_current_worker_env(nullptr);
+}
+
+}  // namespace asyncml::engine

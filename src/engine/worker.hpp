@@ -1,0 +1,71 @@
+#pragma once
+
+// Executor worker: dedicated threads draining a private mailbox.
+//
+// A Worker models one executor node: `cores` executor threads (the paper runs
+// 2-core executors) share a mailbox of TaskSpecs.  For each task the thread
+//   1. records wait time (time since it submitted its previous result),
+//   2. runs the task function with a deterministic per-task RNG,
+//   3. pads execution to the straggler-scaled service floor,
+//   4. charges the result transfer to the network model and pushes the
+//      TaskResult to the driver's result queue.
+// Errors (injected faults, exceptions) become non-OK TaskResults; nothing
+// unwinds across the thread boundary.
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "engine/broadcast.hpp"
+#include "engine/delay_model.hpp"
+#include "engine/metrics.hpp"
+#include "engine/network.hpp"
+#include "engine/task.hpp"
+#include "support/blocking_queue.hpp"
+
+namespace asyncml::engine {
+
+/// Test hook: return true to make the task fail without running it.
+using FaultInjector = std::function<bool(WorkerId, const TaskSpec&)>;
+
+class Worker {
+ public:
+  struct Deps {
+    const BroadcastStore* store = nullptr;
+    const NetworkModel* network = nullptr;
+    const DelayModel* delay = nullptr;
+    ClusterMetrics* metrics = nullptr;
+    support::BlockingQueue<TaskResult>* results = nullptr;
+    FaultInjector fault_injector;  // optional
+  };
+
+  Worker(WorkerId id, int cores, Deps deps);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Enqueues a task; returns false after stop().
+  bool submit(TaskSpec spec);
+
+  /// Closes the mailbox and joins executor threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] WorkerId id() const noexcept { return id_; }
+  [[nodiscard]] int cores() const noexcept { return static_cast<int>(threads_.size()); }
+  [[nodiscard]] std::size_t mailbox_depth() const { return mailbox_.size(); }
+
+  /// The worker's broadcast cache (exposed for cache-behaviour tests).
+  [[nodiscard]] BroadcastCache& cache() { return cache_; }
+
+ private:
+  void executor_loop();
+
+  WorkerId id_;
+  Deps deps_;
+  BroadcastCache cache_;
+  support::BlockingQueue<TaskSpec> mailbox_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace asyncml::engine

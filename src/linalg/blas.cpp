@@ -1,0 +1,75 @@
+#include "linalg/blas.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace asyncml::linalg {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double dot(const SparseRowView& x, std::span<const double> y) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < x.nnz(); ++k) {
+    assert(x.indices[k] < y.size());
+    s += x.values[k] * y[x.indices[k]];
+  }
+  return s;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void axpy(double a, const SparseRowView& x, std::span<double> y) {
+  for (std::size_t k = 0; k < x.nnz(); ++k) {
+    assert(x.indices[k] < y.size());
+    y[x.indices[k]] += a * x.values[k];
+  }
+}
+
+void scal(double a, std::span<double> x) {
+  for (double& v : x) v *= a;
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(nrm2_squared(x)); }
+
+double nrm2_squared(std::span<const double> x) { return dot(x, x); }
+
+void gemv(const DenseMatrix& a, std::span<const double> x, std::span<double> out) {
+  assert(x.size() == a.cols() && out.size() == a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) out[r] = dot(a.row(r), x);
+}
+
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> out) {
+  assert(x.size() == a.cols() && out.size() == a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) out[r] = dot(a.row(r), x);
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i] - y[i]));
+  return m;
+}
+
+}  // namespace asyncml::linalg

@@ -1,0 +1,51 @@
+#pragma once
+
+// Level-1/2 kernels over dense and sparse containers.
+//
+// These are the only numeric kernels the optimizers touch; both the dense and
+// sparse paths match what Breeze/netlib provided in the paper's Scala stack.
+// All functions are free, take const views, and are safe to call concurrently
+// on disjoint outputs.
+
+#include <span>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/dense_vector.hpp"
+#include "linalg/sparse.hpp"
+
+namespace asyncml::linalg {
+
+/// dot(x, y) for dense spans. Unrolled 4-way for ILP.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// dot of a sparse row with a dense vector.
+[[nodiscard]] double dot(const SparseRowView& x, std::span<const double> y);
+
+/// y += a * x (dense).
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// y += a * x for sparse x (scatter-add into dense y).
+void axpy(double a, const SparseRowView& x, std::span<double> y);
+
+/// x *= a.
+void scal(double a, std::span<double> x);
+
+/// Euclidean norm.
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// Squared Euclidean norm.
+[[nodiscard]] double nrm2_squared(std::span<const double> x);
+
+/// out = A * x (dense GEMV, row-major).
+void gemv(const DenseMatrix& a, std::span<const double> x, std::span<double> out);
+
+/// out = A * x for CSR A.
+void spmv(const CsrMatrix& a, std::span<const double> x, std::span<double> out);
+
+/// Elementwise y = x (sizes must match).
+void copy(std::span<const double> x, std::span<double> y);
+
+/// max_i |x_i - y_i|.
+[[nodiscard]] double max_abs_diff(std::span<const double> x, std::span<const double> y);
+
+}  // namespace asyncml::linalg

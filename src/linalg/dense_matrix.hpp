@@ -1,0 +1,54 @@
+#pragma once
+
+// Row-major dense matrix. Rows are the data points of dense datasets
+// (mnist8m-like, epsilon-like); row views are spans so gradient kernels
+// iterate without copies.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace asyncml::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return data_.size() * sizeof(double);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace asyncml::linalg

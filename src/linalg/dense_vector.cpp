@@ -1,0 +1,20 @@
+#include "linalg/dense_vector.hpp"
+
+#include <sstream>
+
+namespace asyncml::linalg {
+
+std::string DenseVector::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  const std::size_t shown = std::min<std::size_t>(size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (size() > shown) os << ", ... (" << size() << " total)";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace asyncml::linalg

@@ -1,0 +1,68 @@
+#pragma once
+
+// Dense double-precision vector.
+//
+// The model parameter `w`, gradients, and dense feature rows are
+// DenseVectors.  The class is a thin owning wrapper over contiguous storage;
+// all arithmetic lives in blas.hpp as free functions (mirroring the paper's
+// Breeze/netlib split between containers and kernels).
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asyncml::linalg {
+
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(std::size_t size, double fill = 0.0) : data_(size, fill) {}
+  DenseVector(std::initializer_list<double> init) : data_(init) {}
+  explicit DenseVector(std::vector<double> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator[](std::size_t i) noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  [[nodiscard]] double operator[](std::size_t i) const noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<double> span() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  void resize(std::size_t size, double fill = 0.0) { data_.resize(size, fill); }
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+  void set_zero() { fill(0.0); }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return data_.size() * sizeof(double);
+  }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+  friend bool operator==(const DenseVector& a, const DenseVector& b) = default;
+
+  /// Debug rendering, e.g. "[1, 2, 3]" (truncated beyond 8 entries).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace asyncml::linalg

@@ -1,0 +1,34 @@
+#pragma once
+
+// Direct solvers for small systems.
+//
+// Tests and examples need the *exact* least-squares optimum to measure
+// convergence error against; at test scale (d <= a few hundred) forming the
+// normal equations and running Cholesky is the right tool.  Not used by the
+// distributed algorithms themselves.
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/dense_vector.hpp"
+#include "linalg/sparse.hpp"
+#include "support/status.hpp"
+
+namespace asyncml::linalg {
+
+/// In-place Cholesky factorization A = L·Lᵀ of a symmetric positive-definite
+/// matrix (lower triangle used). Fails with kFailedPrecondition if A is not
+/// positive definite.
+[[nodiscard]] support::Status cholesky_factorize(DenseMatrix& a);
+
+/// Solves L·Lᵀ x = b given the factor produced by cholesky_factorize.
+[[nodiscard]] DenseVector cholesky_solve(const DenseMatrix& l, const DenseVector& b);
+
+/// Least-squares optimum argmin_w ||A w - b||² via normal equations with a
+/// small ridge term for numerical safety. Intended for d small (test scale).
+[[nodiscard]] support::StatusOr<DenseVector> least_squares_optimum(
+    const DenseMatrix& a, const DenseVector& b, double ridge = 1e-10);
+
+/// Sparse-matrix overload (densifies the normal matrix; d must be small).
+[[nodiscard]] support::StatusOr<DenseVector> least_squares_optimum(
+    const CsrMatrix& a, const DenseVector& b, double ridge = 1e-10);
+
+}  // namespace asyncml::linalg

@@ -1,0 +1,22 @@
+#include "linalg/sparse.hpp"
+
+namespace asyncml::linalg {
+
+CsrMatrix csr_from_rows(const std::vector<SparseVector>& rows, std::size_t cols) {
+  CsrMatrix m = CsrMatrix::for_appending(cols);
+  for (const SparseVector& row : rows) m.append_row(row);
+  return m;
+}
+
+bool csr_is_well_formed(const CsrMatrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const SparseRowView row = m.row(r);
+    for (std::size_t k = 0; k < row.nnz(); ++k) {
+      if (row.indices[k] >= m.cols()) return false;
+      if (k > 0 && row.indices[k] <= row.indices[k - 1]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace asyncml::linalg

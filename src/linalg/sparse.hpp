@@ -1,0 +1,113 @@
+#pragma once
+
+// Sparse containers: CSR matrix for sparse datasets (rcv1-like) and a sparse
+// vector for individual examples (LIBSVM parsing).  Column indices are sorted
+// ascending within each row; kernels rely on it.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace asyncml::linalg {
+
+/// Immutable view of one CSR row: parallel arrays of column indices/values.
+struct SparseRowView {
+  std::span<const std::uint32_t> indices;
+  std::span<const double> values;
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return indices.size(); }
+};
+
+/// Owning sparse vector (one example's features).
+class SparseVector {
+ public:
+  SparseVector() = default;
+  SparseVector(std::vector<std::uint32_t> indices, std::vector<double> values)
+      : indices_(std::move(indices)), values_(std::move(values)) {
+    assert(indices_.size() == values_.size());
+  }
+
+  void push_back(std::uint32_t index, double value) {
+    assert(indices_.empty() || index > indices_.back());
+    indices_.push_back(index);
+    values_.push_back(value);
+  }
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return indices_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& indices() const noexcept {
+    return indices_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+  [[nodiscard]] SparseRowView view() const noexcept {
+    return {{indices_.data(), indices_.size()}, {values_.data(), values_.size()}};
+  }
+
+ private:
+  std::vector<std::uint32_t> indices_;
+  std::vector<double> values_;
+};
+
+/// Compressed sparse row matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols) : cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  /// Builder API: rows must be appended in order.
+  void append_row(const SparseVector& row) {
+    for (std::size_t k = 0; k < row.nnz(); ++k) {
+      assert(row.indices()[k] < cols_);
+      col_idx_.push_back(row.indices()[k]);
+      values_.push_back(row.values()[k]);
+    }
+    row_ptr_.push_back(col_idx_.size());
+  }
+
+  /// Constructs an empty matrix ready for append_row (0 rows so far).
+  [[nodiscard]] static CsrMatrix for_appending(std::size_t cols) {
+    CsrMatrix m;
+    m.cols_ = cols;
+    m.row_ptr_.assign(1, 0);
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
+
+  [[nodiscard]] double density() const noexcept {
+    const double cells = static_cast<double>(rows()) * static_cast<double>(cols());
+    return cells == 0.0 ? 0.0 : static_cast<double>(nnz()) / cells;
+  }
+
+  [[nodiscard]] SparseRowView row(std::size_t r) const noexcept {
+    assert(r + 1 < row_ptr_.size());
+    const std::size_t begin = row_ptr_[r];
+    const std::size_t end = row_ptr_[r + 1];
+    return {{col_idx_.data() + begin, end - begin}, {values_.data() + begin, end - begin}};
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return col_idx_.size() * sizeof(std::uint32_t) + values_.size() * sizeof(double) +
+           row_ptr_.size() * sizeof(std::size_t);
+  }
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Builds a CSR matrix from per-row sparse vectors.
+[[nodiscard]] CsrMatrix csr_from_rows(const std::vector<SparseVector>& rows,
+                                      std::size_t cols);
+
+/// Structural invariants: monotone row_ptr, in-range sorted column indices.
+/// Returns true when the matrix is well formed.
+[[nodiscard]] bool csr_is_well_formed(const CsrMatrix& m);
+
+}  // namespace asyncml::linalg

@@ -1,0 +1,49 @@
+#include "metrics/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+namespace asyncml::metrics {
+
+Trace TraceRecorder::finalize(
+    const std::function<double(const linalg::DenseVector&)>& objective,
+    double baseline) const {
+  Trace out;
+  out.reserve(snapshots_.size());
+  for (const Snapshot& s : snapshots_) {
+    out.push_back(TracePoint{s.time_ms, s.update, objective(s.w) - baseline});
+  }
+  return out;
+}
+
+std::optional<double> time_to_target(const Trace& trace, double target) {
+  for (const TracePoint& p : trace) {
+    if (p.error <= target) return p.time_ms;
+  }
+  return std::nullopt;
+}
+
+double final_error(const Trace& trace) {
+  if (trace.empty()) return std::numeric_limits<double>::infinity();
+  return trace.back().error;
+}
+
+std::optional<double> speedup_at_common_target(const Trace& baseline,
+                                               const Trace& contender) {
+  if (baseline.empty() || contender.empty()) return std::nullopt;
+  // The tightest error both runs reach; add 10% slack so float noise at the
+  // very last point does not disqualify a trace.
+  double best_baseline = std::numeric_limits<double>::infinity();
+  for (const TracePoint& p : baseline) best_baseline = std::min(best_baseline, p.error);
+  double best_contender = std::numeric_limits<double>::infinity();
+  for (const TracePoint& p : contender) best_contender = std::min(best_contender, p.error);
+  const double target = 1.1 * std::max(best_baseline, best_contender);
+
+  const auto tb = time_to_target(baseline, target);
+  const auto tc = time_to_target(contender, target);
+  if (!tb.has_value() || !tc.has_value() || *tc <= 0.0) return std::nullopt;
+  return *tb / *tc;
+}
+
+}  // namespace asyncml::metrics

@@ -1,0 +1,54 @@
+#pragma once
+
+// Asynchronous consensus ADMM (after Zhang & Kwok [70], which the paper's
+// related work names as an asynchrony-extended distributed method ASYNC can
+// host).
+//
+// Global consensus form: minimize Σ_p f_p(x_p) s.t. x_p = z, solved with one
+// local model x_p and dual u_p per *partition* and a server-side consensus
+// variable z:
+//
+//   x_p ← argmin_x f_p(x) + (ρ/2)‖x − z + u_p‖²   (worker task, local solve)
+//   u_p ← u_p + x_p − z                            (worker-local dual update)
+//   z   ← mean over partitions of (x_p + u_p)      (server, incremental)
+//
+// Asynchrony: the server refreshes z and re-dispatches as each partition's
+// (x_p + u_p) arrives — partial barrier instead of the classic full
+// synchronization, exactly the async-ADMM execution model.  The local
+// argmin is approximated by `local_gd_steps` gradient steps on the
+// ρ-regularized subproblem (standard inexact-ADMM practice).
+//
+// Demonstrates that the ASYNC abstractions (history broadcast for z,
+// worker-resident state for x_p/u_p via the same partition-affinity contract
+// as the SAGA tables) cover primal-dual methods beyond SGD-style updates.
+
+#include "engine/cluster.hpp"
+#include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+struct AdmmConfig {
+  /// Server updates budget (collected partition results).
+  std::uint64_t updates = 200;
+  /// Augmented-Lagrangian penalty ρ.
+  double rho = 1.0;
+  /// Gradient steps approximating the local argmin.
+  int local_gd_steps = 10;
+  /// Step size for the local gradient steps; 0 ⇒ 1/(L_local + ρ) estimate.
+  double local_step = 0.0;
+  double service_floor_ms = 0.0;
+  CostModel cost;
+  std::uint64_t eval_every = 5;
+  std::uint64_t seed = 1;
+  core::BarrierControl barrier = core::barriers::asp();
+};
+
+class AsyncAdmmSolver {
+ public:
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const AdmmConfig& config);
+};
+
+}  // namespace asyncml::optim

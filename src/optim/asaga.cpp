@@ -1,0 +1,92 @@
+#include "optim/asaga.hpp"
+
+#include "core/async_context.hpp"
+#include "metrics/trace.hpp"
+#include "optim/objective.hpp"
+#include "optim/solver_util.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::optim {
+
+RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
+                           const SolverConfig& config) {
+  const std::size_t dim = workload.dim();
+  const std::size_t n = workload.n();
+  const double service_ms =
+      config.service_floor_ms > 0.0
+          ? config.service_floor_ms
+          : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
+                                        config.batch_fraction, /*saga_two_pass=*/true);
+  const double step_scale =
+      config.async_step_scale.value_or(1.0 / static_cast<double>(cluster.num_workers()));
+
+  detail::reset_run_metrics(cluster.metrics());
+
+  core::AsyncContext ac(cluster, workload.num_partitions());
+  const engine::Rdd<data::LabeledPoint> sampled =
+      workload.points.sample(config.batch_fraction);
+  auto table =
+      std::make_shared<core::SampleVersionTable>(n, detail::kNeverVisited);
+
+  core::SubmitOptions opts;
+  opts.service_floor_ms = service_ms;
+  opts.rng_seed = config.seed;
+
+  linalg::DenseVector w(dim);
+  linalg::DenseVector alpha_bar(dim);
+  core::HistoryBroadcast w_br = ac.async_broadcast(w);  // version 0
+
+  auto rebuild_factory = [&] {
+    return ac.make_aggregate_factory(
+        sampled, GradHist{}, detail::make_saga_seq(workload.loss, w_br, table, dim),
+        opts);
+  };
+  core::AsyncScheduler::TaskFactory factory = rebuild_factory();
+
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, w);
+
+  detail::dispatch_live(ac, config.barrier, factory);
+
+  std::uint64_t updates = 0;
+  while (updates < config.updates) {
+    auto collected = ac.collect(&factory);
+    if (!collected.has_value()) break;
+
+    const GradHist& g = collected->result.payload.get<GradHist>();
+    if (g.count > 0) {
+      const double inv_b = 1.0 / static_cast<double>(g.count);
+      linalg::DenseVector direction = alpha_bar;
+      linalg::axpy(inv_b, g.grad.span(), direction.span());
+      linalg::axpy(-inv_b, g.hist.span(), direction.span());
+      linalg::axpy(-config.step(updates) * step_scale, direction.span(), w.span());
+
+      const double inv_n = 1.0 / static_cast<double>(n);
+      linalg::axpy(inv_n, g.grad.span(), alpha_bar.span());
+      linalg::axpy(-inv_n, g.hist.span(), alpha_bar.span());
+    }
+    ++updates;
+    ac.advance_version();
+    w_br = ac.async_broadcast(w);
+    factory = rebuild_factory();
+    recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
+
+    detail::dispatch_live(ac, config.barrier, factory);
+  }
+  recorder.snapshot(updates, watch.elapsed_ms(), w);
+
+  RunResult result;
+  result.algorithm = "ASAGA";
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = updates;
+  result.tasks = updates;
+  result.final_w = w;
+  detail::fill_run_stats(result, cluster.metrics());
+  result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
+    return full_objective(*workload.dataset, *workload.loss, model);
+  });
+  return result;
+}
+
+}  // namespace asyncml::optim

@@ -1,0 +1,26 @@
+#pragma once
+
+// ASAGA — asynchronous SAGA, the paper's Algorithm 4 (after Leblond et al.).
+//
+// Identical update math to SagaSolver, but every collected task result
+// triggers its own model update: the server never waits for the round to
+// complete, so a straggler's historical-gradient work lands whenever it
+// lands (possibly stale), and fresh tasks flow to whichever workers the
+// barrier admits.  The ASYNCbroadcaster keeps the communication per round at
+// one model vector regardless of how much history the workers touch — the
+// property Figures 5, 6, 8 and Table 3 measure.
+
+#include "engine/cluster.hpp"
+#include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+class AsagaSolver {
+ public:
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config);
+};
+
+}  // namespace asyncml::optim

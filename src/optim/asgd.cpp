@@ -1,0 +1,96 @@
+#include "optim/asgd.hpp"
+
+#include "metrics/trace.hpp"
+#include "optim/objective.hpp"
+#include "optim/solver_util.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::optim {
+
+RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
+                          const SolverConfig& config) {
+  const std::size_t dim = workload.dim();
+  const double service_ms =
+      config.service_floor_ms > 0.0
+          ? config.service_floor_ms
+          : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
+                                        config.batch_fraction);
+  // Listing 1 applies alpha/(1+staleness) directly, so the staleness factor
+  // replaces the 1/P heuristic rather than stacking on top of it.
+  const double default_scale = config.staleness_adaptive_lr
+                                   ? 1.0
+                                   : 1.0 / static_cast<double>(cluster.num_workers());
+  const double step_scale = config.async_step_scale.value_or(default_scale);
+
+  detail::reset_run_metrics(cluster.metrics());
+
+  core::AsyncContext ac(cluster, workload.num_partitions());  // AC = new ASYNCcontext
+  const engine::Rdd<data::LabeledPoint> sampled =
+      workload.points.sample(config.batch_fraction);
+
+  core::SubmitOptions opts;
+  opts.service_floor_ms = service_ms;
+  opts.rng_seed = config.seed;
+
+  linalg::DenseVector w(dim);
+  core::HistoryBroadcast w_br = ac.async_broadcast(w);  // publish version 0
+
+  // Factory building this round's gradient tasks against the latest w_br.
+  auto rebuild_factory = [&] {
+    return ac.make_aggregate_factory(sampled, GradCount{},
+                                     detail::make_grad_seq(workload.loss, w_br, dim),
+                                     opts);
+  };
+  core::AsyncScheduler::TaskFactory factory = rebuild_factory();
+
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, w);
+
+  // Prime every worker the barrier admits (all of them, initially).
+  detail::dispatch_live(ac, config.barrier, factory);
+
+  std::uint64_t updates = 0;
+  while (updates < config.updates) {
+    auto collected = ac.collect(&factory);  // while(AC.hasNext()) { ASYNCcollect() }
+    if (!collected.has_value()) break;      // context stopped
+
+    const GradCount& g = collected->result.payload.get<GradCount>();
+    if (g.count > 0) {
+      // Algorithm 2 indexes the schedule by the outer iteration αᵢ: one
+      // logical iteration yields up to one result per partition, so the
+      // decay advances once per P collected updates (each update still
+      // applies the per-result step α/W per the §6.1 heuristic).
+      const std::uint64_t round =
+          updates / static_cast<std::uint64_t>(std::max(1, workload.num_partitions()));
+      double lr = config.step(round) * step_scale;
+      if (config.staleness_adaptive_lr) {
+        lr /= 1.0 + static_cast<double>(collected->staleness);  // Listing 1
+      }
+      linalg::axpy(-lr / static_cast<double>(g.count), g.grad.span(), w.span());
+    }
+    ++updates;
+    ac.advance_version();
+    w_br = ac.async_broadcast(w);
+    factory = rebuild_factory();
+    recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
+
+    // points.ASYNCbarrier(f, AC.STAT) ... — admit whatever the barrier allows.
+    detail::dispatch_live(ac, config.barrier, factory);
+  }
+  recorder.snapshot(updates, watch.elapsed_ms(), w);
+
+  RunResult result;
+  result.algorithm = config.staleness_adaptive_lr ? "ASGD-staleness" : "ASGD";
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = updates;
+  result.tasks = updates;
+  result.final_w = w;
+  detail::fill_run_stats(result, cluster.metrics());
+  result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
+    return full_objective(*workload.dataset, *workload.loss, model);
+  });
+  return result;
+}
+
+}  // namespace asyncml::optim

@@ -1,0 +1,30 @@
+#pragma once
+
+// Asynchronous SGD — the paper's Algorithm 2.
+//
+// The server dispatches gradient tasks through the ASYNCscheduler under a
+// barrier control (ASP by default), applies one model update per collected
+// task result, republishes the model through the ASYNCbroadcaster, and
+// immediately re-dispatches to whichever workers the barrier admits.  The
+// straggler keeps computing on stale parameters without stalling anyone —
+// the mechanism behind Figures 3 and 7.
+//
+// Two paper extensions are built in:
+//  * staleness-dependent learning rates (Listing 1): lr/(1+staleness);
+//  * arbitrary barrier controls (Listing 2): BSP/SSP/β-fraction/custom.
+
+#include "core/async_context.hpp"
+#include "engine/cluster.hpp"
+#include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+class AsgdSolver {
+ public:
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config);
+};
+
+}  // namespace asyncml::optim

@@ -1,0 +1,114 @@
+#include "optim/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace asyncml::optim {
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'M', 'L', 'C', 'K', 'P', 'T', '1'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool read_u32(std::istream& in, std::uint32_t& v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(&v), sizeof(v)));
+}
+bool read_u64(std::istream& in, std::uint64_t& v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(&v), sizeof(v)));
+}
+
+void write_vector(std::ostream& out, const std::string& name,
+                  const linalg::DenseVector& v) {
+  write_u32(out, static_cast<std::uint32_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  write_u64(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size_bytes()));
+}
+
+StatusOr<std::pair<std::string, linalg::DenseVector>> read_vector(std::istream& in) {
+  std::uint32_t name_len = 0;
+  if (!read_u32(in, name_len) || name_len > 4096) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: bad vector name length");
+  }
+  std::string name(name_len, '\0');
+  if (!in.read(name.data(), name_len)) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: truncated name");
+  }
+  std::uint64_t dim = 0;
+  if (!read_u64(in, dim) || dim > (1ULL << 32)) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: bad vector size");
+  }
+  linalg::DenseVector v(dim);
+  if (!in.read(reinterpret_cast<char*>(v.data()),
+               static_cast<std::streamsize>(v.size_bytes()))) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: truncated vector data");
+  }
+  return std::make_pair(std::move(name), std::move(v));
+}
+
+}  // namespace
+
+Status save_checkpoint(const std::string& path, const SolverCheckpoint& checkpoint) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status(StatusCode::kInternal, "checkpoint: cannot create " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  write_u64(out, checkpoint.update_index);
+  write_u32(out, static_cast<std::uint32_t>(1 + checkpoint.aux.size()));
+  write_vector(out, "model", checkpoint.model);
+  for (const auto& [name, vec] : checkpoint.aux) {
+    if (name == "model") {
+      return Status(StatusCode::kInvalidArgument,
+                    "checkpoint: aux name 'model' is reserved");
+    }
+    write_vector(out, name, vec);
+  }
+  if (!out) return Status(StatusCode::kInternal, "checkpoint: write failed");
+  return Status::ok();
+}
+
+StatusOr<SolverCheckpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(StatusCode::kNotFound, "checkpoint: cannot open " + path);
+
+  char magic[sizeof(kMagic)] = {};
+  if (!in.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: bad magic");
+  }
+  SolverCheckpoint checkpoint;
+  if (!read_u64(in, checkpoint.update_index)) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: truncated header");
+  }
+  std::uint32_t vectors = 0;
+  if (!read_u32(in, vectors) || vectors == 0 || vectors > 10'000) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: bad vector count");
+  }
+  bool saw_model = false;
+  for (std::uint32_t i = 0; i < vectors; ++i) {
+    auto entry = read_vector(in);
+    if (!entry.is_ok()) return entry.status();
+    auto [name, vec] = std::move(entry).value();
+    if (name == "model") {
+      checkpoint.model = std::move(vec);
+      saw_model = true;
+    } else {
+      checkpoint.aux.emplace(std::move(name), std::move(vec));
+    }
+  }
+  if (!saw_model) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: missing model vector");
+  }
+  return checkpoint;
+}
+
+}  // namespace asyncml::optim

@@ -1,0 +1,42 @@
+#pragma once
+
+// Solver-state checkpointing.
+//
+// Spark's fault tolerance covers tasks (retries) and RDDs (lineage); the
+// *driver's* algorithm state — the model, SAGA's running mean, the version
+// counter — is the user's to persist.  This module provides a small binary
+// format for exactly that, so long optimizations survive server restarts:
+//
+//   SolverCheckpoint cp;
+//   cp.model = w; cp.aux["alpha_bar"] = alpha_bar;
+//   cp.update_index = k; save_checkpoint(path, cp);
+//   ...
+//   auto restored = load_checkpoint(path);
+//
+// Format: magic "AMLCKPT1", then update index, then named dense vectors
+// (u32 name length, name bytes, u64 dim, doubles), little-endian host order
+// (documented limitation: not portable across endianness).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "linalg/dense_vector.hpp"
+#include "support/status.hpp"
+
+namespace asyncml::optim {
+
+struct SolverCheckpoint {
+  std::uint64_t update_index = 0;
+  linalg::DenseVector model;
+  /// Named auxiliary vectors (e.g. SAGA's "alpha_bar", ADMM's duals).
+  std::map<std::string, linalg::DenseVector> aux;
+};
+
+[[nodiscard]] support::Status save_checkpoint(const std::string& path,
+                                              const SolverCheckpoint& checkpoint);
+
+[[nodiscard]] support::StatusOr<SolverCheckpoint> load_checkpoint(
+    const std::string& path);
+
+}  // namespace asyncml::optim

@@ -1,0 +1,159 @@
+#include "optim/epoch_vr.hpp"
+
+#include "core/async_context.hpp"
+#include "metrics/trace.hpp"
+#include "optim/objective.hpp"
+#include "optim/solver_util.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::optim {
+
+namespace {
+
+/// Inner-loop sequence op: fresh gradient at the dispatched model and
+/// snapshot gradient at the epoch's w̃ (both through the history broadcast,
+/// so w̃ is fetched once per worker per epoch).
+auto make_svrg_seq(std::shared_ptr<const Loss> loss, core::HistoryBroadcast w_br,
+                   core::HistoryBroadcast snapshot_br, std::size_t dim) {
+  return [loss = std::move(loss), w_br, snapshot_br, dim](
+             GradHist acc, const data::LabeledPoint& p) {
+    if (acc.grad.size() != dim) {
+      acc.grad.resize(dim);
+      acc.hist.resize(dim);
+    }
+    const linalg::DenseVector& w = w_br.value();
+    const double coeff = loss->derivative(p.features.dot(w.span()), p.label);
+    p.features.axpy_into(coeff, acc.grad.span());
+
+    const linalg::DenseVector& snap = snapshot_br.value();
+    const double coeff_snap = loss->derivative(p.features.dot(snap.span()), p.label);
+    p.features.axpy_into(coeff_snap, acc.hist.span());
+    acc.count += 1;
+    return acc;
+  };
+}
+
+}  // namespace
+
+RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
+                             const SolverConfig& config) {
+  const std::size_t dim = workload.dim();
+  const double batch_service_ms =
+      config.service_floor_ms > 0.0
+          ? config.service_floor_ms
+          : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
+                                        config.batch_fraction, /*saga_two_pass=*/true);
+  // The full-gradient pass touches the whole partition.
+  const double full_service_ms = config.cost.task_service_ms(
+      *workload.dataset, workload.num_partitions(), 1.0);
+  const double step_scale =
+      config.async_step_scale.value_or(1.0 / static_cast<double>(cluster.num_workers()));
+
+  detail::reset_run_metrics(cluster.metrics());
+
+  core::AsyncContext ac(cluster, workload.num_partitions());
+  const engine::Rdd<data::LabeledPoint> sampled =
+      workload.points.sample(config.batch_fraction);
+
+  linalg::DenseVector w(dim);
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, w);
+
+  std::uint64_t updates = 0;
+  auto comb = detail::grad_comb();
+  while (updates < config.updates) {
+    // ---- Epoch head: synchronous full gradient at the snapshot w̃. --------
+    const linalg::DenseVector snapshot = w;
+    core::HistoryBroadcast snapshot_br = ac.async_broadcast(snapshot);
+    const engine::Version snapshot_version = snapshot_br.version();
+
+    core::SubmitOptions full_opts;
+    full_opts.service_floor_ms = full_service_ms;
+    full_opts.rng_seed = config.seed;
+    auto full_results = ac.sync_round(
+        workload.points, GradCount{},
+        detail::make_grad_seq(workload.loss, snapshot_br, dim), full_opts);
+    GradCount mu_sum;
+    for (core::TaggedResult& r : full_results) {
+      mu_sum = comb(std::move(mu_sum), r.result.payload.get<GradCount>());
+    }
+    linalg::DenseVector mu(dim);
+    if (mu_sum.count > 0) {
+      linalg::axpy(1.0 / static_cast<double>(mu_sum.count), mu_sum.grad.span(),
+                   mu.span());
+    }
+
+    // ---- Asynchronous inner loop. -----------------------------------------
+    core::SubmitOptions opts;
+    opts.service_floor_ms = batch_service_ms;
+    opts.rng_seed = config.seed;
+
+    core::HistoryBroadcast w_br = ac.handle_for(snapshot_version);
+    auto rebuild_factory = [&] {
+      return ac.make_aggregate_factory(
+          sampled, GradHist{},
+          make_svrg_seq(workload.loss, w_br, snapshot_br, dim), opts);
+    };
+    core::AsyncScheduler::TaskFactory factory = rebuild_factory();
+    detail::dispatch_live(ac, config.barrier, factory);
+
+    std::uint64_t inner = 0;
+    while (inner < config.epoch_inner_updates && updates < config.updates) {
+      auto collected = ac.collect(&factory);
+      if (!collected.has_value()) return RunResult{};  // context stopped
+
+      const GradHist& g = collected->result.payload.get<GradHist>();
+      if (g.count > 0) {
+        const double inv_b = 1.0 / static_cast<double>(g.count);
+        linalg::DenseVector direction = mu;
+        linalg::axpy(inv_b, g.grad.span(), direction.span());
+        linalg::axpy(-inv_b, g.hist.span(), direction.span());
+        linalg::axpy(-config.step(updates) * step_scale, direction.span(), w.span());
+      }
+      ++inner;
+      ++updates;
+      ac.advance_version();
+      w_br = ac.async_broadcast(w);
+      factory = rebuild_factory();
+      recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
+      if (inner < config.epoch_inner_updates && updates < config.updates) {
+        detail::dispatch_live(ac, config.barrier, factory);
+      }
+    }
+
+    // ---- Epoch tail: drain in-flight inner tasks so the next epoch's
+    // synchronous stage sees a quiet cluster (Listing 3's epoch boundary). --
+    while (ac.coordinator().total_outstanding() > 0 || ac.has_next()) {
+      auto leftover = ac.collect(&factory);
+      if (!leftover.has_value()) break;
+      // Leftover inner results are still valid SVRG updates; apply them.
+      const GradHist& g = leftover->result.payload.get<GradHist>();
+      if (g.count > 0) {
+        const double inv_b = 1.0 / static_cast<double>(g.count);
+        linalg::DenseVector direction = mu;
+        linalg::axpy(inv_b, g.grad.span(), direction.span());
+        linalg::axpy(-inv_b, g.hist.span(), direction.span());
+        linalg::axpy(-config.step(updates) * step_scale, direction.span(), w.span());
+        ++updates;
+        ac.advance_version();
+        recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
+      }
+    }
+  }
+  recorder.snapshot(updates, watch.elapsed_ms(), w);
+
+  RunResult result;
+  result.algorithm = "EpochVR";
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = updates;
+  result.tasks = updates;
+  result.final_w = w;
+  detail::fill_run_stats(result, cluster.metrics());
+  result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
+    return full_objective(*workload.dataset, *workload.loss, model);
+  });
+  return result;
+}
+
+}  // namespace asyncml::optim

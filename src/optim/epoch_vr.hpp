@@ -1,0 +1,28 @@
+#pragma once
+
+// Epoch-based variance reduction — the paper's Listing 3 (SVRG-style,
+// after Johnson & Zhang; asynchronous inner loop as in [29, 56, 71]).
+//
+// Each epoch starts with a *synchronous* full-gradient pass at the snapshot
+// model w̃ (the "periodic synchronization" of the listing), then runs an
+// asynchronous inner loop whose tasks return (∇f_B(w), ∇f_B(w̃)) pairs; the
+// server applies  w ← w − α [ (ĝ_cur − ĝ_snap) + μ ]  per collected result.
+// This exercises ASYNC's claim that epoch-based VR methods mix its
+// synchronous and asynchronous primitives freely.
+
+#include "engine/cluster.hpp"
+#include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+class EpochVrSolver {
+ public:
+  /// `config.updates` = total inner updates; `config.epoch_inner_updates`
+  /// inner updates per epoch between full-gradient synchronizations.
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config);
+};
+
+}  // namespace asyncml::optim

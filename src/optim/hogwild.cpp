@@ -1,0 +1,129 @@
+#include "optim/hogwild.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "metrics/trace.hpp"
+#include "optim/objective.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_util.hpp"
+
+namespace asyncml::optim {
+
+namespace {
+
+/// Lock-free view of the shared model: each coordinate is a relaxed atomic.
+/// Hogwild!'s guarantee is exactly that such unsynchronized updates still
+/// converge when the conflict pattern is sparse.
+class SharedModel {
+ public:
+  explicit SharedModel(std::size_t dim) : coords_(dim) {
+    for (auto& c : coords_) c.store(0.0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return coords_.size(); }
+
+  [[nodiscard]] double load(std::size_t i) const noexcept {
+    return coords_[i].load(std::memory_order_relaxed);
+  }
+
+  void add(std::size_t i, double delta) noexcept {
+    // fetch_add on atomic<double> (C++20); relaxed: Hogwild semantics.
+    coords_[i].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Inconsistent snapshot (fine for evaluation: coordinates may be from
+  /// slightly different logical times, as in the algorithm itself).
+  [[nodiscard]] linalg::DenseVector snapshot() const {
+    linalg::DenseVector w(coords_.size());
+    for (std::size_t i = 0; i < coords_.size(); ++i) w[i] = load(i);
+    return w;
+  }
+
+ private:
+  std::vector<std::atomic<double>> coords_;
+};
+
+}  // namespace
+
+RunResult HogwildSolver::run(const data::Dataset& dataset, const Loss& loss,
+                             const HogwildConfig& config) {
+  const std::size_t n = dataset.rows();
+  const std::size_t dim = dataset.cols();
+  SharedModel model(dim);
+
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, model.snapshot());
+
+  std::atomic<std::uint64_t> global_updates{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.threads));
+
+  // Thread 0 additionally records trace snapshots; recorder access is safe
+  // because only thread 0 touches it while the others run.
+  for (int t = 0; t < config.threads; ++t) {
+    threads.emplace_back([&, t] {
+      support::set_current_thread_name("hogwild-" + std::to_string(t));
+      support::RngStream rng =
+          support::RngStream(config.seed).substream(static_cast<std::uint64_t>(t) + 1);
+      // Thread-local read buffer for the (racy) model read.
+      linalg::DenseVector w_local(dim);
+
+      for (std::uint64_t k = 0; k < config.updates_per_thread; ++k) {
+        // Racy read of the current model (the x̂ of the Hogwild analysis).
+        for (std::size_t i = 0; i < dim; ++i) w_local[i] = model.load(i);
+
+        const double lr =
+            config.step(global_updates.load(std::memory_order_relaxed)) /
+            static_cast<double>(config.batch_size);
+        for (std::size_t s = 0; s < config.batch_size; ++s) {
+          const std::size_t row = static_cast<std::size_t>(rng.next_below(n));
+          const data::LabeledPoint p = dataset.point(row);
+          const double coeff =
+              loss.derivative(p.features.dot(w_local.span()), p.label);
+          // Scatter the update straight into the shared vector, touching
+          // only the sample's support (the sparsity Hogwild relies on).
+          // RowRef's axpy would write into a plain span, so scatter manually
+          // through the atomic adds.
+          const double scale = -lr * coeff;
+          if (p.features.is_dense()) {
+            const auto row_view = dataset.dense_features().row(row);
+            for (std::size_t i = 0; i < dim; ++i) {
+              if (row_view[i] != 0.0) model.add(i, scale * row_view[i]);
+            }
+          } else {
+            const auto row_view = dataset.sparse_features().row(row);
+            for (std::size_t j = 0; j < row_view.nnz(); ++j) {
+              model.add(row_view.indices[j], scale * row_view.values[j]);
+            }
+          }
+        }
+
+        const std::uint64_t done =
+            global_updates.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (t == 0 && done % config.eval_every == 0) {
+          recorder.snapshot(done, watch.elapsed_ms(), model.snapshot());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const linalg::DenseVector final_w = model.snapshot();
+  recorder.snapshot(global_updates.load(), watch.elapsed_ms(), final_w);
+
+  RunResult result;
+  result.algorithm = "Hogwild";
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = global_updates.load();
+  result.tasks = result.updates;
+  result.final_w = final_w;
+  result.trace = recorder.finalize(
+      [&](const linalg::DenseVector& w) { return full_objective(dataset, loss, w); });
+  return result;
+}
+
+}  // namespace asyncml::optim

@@ -1,0 +1,44 @@
+#pragma once
+
+// Hogwild!-style shared-memory asynchronous SGD (Recht et al. [55]).
+//
+// The paper's related-work section contrasts ASYNC's distributed setting
+// with shared-memory asynchrony, where threads update one model vector with
+// no locking at all.  This solver implements that baseline: T threads sample
+// mini-batches and apply lock-free updates to a shared parameter vector
+// (per-coordinate relaxed atomics — torn reads are part of the algorithm's
+// contract).  It exists (a) as the canonical shared-memory comparison point
+// and (b) as a stress test that the library's loss/data layers are safe under
+// genuine data races on the model only.
+//
+// Unlike the cluster solvers there is no engine underneath: this is the
+// "single big machine" alternative the paper argues does not scale to
+// cluster-resident data, included for completeness of the comparison.
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "linalg/dense_vector.hpp"
+#include "optim/loss.hpp"
+#include "optim/run_result.hpp"
+#include "optim/step_size.hpp"
+
+namespace asyncml::optim {
+
+struct HogwildConfig {
+  int threads = 4;
+  std::uint64_t updates_per_thread = 500;
+  /// Samples per update, drawn uniformly with replacement.
+  std::size_t batch_size = 16;
+  StepSchedule step = constant_step(0.01);
+  std::uint64_t seed = 1;
+  std::uint64_t eval_every = 50;  ///< snapshots (taken by thread 0)
+};
+
+class HogwildSolver {
+ public:
+  [[nodiscard]] static RunResult run(const data::Dataset& dataset, const Loss& loss,
+                                     const HogwildConfig& config);
+};
+
+}  // namespace asyncml::optim

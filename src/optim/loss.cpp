@@ -1,0 +1,51 @@
+#include "optim/loss.hpp"
+
+#include <cmath>
+
+namespace asyncml::optim {
+
+double LeastSquaresLoss::value(double margin, double label) const {
+  const double r = margin - label;
+  return r * r;
+}
+
+double LeastSquaresLoss::derivative(double margin, double label) const {
+  return 2.0 * (margin - label);
+}
+
+double LogisticLoss::value(double margin, double label) const {
+  const double z = -label * margin;
+  // log1p(exp(z)) computed stably for large |z|.
+  if (z > 35.0) return z;
+  return std::log1p(std::exp(z));
+}
+
+double LogisticLoss::derivative(double margin, double label) const {
+  const double z = -label * margin;
+  // σ(z) = 1/(1+e^{-z}); derivative = −y·σ(−y·m).
+  const double sigma = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                                : std::exp(z) / (1.0 + std::exp(z));
+  return -label * sigma;
+}
+
+double SquaredHingeLoss::value(double margin, double label) const {
+  const double gap = 1.0 - label * margin;
+  return gap > 0.0 ? gap * gap : 0.0;
+}
+
+double SquaredHingeLoss::derivative(double margin, double label) const {
+  const double gap = 1.0 - label * margin;
+  return gap > 0.0 ? -2.0 * label * gap : 0.0;
+}
+
+std::shared_ptr<const Loss> make_least_squares() {
+  return std::make_shared<const LeastSquaresLoss>();
+}
+std::shared_ptr<const Loss> make_logistic() {
+  return std::make_shared<const LogisticLoss>();
+}
+std::shared_ptr<const Loss> make_squared_hinge() {
+  return std::make_shared<const SquaredHingeLoss>();
+}
+
+}  // namespace asyncml::optim

@@ -1,0 +1,58 @@
+#pragma once
+
+// Point losses of the form ℓ(margin, label) with margin = <x, w>.
+//
+// Every loss the empirical-risk problems of the paper's §2 cover (least
+// squares, logistic regression, smooth hinge) factors through the margin, so
+// a per-sample gradient is always `derivative(margin, y) · x` and solvers
+// stay loss-agnostic.  The paper's evaluation solves least squares; the other
+// losses demonstrate the claimed generality of the framework.
+
+#include <memory>
+#include <string>
+
+namespace asyncml::optim {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// ℓ(margin, label).
+  [[nodiscard]] virtual double value(double margin, double label) const = 0;
+
+  /// ∂ℓ/∂margin — the per-sample gradient is derivative(m, y) · x.
+  [[nodiscard]] virtual double derivative(double margin, double label) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// ℓ = (margin − y)²; the paper's equation (3) (no ½ factor, matching (4)).
+class LeastSquaresLoss final : public Loss {
+ public:
+  [[nodiscard]] double value(double margin, double label) const override;
+  [[nodiscard]] double derivative(double margin, double label) const override;
+  [[nodiscard]] std::string name() const override { return "least_squares"; }
+};
+
+/// ℓ = log(1 + exp(−y·margin)) for labels in {−1, +1}.
+class LogisticLoss final : public Loss {
+ public:
+  [[nodiscard]] double value(double margin, double label) const override;
+  [[nodiscard]] double derivative(double margin, double label) const override;
+  [[nodiscard]] std::string name() const override { return "logistic"; }
+};
+
+/// Smoothed (squared) hinge: ℓ = max(0, 1 − y·margin)²; an SVM-style loss
+/// that stays differentiable so the same solvers apply.
+class SquaredHingeLoss final : public Loss {
+ public:
+  [[nodiscard]] double value(double margin, double label) const override;
+  [[nodiscard]] double derivative(double margin, double label) const override;
+  [[nodiscard]] std::string name() const override { return "squared_hinge"; }
+};
+
+[[nodiscard]] std::shared_ptr<const Loss> make_least_squares();
+[[nodiscard]] std::shared_ptr<const Loss> make_logistic();
+[[nodiscard]] std::shared_ptr<const Loss> make_squared_hinge();
+
+}  // namespace asyncml::optim

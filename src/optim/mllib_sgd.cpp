@@ -1,0 +1,12 @@
+#include "optim/mllib_sgd.hpp"
+
+#include "optim/sgd.hpp"
+
+namespace asyncml::optim {
+
+RunResult MllibSgdSolver::run(engine::Cluster& cluster, const Workload& workload,
+                              const SolverConfig& config) {
+  return detail::run_sync_sgd(cluster, workload, config, /*tree=*/true, "MLlib-SGD");
+}
+
+}  // namespace asyncml::optim

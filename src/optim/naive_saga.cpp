@@ -1,0 +1,131 @@
+#include "optim/naive_saga.hpp"
+
+#include <vector>
+
+#include "core/history.hpp"  // SampleVersionTable reused as the index table
+#include "engine/actions.hpp"
+#include "metrics/trace.hpp"
+#include "optim/objective.hpp"
+#include "optim/solver_util.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::optim {
+
+namespace {
+
+/// The "table" of Algorithm 3: every past model parameter, shipped wholesale.
+struct ModelTable {
+  std::vector<linalg::DenseVector> models;  // models[k] = w after update k
+};
+
+[[nodiscard]] std::size_t payload_size_bytes(const ModelTable& t) {
+  std::size_t bytes = 0;
+  for (const auto& m : t.models) bytes += m.size_bytes();
+  return bytes;
+}
+
+}  // namespace
+
+RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workload,
+                               const SolverConfig& config) {
+  const std::size_t dim = workload.dim();
+  const std::size_t n = workload.n();
+  const double service_ms =
+      config.service_floor_ms > 0.0
+          ? config.service_floor_ms
+          : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
+                                        config.batch_fraction, /*saga_two_pass=*/true);
+
+  detail::reset_run_metrics(cluster.metrics());
+
+  const engine::Rdd<data::LabeledPoint> sampled =
+      workload.points.sample(config.batch_fraction);
+  // Worker-resident per-sample index into the model table (same partition-
+  // affinity contract as core::SampleVersionTable).
+  auto index_table =
+      std::make_shared<core::SampleVersionTable>(n, detail::kNeverVisited);
+
+  linalg::DenseVector w(dim);
+  linalg::DenseVector alpha_bar(dim);
+  ModelTable table;
+  table.models.push_back(w);  // "store w in table" (Algorithm 3 line 2)
+
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, w);
+
+  auto comb = detail::grad_hist_comb();
+  engine::BroadcastId previous_id = 0;
+  for (std::uint64_t k = 0; k < config.updates; ++k) {
+    // The expensive line: the ENTIRE table is a fresh broadcast value every
+    // iteration, so every worker re-fetches O(k·d) bytes.
+    engine::Broadcast<ModelTable> table_br =
+        cluster.broadcast(table, payload_size_bytes(table));
+    const std::uint64_t current_index = table.models.size() - 1;
+
+    auto seq = [loss = workload.loss, table_br, index_table, dim, current_index](
+                   GradHist acc, const data::LabeledPoint& p) {
+      if (acc.grad.size() != dim) {
+        acc.grad.resize(dim);
+        acc.hist.resize(dim);
+      }
+      const ModelTable& models = table_br.value();
+      const linalg::DenseVector& w_new = models.models[current_index];
+      const double coeff_new =
+          loss->derivative(p.features.dot(w_new.span()), p.label);
+      p.features.axpy_into(coeff_new, acc.grad.span());
+
+      const engine::Version last = index_table->get(p.index);
+      if (last != detail::kNeverVisited) {
+        const linalg::DenseVector& w_old = models.models[last];
+        const double coeff_old =
+            loss->derivative(p.features.dot(w_old.span()), p.label);
+        p.features.axpy_into(coeff_old, acc.hist.span());
+      }
+      index_table->set(p.index, current_index);
+      acc.count += 1;
+      return acc;
+    };
+
+    engine::StageOptions stage;
+    // seq = k+1 aligns batches with SagaSolver (the AsyncScheduler's round
+    // counter starts at 1), so the two trajectories are directly comparable.
+    stage.seq = k + 1;
+    stage.model_version = k;
+    stage.service_floor_ms = service_ms;
+    stage.rng_seed = config.seed;
+    const GradHist total =
+        engine::aggregate_sync(cluster, sampled, GradHist{}, seq, comb, stage);
+
+    if (total.count > 0) {
+      const double inv_b = 1.0 / static_cast<double>(total.count);
+      linalg::DenseVector direction = alpha_bar;
+      linalg::axpy(inv_b, total.grad.span(), direction.span());
+      linalg::axpy(-inv_b, total.hist.span(), direction.span());
+      linalg::axpy(-config.step(k), direction.span(), w.span());
+      const double inv_n = 1.0 / static_cast<double>(n);
+      linalg::axpy(inv_n, total.grad.span(), alpha_bar.span());
+      linalg::axpy(-inv_n, total.hist.span(), alpha_bar.span());
+    }
+    table.models.push_back(w);  // "update table" (Algorithm 3 line 8)
+    recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
+
+    if (previous_id != 0) cluster.store().erase(previous_id);
+    previous_id = table_br.id();
+  }
+  recorder.snapshot(config.updates, watch.elapsed_ms(), w);
+
+  RunResult result;
+  result.algorithm = "NaiveSAGA";
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = config.updates;
+  result.tasks = cluster.metrics().tasks_completed.load();
+  result.final_w = w;
+  detail::fill_run_stats(result, cluster.metrics());
+  result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
+    return full_objective(*workload.dataset, *workload.loss, model);
+  });
+  return result;
+}
+
+}  // namespace asyncml::optim

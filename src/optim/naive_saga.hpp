@@ -1,0 +1,25 @@
+#pragma once
+
+// Naive Spark SAGA — the paper's Algorithm 3 *as written for plain Spark*,
+// including the red line: broadcasting the full table of past model
+// parameters every iteration.  The table grows by one d-vector per round, so
+// the broadcast traffic is O(k·d) at iteration k — the overhead that makes
+// SAGA "inefficient and not practical" on stock Spark (paper §5.2) and that
+// the ASYNCbroadcaster removes.  Exists for the communication ablation
+// (bench/ablation_broadcast); the update math matches SagaSolver exactly, so
+// the two converge identically and differ only in wire traffic and time.
+
+#include "engine/cluster.hpp"
+#include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+class NaiveSagaSolver {
+ public:
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config);
+};
+
+}  // namespace asyncml::optim

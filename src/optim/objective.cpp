@@ -1,0 +1,29 @@
+#include "optim/objective.hpp"
+
+namespace asyncml::optim {
+
+double full_objective(const data::Dataset& dataset, const Loss& loss,
+                      const linalg::DenseVector& w) {
+  double total = 0.0;
+  const std::size_t n = dataset.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const data::LabeledPoint p = dataset.point(r);
+    total += loss.value(p.features.dot(w.span()), p.label);
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+linalg::DenseVector full_gradient(const data::Dataset& dataset, const Loss& loss,
+                                  const linalg::DenseVector& w) {
+  linalg::DenseVector g(dataset.cols());
+  const std::size_t n = dataset.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const data::LabeledPoint p = dataset.point(r);
+    const double coeff = loss.derivative(p.features.dot(w.span()), p.label);
+    p.features.axpy_into(coeff, g.span());
+  }
+  if (n > 0) linalg::scal(1.0 / static_cast<double>(n), g.span());
+  return g;
+}
+
+}  // namespace asyncml::optim

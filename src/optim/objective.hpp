@@ -1,0 +1,23 @@
+#pragma once
+
+// Full-objective evaluation: F(w) = (1/n) Σ ℓ(<x_i, w>, y_i).
+//
+// Used only for convergence traces (outside the timed path) and tests; the
+// distributed solvers never evaluate the full objective during a run.
+
+#include "data/dataset.hpp"
+#include "linalg/dense_vector.hpp"
+#include "optim/loss.hpp"
+
+namespace asyncml::optim {
+
+[[nodiscard]] double full_objective(const data::Dataset& dataset, const Loss& loss,
+                                    const linalg::DenseVector& w);
+
+/// Full gradient ∇F(w) = (1/n) Σ ℓ'(<x_i, w>, y_i) · x_i (tests, SVRG epochs'
+/// reference implementation).
+[[nodiscard]] linalg::DenseVector full_gradient(const data::Dataset& dataset,
+                                                const Loss& loss,
+                                                const linalg::DenseVector& w);
+
+}  // namespace asyncml::optim

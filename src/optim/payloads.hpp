@@ -1,0 +1,35 @@
+#pragma once
+
+// Task-result payload types of the optimizers, with wire-size overloads so
+// the engine charges realistic transfer costs.
+
+#include <cstdint>
+
+#include "linalg/dense_vector.hpp"
+
+namespace asyncml::optim {
+
+/// Sum of per-sample gradients over the task's mini-batch plus the batch
+/// size; the server divides to get the unbiased mini-batch gradient.
+struct GradCount {
+  linalg::DenseVector grad;
+  std::uint64_t count = 0;
+};
+
+[[nodiscard]] inline std::size_t payload_size_bytes(const GradCount& g) {
+  return g.grad.size_bytes() + sizeof(g.count);
+}
+
+/// SAGA/ASAGA (and SVRG-style) payload: the batch's fresh gradient sum and
+/// its historical (or snapshot) gradient sum.
+struct GradHist {
+  linalg::DenseVector grad;  ///< Σ ∇f_j(w_current) over the batch
+  linalg::DenseVector hist;  ///< Σ ∇f_j(w_historical_j) over the batch
+  std::uint64_t count = 0;
+};
+
+[[nodiscard]] inline std::size_t payload_size_bytes(const GradHist& g) {
+  return g.grad.size_bytes() + g.hist.size_bytes() + sizeof(g.count);
+}
+
+}  // namespace asyncml::optim

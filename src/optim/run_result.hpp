@@ -1,0 +1,32 @@
+#pragma once
+
+// Common result type returned by every solver run, carrying the convergence
+// trace and the run-level statistics the paper reports (wall time, mean
+// worker wait time, modeled wire traffic).
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/dense_vector.hpp"
+#include "metrics/trace.hpp"
+
+namespace asyncml::optim {
+
+struct RunResult {
+  std::string algorithm;
+  metrics::Trace trace;            ///< (time_ms, update, error) series
+  linalg::DenseVector final_w;
+  double wall_ms = 0.0;            ///< total timed run duration
+  std::uint64_t updates = 0;       ///< model updates applied
+  std::uint64_t tasks = 0;         ///< task results consumed
+  double mean_wait_ms = 0.0;       ///< per-iteration worker wait (Fig 4/6, Table 3)
+  double p95_wait_ms = 0.0;
+  std::uint64_t broadcast_bytes = 0;  ///< modeled bytes fetched by workers
+  std::uint64_t result_bytes = 0;     ///< modeled bytes of result payloads
+  std::uint64_t broadcast_fetches = 0;
+  std::uint64_t broadcast_hits = 0;
+
+  [[nodiscard]] double final_error() const { return metrics::final_error(trace); }
+};
+
+}  // namespace asyncml::optim

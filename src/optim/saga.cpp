@@ -1,0 +1,82 @@
+#include "optim/saga.hpp"
+
+#include "core/async_context.hpp"
+#include "metrics/trace.hpp"
+#include "optim/objective.hpp"
+#include "optim/solver_util.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::optim {
+
+RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
+                          const SolverConfig& config) {
+  const std::size_t dim = workload.dim();
+  const std::size_t n = workload.n();
+  const double service_ms =
+      config.service_floor_ms > 0.0
+          ? config.service_floor_ms
+          : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
+                                        config.batch_fraction, /*saga_two_pass=*/true);
+
+  detail::reset_run_metrics(cluster.metrics());
+
+  core::AsyncContext ac(cluster, workload.num_partitions());
+  const engine::Rdd<data::LabeledPoint> sampled =
+      workload.points.sample(config.batch_fraction);
+  auto table =
+      std::make_shared<core::SampleVersionTable>(n, detail::kNeverVisited);
+
+  core::SubmitOptions opts;
+  opts.service_floor_ms = service_ms;
+  opts.rng_seed = config.seed;
+
+  linalg::DenseVector w(dim);
+  linalg::DenseVector alpha_bar(dim);  // ᾱ — "averageHistory" of Algorithm 3
+  core::HistoryBroadcast w_br = ac.async_broadcast(w);
+
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, w);
+
+  auto comb = detail::grad_hist_comb();
+  for (std::uint64_t k = 0; k < config.updates; ++k) {
+    auto seq = detail::make_saga_seq(workload.loss, w_br, table, dim);
+    std::vector<core::TaggedResult> results =
+        ac.sync_round(sampled, GradHist{}, seq, opts);
+
+    GradHist total;
+    for (core::TaggedResult& r : results) {
+      total = comb(std::move(total), r.result.payload.get<GradHist>());
+    }
+    if (total.count > 0) {
+      const double inv_b = 1.0 / static_cast<double>(total.count);
+      // w ← w − α (ĝ_new − ĝ_old + ᾱ)
+      linalg::DenseVector direction = alpha_bar;
+      linalg::axpy(inv_b, total.grad.span(), direction.span());
+      linalg::axpy(-inv_b, total.hist.span(), direction.span());
+      linalg::axpy(-config.step(k), direction.span(), w.span());
+      // ᾱ ← ᾱ + (1/n) Σ_B (∇f_j − α_j)
+      const double inv_n = 1.0 / static_cast<double>(n);
+      linalg::axpy(inv_n, total.grad.span(), alpha_bar.span());
+      linalg::axpy(-inv_n, total.hist.span(), alpha_bar.span());
+    }
+    ac.advance_version();
+    w_br = ac.async_broadcast(w);
+    recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
+  }
+  recorder.snapshot(config.updates, watch.elapsed_ms(), w);
+
+  RunResult result;
+  result.algorithm = "SAGA";
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = config.updates;
+  result.tasks = cluster.metrics().tasks_completed.load();
+  result.final_w = w;
+  detail::fill_run_stats(result, cluster.metrics());
+  result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
+    return full_objective(*workload.dataset, *workload.loss, model);
+  });
+  return result;
+}
+
+}  // namespace asyncml::optim

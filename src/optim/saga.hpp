@@ -1,0 +1,30 @@
+#pragma once
+
+// Synchronous SAGA through ASYNC — the paper's Algorithm 3 semantics with the
+// ASYNCbroadcaster doing the history bookkeeping (the efficient form the
+// paper says ASYNC enables for *both* SAGA and ASAGA; the naive
+// full-table-broadcast Spark variant lives in naive_saga.hpp for the
+// communication ablation).
+//
+// Math (mean-form SAGA, mini-batch): per round with batch B of size b,
+//   ĝ_new = (1/b) Σ_B ∇f_j(w),      ĝ_old = (1/b) Σ_B α_j,
+//   w    ← w − α (ĝ_new − ĝ_old + ᾱ),
+//   ᾱ    ← ᾱ + (1/n) Σ_B (∇f_j(w) − α_j),   α_j ← ∇f_j(w) for j ∈ B.
+// The α_j are never stored: the worker recomputes ∇f_j at the model version
+// recorded in the per-sample version table (the ASYNCbroadcaster trick).
+// Unvisited samples contribute α_j = 0, consistent with ᾱ = 0 at start.
+
+#include "engine/cluster.hpp"
+#include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+class SagaSolver {
+ public:
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config);
+};
+
+}  // namespace asyncml::optim

@@ -1,0 +1,81 @@
+#include "optim/serial.hpp"
+
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+namespace asyncml::optim {
+
+using linalg::DenseVector;
+
+DenseVector serial_sgd(const data::Dataset& dataset, const Loss& loss,
+                       std::uint64_t iterations, double batch_fraction,
+                       const StepSchedule& step, std::uint64_t seed) {
+  const std::size_t n = dataset.rows();
+  DenseVector w(dataset.cols());
+  support::RngStream root(seed);
+  DenseVector grad(dataset.cols());
+  for (std::uint64_t k = 0; k < iterations; ++k) {
+    support::RngStream rng = root.substream(k);
+    grad.set_zero();
+    std::uint64_t count = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!rng.bernoulli(batch_fraction)) continue;
+      const data::LabeledPoint p = dataset.point(r);
+      const double coeff = loss.derivative(p.features.dot(w.span()), p.label);
+      p.features.axpy_into(coeff, grad.span());
+      ++count;
+    }
+    if (count == 0) continue;
+    linalg::axpy(-step(k) / static_cast<double>(count), grad.span(), w.span());
+  }
+  return w;
+}
+
+DenseVector serial_saga(const data::Dataset& dataset, const Loss& loss,
+                        std::uint64_t iterations, double batch_fraction, double step,
+                        std::uint64_t seed) {
+  const std::size_t n = dataset.rows();
+  const std::size_t d = dataset.cols();
+  DenseVector w(d);
+
+  // Stored per-sample gradient *coefficients*: for margin losses the gradient
+  // of sample i is coeff_i · x_i, so the table stores one scalar per sample
+  // and the mean gradient is maintained incrementally as a dense vector.
+  std::vector<double> table_coeff(n);
+  DenseVector mean(d);
+  for (std::size_t r = 0; r < n; ++r) {
+    const data::LabeledPoint p = dataset.point(r);
+    table_coeff[r] = loss.derivative(p.features.dot(w.span()), p.label);
+    p.features.axpy_into(table_coeff[r] / static_cast<double>(n), mean.span());
+  }
+
+  support::RngStream root(seed);
+  DenseVector batch_dir(d);
+  for (std::uint64_t k = 0; k < iterations; ++k) {
+    support::RngStream rng = root.substream(k);
+    batch_dir.set_zero();
+    std::uint64_t count = 0;
+    // Collect the batch's (new − old) direction and update the table/mean.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!rng.bernoulli(batch_fraction)) continue;
+      const data::LabeledPoint p = dataset.point(r);
+      const double coeff_new = loss.derivative(p.features.dot(w.span()), p.label);
+      const double delta = coeff_new - table_coeff[r];
+      p.features.axpy_into(delta, batch_dir.span());
+      p.features.axpy_into(delta / static_cast<double>(n), mean.span());
+      table_coeff[r] = coeff_new;
+      ++count;
+    }
+    if (count == 0) continue;
+    // w ← w − α [ (g_new − g_old)/b + mean_before ]; mean was already
+    // advanced, so reconstruct mean_before = mean − batch_dir/n.
+    DenseVector direction = mean;
+    linalg::axpy(-1.0 / static_cast<double>(n), batch_dir.span(), direction.span());
+    linalg::axpy(1.0 / static_cast<double>(count), batch_dir.span(), direction.span());
+    linalg::axpy(-step, direction.span(), w.span());
+  }
+  return w;
+}
+
+}  // namespace asyncml::optim

@@ -1,0 +1,92 @@
+#include "optim/sgd.hpp"
+
+#include "engine/actions.hpp"
+#include "metrics/trace.hpp"
+#include "optim/objective.hpp"
+#include "optim/solver_util.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::optim {
+
+namespace detail {
+
+RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
+                       const SolverConfig& config, bool tree,
+                       const char* algorithm_name) {
+  const std::size_t dim = workload.dim();
+  const double service_ms =
+      config.service_floor_ms > 0.0
+          ? config.service_floor_ms
+          : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
+                                        config.batch_fraction);
+
+  reset_run_metrics(cluster.metrics());
+
+  linalg::DenseVector w(dim);
+  const engine::Rdd<data::LabeledPoint> sampled =
+      workload.points.sample(config.batch_fraction);
+  auto comb = grad_comb();
+
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, w);
+
+  engine::BroadcastId previous_id = 0;
+  for (std::uint64_t k = 0; k < config.updates; ++k) {
+    // Fresh broadcast of w each iteration (Algorithm 1 line 2); workers
+    // fetch it once, tasks on the same worker share the cached copy.
+    engine::Broadcast<linalg::DenseVector> w_br =
+        cluster.broadcast(w, w.size_bytes());
+
+    engine::StageOptions stage;
+    stage.seq = k;
+    stage.model_version = k;
+    stage.service_floor_ms = service_ms;
+    stage.rng_seed = config.seed;
+
+    auto seq = make_grad_seq(workload.loss, w_br, dim);
+    const GradCount total =
+        tree ? engine::tree_aggregate_sync(cluster, sampled, GradCount{}, seq, comb,
+                                           stage)
+             : engine::aggregate_sync(cluster, sampled, GradCount{}, seq, comb, stage);
+
+    if (total.count > 0) {
+      linalg::axpy(-config.step(k) / static_cast<double>(total.count),
+                   total.grad.span(), w.span());
+    }
+    recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
+
+    // The previous iteration's broadcast is dead: drop it from the store so
+    // memory stays bounded over long runs (Spark unpersists similarly), and
+    // periodically trim the worker caches too.
+    if (previous_id != 0) cluster.store().erase(previous_id);
+    previous_id = w_br.id();
+    if ((k & 63u) == 63u) {
+      for (int worker = 0; worker < cluster.num_workers(); ++worker) {
+        cluster.worker(worker).cache().prune_below(w_br.id());
+      }
+    }
+  }
+  recorder.snapshot(config.updates, watch.elapsed_ms(), w);
+
+  RunResult result;
+  result.algorithm = algorithm_name;
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = config.updates;
+  result.tasks = cluster.metrics().tasks_completed.load();
+  result.final_w = w;
+  fill_run_stats(result, cluster.metrics());
+  result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
+    return full_objective(*workload.dataset, *workload.loss, model);
+  });
+  return result;
+}
+
+}  // namespace detail
+
+RunResult SgdSolver::run(engine::Cluster& cluster, const Workload& workload,
+                         const SolverConfig& config) {
+  return detail::run_sync_sgd(cluster, workload, config, /*tree=*/false, "SGD");
+}
+
+}  // namespace asyncml::optim

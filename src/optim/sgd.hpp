@@ -1,0 +1,28 @@
+#pragma once
+
+// Synchronous mini-batch SGD — the paper's Algorithm 1 on the engine's BSP
+// path (plain Spark semantics: broadcast w, map sampled gradients, blocking
+// reduce, update).  One straggler stalls every iteration, which is exactly
+// the behaviour Figures 3, 4 and 7 quantify.
+
+#include "engine/cluster.hpp"
+#include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+class SgdSolver {
+ public:
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config);
+};
+
+namespace detail {
+/// Shared body of SgdSolver and MllibSgdSolver (`tree` selects treeAggregate).
+[[nodiscard]] RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config, bool tree,
+                                     const char* algorithm_name);
+}  // namespace detail
+
+}  // namespace asyncml::optim

@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared solver configuration.
+//
+// One struct covers all solvers; fields irrelevant to a given algorithm are
+// ignored (documented per field).  Defaults reproduce the paper's §6.1
+// parameter-tuning choices at our scale.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/barrier.hpp"
+#include "optim/step_size.hpp"
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+struct SolverConfig {
+  /// Model-update budget. Synchronous solvers: iterations. Asynchronous
+  /// solvers: collected task results (each is one update).
+  std::uint64_t updates = 200;
+
+  /// Mini-batch sampling rate b (fraction of each partition per task).
+  double batch_fraction = 0.1;
+
+  /// Learning-rate schedule (sync solvers use it directly; async solvers
+  /// scale it by async_step_scale).
+  StepSchedule step = constant_step(0.05);
+
+  /// Async step heuristic (§6.1): async step = sync step / num_workers.
+  /// nullopt → 1/num_workers; 1.0 → no scaling.
+  std::optional<double> async_step_scale;
+
+  /// Staleness-dependent learning-rate modulation (paper Listing 1):
+  /// lr ← lr / (1 + staleness). Only read by asynchronous solvers.
+  bool staleness_adaptive_lr = false;
+
+  /// Barrier control for asynchronous dispatch (default ASP). Only read by
+  /// asynchronous solvers.
+  core::BarrierControl barrier = core::barriers::asp();
+
+  /// Base service time per task in ms; 0 → derive from `cost`.
+  double service_floor_ms = 0.0;
+  CostModel cost;
+
+  /// Snapshot the model every `eval_every` updates for the trace.
+  std::uint64_t eval_every = 5;
+
+  /// Experiment seed (drives mini-batch sampling).
+  std::uint64_t seed = 1;
+
+  /// Epoch-based variance reduction (EpochVrSolver only): inner updates per
+  /// epoch; `updates` then counts total inner updates across epochs.
+  std::uint64_t epoch_inner_updates = 50;
+};
+
+}  // namespace asyncml::optim

@@ -1,0 +1,135 @@
+#pragma once
+
+// Internals shared by the solvers: run-metric bookkeeping and the gradient
+// sequence operators (the `map` bodies of Algorithms 1–4).
+
+#include <memory>
+
+#include "core/async_context.hpp"
+#include "core/history.hpp"
+#include "data/dataset.hpp"
+#include "engine/metrics.hpp"
+#include "linalg/blas.hpp"
+#include "optim/loss.hpp"
+#include "optim/payloads.hpp"
+#include "optim/run_result.hpp"
+#include "support/thread_util.hpp"
+
+namespace asyncml::optim::detail {
+
+/// Sentinel for "sample never visited": its historical gradient is the zero
+/// vector (SAGA with uninitialized table; ᾱ starts at 0 consistently).
+inline constexpr engine::Version kNeverVisited = ~engine::Version{0};
+
+inline void reset_run_metrics(engine::ClusterMetrics& m) {
+  m.reset_waits();
+  m.broadcast_bytes.reset();
+  m.result_bytes.reset();
+  m.task_messages.reset();
+  m.broadcast_fetches.reset();
+  m.broadcast_hits.reset();
+  m.tasks_completed.reset();
+  m.tasks_failed.reset();
+}
+
+inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
+  const support::Histogram waits = m.total_wait_histogram();
+  r.mean_wait_ms = waits.mean_ns() / 1e6;
+  r.p95_wait_ms = waits.quantile_ns(0.95) / 1e6;
+  r.broadcast_bytes = m.broadcast_bytes.load();
+  r.result_bytes = m.result_bytes.load();
+  r.broadcast_fetches = m.broadcast_fetches.load();
+  r.broadcast_hits = m.broadcast_hits.load();
+}
+
+/// Dispatch with a liveness guarantee: if the barrier admits nobody AND the
+/// cluster is completely idle (so no collect can ever re-open it), keep
+/// retrying until something is in flight. Randomized barriers (PSP) need the
+/// retries; deterministic ones exit the loop on the first pass because
+/// either something was dispatched or tasks are already outstanding.
+inline int dispatch_live(core::AsyncContext& ac, const core::BarrierControl& barrier,
+                         const core::AsyncScheduler::TaskFactory& factory) {
+  int submitted = ac.scheduler().dispatch_eligible(barrier, factory);
+  while (submitted == 0 && ac.coordinator().total_outstanding() == 0 &&
+         !ac.has_next()) {
+    support::precise_sleep_ms(0.1);
+    submitted = ac.scheduler().dispatch_eligible(barrier, factory);
+  }
+  return submitted;
+}
+
+/// Gradient-sum sequence op (the `map(p => ∇f_p(w_br.value))` of Algorithms
+/// 1–2), generic over the broadcast handle type (engine::Broadcast or
+/// core::HistoryBroadcast — both expose value()).
+template <typename Handle>
+[[nodiscard]] auto make_grad_seq(std::shared_ptr<const Loss> loss, Handle w_br,
+                                 std::size_t dim) {
+  return [loss = std::move(loss), w_br, dim](GradCount acc,
+                                             const data::LabeledPoint& p) {
+    if (acc.grad.size() != dim) acc.grad.resize(dim);
+    const linalg::DenseVector& w = w_br.value();
+    const double coeff = loss->derivative(p.features.dot(w.span()), p.label);
+    p.features.axpy_into(coeff, acc.grad.span());
+    acc.count += 1;
+    return acc;
+  };
+}
+
+/// Combine op summing GradCount partials (driver side of reduce(_+_)).
+[[nodiscard]] inline auto grad_comb() {
+  return [](GradCount a, const GradCount& b) {
+    if (b.count == 0) return a;
+    if (a.grad.size() != b.grad.size()) a.grad.resize(b.grad.size());
+    linalg::axpy(1.0, b.grad.span(), a.grad.span());
+    a.count += b.count;
+    return a;
+  };
+}
+
+/// SAGA sequence op (the `map((index,p) => (∇f_p(w_br.value),
+/// ∇f_p(w_br.value(index))))` of Algorithm 4): fresh gradient at the pinned
+/// model, historical gradient recomputed from the sample's last version, and
+/// the version table advanced to the pinned version.
+[[nodiscard]] inline auto make_saga_seq(std::shared_ptr<const Loss> loss,
+                                        core::HistoryBroadcast w_br,
+                                        std::shared_ptr<core::SampleVersionTable> table,
+                                        std::size_t dim) {
+  return [loss = std::move(loss), w_br, table = std::move(table), dim](
+             GradHist acc, const data::LabeledPoint& p) {
+    if (acc.grad.size() != dim) {
+      acc.grad.resize(dim);
+      acc.hist.resize(dim);
+    }
+    const linalg::DenseVector& w_new = w_br.value();
+    const double coeff_new = loss->derivative(p.features.dot(w_new.span()), p.label);
+    p.features.axpy_into(coeff_new, acc.grad.span());
+
+    const engine::Version last = table->get(p.index);
+    if (last != kNeverVisited) {
+      const linalg::DenseVector& w_old = w_br.value_at(last);
+      const double coeff_old =
+          loss->derivative(p.features.dot(w_old.span()), p.label);
+      p.features.axpy_into(coeff_old, acc.hist.span());
+    }
+    table->set(p.index, w_br.version());
+    acc.count += 1;
+    return acc;
+  };
+}
+
+/// Combine op for GradHist partials.
+[[nodiscard]] inline auto grad_hist_comb() {
+  return [](GradHist a, const GradHist& b) {
+    if (b.count == 0) return a;
+    if (a.grad.size() != b.grad.size()) {
+      a.grad.resize(b.grad.size());
+      a.hist.resize(b.hist.size());
+    }
+    linalg::axpy(1.0, b.grad.span(), a.grad.span());
+    linalg::axpy(1.0, b.hist.span(), a.hist.span());
+    a.count += b.count;
+    return a;
+  };
+}
+
+}  // namespace asyncml::optim::detail

@@ -1,0 +1,19 @@
+#include "optim/step_size.hpp"
+
+#include <cmath>
+
+namespace asyncml::optim {
+
+StepSchedule constant_step(double a) {
+  return [a](std::uint64_t) { return a; };
+}
+
+StepSchedule inverse_decay_step(double a, double b, double c) {
+  return [a, b, c](std::uint64_t k) { return a / (b + c * static_cast<double>(k)); };
+}
+
+StepSchedule inv_sqrt_step(double a) {
+  return [a](std::uint64_t k) { return a / std::sqrt(static_cast<double>(k) + 1.0); };
+}
+
+}  // namespace asyncml::optim

@@ -1,0 +1,29 @@
+#pragma once
+
+// Step-size schedules (paper §2 "hyperparameter selection").
+//
+// A schedule maps the update index k (0-based) to a learning rate.  The
+// paper's setups:
+//   * MLlib SGD: initial step decayed by 1/√t  → inv_sqrt(a)
+//   * generic decaying SGD: a / (b + c·k)      → inverse_decay(a, b, c)
+//   * SAGA/ASAGA: fixed step                   → constant(a)
+// Staleness-dependent modulation (Listing 1) is applied by the asynchronous
+// solvers on top of the schedule, because it needs the per-result staleness
+// attribute the coordinator provides.
+
+#include <cstdint>
+#include <functional>
+
+namespace asyncml::optim {
+
+using StepSchedule = std::function<double(std::uint64_t update)>;
+
+[[nodiscard]] StepSchedule constant_step(double a);
+
+/// a / (b + c·k).
+[[nodiscard]] StepSchedule inverse_decay_step(double a, double b, double c);
+
+/// a / √(k + 1) — MLlib's GradientDescent decay.
+[[nodiscard]] StepSchedule inv_sqrt_step(double a);
+
+}  // namespace asyncml::optim

@@ -1,0 +1,16 @@
+#include "optim/workload.hpp"
+
+namespace asyncml::optim {
+
+Workload Workload::create(data::DatasetPtr dataset, int num_partitions,
+                          std::shared_ptr<const Loss> loss) {
+  Workload w;
+  w.dataset = dataset;
+  w.partitions = data::contiguous_partitions(dataset->rows(),
+                                             static_cast<std::size_t>(num_partitions));
+  w.points = engine::make_points_rdd(dataset, w.partitions);
+  w.loss = std::move(loss);
+  return w;
+}
+
+}  // namespace asyncml::optim

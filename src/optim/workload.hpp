@@ -1,0 +1,63 @@
+#pragma once
+
+// Workload bundle and cost model shared by every solver.
+//
+// A Workload ties together the partitioned dataset, its points RDD, and the
+// loss; the CostModel turns "how much data does one task touch" into the base
+// service time the engine pads tasks to (DESIGN.md §1's execution/time
+// model).
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "engine/rdd.hpp"
+#include "optim/loss.hpp"
+
+namespace asyncml::optim {
+
+struct Workload {
+  data::DatasetPtr dataset;
+  std::vector<data::RowRange> partitions;
+  engine::Rdd<data::LabeledPoint> points;
+  std::shared_ptr<const Loss> loss;
+
+  [[nodiscard]] std::size_t n() const { return dataset->rows(); }
+  [[nodiscard]] std::size_t dim() const { return dataset->cols(); }
+  [[nodiscard]] int num_partitions() const {
+    return static_cast<int>(partitions.size());
+  }
+
+  /// Partitions `dataset` into `num_partitions` contiguous ranges and builds
+  /// the points RDD over them.
+  [[nodiscard]] static Workload create(data::DatasetPtr dataset, int num_partitions,
+                                       std::shared_ptr<const Loss> loss);
+};
+
+/// Converts per-task data volume into a base service time. Calibrated so the
+/// paper's datasets (scaled 1/1000) give a few milliseconds per task: large
+/// enough for straggler multipliers to dominate scheduling, small enough that
+/// a full figure reproduces in seconds.
+struct CostModel {
+  /// Milliseconds of service per megabyte of partition data touched.
+  double ms_per_mb = 16.0;
+  /// Floor so tiny batches still cost a schedulable quantum. Kept well above
+  /// the emulation host's per-stage scheduling noise (~1ms on a busy 2-core
+  /// box) so that modeled service, not host jitter, dominates timings.
+  double min_service_ms = 2.0;
+  /// Extra factor for algorithms that do two gradient passes per sample
+  /// (SAGA's new + historical gradients).
+  double saga_pass_factor = 1.6;
+
+  [[nodiscard]] double task_service_ms(const data::Dataset& dataset, int num_partitions,
+                                       double batch_fraction,
+                                       bool saga_two_pass = false) const {
+    const double bytes_per_partition =
+        static_cast<double>(dataset.feature_bytes()) / std::max(1, num_partitions);
+    const double mb = bytes_per_partition * batch_fraction / (1024.0 * 1024.0);
+    const double base = ms_per_mb * mb * (saga_two_pass ? saga_pass_factor : 1.0);
+    return std::max(min_service_ms, base);
+  }
+};
+
+}  // namespace asyncml::optim

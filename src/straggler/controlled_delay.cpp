@@ -1,0 +1,5 @@
+#include "straggler/controlled_delay.hpp"
+
+// ControlledDelay is fully inline; this translation unit anchors the vtable.
+
+namespace asyncml::straggler {}  // namespace asyncml::straggler

@@ -1,0 +1,37 @@
+#pragma once
+
+// Controlled Delay Straggler (CDS) — the paper's §6.3 single-straggler model.
+//
+// One designated worker executes every task `intensity` slower: a delay
+// intensity of 1.0 (the paper's "100%") means the worker runs at half speed
+// (service time × 2).  The paper implements this with `sleep`; we implement
+// it as a service-time multiplier, which is the same thing under the
+// service-floor execution model.
+
+#include "engine/delay_model.hpp"
+
+namespace asyncml::straggler {
+
+class ControlledDelay final : public engine::DelayModel {
+ public:
+  /// `intensity` in [0, ∞): fraction of the base iteration time added to the
+  /// straggler's tasks (0.3 → 30% slower, 1.0 → 2× service time).
+  ControlledDelay(engine::WorkerId straggler, double intensity)
+      : straggler_(straggler), intensity_(intensity) {}
+
+  [[nodiscard]] double multiplier(engine::WorkerId worker,
+                                  std::uint64_t) const override {
+    return worker == straggler_ ? 1.0 + intensity_ : 1.0;
+  }
+
+  [[nodiscard]] const char* name() const override { return "controlled-delay"; }
+
+  [[nodiscard]] engine::WorkerId straggler() const noexcept { return straggler_; }
+  [[nodiscard]] double intensity() const noexcept { return intensity_; }
+
+ private:
+  engine::WorkerId straggler_;
+  double intensity_;
+};
+
+}  // namespace asyncml::straggler

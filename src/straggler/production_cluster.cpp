@@ -1,0 +1,39 @@
+#include "straggler/production_cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace asyncml::straggler {
+
+ProductionCluster::ProductionCluster(int num_workers, std::uint64_t seed,
+                                     PcsConfig config)
+    : multipliers_(static_cast<std::size_t>(num_workers), 1.0) {
+  assert(num_workers > 0);
+  support::RngStream rng(seed);
+
+  num_stragglers_ = static_cast<int>(
+      std::lround(config.straggler_fraction * static_cast<double>(num_workers)));
+  num_stragglers_ = std::clamp(num_stragglers_, 0, num_workers);
+  num_long_tail_ = static_cast<int>(
+      std::lround(config.long_tail_fraction * static_cast<double>(num_stragglers_)));
+  num_long_tail_ = std::clamp(num_long_tail_, 0, num_stragglers_);
+
+  // Choose which workers straggle, then which of those are long tail.
+  auto straggler_ids = support::sample_without_replacement(
+      rng, static_cast<std::size_t>(num_workers), static_cast<std::size_t>(num_stragglers_));
+  for (int i = 0; i < num_stragglers_; ++i) {
+    const std::size_t w = straggler_ids[static_cast<std::size_t>(i)];
+    const bool long_tail = i < num_long_tail_;
+    multipliers_[w] = long_tail ? rng.uniform(config.long_tail_lo, config.long_tail_hi)
+                                : rng.uniform(config.uniform_lo, config.uniform_hi);
+  }
+}
+
+double ProductionCluster::multiplier(engine::WorkerId worker, std::uint64_t) const {
+  return multipliers_.at(static_cast<std::size_t>(worker));
+}
+
+}  // namespace asyncml::straggler

@@ -1,0 +1,61 @@
+#include "straggler/trace_replay.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace asyncml::straggler {
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+TraceReplay::TraceReplay(std::vector<std::vector<double>> schedule)
+    : schedule_(std::move(schedule)) {}
+
+double TraceReplay::multiplier(engine::WorkerId worker, std::uint64_t seq) const {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= schedule_.size()) return 1.0;
+  const auto& trace = schedule_[static_cast<std::size_t>(worker)];
+  if (trace.empty()) return 1.0;
+  const std::size_t index = std::min<std::size_t>(seq, trace.size() - 1);
+  return trace[index];
+}
+
+StatusOr<TraceReplay> TraceReplay::from_csv(const std::string& text, int num_workers) {
+  std::vector<std::vector<double>> schedule(static_cast<std::size_t>(num_workers));
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.starts_with("worker") || line.starts_with("#")) continue;
+    long worker = -1;
+    unsigned long long seq = 0;
+    double mult = 1.0;
+    std::istringstream fields(line);
+    char comma1 = 0, comma2 = 0;
+    if (!(fields >> worker >> comma1 >> seq >> comma2 >> mult) || comma1 != ',' ||
+        comma2 != ',') {
+      return Status(StatusCode::kInvalidArgument,
+                    "trace csv line " + std::to_string(line_no) + ": expected "
+                    "'worker,seq,multiplier', got '" + line + "'");
+    }
+    if (worker < 0 || worker >= num_workers) {
+      return Status(StatusCode::kInvalidArgument,
+                    "trace csv line " + std::to_string(line_no) + ": worker " +
+                        std::to_string(worker) + " out of range");
+    }
+    if (mult < 1.0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "trace csv line " + std::to_string(line_no) +
+                        ": multiplier must be >= 1.0");
+    }
+    auto& trace = schedule[static_cast<std::size_t>(worker)];
+    // Step-function fill: extend with the previous value up to `seq`.
+    const double fill = trace.empty() ? 1.0 : trace.back();
+    while (trace.size() <= seq) trace.push_back(fill);
+    trace[seq] = mult;
+  }
+  return TraceReplay(std::move(schedule));
+}
+
+}  // namespace asyncml::straggler

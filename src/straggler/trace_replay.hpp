@@ -1,0 +1,47 @@
+#pragma once
+
+// Trace-driven delay model: replays recorded per-worker slowdown traces.
+//
+// The CDS and PCS models are *stationary* (a worker's multiplier never
+// changes).  Real clusters drift: machines degrade, recover, get co-tenants.
+// TraceReplay feeds the engine a schedule of multipliers per worker — either
+// constructed programmatically or loaded from a CSV of
+// `worker,seq,multiplier` rows — enabling experiments against recorded or
+// scripted straggler behaviour (e.g. a worker that becomes a straggler
+// mid-run, the scenario the STAT table's EWMA exists for).
+
+#include <string>
+#include <vector>
+
+#include "engine/delay_model.hpp"
+#include "support/status.hpp"
+
+namespace asyncml::straggler {
+
+class TraceReplay final : public engine::DelayModel {
+ public:
+  /// `schedule[w]` lists worker w's multiplier per dispatch round; rounds
+  /// beyond the end of a worker's trace repeat its last entry (a drained
+  /// trace means steady state). Workers without a trace run at 1.0.
+  explicit TraceReplay(std::vector<std::vector<double>> schedule);
+
+  /// Parses CSV rows `worker,seq,multiplier` (header and blank lines
+  /// ignored). Missing (worker, seq) cells default to the previous seq's
+  /// value, i.e. traces are step functions.
+  [[nodiscard]] static support::StatusOr<TraceReplay> from_csv(const std::string& text,
+                                                               int num_workers);
+
+  [[nodiscard]] double multiplier(engine::WorkerId worker,
+                                  std::uint64_t seq) const override;
+
+  [[nodiscard]] const char* name() const override { return "trace-replay"; }
+
+  [[nodiscard]] std::size_t num_traced_workers() const noexcept {
+    return schedule_.size();
+  }
+
+ private:
+  std::vector<std::vector<double>> schedule_;
+};
+
+}  // namespace asyncml::straggler

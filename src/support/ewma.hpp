@@ -1,0 +1,40 @@
+#pragma once
+
+// Exponentially weighted moving average, used by the coordinator for the
+// per-worker average-task-completion-time entry of the STAT table.  An EWMA
+// tracks drifting service times (a worker that *becomes* a straggler) better
+// than a plain mean; the plain mean is also kept for reporting.
+
+namespace asyncml::support {
+
+class Ewma {
+ public:
+  /// `alpha` is the weight of the newest observation, in (0, 1].
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void observe(double x) noexcept {
+    count_ += 1;
+    sum_ += x;
+    value_ = (count_ == 1) ? x : alpha_ * x + (1.0 - alpha_) * value_;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] long count() const noexcept { return count_; }
+
+  void reset() noexcept {
+    value_ = 0.0;
+    sum_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  double sum_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace asyncml::support

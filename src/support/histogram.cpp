@@ -1,0 +1,84 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace asyncml::support {
+
+namespace {
+constexpr int kBuckets = 64;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::bucket_for(double value_ns) {
+  if (value_ns < 1.0) return 0;
+  const int b = static_cast<int>(std::floor(std::log2(value_ns)));
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+void Histogram::record(double value_ns) {
+  if (value_ns < 0.0) value_ns = 0.0;
+  buckets_[bucket_for(value_ns)] += 1;
+  if (count_ == 0) {
+    min_ = max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  sum_ += value_ns;
+  count_ += 1;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double Histogram::mean_ns() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile_ns(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Midpoint of the bucket [2^i, 2^(i+1)).
+      const double lo = i == 0 ? 0.0 : std::exp2(i);
+      const double hi = std::exp2(i + 1);
+      return std::min(0.5 * (lo + hi), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary_ms() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "n=" << count_ << " mean=" << mean_ns() / 1e6 << "ms"
+     << " p50=" << quantile_ns(0.5) / 1e6 << "ms"
+     << " p95=" << quantile_ns(0.95) / 1e6 << "ms"
+     << " p99=" << quantile_ns(0.99) / 1e6 << "ms"
+     << " max=" << max_ns() / 1e6 << "ms";
+  return os.str();
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+}  // namespace asyncml::support

@@ -1,0 +1,48 @@
+#pragma once
+
+// Log-bucketed latency histogram with summary statistics.
+//
+// Wait-time distributions in the paper's Figures 4/6 and Table 3 are means,
+// but long-tail stragglers make percentiles informative, so the harness also
+// reports p50/p95/p99/max.  Buckets are base-2 logarithmic over nanoseconds,
+// giving <= ~7% relative error per bucket at a fixed 64-bucket footprint.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asyncml::support {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(double value_ns);
+
+  /// Merge another histogram into this one (per-worker -> global roll-up).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean_ns() const;
+  [[nodiscard]] double max_ns() const { return max_; }
+  [[nodiscard]] double min_ns() const { return count_ == 0 ? 0.0 : min_; }
+
+  /// Approximate quantile (q in [0,1]) from bucket interpolation.
+  [[nodiscard]] double quantile_ns(double q) const;
+
+  /// One-line human-readable summary in milliseconds.
+  [[nodiscard]] std::string summary_ms() const;
+
+  void reset();
+
+ private:
+  static int bucket_for(double value_ns);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace asyncml::support

@@ -1,0 +1,48 @@
+#pragma once
+
+// Cache-line padding utilities.
+//
+// Counters updated by different threads must not share a cache line, or the
+// coherence traffic dominates (false sharing).  `Padded<T>` aligns and pads a
+// value to the destructive-interference size.
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+
+namespace asyncml::support {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// latter varies with -mtune and would make the struct layout part of an
+// unstable ABI (GCC warns about exactly this).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value;
+
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(static_cast<Args&&>(args)...) {}
+
+  // Pad the tail so arrays of Padded<T> occupy distinct lines.
+  char pad_[kCacheLine > sizeof(T) ? kCacheLine - sizeof(T) % kCacheLine : 1]{};
+};
+
+/// Relaxed monotonically increasing counter for statistics (bytes shipped,
+/// tasks run). Relaxed ordering is sufficient: readers only need eventual
+/// totals after join points.
+class RelaxedCounter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t load() const noexcept {
+    return value_.value.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.value.store(0, std::memory_order_relaxed); }
+
+ private:
+  Padded<std::atomic<std::uint64_t>> value_{0};
+};
+
+}  // namespace asyncml::support

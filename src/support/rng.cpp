@@ -1,0 +1,44 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace asyncml::support {
+
+double RngStream::next_gaussian() noexcept {
+  // Marsaglia polar method; discards the spare so the object stays a pure
+  // function of its state words (no cached flag to copy around).
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::vector<std::size_t> sample_without_replacement(RngStream& rng, std::size_t n,
+                                                    std::size_t k) {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: for j in [n-k, n), draw t in [0, j]; insert t or j.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(rng.next_below(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace asyncml::support

@@ -1,0 +1,122 @@
+#pragma once
+
+// Deterministic random-number streams for the whole framework.
+//
+// Every source of randomness in the library (mini-batch sampling, synthetic
+// data generation, straggler delay draws) flows through an RngStream so that
+// experiments are reproducible given an experiment seed.  Streams are derived
+// from a root seed plus an arbitrary sequence of "substream" keys via
+// SplitMix64 mixing, which guarantees well-separated state even for adjacent
+// keys (worker 0 / worker 1, iteration k / iteration k+1).
+//
+// The generator itself is xoshiro256**, a small, fast, high-quality PRNG that
+// is trivially copyable — important because task closures capture streams by
+// value when shipped to workers.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace asyncml::support {
+
+/// SplitMix64 step: mixes 64-bit state into a well-distributed output.
+/// Used both for seeding xoshiro and for deriving substream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a seed and a key into a new seed; `derive(derive(s,a),b)` differs
+/// from `derive(derive(s,b),a)` so key order matters (substream paths).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t key) noexcept {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — trivially copyable deterministic PRNG.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> distributions.
+class RngStream {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state from `seed` via SplitMix64 (the
+  /// initialization recommended by the xoshiro authors).
+  explicit RngStream(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+      : seed_path_(seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+  }
+
+  /// Derives an independent stream identified by `key` from this stream's
+  /// original seed path. Typical usage:
+  ///   RngStream root(exp_seed);
+  ///   RngStream worker = root.substream(worker_id);
+  ///   RngStream task   = worker.substream(iteration);
+  [[nodiscard]] RngStream substream(std::uint64_t key) const noexcept {
+    return RngStream(derive_seed(seed_path_, key));
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection-free
+  /// approximation, adequate for sampling (not cryptography).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t n) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>((*this)()) * static_cast<u128>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (stateless across calls: the
+  /// spare value is discarded to keep the stream trivially copyable).
+  [[nodiscard]] double next_gaussian() noexcept;
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_path_ = 0;
+
+  // Re-seed path bookkeeping: the public ctor records the seed so substream()
+  // derives from the *path*, not the evolving generator state.
+ public:
+  [[nodiscard]] std::uint64_t seed_path() const noexcept { return seed_path_; }
+};
+
+/// Samples `k` distinct indices from [0, n) without replacement
+/// (Floyd's algorithm; O(k) expected, deterministic given the stream).
+[[nodiscard]] std::vector<std::size_t> sample_without_replacement(RngStream& rng,
+                                                                  std::size_t n,
+                                                                  std::size_t k);
+
+}  // namespace asyncml::support

@@ -1,0 +1,63 @@
+#pragma once
+
+// Wait-free single-producer/single-consumer ring buffer.
+//
+// Used on hot paths where a worker thread publishes fixed-size records (e.g.
+// per-task timing samples) to a collector without taking a lock.  Classic
+// Lamport queue with acquire/release fences and cache-line-separated indices
+// to avoid false sharing (see support/padded.hpp).
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "support/padded.hpp"
+
+namespace asyncml::support {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; one slot is sacrificed to
+  /// distinguish full from empty.
+  explicit SpscRing(std::size_t capacity_hint = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity_hint + 1) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (record dropped —
+  /// metrics tolerate loss; correctness data never travels through rings).
+  bool try_push(const T& item) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.value.load(std::memory_order_acquire)) return false;
+    buffer_[head] = item;
+    head_.value.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail == head_.value.load(std::memory_order_acquire)) return std::nullopt;
+    T item = buffer_[tail];
+    tail_.value.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buffer_.size() - 1; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  Padded<std::atomic<std::size_t>> head_{0};
+  Padded<std::atomic<std::size_t>> tail_{0};
+};
+
+}  // namespace asyncml::support

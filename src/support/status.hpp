@@ -1,0 +1,85 @@
+#pragma once
+
+// Status / StatusOr: error propagation across thread boundaries.
+//
+// Exceptions must not unwind across the worker/driver boundary (the thread
+// would terminate), so task execution returns Status-carrying results and the
+// driver decides whether to retry (Spark task-retry semantics) or surface the
+// error.  A deliberately small subset of absl::Status.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace asyncml::support {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kCancelled,
+  kInternal,
+  kUnavailable,
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code) noexcept;
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return is_ok() ? "OK" : std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}                    // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {              // NOLINT
+    assert(!std::get<Status>(rep_).is_ok() && "StatusOr must not hold OK status");
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(rep_); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace asyncml::support

@@ -1,0 +1,38 @@
+#include "support/thread_util.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace asyncml::support {
+
+void set_current_thread_name(const std::string& name) {
+#if defined(__linux__)
+  // Linux limits thread names to 15 chars + NUL.
+  std::string truncated = name.substr(0, 15);
+  pthread_setname_np(pthread_self(), truncated.c_str());
+#else
+  (void)name;
+#endif
+}
+
+void precise_sleep(std::chrono::nanoseconds duration) {
+  using namespace std::chrono;
+  if (duration <= nanoseconds::zero()) return;
+  const auto deadline = steady_clock::now() + duration;
+  // Leave the final stretch for spinning. The window is a compromise: larger
+  // windows absorb more timer slack but burn CPU in every concurrently
+  // sleeping worker thread — with dozens of emulated workers on a small
+  // machine, that contention distorts the very timings we emulate.
+  constexpr auto kSpinWindow = microseconds(60);
+  if (duration > kSpinWindow) {
+    std::this_thread::sleep_for(duration - kSpinWindow);
+  }
+  while (steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace asyncml::support

@@ -1,0 +1,27 @@
+#pragma once
+
+// Thread naming and calibrated short sleeps.
+//
+// Service-time emulation needs sleeps that are accurate at the sub-millisecond
+// scale.  `precise_sleep` sleeps the bulk of the interval with sleep_for and
+// spins the final stretch, bounding overshoot to scheduler noise.
+
+#include <chrono>
+#include <string>
+
+namespace asyncml::support {
+
+/// Names the calling thread (visible in debuggers/profilers). Best effort.
+void set_current_thread_name(const std::string& name);
+
+/// Sleeps for `duration` with reduced overshoot: coarse sleep until ~200us
+/// before the deadline, then spin-wait. Durations <= 0 return immediately.
+void precise_sleep(std::chrono::nanoseconds duration);
+
+/// Convenience overload in fractional milliseconds.
+inline void precise_sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  precise_sleep(std::chrono::nanoseconds(static_cast<long long>(ms * 1e6)));
+}
+
+}  // namespace asyncml::support

@@ -1,0 +1,158 @@
+#include "core/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::core {
+namespace {
+
+StatSnapshot snapshot_with(int workers, int busy, std::uint64_t busy_staleness = 0) {
+  StatSnapshot snap;
+  snap.workers.resize(workers);
+  for (int w = 0; w < workers; ++w) {
+    snap.workers[w].id = w;
+    if (w < busy) {
+      snap.workers[w].available = false;
+      snap.workers[w].outstanding = 1;
+      snap.workers[w].ever_dispatched = true;
+      snap.workers[w].task_staleness = busy_staleness;
+    }
+  }
+  return snap;
+}
+
+TEST(Asp, AlwaysOpen) {
+  const BarrierControl b = barriers::asp();
+  EXPECT_EQ(b.name, "ASP");
+  EXPECT_TRUE(b.gate(snapshot_with(4, 3, 100)));
+  EXPECT_TRUE(b.filter(snapshot_with(4, 0).workers[0], snapshot_with(4, 0)));
+}
+
+TEST(Bsp, OpenOnlyWhenAllAvailable) {
+  const BarrierControl b = barriers::bsp();
+  EXPECT_TRUE(b.gate(snapshot_with(4, 0)));
+  EXPECT_FALSE(b.gate(snapshot_with(4, 1)));
+  EXPECT_FALSE(b.gate(snapshot_with(4, 4)));
+}
+
+TEST(Ssp, GateBoundsInFlightStaleness) {
+  const BarrierControl b = barriers::ssp(5);
+  EXPECT_TRUE(b.gate(snapshot_with(4, 2, /*busy_staleness=*/4)));
+  EXPECT_FALSE(b.gate(snapshot_with(4, 2, /*busy_staleness=*/5)));
+  EXPECT_FALSE(b.gate(snapshot_with(4, 2, /*busy_staleness=*/50)));
+}
+
+TEST(Ssp, OpenWhenClusterIdle) {
+  // No in-flight tasks => nothing is stale => dispatch allowed.
+  const BarrierControl b = barriers::ssp(1);
+  EXPECT_TRUE(b.gate(snapshot_with(4, 0)));
+}
+
+TEST(AvailableFraction, ThresholdAtFloorBetaP) {
+  const BarrierControl b = barriers::available_fraction(0.5);
+  EXPECT_TRUE(b.gate(snapshot_with(8, 4)));   // 4 available >= floor(0.5*8)=4
+  EXPECT_FALSE(b.gate(snapshot_with(8, 5)));  // 3 available < 4
+}
+
+TEST(AvailableFraction, AtLeastOneWorkerRequired) {
+  const BarrierControl b = barriers::available_fraction(0.01);
+  EXPECT_TRUE(b.gate(snapshot_with(4, 3)));   // 1 available >= max(1, 0)
+  EXPECT_FALSE(b.gate(snapshot_with(4, 4)));  // 0 available
+}
+
+TEST(CompletionTimeWithin, FiltersChronicStragglers) {
+  const BarrierControl b = barriers::completion_time_within(1.5);
+  StatSnapshot snap = snapshot_with(3, 0);
+  for (int w = 0; w < 3; ++w) snap.workers[w].tasks_completed = 10;
+  snap.workers[0].avg_task_ms = 1.0;
+  snap.workers[1].avg_task_ms = 1.0;
+  snap.workers[2].avg_task_ms = 4.0;  // cluster mean = 2.0; 4.0 > 1.5*2.0
+  EXPECT_TRUE(b.filter(snap.workers[0], snap));
+  EXPECT_FALSE(b.filter(snap.workers[2], snap));
+}
+
+TEST(CompletionTimeWithin, NewWorkersAlwaysPass) {
+  const BarrierControl b = barriers::completion_time_within(1.0);
+  StatSnapshot snap = snapshot_with(2, 0);
+  snap.workers[0].tasks_completed = 0;
+  EXPECT_TRUE(b.filter(snap.workers[0], snap));
+}
+
+TEST(Both, ConjunctionOfGatesAndFilters) {
+  const BarrierControl b =
+      barriers::both(barriers::ssp(3), barriers::available_fraction(0.5));
+  // SSP passes, fraction fails:
+  EXPECT_FALSE(b.gate(snapshot_with(4, 3, 1)));
+  // Both pass:
+  EXPECT_TRUE(b.gate(snapshot_with(4, 2, 1)));
+  // Fraction passes, SSP fails:
+  EXPECT_FALSE(b.gate(snapshot_with(4, 2, 10)));
+  EXPECT_NE(b.name.find("SSP"), std::string::npos);
+}
+
+TEST(Psp, AdmitsRoughlyPFractionOfWorkers) {
+  // Probabilistic synchronous parallel: each worker admitted w.p. p per round.
+  const BarrierControl b = barriers::probabilistic(0.5, /*seed=*/9);
+  StatSnapshot snap = snapshot_with(16, 0);
+  int admitted_total = 0;
+  const int rounds = 200;
+  for (int round = 0; round < rounds; ++round) {
+    snap.current_version = static_cast<engine::Version>(round);
+    for (const WorkerStat& w : snap.workers) {
+      admitted_total += b.filter(w, snap) ? 1 : 0;
+    }
+  }
+  const double rate = static_cast<double>(admitted_total) / (rounds * 16.0);
+  EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(Psp, ReproducibleCoinSequencePerSeed) {
+  // Two identically-seeded PSP barriers produce the same admission sequence;
+  // a different seed produces a different one.
+  const StatSnapshot snap = snapshot_with(4, 0);
+  const BarrierControl a = barriers::probabilistic(0.5, 9);
+  const BarrierControl b = barriers::probabilistic(0.5, 9);
+  const BarrierControl c = barriers::probabilistic(0.5, 10);
+  int mismatches_ab = 0, mismatches_ac = 0;
+  for (int i = 0; i < 256; ++i) {
+    const WorkerStat& w = snap.workers[i % 4];
+    const bool ra = a.filter(w, snap);
+    mismatches_ab += ra != b.filter(w, snap) ? 1 : 0;
+    mismatches_ac += ra != c.filter(w, snap) ? 1 : 0;
+  }
+  EXPECT_EQ(mismatches_ab, 0);
+  EXPECT_GT(mismatches_ac, 20);
+}
+
+TEST(Psp, FreshCoinsAcrossAttemptsPreventWedging) {
+  // Repeated dispatch attempts must eventually admit a worker even if the
+  // first attempt admitted none (the liveness property dispatch_live needs).
+  const BarrierControl b = barriers::probabilistic(0.3, 4);
+  const StatSnapshot snap = snapshot_with(1, 0);
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    admitted = b.filter(snap.workers[0], snap);
+  }
+  EXPECT_TRUE(admitted);
+}
+
+TEST(Psp, ExtremesAlwaysAndNever) {
+  StatSnapshot snap = snapshot_with(8, 0);
+  const BarrierControl always = barriers::probabilistic(1.0, 1);
+  const BarrierControl never = barriers::probabilistic(0.0, 1);
+  for (const WorkerStat& w : snap.workers) {
+    EXPECT_TRUE(always.filter(w, snap));
+    EXPECT_FALSE(never.filter(w, snap));
+  }
+}
+
+TEST(CustomBarrier, UserDefinedPredicates) {
+  // Listing 2's spirit: dispatch only to even-numbered workers.
+  BarrierControl b;
+  b.filter = [](const WorkerStat& w, const StatSnapshot&) { return w.id % 2 == 0; };
+  const StatSnapshot snap = snapshot_with(4, 0);
+  EXPECT_TRUE(b.filter(snap.workers[0], snap));
+  EXPECT_FALSE(b.filter(snap.workers[1], snap));
+}
+
+}  // namespace
+}  // namespace asyncml::core

@@ -1,0 +1,207 @@
+#include "core/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace asyncml::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+engine::Cluster::Config quiet_config(int workers) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 1;
+  config.network.time_scale = 0.0;
+  return config;
+}
+
+engine::TaskSpec int_task(engine::Cluster& cluster, engine::PartitionId p,
+                          engine::Version version, int value,
+                          double service_ms = 0.0) {
+  engine::TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  spec.partition = p;
+  spec.model_version = version;
+  spec.service_floor_ms = service_ms;
+  spec.fn = std::make_shared<const engine::TaskFn>(
+      [value](engine::TaskContext&) -> support::StatusOr<engine::Payload> {
+        return engine::Payload::wrap<int>(value);
+      });
+  return spec;
+}
+
+engine::TaskSpec failing_task(engine::Cluster& cluster, engine::PartitionId p) {
+  engine::TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  spec.partition = p;
+  spec.fn = std::make_shared<const engine::TaskFn>(
+      [](engine::TaskContext&) -> support::StatusOr<engine::Payload> {
+        return support::Status(support::StatusCode::kInternal, "bad");
+      });
+  return spec;
+}
+
+TEST(Coordinator, CollectsAndTagsResults) {
+  engine::Cluster cluster(quiet_config(2));
+  Coordinator coord(cluster);
+  coord.start();
+
+  coord.on_dispatch(0, 1, /*version=*/0);
+  cluster.submit(0, int_task(cluster, 0, /*version=*/0, 42));
+
+  auto tagged = coord.collect_for(1000ms);
+  ASSERT_TRUE(tagged.has_value());
+  EXPECT_EQ(tagged->result.payload.get<int>(), 42);
+  EXPECT_EQ(tagged->staleness, 0u);
+  EXPECT_EQ(tagged->worker.id, 0);
+  coord.stop();
+}
+
+TEST(Coordinator, StalenessIsVersionGap) {
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+
+  // Task computed against version 0; the server advances to 3 before it is
+  // collected -> staleness 3.
+  coord.on_dispatch(0, 1, 0);
+  coord.advance_version();
+  coord.advance_version();
+  coord.advance_version();
+  cluster.submit(0, int_task(cluster, 0, /*version=*/0, 1));
+
+  auto tagged = coord.collect_for(1000ms);
+  ASSERT_TRUE(tagged.has_value());
+  EXPECT_EQ(tagged->staleness, 3u);
+  coord.stop();
+}
+
+TEST(Coordinator, StatTracksAvailability) {
+  engine::Cluster cluster(quiet_config(2));
+  Coordinator coord(cluster);
+  coord.start();
+
+  EXPECT_EQ(coord.stat().available_workers(), 2);
+  coord.on_dispatch(1, 2, 0);
+  const StatSnapshot busy = coord.stat();
+  EXPECT_EQ(busy.available_workers(), 1);
+  EXPECT_FALSE(busy.workers[1].available);
+  EXPECT_EQ(busy.workers[1].outstanding, 2);
+
+  cluster.submit(1, int_task(cluster, 0, 0, 1));
+  cluster.submit(1, int_task(cluster, 1, 0, 2));
+  (void)coord.collect_for(1000ms);
+  (void)coord.collect_for(1000ms);
+  EXPECT_EQ(coord.stat().available_workers(), 2);
+  coord.stop();
+}
+
+TEST(Coordinator, StatTracksTaskTimes) {
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+
+  coord.on_dispatch(0, 1, 0);
+  cluster.submit(0, int_task(cluster, 0, 0, 1, /*service_ms=*/5.0));
+  (void)coord.collect_for(1000ms);
+
+  const StatSnapshot snap = coord.stat();
+  EXPECT_EQ(snap.workers[0].tasks_completed, 1u);
+  EXPECT_GE(snap.workers[0].avg_task_ms, 4.5);
+  EXPECT_GE(snap.workers[0].mean_task_ms, 4.5);
+  coord.stop();
+}
+
+TEST(Coordinator, SnapshotStalenessReflectsCurrentVersion) {
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+
+  coord.on_dispatch(0, 1, /*version=*/0);
+  const StatSnapshot before = coord.stat();
+  EXPECT_EQ(before.workers[0].task_staleness, 0u);
+
+  coord.advance_version();
+  coord.advance_version();
+  const StatSnapshot after = coord.stat();
+  EXPECT_EQ(after.workers[0].task_staleness, 2u);
+  EXPECT_EQ(after.max_staleness(), 2u);  // worker still busy
+
+  cluster.submit(0, int_task(cluster, 0, 0, 1));
+  (void)coord.collect_for(1000ms);
+  EXPECT_EQ(coord.stat().max_staleness(), 0u);  // nothing in flight
+  coord.stop();
+}
+
+TEST(Coordinator, FailuresRoutedSeparately) {
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+
+  coord.on_dispatch(0, 1, 0);
+  cluster.submit(0, failing_task(cluster, 0));
+
+  // The failure must not appear as a result...
+  EXPECT_FALSE(coord.collect_for(100ms).has_value());
+  // ...but on the failure queue, with the worker marked available again.
+  auto failed = coord.try_collect_failure();
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_FALSE(failed->ok());
+  EXPECT_EQ(coord.stat().available_workers(), 1);
+  EXPECT_EQ(coord.stat().workers[0].tasks_failed, 1u);
+  coord.stop();
+}
+
+TEST(Coordinator, FifoOrderOfResults) {
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+
+  coord.on_dispatch(0, 3, 0);
+  for (int i = 0; i < 3; ++i) cluster.submit(0, int_task(cluster, i, 0, i));
+  for (int i = 0; i < 3; ++i) {
+    auto tagged = coord.collect_for(1000ms);
+    ASSERT_TRUE(tagged.has_value());
+    EXPECT_EQ(tagged->result.payload.get<int>(), i);  // single worker: FIFO
+  }
+  coord.stop();
+}
+
+TEST(Coordinator, HasNextNonBlocking) {
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+  EXPECT_FALSE(coord.has_next());
+  coord.on_dispatch(0, 1, 0);
+  cluster.submit(0, int_task(cluster, 0, 0, 5));
+  // Wait for the drain thread to pick it up.
+  auto tagged = coord.collect_for(1000ms);
+  EXPECT_TRUE(tagged.has_value());
+  EXPECT_FALSE(coord.has_next());
+  coord.stop();
+}
+
+TEST(Coordinator, TotalOutstandingAggregates) {
+  engine::Cluster cluster(quiet_config(3));
+  Coordinator coord(cluster);
+  coord.start();
+  EXPECT_EQ(coord.total_outstanding(), 0);
+  coord.on_dispatch(0, 2, 0);
+  coord.on_dispatch(2, 1, 0);
+  EXPECT_EQ(coord.total_outstanding(), 3);
+  coord.stop();
+}
+
+TEST(Coordinator, StopIsIdempotent) {
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+  coord.stop();
+  coord.stop();
+  EXPECT_TRUE(coord.stopped());
+}
+
+}  // namespace
+}  // namespace asyncml::core

@@ -1,0 +1,117 @@
+#include "core/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::core {
+namespace {
+
+TEST(HistoryRegistry, PublishAndResolve) {
+  engine::BroadcastStore store;
+  HistoryRegistry registry(&store);
+  registry.publish(linalg::DenseVector{1.0, 2.0}, /*version=*/0);
+  registry.publish(linalg::DenseVector{3.0, 4.0}, /*version=*/1);
+
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_DOUBLE_EQ(registry.value_at(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(registry.value_at(1)[0], 3.0);
+}
+
+TEST(HistoryRegistry, IdOfUnknownVersionIsNull) {
+  engine::BroadcastStore store;
+  HistoryRegistry registry(&store);
+  EXPECT_FALSE(registry.id_of(7).has_value());
+  registry.publish(linalg::DenseVector{1.0}, 7);
+  EXPECT_TRUE(registry.id_of(7).has_value());
+}
+
+TEST(HistoryRegistry, PruneDropsOldVersionsFromStoreToo) {
+  engine::BroadcastStore store;
+  HistoryRegistry registry(&store);
+  registry.publish(linalg::DenseVector{1.0}, 0);
+  registry.publish(linalg::DenseVector{2.0}, 1);
+  registry.publish(linalg::DenseVector{3.0}, 2);
+  const auto old_id = registry.id_of(0);
+  ASSERT_TRUE(old_id.has_value());
+
+  registry.prune_below(2);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_FALSE(registry.id_of(0).has_value());
+  EXPECT_FALSE(registry.id_of(1).has_value());
+  EXPECT_TRUE(registry.id_of(2).has_value());
+  EXPECT_FALSE(store.get(*old_id).has_value());
+  EXPECT_EQ(registry.oldest().value(), 2u);
+}
+
+TEST(HistoryRegistry, PruneDoesNotTouchForeignBroadcasts) {
+  engine::BroadcastStore store;
+  const engine::BroadcastId foreign = store.put(engine::Payload::wrap<int>(99));
+  HistoryRegistry registry(&store);
+  registry.publish(linalg::DenseVector{1.0}, 0);
+  registry.prune_below(100);
+  EXPECT_TRUE(store.get(foreign).has_value());
+}
+
+TEST(HistoryBroadcast, PinnedValueAndHistoricalValue) {
+  engine::BroadcastStore store;
+  auto registry = std::make_shared<HistoryRegistry>(&store);
+  registry->publish(linalg::DenseVector{0.0}, 0);
+  registry->publish(linalg::DenseVector{1.0}, 1);
+  registry->publish(linalg::DenseVector{2.0}, 2);
+
+  const HistoryBroadcast handle(registry, /*pinned=*/2);
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(handle.version(), 2u);
+  EXPECT_DOUBLE_EQ(handle.value()[0], 2.0);        // w_br.value
+  EXPECT_DOUBLE_EQ(handle.value_at(0)[0], 0.0);    // w_br.value(index) history
+  EXPECT_DOUBLE_EQ(handle.value_at(1)[0], 1.0);
+}
+
+TEST(HistoryBroadcast, DefaultHandleInvalid) {
+  HistoryBroadcast handle;
+  EXPECT_FALSE(handle.valid());
+}
+
+TEST(HistoryBroadcast, WorkerSideResolutionCountsOneFetchPerVersion) {
+  engine::BroadcastStore store;
+  engine::NetworkModel net;
+  net.time_scale = 0.0;
+  engine::ClusterMetrics metrics(1);
+  engine::BroadcastCache cache(&store, &net, &metrics);
+
+  auto registry = std::make_shared<HistoryRegistry>(&store);
+  registry->publish(linalg::DenseVector(64), 0);
+  registry->publish(linalg::DenseVector(64), 1);
+  const HistoryBroadcast handle(registry, 1);
+
+  engine::WorkerEnv env{0, &cache};
+  engine::set_current_worker_env(&env);
+  (void)handle.value();       // fetch version 1
+  (void)handle.value();       // hit
+  (void)handle.value_at(0);   // fetch version 0
+  (void)handle.value_at(0);   // hit
+  (void)handle.value_at(1);   // hit (same payload as value())
+  engine::set_current_worker_env(nullptr);
+
+  EXPECT_EQ(metrics.broadcast_fetches.load(), 2u);
+  EXPECT_EQ(metrics.broadcast_hits.load(), 3u);
+  // Exactly two model vectors crossed the wire — the ASYNCbroadcast saving.
+  EXPECT_EQ(metrics.broadcast_bytes.load(), 2u * 64u * 8u);
+}
+
+TEST(SampleVersionTable, GetSetAndMin) {
+  SampleVersionTable table(4, 10);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.get(2), 10u);
+  table.set(2, 3);
+  table.set(0, 7);
+  EXPECT_EQ(table.get(2), 3u);
+  EXPECT_EQ(table.min_version(), 3u);
+}
+
+TEST(SampleVersionTable, EmptyTableMinZero) {
+  SampleVersionTable table(0);
+  EXPECT_EQ(table.min_version(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncml::core

@@ -1,0 +1,69 @@
+#include "core/stat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::core {
+namespace {
+
+StatSnapshot make_snapshot(int workers) {
+  StatSnapshot snap;
+  snap.workers.resize(workers);
+  for (int w = 0; w < workers; ++w) snap.workers[w].id = w;
+  return snap;
+}
+
+TEST(StatSnapshot, AllAvailableByDefault) {
+  const StatSnapshot snap = make_snapshot(4);
+  EXPECT_EQ(snap.num_workers(), 4);
+  EXPECT_EQ(snap.available_workers(), 4);
+}
+
+TEST(StatSnapshot, AvailabilityCountsCorrectly) {
+  StatSnapshot snap = make_snapshot(4);
+  snap.workers[1].available = false;
+  snap.workers[3].available = false;
+  EXPECT_EQ(snap.available_workers(), 2);
+}
+
+TEST(StatSnapshot, MaxStalenessIgnoresIdleWorkers) {
+  StatSnapshot snap = make_snapshot(3);
+  snap.workers[0].ever_dispatched = true;
+  snap.workers[0].outstanding = 0;  // idle: excluded
+  snap.workers[0].task_staleness = 100;
+  snap.workers[1].ever_dispatched = true;
+  snap.workers[1].outstanding = 1;  // busy: counted
+  snap.workers[1].task_staleness = 7;
+  EXPECT_EQ(snap.max_staleness(), 7u);
+}
+
+TEST(StatSnapshot, MaxStalenessZeroWhenNothingInFlight) {
+  StatSnapshot snap = make_snapshot(2);
+  snap.workers[0].ever_dispatched = true;
+  snap.workers[0].task_staleness = 50;
+  EXPECT_EQ(snap.max_staleness(), 0u);
+}
+
+TEST(StatSnapshot, MeanAvgTaskTimeSkipsIdleHistoryless) {
+  StatSnapshot snap = make_snapshot(3);
+  snap.workers[0].tasks_completed = 5;
+  snap.workers[0].avg_task_ms = 2.0;
+  snap.workers[1].tasks_completed = 5;
+  snap.workers[1].avg_task_ms = 4.0;
+  // worker 2 never completed a task: excluded from the mean.
+  EXPECT_DOUBLE_EQ(snap.mean_avg_task_ms(), 3.0);
+}
+
+TEST(StatSnapshot, MeanAvgTaskTimeEmptyClusterZero) {
+  EXPECT_DOUBLE_EQ(make_snapshot(2).mean_avg_task_ms(), 0.0);
+}
+
+TEST(StatSnapshot, ToStringMentionsVersionAndAvailability) {
+  StatSnapshot snap = make_snapshot(2);
+  snap.current_version = 17;
+  const std::string s = snap.to_string();
+  EXPECT_NE(s.find("v17"), std::string::npos);
+  EXPECT_NE(s.find("2/2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncml::core

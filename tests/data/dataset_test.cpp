@@ -1,0 +1,118 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asyncml::data {
+namespace {
+
+linalg::DenseMatrix small_dense() {
+  linalg::DenseMatrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 2;
+  m.at(1, 0) = 0;
+  m.at(1, 1) = 3;
+  m.at(1, 2) = 4;
+  return m;
+}
+
+linalg::CsrMatrix small_sparse() {
+  linalg::CsrMatrix m = linalg::CsrMatrix::for_appending(3);
+  linalg::SparseVector r0;
+  r0.push_back(0, 3.0);
+  r0.push_back(2, 4.0);
+  linalg::SparseVector r1;
+  r1.push_back(1, 2.0);
+  m.append_row(r0);
+  m.append_row(r1);
+  return m;
+}
+
+TEST(Dataset, DenseBasics) {
+  Dataset d("dense", small_dense(), linalg::DenseVector{1.0, -1.0});
+  EXPECT_TRUE(d.is_dense());
+  EXPECT_EQ(d.rows(), 2u);
+  EXPECT_EQ(d.cols(), 3u);
+  EXPECT_DOUBLE_EQ(d.density(), 1.0);
+  EXPECT_EQ(d.name(), "dense");
+}
+
+TEST(Dataset, SparseBasics) {
+  Dataset d("sparse", small_sparse(), linalg::DenseVector{1.0, -1.0});
+  EXPECT_FALSE(d.is_dense());
+  EXPECT_EQ(d.rows(), 2u);
+  EXPECT_EQ(d.cols(), 3u);
+  EXPECT_DOUBLE_EQ(d.density(), 3.0 / 6.0);
+}
+
+TEST(Dataset, PointCarriesIndexLabelFeatures) {
+  Dataset d("dense", small_dense(), linalg::DenseVector{1.0, -1.0});
+  const LabeledPoint p = d.point(1);
+  EXPECT_EQ(p.index, 1u);
+  EXPECT_DOUBLE_EQ(p.label, -1.0);
+  linalg::DenseVector w{1, 1, 1};
+  EXPECT_DOUBLE_EQ(p.features.dot(w.span()), 7.0);
+}
+
+TEST(RowRef, DenseDotAxpyNorm) {
+  Dataset d("dense", small_dense(), linalg::DenseVector(2));
+  const RowRef row = d.row(0);
+  EXPECT_TRUE(row.is_dense());
+  linalg::DenseVector w{1, 0, 1};
+  EXPECT_DOUBLE_EQ(row.dot(w.span()), 3.0);
+  linalg::DenseVector acc(3);
+  row.axpy_into(2.0, acc.span());
+  EXPECT_DOUBLE_EQ(acc[1], 4.0);
+  EXPECT_DOUBLE_EQ(row.norm_squared(), 1 + 4 + 4);
+  EXPECT_EQ(row.nnz(), 3u);
+}
+
+TEST(RowRef, SparseDotAxpyNorm) {
+  Dataset d("sparse", small_sparse(), linalg::DenseVector(2));
+  const RowRef row = d.row(0);
+  EXPECT_FALSE(row.is_dense());
+  linalg::DenseVector w{1, 1, 1};
+  EXPECT_DOUBLE_EQ(row.dot(w.span()), 7.0);
+  linalg::DenseVector acc(3);
+  row.axpy_into(1.0, acc.span());
+  EXPECT_DOUBLE_EQ(acc[0], 3.0);
+  EXPECT_DOUBLE_EQ(acc[2], 4.0);
+  EXPECT_DOUBLE_EQ(row.norm_squared(), 25.0);
+  EXPECT_EQ(row.nnz(), 2u);
+}
+
+TEST(NormalizeRows, DenseUnitNorms) {
+  Dataset d("dense", small_dense(), linalg::DenseVector(2));
+  const Dataset normalized = normalize_rows(d);
+  for (std::size_t r = 0; r < normalized.rows(); ++r) {
+    EXPECT_NEAR(normalized.row(r).norm_squared(), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizeRows, SparseUnitNorms) {
+  Dataset d("sparse", small_sparse(), linalg::DenseVector(2));
+  const Dataset normalized = normalize_rows(d);
+  for (std::size_t r = 0; r < normalized.rows(); ++r) {
+    EXPECT_NEAR(normalized.row(r).norm_squared(), 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizeRows, LabelsPreserved) {
+  Dataset d("dense", small_dense(), linalg::DenseVector{5.0, 6.0});
+  const Dataset normalized = normalize_rows(d);
+  EXPECT_DOUBLE_EQ(normalized.labels()[0], 5.0);
+  EXPECT_DOUBLE_EQ(normalized.labels()[1], 6.0);
+}
+
+TEST(Dataset, FeatureBytesPositive) {
+  Dataset dense("d", small_dense(), linalg::DenseVector(2));
+  Dataset sparse("s", small_sparse(), linalg::DenseVector(2));
+  EXPECT_EQ(dense.feature_bytes(), 2u * 3u * 8u);
+  EXPECT_GT(sparse.feature_bytes(), 0u);
+  EXPECT_LT(sparse.feature_bytes(), dense.feature_bytes() * 2);
+}
+
+}  // namespace
+}  // namespace asyncml::data

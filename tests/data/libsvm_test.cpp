@@ -1,0 +1,125 @@
+#include "data/libsvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+
+namespace asyncml::data {
+namespace {
+
+TEST(Libsvm, ParsesBasicFile) {
+  std::istringstream in("1 1:0.5 3:2.0\n-1 2:1.5\n");
+  const auto parsed = read_libsvm(in, "test");
+  ASSERT_TRUE(parsed.is_ok());
+  const Dataset& d = parsed.value();
+  EXPECT_EQ(d.rows(), 2u);
+  EXPECT_EQ(d.cols(), 3u);  // inferred from max index
+  EXPECT_DOUBLE_EQ(d.labels()[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.labels()[1], -1.0);
+  const linalg::SparseRowView r0 = d.sparse_features().row(0);
+  ASSERT_EQ(r0.nnz(), 2u);
+  EXPECT_EQ(r0.indices[0], 0u);  // 1-based -> 0-based
+  EXPECT_DOUBLE_EQ(r0.values[1], 2.0);
+}
+
+TEST(Libsvm, SkipsBlankLinesAndComments) {
+  std::istringstream in("\n# header comment\n1 1:1.0  # trailing\n\n");
+  const auto parsed = read_libsvm(in, "test");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().rows(), 1u);
+}
+
+TEST(Libsvm, DeclaredFeatureCountWins) {
+  std::istringstream in("1 1:1.0\n");
+  LibsvmOptions options;
+  options.num_features = 10;
+  const auto parsed = read_libsvm(in, "test", options);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().cols(), 10u);
+}
+
+TEST(Libsvm, IndexBeyondDeclaredCountRejected) {
+  std::istringstream in("1 11:1.0\n");
+  LibsvmOptions options;
+  options.num_features = 10;
+  EXPECT_FALSE(read_libsvm(in, "test", options).is_ok());
+}
+
+TEST(Libsvm, MaxRowsCapsReading) {
+  std::istringstream in("1 1:1\n2 1:1\n3 1:1\n");
+  LibsvmOptions options;
+  options.max_rows = 2;
+  const auto parsed = read_libsvm(in, "test", options);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().rows(), 2u);
+}
+
+TEST(Libsvm, RejectsMalformedLabel) {
+  std::istringstream in("abc 1:1.0\n");
+  EXPECT_FALSE(read_libsvm(in, "test").is_ok());
+}
+
+TEST(Libsvm, RejectsMissingColon) {
+  std::istringstream in("1 15\n");
+  EXPECT_FALSE(read_libsvm(in, "test").is_ok());
+}
+
+TEST(Libsvm, RejectsZeroIndex) {
+  std::istringstream in("1 0:1.0\n");
+  EXPECT_FALSE(read_libsvm(in, "test").is_ok());
+}
+
+TEST(Libsvm, RejectsNonIncreasingIndices) {
+  std::istringstream in("1 3:1.0 2:1.0\n");
+  EXPECT_FALSE(read_libsvm(in, "test").is_ok());
+}
+
+TEST(Libsvm, RejectsBadValue) {
+  std::istringstream in("1 2:xyz\n");
+  EXPECT_FALSE(read_libsvm(in, "test").is_ok());
+}
+
+TEST(Libsvm, MissingFileIsNotFound) {
+  const auto loaded = load_libsvm("/nonexistent/path/data.svm");
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), support::StatusCode::kNotFound);
+}
+
+TEST(Libsvm, SparseRoundTripPreservesData) {
+  const auto problem = synthetic::make_sparse(
+      synthetic::SparseSpec{.name = "rt", .rows = 30, .cols = 20, .density = 0.2}, 7);
+  std::ostringstream out;
+  ASSERT_TRUE(write_libsvm(out, problem.dataset).is_ok());
+
+  std::istringstream in(out.str());
+  LibsvmOptions options;
+  options.num_features = 20;
+  const auto parsed = read_libsvm(in, "rt", options);
+  ASSERT_TRUE(parsed.is_ok());
+  const Dataset& back = parsed.value();
+  ASSERT_EQ(back.rows(), problem.dataset.rows());
+  for (std::size_t r = 0; r < back.rows(); ++r) {
+    EXPECT_NEAR(back.labels()[r], problem.dataset.labels()[r], 1e-12);
+    const auto a = problem.dataset.sparse_features().row(r);
+    const auto b = back.sparse_features().row(r);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (std::size_t k = 0; k < a.nnz(); ++k) {
+      EXPECT_EQ(a.indices[k], b.indices[k]);
+      EXPECT_NEAR(a.values[k], b.values[k], 1e-12);
+    }
+  }
+}
+
+TEST(Libsvm, DenseDatasetWritesNonzerosOnly) {
+  linalg::DenseMatrix m(1, 4);
+  m.at(0, 1) = 2.0;  // only one nonzero
+  Dataset d("dense", std::move(m), linalg::DenseVector{1.0});
+  std::ostringstream out;
+  ASSERT_TRUE(write_libsvm(out, d).is_ok());
+  EXPECT_EQ(out.str(), "1 2:2\n");
+}
+
+}  // namespace
+}  // namespace asyncml::data

@@ -1,0 +1,78 @@
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::data {
+namespace {
+
+TEST(ContiguousPartitions, EvenSplit) {
+  const auto parts = contiguous_partitions(12, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const RowRange& r : parts) EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(parts.front().begin, 0u);
+  EXPECT_EQ(parts.back().end, 12u);
+}
+
+TEST(ContiguousPartitions, UnevenSplitFrontLoaded) {
+  const auto parts = contiguous_partitions(10, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].size(), 3u);
+  EXPECT_EQ(parts[1].size(), 3u);
+  EXPECT_EQ(parts[2].size(), 2u);
+  EXPECT_EQ(parts[3].size(), 2u);
+}
+
+TEST(ContiguousPartitions, CoverWithoutGapsOrOverlap) {
+  const auto parts = contiguous_partitions(101, 7);
+  std::size_t cursor = 0;
+  for (const RowRange& r : parts) {
+    EXPECT_EQ(r.begin, cursor);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, 101u);
+}
+
+TEST(ContiguousPartitions, MorePartsThanRows) {
+  const auto parts = contiguous_partitions(3, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  std::size_t total = 0;
+  for (const RowRange& r : parts) total += r.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ContiguousPartitions, ZeroRows) {
+  const auto parts = contiguous_partitions(0, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  for (const RowRange& r : parts) EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(WorkerForPartition, RoundRobin) {
+  EXPECT_EQ(worker_for_partition(0, 4), 0);
+  EXPECT_EQ(worker_for_partition(5, 4), 1);
+  EXPECT_EQ(worker_for_partition(7, 4), 3);
+}
+
+TEST(PartitionsOfWorker, InverseOfRoundRobin) {
+  // 32 partitions over 8 workers: worker w owns {w, w+8, w+16, w+24}.
+  const auto owned = partitions_of_worker(2, 32, 8);
+  ASSERT_EQ(owned.size(), 4u);
+  EXPECT_EQ(owned[0], 2);
+  EXPECT_EQ(owned[3], 26);
+  for (int p : owned) EXPECT_EQ(worker_for_partition(p, 8), 2);
+}
+
+TEST(PartitionsOfWorker, OnePartitionPerWorker) {
+  // The paper's PCS setup: 32 partitions, 32 workers.
+  for (int w = 0; w < 32; ++w) {
+    const auto owned = partitions_of_worker(w, 32, 32);
+    ASSERT_EQ(owned.size(), 1u);
+    EXPECT_EQ(owned[0], w);
+  }
+}
+
+TEST(PartitionsOfWorker, WorkerBeyondPartitionsOwnsNothing) {
+  EXPECT_TRUE(partitions_of_worker(5, 4, 8).empty());
+}
+
+}  // namespace
+}  // namespace asyncml::data

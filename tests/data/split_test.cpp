@@ -1,0 +1,112 @@
+#include "data/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+#include "linalg/solve.hpp"
+
+namespace asyncml::data {
+namespace {
+
+TEST(TrainTestSplit, SizesMatchFraction) {
+  const auto problem = synthetic::tiny(100, 5, 0.0, 1);
+  const TrainTestSplit split = train_test_split(problem.dataset, 0.25, 7);
+  EXPECT_EQ(split.test.rows(), 25u);
+  EXPECT_EQ(split.train.rows(), 75u);
+  EXPECT_EQ(split.train.cols(), 5u);
+}
+
+TEST(TrainTestSplit, AtLeastOneRowEachSide) {
+  const auto problem = synthetic::tiny(4, 3, 0.0, 2);
+  const TrainTestSplit tiny_test = train_test_split(problem.dataset, 0.0, 3);
+  EXPECT_EQ(tiny_test.test.rows(), 1u);
+  const TrainTestSplit tiny_train = train_test_split(problem.dataset, 1.0, 3);
+  EXPECT_EQ(tiny_train.train.rows(), 1u);
+}
+
+TEST(TrainTestSplit, DeterministicPerSeed) {
+  const auto problem = synthetic::tiny(60, 4, 0.1, 3);
+  const auto a = train_test_split(problem.dataset, 0.3, 11);
+  const auto b = train_test_split(problem.dataset, 0.3, 11);
+  const auto c = train_test_split(problem.dataset, 0.3, 12);
+  EXPECT_EQ(a.test.labels(), b.test.labels());
+  EXPECT_NE(a.test.labels(), c.test.labels());
+}
+
+TEST(TrainTestSplit, RowsPartitionTheDataset) {
+  // Every label mass is preserved: multiset of labels of train+test equals
+  // the original (labels here are distinct reals with high probability).
+  const auto problem = synthetic::tiny(50, 4, 0.0, 4);
+  const auto split = train_test_split(problem.dataset, 0.4, 5);
+  std::multiset<double> original, recombined;
+  for (std::size_t i = 0; i < problem.dataset.rows(); ++i) {
+    original.insert(problem.dataset.labels()[i]);
+  }
+  for (std::size_t i = 0; i < split.train.rows(); ++i) {
+    recombined.insert(split.train.labels()[i]);
+  }
+  for (std::size_t i = 0; i < split.test.rows(); ++i) {
+    recombined.insert(split.test.labels()[i]);
+  }
+  EXPECT_EQ(original, recombined);
+}
+
+TEST(TrainTestSplit, SparseDatasetsSupported) {
+  const auto problem = synthetic::make_sparse(
+      synthetic::SparseSpec{.rows = 40, .cols = 30, .density = 0.2}, 6);
+  const auto split = train_test_split(problem.dataset, 0.25, 7);
+  EXPECT_FALSE(split.train.is_dense());
+  EXPECT_EQ(split.train.rows() + split.test.rows(), 40u);
+}
+
+TEST(Rmse, ZeroAtExactModel) {
+  const auto problem = synthetic::tiny(50, 5, 0.0, 8);
+  EXPECT_NEAR(rmse(problem.dataset, problem.w_star), 0.0, 1e-9);
+}
+
+TEST(Rmse, MatchesHandComputation) {
+  linalg::DenseMatrix x(2, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 1.0;
+  Dataset d("hand", std::move(x), linalg::DenseVector{0.0, 2.0});
+  // w = [1] -> residuals {1, -1} -> rmse 1.
+  EXPECT_DOUBLE_EQ(rmse(d, linalg::DenseVector{1.0}), 1.0);
+}
+
+TEST(SignAccuracy, PerfectAndChanceLevels) {
+  const auto problem = synthetic::tiny(200, 6, 0.0, 9);
+  // Binarized labels, exact model => 100% sign agreement.
+  linalg::DenseVector labels(problem.dataset.rows());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = problem.dataset.labels()[i] >= 0 ? 1.0 : -1.0;
+  }
+  Dataset binary("b", problem.dataset.dense_features(), labels);
+  EXPECT_DOUBLE_EQ(sign_accuracy(binary, problem.w_star), 1.0);
+  // The negated model gets everything wrong.
+  linalg::DenseVector negated = problem.w_star;
+  linalg::scal(-1.0, negated.span());
+  EXPECT_LT(sign_accuracy(binary, negated), 0.1);
+}
+
+TEST(RSquared, OneAtExactModelZeroAtMeanModel) {
+  const auto problem = synthetic::tiny(80, 4, 0.0, 10);
+  EXPECT_NEAR(r_squared(problem.dataset, problem.w_star), 1.0, 1e-9);
+  EXPECT_LE(r_squared(problem.dataset, linalg::DenseVector(4)), 0.5);
+}
+
+TEST(HoldoutGeneralization, FitOnTrainScoresOnTest) {
+  // End-to-end: exact least-squares fit on the train half generalizes to the
+  // held-out half of a noiseless problem.
+  const auto problem = synthetic::tiny(120, 6, 0.0, 11);
+  const auto split = train_test_split(problem.dataset, 0.5, 13);
+  const auto fit = linalg::least_squares_optimum(split.train.dense_features(),
+                                                 split.train.labels());
+  ASSERT_TRUE(fit.is_ok());
+  EXPECT_LT(rmse(split.test, fit.value()), 1e-6);
+  EXPECT_GT(r_squared(split.test, fit.value()), 0.999);
+}
+
+}  // namespace
+}  // namespace asyncml::data

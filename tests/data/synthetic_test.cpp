@@ -1,0 +1,105 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+
+namespace asyncml::data::synthetic {
+namespace {
+
+TEST(SyntheticDense, ShapeMatchesSpec) {
+  const Problem p = make_dense(DenseSpec{.name = "x", .rows = 100, .cols = 10}, 1);
+  EXPECT_TRUE(p.dataset.is_dense());
+  EXPECT_EQ(p.dataset.rows(), 100u);
+  EXPECT_EQ(p.dataset.cols(), 10u);
+  EXPECT_EQ(p.w_star.size(), 10u);
+}
+
+TEST(SyntheticDense, NoiselessLabelsAreExactMargins) {
+  const Problem p = make_dense(DenseSpec{.rows = 50, .cols = 8, .noise_std = 0.0}, 2);
+  EXPECT_TRUE(p.optimum_known());
+  for (std::size_t r = 0; r < p.dataset.rows(); ++r) {
+    EXPECT_NEAR(p.dataset.labels()[r], p.dataset.row(r).dot(p.w_star.span()), 1e-12);
+  }
+}
+
+TEST(SyntheticDense, NoisyLabelsDeviate) {
+  const Problem p = make_dense(DenseSpec{.rows = 200, .cols = 5, .noise_std = 0.5}, 3);
+  EXPECT_FALSE(p.optimum_known());
+  double total_dev = 0.0;
+  for (std::size_t r = 0; r < p.dataset.rows(); ++r) {
+    total_dev +=
+        std::abs(p.dataset.labels()[r] - p.dataset.row(r).dot(p.w_star.span()));
+  }
+  EXPECT_GT(total_dev / static_cast<double>(p.dataset.rows()), 0.1);
+}
+
+TEST(SyntheticDense, DeterministicPerSeed) {
+  const Problem a = make_dense(DenseSpec{.rows = 20, .cols = 4}, 11);
+  const Problem b = make_dense(DenseSpec{.rows = 20, .cols = 4}, 11);
+  const Problem c = make_dense(DenseSpec{.rows = 20, .cols = 4}, 12);
+  EXPECT_EQ(a.w_star, b.w_star);
+  EXPECT_DOUBLE_EQ(a.dataset.labels()[0], b.dataset.labels()[0]);
+  EXPECT_NE(a.dataset.labels()[0], c.dataset.labels()[0]);
+}
+
+TEST(SyntheticSparse, DensityApproximatelyRespected) {
+  const Problem p = make_sparse(
+      SparseSpec{.rows = 500, .cols = 1'000, .density = 0.01, .normalize_rows = false},
+      4);
+  EXPECT_FALSE(p.dataset.is_dense());
+  // Exponential jitter around the expectation: allow a factor-2 band.
+  EXPECT_GT(p.dataset.density(), 0.004);
+  EXPECT_LT(p.dataset.density(), 0.025);
+}
+
+TEST(SyntheticSparse, NormalizedRowsHaveUnitNorm) {
+  const Problem p = make_sparse(
+      SparseSpec{.rows = 50, .cols = 100, .density = 0.1, .normalize_rows = true}, 5);
+  for (std::size_t r = 0; r < p.dataset.rows(); ++r) {
+    if (p.dataset.row(r).nnz() > 0) {
+      EXPECT_NEAR(p.dataset.row(r).norm_squared(), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(Rcv1Like, StructuralProfile) {
+  const Problem p = rcv1_like(6, /*row_scale=*/0.1);  // 400 rows for speed
+  EXPECT_FALSE(p.dataset.is_dense());
+  EXPECT_EQ(p.dataset.cols(), 1'000u);
+  EXPECT_LT(p.dataset.density(), 0.02);  // very sparse
+  EXPECT_TRUE(p.optimum_known());
+  EXPECT_EQ(p.dataset.name(), "rcv1_like");
+}
+
+TEST(Mnist8mLike, StructuralProfile) {
+  const Problem p = mnist8m_like(7, /*row_scale=*/0.05);  // 400 rows
+  EXPECT_TRUE(p.dataset.is_dense());
+  EXPECT_EQ(p.dataset.cols(), 784u);
+  // Pixel-like: all features within [0, 1].
+  for (std::size_t r = 0; r < 10; ++r) {
+    const auto row = p.dataset.dense_features().row(r);
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(EpsilonLike, RowsNormalized) {
+  const Problem p = epsilon_like(8, /*row_scale=*/0.05);  // 200 rows
+  EXPECT_TRUE(p.dataset.is_dense());
+  EXPECT_EQ(p.dataset.cols(), 800u);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(p.dataset.row(r).norm_squared(), 1.0, 1e-10);
+  }
+}
+
+TEST(Tiny, MatchesRequestedShape) {
+  const Problem p = tiny(30, 5, 0.0, 9);
+  EXPECT_EQ(p.dataset.rows(), 30u);
+  EXPECT_EQ(p.dataset.cols(), 5u);
+}
+
+}  // namespace
+}  // namespace asyncml::data::synthetic

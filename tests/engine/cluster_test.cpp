@@ -1,0 +1,209 @@
+#include "engine/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "straggler/controlled_delay.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+Cluster::Config quiet_config(int workers, int cores = 1) {
+  Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = cores;
+  config.network.time_scale = 0.0;  // no charged communication in unit tests
+  return config;
+}
+
+TaskSpec make_task(Cluster& cluster, PartitionId p, TaskFn fn,
+                   double service_ms = 0.0) {
+  TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  spec.partition = p;
+  spec.fn = std::make_shared<const TaskFn>(std::move(fn));
+  spec.service_floor_ms = service_ms;
+  return spec;
+}
+
+TEST(Cluster, ExecutesTaskAndReturnsResult) {
+  Cluster cluster(quiet_config(2));
+  auto spec = make_task(cluster, 0, [](TaskContext& ctx) -> support::StatusOr<Payload> {
+    return Payload::wrap<int>(ctx.worker + 100);
+  });
+  ASSERT_TRUE(cluster.submit(1, std::move(spec)));
+  auto results = cluster.collect_n(1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[0].worker, 1);
+  EXPECT_EQ(results[0].payload.get<int>(), 101);
+}
+
+TEST(Cluster, TaskIdsMonotonic) {
+  Cluster cluster(quiet_config(1));
+  const TaskId a = cluster.next_task_id();
+  const TaskId b = cluster.next_task_id();
+  EXPECT_LT(a, b);
+}
+
+TEST(Cluster, ManyTasksAllComplete) {
+  Cluster cluster(quiet_config(4, 2));
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    auto spec = make_task(cluster, i, [i](TaskContext&) -> support::StatusOr<Payload> {
+      return Payload::wrap<int>(i);
+    });
+    cluster.submit(i % 4, std::move(spec));
+  }
+  auto results = cluster.collect_n(kTasks);
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kTasks));
+  std::set<int> values;
+  for (const TaskResult& r : results) values.insert(r.payload.get<int>());
+  EXPECT_EQ(values.size(), static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(cluster.metrics().tasks_completed.load(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Cluster, TaskExceptionBecomesErrorResult) {
+  Cluster cluster(quiet_config(1));
+  auto spec = make_task(cluster, 0, [](TaskContext&) -> support::StatusOr<Payload> {
+    throw std::runtime_error("boom");
+  });
+  cluster.submit(0, std::move(spec));
+  auto results = cluster.collect_n(1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_NE(results[0].status.message().find("boom"), std::string::npos);
+  EXPECT_EQ(cluster.metrics().tasks_failed.load(), 1u);
+}
+
+TEST(Cluster, TaskStatusErrorPropagates) {
+  Cluster cluster(quiet_config(1));
+  auto spec = make_task(cluster, 0, [](TaskContext&) -> support::StatusOr<Payload> {
+    return support::Status(support::StatusCode::kUnavailable, "no data");
+  });
+  cluster.submit(0, std::move(spec));
+  auto results = cluster.collect_n(1);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_EQ(results[0].status.code(), support::StatusCode::kUnavailable);
+}
+
+TEST(Cluster, MissingFunctionRejected) {
+  Cluster cluster(quiet_config(1));
+  TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  cluster.submit(0, std::move(spec));
+  auto results = cluster.collect_n(1);
+  EXPECT_FALSE(results[0].ok());
+}
+
+TEST(Cluster, FaultInjectorForcesFailure) {
+  Cluster::Config config = quiet_config(1);
+  std::atomic<int> injected{0};
+  config.fault_injector = [&](WorkerId, const TaskSpec&) {
+    return injected.fetch_add(1) == 0;  // fail only the first task
+  };
+  Cluster cluster(config);
+  for (int i = 0; i < 2; ++i) {
+    auto spec = make_task(cluster, i, [](TaskContext&) -> support::StatusOr<Payload> {
+      return Payload::wrap<int>(1);
+    });
+    cluster.submit(0, std::move(spec));
+  }
+  auto results = cluster.collect_n(2);
+  int failures = 0;
+  for (const TaskResult& r : results) failures += r.ok() ? 0 : 1;
+  EXPECT_EQ(failures, 1);
+}
+
+TEST(Cluster, ServiceFloorPadsExecution) {
+  Cluster cluster(quiet_config(1));
+  auto spec = make_task(
+      cluster, 0,
+      [](TaskContext&) -> support::StatusOr<Payload> { return Payload::wrap<int>(0); },
+      /*service_ms=*/8.0);
+  cluster.submit(0, std::move(spec));
+  auto results = cluster.collect_n(1);
+  EXPECT_GE(results[0].service_ms, 7.5);
+  EXPECT_GE(results[0].service_ms, results[0].compute_ms);
+}
+
+TEST(Cluster, DelayModelMultipliesServiceTime) {
+  Cluster::Config config = quiet_config(2);
+  config.delay = std::make_shared<straggler::ControlledDelay>(/*straggler=*/1,
+                                                              /*intensity=*/1.0);
+  Cluster cluster(config);
+  for (WorkerId w = 0; w < 2; ++w) {
+    auto spec = make_task(
+        cluster, w,
+        [](TaskContext&) -> support::StatusOr<Payload> { return Payload::wrap<int>(0); },
+        /*service_ms=*/6.0);
+    cluster.submit(w, std::move(spec));
+  }
+  auto results = cluster.collect_n(2);
+  double fast = 0.0, slow = 0.0;
+  for (const TaskResult& r : results) {
+    (r.worker == 1 ? slow : fast) = r.service_ms;
+  }
+  EXPECT_GE(fast, 5.5);
+  EXPECT_LT(fast, 10.0);
+  EXPECT_GE(slow, 11.0);  // 2x service
+}
+
+TEST(Cluster, TaskRngDeterministicPerPartitionSeq) {
+  Cluster cluster(quiet_config(2, 2));
+  auto grab_rng = [](TaskContext& ctx) -> support::StatusOr<Payload> {
+    return Payload::wrap<std::uint64_t>(ctx.rng());
+  };
+  auto submit = [&](WorkerId w, PartitionId p, std::uint64_t seq, std::uint64_t seed) {
+    TaskSpec spec = make_task(cluster, p, grab_rng);
+    spec.seq = seq;
+    spec.rng_seed = seed;
+    cluster.submit(w, std::move(spec));
+  };
+  // Same (seed, partition, seq) on different workers -> same stream.
+  submit(0, 3, 7, 42);
+  submit(1, 3, 7, 42);
+  // Different partition or seq -> different stream.
+  submit(0, 4, 7, 42);
+  submit(1, 3, 8, 42);
+  auto results = cluster.collect_n(4);
+  std::uint64_t same_a = 0, same_b = 0;
+  std::set<std::uint64_t> all;
+  int matched = 0;
+  for (const TaskResult& r : results) {
+    const auto v = r.payload.get<std::uint64_t>();
+    all.insert(v);
+    if (r.partition == 3 && r.seq == 7) {
+      (matched++ == 0 ? same_a : same_b) = v;
+    }
+  }
+  EXPECT_EQ(same_a, same_b);
+  EXPECT_EQ(all.size(), 3u);  // {same pair, partition-4, seq-8}
+}
+
+TEST(Cluster, ShutdownRefusesNewTasks) {
+  Cluster cluster(quiet_config(1));
+  cluster.shutdown();
+  auto spec = make_task(cluster, 0, [](TaskContext&) -> support::StatusOr<Payload> {
+    return Payload::wrap<int>(0);
+  });
+  EXPECT_FALSE(cluster.submit(0, std::move(spec)));
+}
+
+TEST(Cluster, WaitTimeRecordedBetweenTasks) {
+  Cluster cluster(quiet_config(1, 1));
+  for (int i = 0; i < 3; ++i) {
+    auto spec = make_task(cluster, i, [](TaskContext&) -> support::StatusOr<Payload> {
+      return Payload::wrap<int>(0);
+    });
+    cluster.submit(0, std::move(spec));
+  }
+  (void)cluster.collect_n(3);
+  // First task has no predecessor; the remaining two record waits.
+  EXPECT_EQ(cluster.metrics().wait_histogram(0).count(), 2u);
+}
+
+}  // namespace
+}  // namespace asyncml::engine

@@ -1,0 +1,52 @@
+#include "engine/payload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "linalg/dense_vector.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+TEST(Payload, EmptyHasNoValue) {
+  Payload p;
+  EXPECT_FALSE(p.has_value());
+  EXPECT_EQ(p.bytes(), 0u);
+}
+
+TEST(Payload, WrapAndGet) {
+  Payload p = Payload::wrap<int>(42);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p.get<int>(), 42);
+  EXPECT_EQ(p.bytes(), sizeof(int));
+}
+
+TEST(Payload, ExplicitByteSize) {
+  linalg::DenseVector v(10);
+  Payload p = Payload::wrap<linalg::DenseVector>(v, v.size_bytes());
+  EXPECT_EQ(p.bytes(), 80u);
+}
+
+TEST(Payload, HoldsChecksType) {
+  Payload p = Payload::wrap<int>(1);
+  EXPECT_TRUE(p.holds<int>());
+  EXPECT_FALSE(p.holds<double>());
+  EXPECT_FALSE(Payload{}.holds<int>());
+}
+
+TEST(Payload, SharedAcrossCopies) {
+  Payload a = Payload::wrap<std::string>(std::string("hello"));
+  Payload b = a;  // shares the underlying value
+  EXPECT_EQ(&a.get<std::string>(), &b.get<std::string>());
+}
+
+TEST(Payload, MovePreservesValue) {
+  Payload a = Payload::wrap<std::string>(std::string("xyz"), 3);
+  Payload b = std::move(a);
+  EXPECT_EQ(b.get<std::string>(), "xyz");
+  EXPECT_EQ(b.bytes(), 3u);
+}
+
+}  // namespace
+}  // namespace asyncml::engine

@@ -1,0 +1,135 @@
+#include "engine/rdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synthetic.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+TaskContext make_ctx(PartitionId p, std::uint64_t seq = 0, std::uint64_t seed = 1) {
+  TaskContext ctx;
+  ctx.partition = p;
+  ctx.seq = seq;
+  ctx.rng = support::RngStream(seed).substream(p + 1).substream(seq);
+  return ctx;
+}
+
+template <typename T>
+std::vector<T> materialize(const Rdd<T>& rdd, PartitionId p, std::uint64_t seq = 0) {
+  TaskContext ctx = make_ctx(p, seq);
+  std::vector<T> out;
+  rdd.foreach_partition(p, ctx, [&](const T& t) { out.push_back(t); });
+  return out;
+}
+
+TEST(VectorRdd, PartitionsCoverAllElements) {
+  std::vector<int> values(10);
+  std::iota(values.begin(), values.end(), 0);
+  const Rdd<int> rdd = make_vector_rdd(values, 3);
+  ASSERT_EQ(rdd.num_partitions(), 3);
+  std::vector<int> all;
+  for (int p = 0; p < 3; ++p) {
+    for (int v : materialize(rdd, p)) all.push_back(v);
+  }
+  EXPECT_EQ(all, values);
+}
+
+TEST(Rdd, MapTransformsElements) {
+  const Rdd<int> rdd = make_vector_rdd(std::vector<int>{1, 2, 3}, 1);
+  const auto doubled = rdd.map([](const int& x) { return x * 2; });
+  EXPECT_EQ(materialize(doubled, 0), (std::vector<int>{2, 4, 6}));
+}
+
+TEST(Rdd, MapChangesElementType) {
+  const Rdd<int> rdd = make_vector_rdd(std::vector<int>{1, 2}, 1);
+  const auto as_double = rdd.map([](const int& x) { return x + 0.5; });
+  EXPECT_EQ(materialize(as_double, 0), (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(Rdd, FilterDropsElements) {
+  const Rdd<int> rdd = make_vector_rdd(std::vector<int>{1, 2, 3, 4, 5}, 1);
+  const auto evens = rdd.filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(materialize(evens, 0), (std::vector<int>{2, 4}));
+}
+
+TEST(Rdd, TransformationsCompose) {
+  const Rdd<int> rdd = make_vector_rdd(std::vector<int>{1, 2, 3, 4}, 2);
+  const auto chain =
+      rdd.filter([](const int& x) { return x > 1; }).map([](const int& x) {
+        return x * 10;
+      });
+  std::vector<int> all;
+  for (int p = 0; p < 2; ++p) {
+    for (int v : materialize(chain, p)) all.push_back(v);
+  }
+  EXPECT_EQ(all, (std::vector<int>{20, 30, 40}));
+}
+
+TEST(Rdd, TransformationsAreLazyAndReusable) {
+  // The same lineage evaluated twice yields the same elements (no hidden
+  // state consumed by iteration).
+  const Rdd<int> rdd = make_vector_rdd(std::vector<int>{5, 6}, 1);
+  const auto mapped = rdd.map([](const int& x) { return x + 1; });
+  EXPECT_EQ(materialize(mapped, 0), materialize(mapped, 0));
+}
+
+TEST(Rdd, SampleFractionZeroIsEmpty) {
+  const Rdd<int> rdd = make_vector_rdd(std::vector<int>(100, 1), 1);
+  EXPECT_TRUE(materialize(rdd.sample(0.0), 0).empty());
+}
+
+TEST(Rdd, SampleFractionOneKeepsEverything) {
+  const Rdd<int> rdd = make_vector_rdd(std::vector<int>(100, 1), 1);
+  EXPECT_EQ(materialize(rdd.sample(1.0), 0).size(), 100u);
+}
+
+TEST(Rdd, SampleDeterministicPerSeq) {
+  std::vector<int> values(1'000);
+  std::iota(values.begin(), values.end(), 0);
+  const Rdd<int> rdd = make_vector_rdd(values, 1);
+  const auto sampled = rdd.sample(0.1);
+  EXPECT_EQ(materialize(sampled, 0, 5), materialize(sampled, 0, 5));
+  EXPECT_NE(materialize(sampled, 0, 5), materialize(sampled, 0, 6));
+}
+
+TEST(Rdd, SampleSizeNearExpectation) {
+  std::vector<int> values(10'000, 1);
+  const Rdd<int> rdd = make_vector_rdd(values, 1);
+  const auto sampled = materialize(rdd.sample(0.1), 0);
+  EXPECT_NEAR(static_cast<double>(sampled.size()), 1'000.0, 120.0);
+}
+
+TEST(PointsRdd, StreamsDatasetRowsPerPartition) {
+  const auto problem = data::synthetic::tiny(10, 3, 0.0, 2);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  const auto parts = data::contiguous_partitions(10, 2);
+  const Rdd<data::LabeledPoint> points = make_points_rdd(dataset, parts);
+
+  ASSERT_EQ(points.num_partitions(), 2);
+  const auto p0 = materialize(points, 0);
+  const auto p1 = materialize(points, 1);
+  ASSERT_EQ(p0.size(), 5u);
+  ASSERT_EQ(p1.size(), 5u);
+  EXPECT_EQ(p0.front().index, 0u);
+  EXPECT_EQ(p1.front().index, 5u);
+  EXPECT_DOUBLE_EQ(p0[2].label, dataset->labels()[2]);
+}
+
+TEST(PointsRdd, GlobalIndicesSurviveSampling) {
+  const auto problem = data::synthetic::tiny(100, 3, 0.0, 2);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  const auto parts = data::contiguous_partitions(100, 4);
+  const auto sampled = make_points_rdd(dataset, parts).sample(0.3);
+  for (int p = 0; p < 4; ++p) {
+    for (const auto& point : materialize(sampled, p)) {
+      EXPECT_GE(point.index, parts[p].begin);
+      EXPECT_LT(point.index, parts[p].end);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncml::engine

@@ -1,0 +1,114 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asyncml::linalg {
+namespace {
+
+TEST(Dot, DenseDense) {
+  DenseVector x{1, 2, 3, 4, 5};
+  DenseVector y{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(dot(x.span(), y.span()), 5 + 8 + 9 + 8 + 5);
+}
+
+TEST(Dot, EmptyVectorsZero) {
+  DenseVector x, y;
+  EXPECT_DOUBLE_EQ(dot(x.span(), y.span()), 0.0);
+}
+
+TEST(Dot, UnrolledTailHandled) {
+  // Sizes around the 4-way unroll boundary.
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u}) {
+    DenseVector x(n, 2.0), y(n, 3.0);
+    EXPECT_DOUBLE_EQ(dot(x.span(), y.span()), 6.0 * static_cast<double>(n)) << n;
+  }
+}
+
+TEST(Dot, SparseDense) {
+  SparseVector s;
+  s.push_back(1, 2.0);
+  s.push_back(3, -1.0);
+  DenseVector y{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(dot(s.view(), y.span()), 2.0 * 20 - 40);
+}
+
+TEST(Axpy, Dense) {
+  DenseVector x{1, 2, 3};
+  DenseVector y{10, 10, 10};
+  axpy(2.0, x.span(), y.span());
+  EXPECT_DOUBLE_EQ(y[0], 12);
+  EXPECT_DOUBLE_EQ(y[2], 16);
+}
+
+TEST(Axpy, SparseScatter) {
+  SparseVector s;
+  s.push_back(0, 1.0);
+  s.push_back(2, 3.0);
+  DenseVector y(3);
+  axpy(-1.0, s.view(), y.span());
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], -3.0);
+}
+
+TEST(Scal, ScalesInPlace) {
+  DenseVector x{2, 4};
+  scal(0.5, x.span());
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Nrm2, MatchesHand) {
+  DenseVector x{3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(x.span()), 5.0);
+  EXPECT_DOUBLE_EQ(nrm2_squared(x.span()), 25.0);
+}
+
+TEST(Gemv, DenseMatrixVector) {
+  DenseMatrix a(2, 3);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(0, 2) = 3;
+  a.at(1, 0) = 4;
+  a.at(1, 1) = 5;
+  a.at(1, 2) = 6;
+  DenseVector x{1, 1, 1};
+  DenseVector out(2);
+  gemv(a, x.span(), out.span());
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(Spmv, SparseMatrixVector) {
+  CsrMatrix m = CsrMatrix::for_appending(3);
+  SparseVector r0;
+  r0.push_back(0, 2.0);
+  SparseVector r1;
+  r1.push_back(1, 1.0);
+  r1.push_back(2, 1.0);
+  m.append_row(r0);
+  m.append_row(r1);
+  DenseVector x{1, 2, 3};
+  DenseVector out(2);
+  spmv(m, x.span(), out.span());
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.0);
+}
+
+TEST(Copy, CopiesElements) {
+  DenseVector x{1, 2, 3};
+  DenseVector y(3);
+  copy(x.span(), y.span());
+  EXPECT_EQ(x, y);
+}
+
+TEST(MaxAbsDiff, FindsLargestDeviation) {
+  DenseVector x{1, 2, 3};
+  DenseVector y{1, 5, 2};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x.span(), y.span()), 3.0);
+}
+
+}  // namespace
+}  // namespace asyncml::linalg

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/dense_vector.hpp"
+
+namespace asyncml::linalg {
+namespace {
+
+TEST(DenseVector, ConstructionAndFill) {
+  DenseVector v(4, 1.5);
+  ASSERT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 1.5);
+  v.set_zero();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(DenseVector, InitializerList) {
+  DenseVector v{1.0, 2.0, 3.0};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(DenseVector, SpanAliasesStorage) {
+  DenseVector v(3);
+  v.span()[2] = 7.0;
+  EXPECT_DOUBLE_EQ(v[2], 7.0);
+}
+
+TEST(DenseVector, SizeBytes) {
+  DenseVector v(10);
+  EXPECT_EQ(v.size_bytes(), 80u);
+}
+
+TEST(DenseVector, EqualityAndCopy) {
+  DenseVector a{1, 2, 3};
+  DenseVector b = a;
+  EXPECT_EQ(a, b);
+  b[0] = 9;
+  EXPECT_NE(a, b);
+}
+
+TEST(DenseVector, ToStringTruncates) {
+  DenseVector v(20, 1.0);
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("(20 total)"), std::string::npos);
+}
+
+TEST(DenseMatrix, RowMajorLayout) {
+  DenseMatrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 2) = 3;
+  m.at(1, 1) = 5;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3.0);
+  EXPECT_DOUBLE_EQ(m.data()[4], 5.0);
+}
+
+TEST(DenseMatrix, RowViewAliases) {
+  DenseMatrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 4.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 4.0);
+}
+
+TEST(DenseMatrix, Dimensions) {
+  DenseMatrix m(5, 7);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 7u);
+  EXPECT_EQ(m.size_bytes(), 5u * 7u * 8u);
+}
+
+}  // namespace
+}  // namespace asyncml::linalg

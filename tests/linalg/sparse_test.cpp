@@ -1,0 +1,86 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::linalg {
+namespace {
+
+TEST(SparseVector, PushBackKeepsParallelArrays) {
+  SparseVector v;
+  v.push_back(1, 0.5);
+  v.push_back(7, -2.0);
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.indices()[1], 7u);
+  EXPECT_DOUBLE_EQ(v.values()[1], -2.0);
+}
+
+TEST(SparseVector, ViewReflectsContents) {
+  SparseVector v({0, 3}, {1.0, 2.0});
+  const SparseRowView view = v.view();
+  ASSERT_EQ(view.nnz(), 2u);
+  EXPECT_EQ(view.indices[1], 3u);
+  EXPECT_DOUBLE_EQ(view.values[0], 1.0);
+}
+
+TEST(CsrMatrix, AppendRowsAndRead) {
+  CsrMatrix m = CsrMatrix::for_appending(10);
+  SparseVector r0;
+  r0.push_back(0, 1.0);
+  r0.push_back(9, 2.0);
+  SparseVector r1;  // empty row
+  SparseVector r2;
+  r2.push_back(4, 3.0);
+  m.append_row(r0);
+  m.append_row(r1);
+  m.append_row(r2);
+
+  ASSERT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 10u);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.row(0).nnz(), 2u);
+  EXPECT_EQ(m.row(1).nnz(), 0u);
+  EXPECT_EQ(m.row(2).indices[0], 4u);
+  EXPECT_DOUBLE_EQ(m.row(2).values[0], 3.0);
+}
+
+TEST(CsrMatrix, DensityComputed) {
+  CsrMatrix m = CsrMatrix::for_appending(10);
+  SparseVector row;
+  row.push_back(2, 1.0);
+  m.append_row(row);
+  m.append_row(row);
+  EXPECT_DOUBLE_EQ(m.density(), 2.0 / 20.0);
+}
+
+TEST(CsrMatrix, EmptyMatrixDensityZero) {
+  CsrMatrix m = CsrMatrix::for_appending(5);
+  EXPECT_DOUBLE_EQ(m.density(), 0.0);
+}
+
+TEST(CsrFromRows, BuildsEquivalentMatrix) {
+  std::vector<SparseVector> rows(2);
+  rows[0].push_back(1, 5.0);
+  rows[1].push_back(0, 6.0);
+  rows[1].push_back(2, 7.0);
+  const CsrMatrix m = csr_from_rows(rows, 3);
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m.row(1).values[1], 7.0);
+}
+
+TEST(CsrWellFormed, AcceptsValidMatrix) {
+  std::vector<SparseVector> rows(1);
+  rows[0].push_back(0, 1.0);
+  rows[0].push_back(2, 1.0);
+  EXPECT_TRUE(csr_is_well_formed(csr_from_rows(rows, 3)));
+}
+
+TEST(CsrMatrix, SizeBytesAccounts) {
+  CsrMatrix m = CsrMatrix::for_appending(10);
+  SparseVector row;
+  row.push_back(1, 2.0);
+  m.append_row(row);
+  EXPECT_GT(m.size_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncml::linalg

@@ -1,0 +1,90 @@
+#include "optim/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asyncml::optim {
+namespace {
+
+TEST(LeastSquares, ValueAndDerivative) {
+  LeastSquaresLoss loss;
+  EXPECT_DOUBLE_EQ(loss.value(3.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(loss.derivative(3.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(loss.value(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.derivative(1.0, 1.0), 0.0);
+}
+
+TEST(Logistic, ValueAtZeroMarginIsLog2) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.value(0.0, 1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(loss.value(0.0, -1.0), std::log(2.0), 1e-12);
+}
+
+TEST(Logistic, CorrectConfidentPredictionLowLoss) {
+  LogisticLoss loss;
+  EXPECT_LT(loss.value(10.0, 1.0), 1e-4);
+  EXPECT_GT(loss.value(-10.0, 1.0), 9.0);
+}
+
+TEST(Logistic, DerivativeSignOpposesLabel) {
+  LogisticLoss loss;
+  EXPECT_LT(loss.derivative(0.0, 1.0), 0.0);   // push margin up
+  EXPECT_GT(loss.derivative(0.0, -1.0), 0.0);  // push margin down
+}
+
+TEST(Logistic, StableAtExtremeMargins) {
+  LogisticLoss loss;
+  EXPECT_TRUE(std::isfinite(loss.value(1e3, -1.0)));
+  EXPECT_TRUE(std::isfinite(loss.value(-1e3, -1.0)));
+  EXPECT_TRUE(std::isfinite(loss.derivative(1e3, -1.0)));
+  EXPECT_NEAR(loss.derivative(1e3, 1.0), 0.0, 1e-12);
+}
+
+TEST(SquaredHinge, ZeroBeyondMargin) {
+  SquaredHingeLoss loss;
+  EXPECT_DOUBLE_EQ(loss.value(2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.derivative(2.0, 1.0), 0.0);
+}
+
+TEST(SquaredHinge, QuadraticInsideMargin) {
+  SquaredHingeLoss loss;
+  EXPECT_DOUBLE_EQ(loss.value(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(loss.derivative(0.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(loss.value(0.5, 1.0), 0.25);
+}
+
+TEST(Factories, ProduceNamedLosses) {
+  EXPECT_EQ(make_least_squares()->name(), "least_squares");
+  EXPECT_EQ(make_logistic()->name(), "logistic");
+  EXPECT_EQ(make_squared_hinge()->name(), "squared_hinge");
+}
+
+// Finite-difference check: derivative(m, y) ≈ dℓ/dm for all losses.
+class LossGradientCheck : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LossGradientCheck, MatchesFiniteDifference) {
+  std::shared_ptr<const Loss> loss;
+  const std::string which = GetParam();
+  if (which == "ls") loss = make_least_squares();
+  if (which == "logistic") loss = make_logistic();
+  if (which == "hinge") loss = make_squared_hinge();
+  ASSERT_NE(loss, nullptr);
+
+  const double eps = 1e-6;
+  for (double margin : {-2.0, -0.5, 0.0, 0.3, 1.7}) {
+    for (double label : {-1.0, 1.0, 2.5}) {
+      const double fd =
+          (loss->value(margin + eps, label) - loss->value(margin - eps, label)) /
+          (2 * eps);
+      EXPECT_NEAR(loss->derivative(margin, label), fd, 1e-5)
+          << which << " margin=" << margin << " label=" << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradientCheck,
+                         ::testing::Values("ls", "logistic", "hinge"));
+
+}  // namespace
+}  // namespace asyncml::optim

@@ -1,0 +1,47 @@
+#include "optim/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "optim/objective.hpp"
+
+namespace asyncml::optim {
+namespace {
+
+TEST(SerialSgd, ReducesObjectiveOnNoiselessProblem) {
+  const auto problem = data::synthetic::tiny(200, 8, 0.0, 1);
+  LeastSquaresLoss loss;
+  const auto w = serial_sgd(problem.dataset, loss, 300, 0.2,
+                            inverse_decay_step(0.05, 1.0, 0.01), 7);
+  EXPECT_LT(full_objective(problem.dataset, loss, w), 0.05);
+}
+
+TEST(SerialSgd, DeterministicPerSeed) {
+  const auto problem = data::synthetic::tiny(50, 4, 0.0, 2);
+  LeastSquaresLoss loss;
+  const auto a = serial_sgd(problem.dataset, loss, 50, 0.3, constant_step(0.05), 9);
+  const auto b = serial_sgd(problem.dataset, loss, 50, 0.3, constant_step(0.05), 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SerialSaga, LinearConvergenceOnNoiselessProblem) {
+  // SAGA with a constant step converges to the exact optimum on smooth
+  // strongly convex problems — the variance-reduction property itself.
+  const auto problem = data::synthetic::tiny(150, 6, 0.0, 3);
+  LeastSquaresLoss loss;
+  const auto w = serial_saga(problem.dataset, loss, 600, 0.2, 0.02, 11);
+  EXPECT_LT(full_objective(problem.dataset, loss, w), 1e-6);
+}
+
+TEST(SerialSaga, BeatsSgdAtEqualBudget) {
+  const auto problem = data::synthetic::tiny(150, 6, 0.0, 4);
+  LeastSquaresLoss loss;
+  const auto w_saga = serial_saga(problem.dataset, loss, 400, 0.2, 0.02, 13);
+  const auto w_sgd = serial_sgd(problem.dataset, loss, 400, 0.2,
+                                inverse_decay_step(0.02, 1.0, 0.01), 13);
+  EXPECT_LT(full_objective(problem.dataset, loss, w_saga),
+            full_objective(problem.dataset, loss, w_sgd));
+}
+
+}  // namespace
+}  // namespace asyncml::optim

@@ -1,0 +1,47 @@
+#include "optim/step_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace asyncml::optim {
+namespace {
+
+TEST(ConstantStep, AlwaysSame) {
+  const StepSchedule s = constant_step(0.3);
+  EXPECT_DOUBLE_EQ(s(0), 0.3);
+  EXPECT_DOUBLE_EQ(s(1'000'000), 0.3);
+}
+
+TEST(InverseDecay, MatchesFormula) {
+  const StepSchedule s = inverse_decay_step(1.0, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(s(0), 0.5);
+  EXPECT_DOUBLE_EQ(s(4), 1.0 / 4.0);
+}
+
+TEST(InvSqrt, MatchesMllibDecay) {
+  const StepSchedule s = inv_sqrt_step(2.0);
+  EXPECT_DOUBLE_EQ(s(0), 2.0);
+  EXPECT_DOUBLE_EQ(s(3), 1.0);
+  EXPECT_NEAR(s(99), 0.2, 1e-12);
+}
+
+TEST(Schedules, MonotoneNonIncreasing) {
+  for (const StepSchedule& s :
+       {inverse_decay_step(1.0, 1.0, 0.1), inv_sqrt_step(1.0)}) {
+    double prev = s(0);
+    for (std::uint64_t k = 1; k < 200; k += 7) {
+      const double cur = s(k);
+      EXPECT_LE(cur, prev + 1e-15);
+      prev = cur;
+    }
+  }
+}
+
+TEST(Schedules, AlwaysPositive) {
+  const StepSchedule s = inv_sqrt_step(0.5);
+  for (std::uint64_t k = 0; k < 10'000; k += 97) EXPECT_GT(s(k), 0.0);
+}
+
+}  // namespace
+}  // namespace asyncml::optim

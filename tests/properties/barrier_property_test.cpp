@@ -1,0 +1,113 @@
+// Property sweeps over barrier controls: monotonicity in thresholds and
+// consistency across randomized STAT snapshots.
+
+#include <gtest/gtest.h>
+
+#include "core/barrier.hpp"
+#include "support/rng.hpp"
+
+namespace asyncml::core {
+namespace {
+
+StatSnapshot random_snapshot(support::RngStream& rng, int workers) {
+  StatSnapshot snap;
+  snap.current_version = rng.next_below(100);
+  snap.workers.resize(workers);
+  for (int w = 0; w < workers; ++w) {
+    WorkerStat& row = snap.workers[w];
+    row.id = w;
+    row.outstanding = static_cast<int>(rng.next_below(3));
+    row.available = row.outstanding == 0;
+    row.ever_dispatched = rng.bernoulli(0.8);
+    row.task_staleness = row.ever_dispatched ? rng.next_below(20) : 0;
+    row.tasks_completed = rng.next_below(50);
+    row.avg_task_ms = rng.uniform(0.5, 10.0);
+  }
+  return snap;
+}
+
+class BarrierRandomSnapshots : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierRandomSnapshots, SspMonotoneInBound) {
+  // If SSP(s) opens the gate, SSP(s') with s' >= s must open it too.
+  support::RngStream rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const StatSnapshot snap = random_snapshot(rng, 8);
+    bool prev_open = false;
+    for (std::uint64_t s = 1; s <= 25; ++s) {
+      const bool open = barriers::ssp(s).gate(snap);
+      if (prev_open) EXPECT_TRUE(open) << "SSP not monotone at s=" << s;
+      prev_open = open;
+    }
+  }
+}
+
+TEST_P(BarrierRandomSnapshots, AvailableFractionMonotoneInBeta) {
+  // If the gate opens at beta, it must open at any smaller beta' (fewer
+  // required workers).
+  support::RngStream rng(GetParam() + 1'000);
+  for (int trial = 0; trial < 200; ++trial) {
+    const StatSnapshot snap = random_snapshot(rng, 8);
+    bool prev_open = false;
+    for (double beta = 1.0; beta >= 0.1; beta -= 0.1) {
+      const bool open = barriers::available_fraction(beta).gate(snap);
+      if (prev_open) EXPECT_TRUE(open) << "beta barrier not monotone at " << beta;
+      prev_open = open;
+    }
+  }
+}
+
+TEST_P(BarrierRandomSnapshots, BspImpliesEveryFractionGate) {
+  support::RngStream rng(GetParam() + 2'000);
+  for (int trial = 0; trial < 200; ++trial) {
+    const StatSnapshot snap = random_snapshot(rng, 6);
+    if (barriers::bsp().gate(snap)) {
+      for (double beta : {0.25, 0.5, 0.75, 1.0}) {
+        EXPECT_TRUE(barriers::available_fraction(beta).gate(snap));
+      }
+    }
+  }
+}
+
+TEST_P(BarrierRandomSnapshots, AspAdmitsSupersetOfEveryFilter) {
+  support::RngStream rng(GetParam() + 3'000);
+  const BarrierControl asp = barriers::asp();
+  const BarrierControl ctime = barriers::completion_time_within(1.2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const StatSnapshot snap = random_snapshot(rng, 8);
+    for (const WorkerStat& w : snap.workers) {
+      if (ctime.filter(w, snap)) EXPECT_TRUE(asp.filter(w, snap));
+    }
+  }
+}
+
+TEST_P(BarrierRandomSnapshots, BothIsIntersection) {
+  support::RngStream rng(GetParam() + 4'000);
+  const BarrierControl a = barriers::ssp(5);
+  const BarrierControl b = barriers::available_fraction(0.5);
+  const BarrierControl ab = barriers::both(a, b);
+  for (int trial = 0; trial < 200; ++trial) {
+    const StatSnapshot snap = random_snapshot(rng, 8);
+    EXPECT_EQ(ab.gate(snap), a.gate(snap) && b.gate(snap));
+  }
+}
+
+TEST_P(BarrierRandomSnapshots, CompletionTimeMonotoneInRatio) {
+  support::RngStream rng(GetParam() + 5'000);
+  for (int trial = 0; trial < 100; ++trial) {
+    const StatSnapshot snap = random_snapshot(rng, 8);
+    for (const WorkerStat& w : snap.workers) {
+      bool prev_pass = false;
+      for (double ratio = 0.5; ratio <= 3.0; ratio += 0.25) {
+        const bool pass = barriers::completion_time_within(ratio).filter(w, snap);
+        if (prev_pass) EXPECT_TRUE(pass);
+        prev_pass = pass;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BarrierRandomSnapshots, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace asyncml::core

@@ -1,0 +1,81 @@
+// Property sweep: engine aggregations equal serial folds for arbitrary data,
+// across partition counts, worker counts, and aggregation topology
+// (flat aggregate vs treeAggregate at several fanouts).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "engine/actions.hpp"
+#include "support/rng.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+using Param = std::tuple<int /*workers*/, int /*partitions*/, int /*fanout: 0=flat*/>;
+
+class ReduceEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ReduceEquivalence, MatchesSerialFold) {
+  const auto [workers, partitions, fanout] = GetParam();
+
+  support::RngStream rng(1234 + workers * 100 + partitions * 10 + fanout);
+  std::vector<long> values(500);
+  for (auto& v : values) v = static_cast<long>(rng.next_below(1'000));
+  const long expected = std::accumulate(values.begin(), values.end(), 0L);
+
+  Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 2;
+  config.network.time_scale = 0.0;
+  Cluster cluster(config);
+
+  const Rdd<long> rdd = make_vector_rdd(values, partitions);
+  const auto seq = [](long acc, const long& x) { return acc + x; };
+  const auto comb = [](long a, const long& b) { return a + b; };
+
+  const long total =
+      fanout == 0
+          ? aggregate_sync(cluster, rdd, 0L, seq, comb, StageOptions{})
+          : tree_aggregate_sync(cluster, rdd, 0L, seq, comb, StageOptions{}, fanout);
+  EXPECT_EQ(total, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, ReduceEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 5), ::testing::Values(1, 3, 8, 16),
+                       ::testing::Values(0, 2, 4)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_f" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Floating-point variant: aggregation order may differ, so compare with a
+// tolerance scaled to the magnitude of the sum.
+class FloatReduceEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloatReduceEquivalence, CloseToSerialFold) {
+  const int partitions = GetParam();
+  support::RngStream rng(42);
+  std::vector<double> values(2'000);
+  for (auto& v : values) v = rng.next_gaussian();
+  const double expected = std::accumulate(values.begin(), values.end(), 0.0);
+
+  Cluster::Config config;
+  config.num_workers = 4;
+  config.network.time_scale = 0.0;
+  Cluster cluster(config);
+  const double total = aggregate_sync(
+      cluster, make_vector_rdd(values, partitions), 0.0,
+      [](double acc, const double& x) { return acc + x; },
+      [](double a, const double& b) { return a + b; }, StageOptions{});
+  EXPECT_NEAR(total, expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, FloatReduceEquivalence,
+                         ::testing::Values(1, 2, 7, 32));
+
+}  // namespace
+}  // namespace asyncml::engine

@@ -1,0 +1,104 @@
+// Sampling properties of the RDD layer: determinism per (seed, partition,
+// seq), freshness across rounds, and statistical behaviour of mini-batch
+// sizes — the contract that makes Spark-style recompute-on-retry sound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "engine/rdd.hpp"
+#include "support/rng.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+std::vector<int> sample_once(const Rdd<int>& sampled, PartitionId p, std::uint64_t seq,
+                             std::uint64_t seed) {
+  TaskContext ctx;
+  ctx.partition = p;
+  ctx.seq = seq;
+  ctx.rng = support::RngStream(seed).substream(p + 1).substream(seq);
+  std::vector<int> out;
+  sampled.foreach_partition(p, ctx, [&](const int& v) { out.push_back(v); });
+  return out;
+}
+
+class SamplingSweep
+    : public ::testing::TestWithParam<std::tuple<double /*fraction*/, int /*parts*/>> {};
+
+TEST_P(SamplingSweep, DeterministicPerKey) {
+  const auto [fraction, parts] = GetParam();
+  std::vector<int> values(3'000);
+  std::iota(values.begin(), values.end(), 0);
+  const Rdd<int> sampled = make_vector_rdd(values, parts).sample(fraction);
+
+  for (int p = 0; p < parts; ++p) {
+    EXPECT_EQ(sample_once(sampled, p, 3, 42), sample_once(sampled, p, 3, 42));
+  }
+}
+
+TEST_P(SamplingSweep, FreshBatchPerRound) {
+  const auto [fraction, parts] = GetParam();
+  if (fraction == 0.0 || fraction == 1.0) {
+    GTEST_SKIP() << "empty/full batches are identical across rounds by definition";
+  }
+  std::vector<int> values(3'000);
+  std::iota(values.begin(), values.end(), 0);
+  const Rdd<int> sampled = make_vector_rdd(values, parts).sample(fraction);
+
+  int identical = 0;
+  for (int p = 0; p < parts; ++p) {
+    if (sample_once(sampled, p, 1, 42) == sample_once(sampled, p, 2, 42)) ++identical;
+  }
+  EXPECT_LT(identical, parts);  // at least one partition's batch changed
+}
+
+TEST_P(SamplingSweep, BatchSizeConcentratesAroundExpectation) {
+  const auto [fraction, parts] = GetParam();
+  std::vector<int> values(3'000);
+  std::iota(values.begin(), values.end(), 0);
+  const Rdd<int> sampled = make_vector_rdd(values, parts).sample(fraction);
+
+  std::size_t total = 0;
+  for (int p = 0; p < parts; ++p) total += sample_once(sampled, p, 9, 7).size();
+  const double expected = 3'000.0 * fraction;
+  // 5 standard deviations of Binomial(3000, f).
+  const double sd = std::sqrt(3'000.0 * fraction * (1.0 - fraction));
+  EXPECT_NEAR(static_cast<double>(total), expected, 5.0 * sd + 1.0);
+}
+
+TEST_P(SamplingSweep, SamplesComeFromOwnPartition) {
+  const auto [fraction, parts] = GetParam();
+  std::vector<int> values(3'000);
+  std::iota(values.begin(), values.end(), 0);
+  const auto ranges = data::contiguous_partitions(3'000, parts);
+  const Rdd<int> sampled = make_vector_rdd(values, parts).sample(fraction);
+
+  for (int p = 0; p < parts; ++p) {
+    for (int v : sample_once(sampled, p, 4, 11)) {
+      EXPECT_GE(static_cast<std::size_t>(v), ranges[p].begin);
+      EXPECT_LT(static_cast<std::size_t>(v), ranges[p].end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FractionsAndParts, SamplingSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.01, 0.1, 0.5, 1.0),
+                       ::testing::Values(1, 4, 16)),
+    [](const ::testing::TestParamInfo<std::tuple<double, int>>& info) {
+      const int pct = static_cast<int>(std::get<0>(info.param) * 100);
+      return "f" + std::to_string(pct) + "_p" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SamplingIndependence, DifferentSeedsGiveDifferentBatches) {
+  std::vector<int> values(1'000);
+  std::iota(values.begin(), values.end(), 0);
+  const Rdd<int> sampled = make_vector_rdd(values, 1).sample(0.2);
+  EXPECT_NE(sample_once(sampled, 0, 1, 100), sample_once(sampled, 0, 1, 101));
+}
+
+}  // namespace
+}  // namespace asyncml::engine

@@ -1,0 +1,94 @@
+// Cross-algorithm property sweep: every solver × barrier combination on the
+// same tiny noiseless problem must (a) run to its budget without deadlock or
+// retry storms and (b) reduce the objective substantially. This is the
+// "no configuration wedges the machinery" safety net for the whole stack.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "data/synthetic.hpp"
+#include "optim/asaga.hpp"
+#include "optim/asgd.hpp"
+#include "optim/epoch_vr.hpp"
+#include "optim/objective.hpp"
+#include "optim/saga.hpp"
+#include "optim/sgd.hpp"
+
+namespace asyncml::optim {
+namespace {
+
+using Param = std::tuple<const char* /*algo*/, const char* /*barrier*/>;
+
+class SolverBarrierSweep : public ::testing::TestWithParam<Param> {};
+
+core::BarrierControl barrier_by_name(const std::string& name) {
+  if (name == "bsp") return core::barriers::bsp();
+  if (name == "ssp") return core::barriers::ssp(12);
+  if (name == "beta") return core::barriers::available_fraction(0.5);
+  if (name == "psp") return core::barriers::probabilistic(0.7, 3);
+  return core::barriers::asp();
+}
+
+TEST_P(SolverBarrierSweep, RunsToBudgetAndImproves) {
+  const auto [algo_name, barrier_name] = GetParam();
+  const std::string algo = algo_name;
+
+  const auto problem = data::synthetic::tiny(200, 8, 0.0, 17);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  const Workload workload = Workload::create(dataset, 8, make_least_squares());
+
+  engine::Cluster::Config cluster_config;
+  cluster_config.num_workers = 4;
+  cluster_config.cores_per_worker = 2;
+  cluster_config.network.time_scale = 0.0;
+  engine::Cluster cluster(cluster_config);
+
+  SolverConfig config;
+  config.batch_fraction = 0.25;
+  config.service_floor_ms = 0.1;
+  config.eval_every = 50;
+  config.barrier = barrier_by_name(barrier_name);
+  config.seed = 23;
+
+  RunResult result;
+  if (algo == "sgd") {
+    config.updates = 80;
+    config.step = inverse_decay_step(0.05, 1.0, 0.01);
+    result = SgdSolver::run(cluster, workload, config);
+  } else if (algo == "saga") {
+    config.updates = 80;
+    config.step = constant_step(0.02);
+    result = SagaSolver::run(cluster, workload, config);
+  } else if (algo == "asgd") {
+    config.updates = 320;
+    config.step = inverse_decay_step(0.05, 1.0, 0.01);
+    result = AsgdSolver::run(cluster, workload, config);
+  } else if (algo == "asaga") {
+    config.updates = 320;
+    config.step = constant_step(0.02);
+    result = AsagaSolver::run(cluster, workload, config);
+  } else if (algo == "epochvr") {
+    config.updates = 240;
+    config.epoch_inner_updates = 60;
+    config.step = constant_step(0.05);
+    result = EpochVrSolver::run(cluster, workload, config);
+  }
+
+  EXPECT_GE(result.updates, 80u);
+  EXPECT_LT(result.final_error(), result.trace.front().error * 0.5)
+      << algo << " under " << barrier_name;
+  // Nothing should have needed the failure path on a healthy cluster.
+  EXPECT_EQ(cluster.metrics().tasks_failed.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsTimesBarriers, SolverBarrierSweep,
+    ::testing::Combine(::testing::Values("sgd", "saga", "asgd", "asaga", "epochvr"),
+                       ::testing::Values("asp", "bsp", "ssp", "beta", "psp")),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(std::get<0>(info.param)) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace asyncml::optim

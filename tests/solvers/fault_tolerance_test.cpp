@@ -1,0 +1,99 @@
+// Fault-tolerance integration: injected task failures must be retried
+// (Spark semantics) and must not change results beyond floating-point noise.
+//
+// The fault injector fires *before* the task function runs, so stateful map
+// closures (SAGA's version table) are never half-applied — matching the
+// documented idempotency contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "data/synthetic.hpp"
+#include "optim/asgd.hpp"
+#include "optim/objective.hpp"
+#include "optim/sgd.hpp"
+
+namespace asyncml::optim {
+namespace {
+
+Workload tiny_workload(std::uint64_t seed) {
+  const auto problem = data::synthetic::tiny(120, 6, 0.0, seed);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  return Workload::create(dataset, 4, make_least_squares());
+}
+
+SolverConfig fast_config(std::uint64_t updates) {
+  SolverConfig config;
+  config.updates = updates;
+  config.batch_fraction = 0.3;
+  config.step = inverse_decay_step(0.05, 1.0, 0.01);
+  config.service_floor_ms = 0.1;
+  config.eval_every = 10;
+  return config;
+}
+
+engine::Cluster::Config faulty_config(int workers, engine::FaultInjector injector) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 1;
+  config.network.time_scale = 0.0;
+  config.fault_injector = std::move(injector);
+  return config;
+}
+
+TEST(FaultTolerance, SyncSgdSurvivesTransientFaults) {
+  std::atomic<int> countdown{5};  // first five tasks fail
+  engine::Cluster cluster(faulty_config(2, [&](engine::WorkerId, const engine::TaskSpec&) {
+    return countdown.fetch_sub(1) > 0;
+  }));
+  const Workload workload = tiny_workload(1);
+  const RunResult result = SgdSolver::run(cluster, workload, fast_config(30));
+  EXPECT_LT(result.final_error(), 0.5);
+  EXPECT_EQ(cluster.metrics().tasks_failed.load(), 5u);
+}
+
+TEST(FaultTolerance, SyncResultIdenticalWithAndWithoutFaults) {
+  // Retries recompute the same deterministic batch, so the trajectory is
+  // bit-identical to a failure-free run.
+  const Workload workload = tiny_workload(2);
+  const SolverConfig config = fast_config(20);
+
+  engine::Cluster clean(faulty_config(2, nullptr));
+  const RunResult a = SgdSolver::run(clean, workload, config);
+
+  std::atomic<int> countdown{3};
+  engine::Cluster faulty(faulty_config(2, [&](engine::WorkerId, const engine::TaskSpec&) {
+    return countdown.fetch_sub(1) > 0;
+  }));
+  const RunResult b = SgdSolver::run(faulty, workload, config);
+
+  EXPECT_DOUBLE_EQ(a.final_error(), b.final_error());
+}
+
+TEST(FaultTolerance, AsgdRetriesFailedTasks) {
+  std::atomic<int> countdown{4};
+  engine::Cluster cluster(faulty_config(2, [&](engine::WorkerId, const engine::TaskSpec&) {
+    return countdown.fetch_sub(1) > 0;
+  }));
+  const Workload workload = tiny_workload(3);
+  const RunResult result = AsgdSolver::run(cluster, workload, fast_config(60));
+  EXPECT_EQ(result.updates, 60u);  // budget still met despite failures
+  EXPECT_EQ(cluster.metrics().tasks_failed.load(), 4u);
+  EXPECT_LT(result.final_error(), 0.5);
+}
+
+TEST(FaultTolerance, PersistentSingleWorkerFaultHandledByRetryHop) {
+  // Worker 0 never succeeds; retries hop to worker 1 and the job completes.
+  engine::Cluster cluster(faulty_config(2, [](engine::WorkerId w, const engine::TaskSpec&) {
+    return w == 0;
+  }));
+  const Workload workload = tiny_workload(4);
+  SolverConfig config = fast_config(10);
+  const RunResult result = SgdSolver::run(cluster, workload, config);
+  EXPECT_LT(result.final_error(), 1.0);
+  EXPECT_GT(cluster.metrics().tasks_failed.load(), 0u);
+}
+
+}  // namespace
+}  // namespace asyncml::optim

@@ -1,0 +1,88 @@
+// Hogwild shared-memory baseline: lock-free multi-threaded SGD must converge
+// despite genuine data races on the model (the algorithm's defining claim).
+
+#include "optim/hogwild.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "optim/objective.hpp"
+
+namespace asyncml::optim {
+namespace {
+
+TEST(Hogwild, SingleThreadMatchesPlainSgdBehaviour) {
+  const auto problem = data::synthetic::tiny(200, 8, 0.0, 1);
+  LeastSquaresLoss loss;
+  HogwildConfig config;
+  config.threads = 1;
+  config.updates_per_thread = 400;
+  config.batch_size = 8;
+  config.step = constant_step(0.02);
+  const RunResult result = HogwildSolver::run(problem.dataset, loss, config);
+  EXPECT_EQ(result.algorithm, "Hogwild");
+  EXPECT_EQ(result.updates, 400u);
+  EXPECT_LT(result.final_error(), 0.05);
+}
+
+TEST(Hogwild, ConvergesWithRacingThreads) {
+  const auto problem = data::synthetic::tiny(400, 10, 0.0, 2);
+  LeastSquaresLoss loss;
+  HogwildConfig config;
+  config.threads = 4;
+  config.updates_per_thread = 300;
+  config.batch_size = 8;
+  config.step = constant_step(0.01);
+  const RunResult result = HogwildSolver::run(problem.dataset, loss, config);
+  EXPECT_EQ(result.updates, 4u * 300u);
+  EXPECT_LT(result.final_error(), 0.05);
+}
+
+TEST(Hogwild, SparseDataPath) {
+  const auto problem = data::synthetic::make_sparse(
+      data::synthetic::SparseSpec{
+          .rows = 300, .cols = 60, .density = 0.1, .normalize_rows = false},
+      3);
+  LeastSquaresLoss loss;
+  HogwildConfig config;
+  config.threads = 3;
+  config.updates_per_thread = 400;
+  config.batch_size = 8;
+  config.step = constant_step(0.02);
+  const RunResult result = HogwildSolver::run(problem.dataset, loss, config);
+  EXPECT_LT(result.final_error(),
+            full_objective(problem.dataset, loss, linalg::DenseVector(60)) * 0.1);
+}
+
+TEST(Hogwild, TraceIsMonotoneInTimeAndRecordsProgress) {
+  const auto problem = data::synthetic::tiny(200, 6, 0.0, 4);
+  LeastSquaresLoss loss;
+  HogwildConfig config;
+  config.threads = 2;
+  config.updates_per_thread = 250;
+  config.batch_size = 8;
+  config.step = constant_step(0.02);
+  config.eval_every = 50;
+  const RunResult result = HogwildSolver::run(problem.dataset, loss, config);
+  ASSERT_GE(result.trace.size(), 3u);
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i - 1].time_ms, result.trace[i].time_ms);
+  }
+  EXPECT_LT(result.trace.back().error, result.trace.front().error);
+}
+
+TEST(Hogwild, MoreThreadsMoreTotalUpdates) {
+  const auto problem = data::synthetic::tiny(100, 5, 0.0, 5);
+  LeastSquaresLoss loss;
+  HogwildConfig config;
+  config.updates_per_thread = 100;
+  config.threads = 1;
+  const RunResult one = HogwildSolver::run(problem.dataset, loss, config);
+  config.threads = 3;
+  const RunResult three = HogwildSolver::run(problem.dataset, loss, config);
+  EXPECT_EQ(one.updates, 100u);
+  EXPECT_EQ(three.updates, 300u);
+}
+
+}  // namespace
+}  // namespace asyncml::optim

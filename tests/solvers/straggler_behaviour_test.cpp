@@ -1,0 +1,143 @@
+// Integration tests for the paper's core claims about stragglers:
+// synchronous wait time grows with delay intensity while asynchronous wait
+// time stays flat (Figures 4/6), and async solvers finish faster under
+// delay (Figures 3/5).  Uses small budgets: we assert ordering relations,
+// not absolute times, so scheduler noise cannot flake the suite.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "optim/asgd.hpp"
+#include "optim/sgd.hpp"
+#include "straggler/controlled_delay.hpp"
+#include "straggler/production_cluster.hpp"
+
+namespace asyncml::optim {
+namespace {
+
+engine::Cluster::Config delayed_config(int workers,
+                                       std::shared_ptr<const engine::DelayModel> delay) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 2;
+  config.network.time_scale = 0.0;
+  config.delay = std::move(delay);
+  return config;
+}
+
+Workload tiny_workload(std::uint64_t seed, int partitions = 8) {
+  const auto problem = data::synthetic::tiny(160, 8, 0.0, seed);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  return Workload::create(dataset, partitions, make_least_squares());
+}
+
+SolverConfig timed_config(std::uint64_t updates, double service_ms) {
+  SolverConfig config;
+  config.updates = updates;
+  config.batch_fraction = 0.3;
+  config.step = inverse_decay_step(0.05, 1.0, 0.01);
+  config.service_floor_ms = service_ms;
+  config.eval_every = 10;
+  return config;
+}
+
+TEST(StragglerBehaviour, SyncWallTimeGrowsWithDelay) {
+  // 4 ms floors push the modeled service well above host scheduling noise;
+  // the nominal growth at 100% delay is ~1.6x, so the 1.25x bound leaves
+  // ~20% headroom for jitter on loaded CI machines.
+  const Workload workload = tiny_workload(1);
+  const SolverConfig config = timed_config(30, 4.0);
+
+  engine::Cluster fast(delayed_config(4, nullptr));
+  const RunResult no_delay = SgdSolver::run(fast, workload, config);
+
+  engine::Cluster slow(delayed_config(
+      4, std::make_shared<straggler::ControlledDelay>(0, /*intensity=*/1.0)));
+  const RunResult with_delay = SgdSolver::run(slow, workload, config);
+
+  // Every BSP iteration waits for the straggler: wall time must grow.
+  EXPECT_GT(with_delay.wall_ms, no_delay.wall_ms * 1.25);
+}
+
+TEST(StragglerBehaviour, SyncWaitTimeGrowsWithDelay) {
+  const Workload workload = tiny_workload(2);
+  const SolverConfig config = timed_config(25, 2.0);
+
+  engine::Cluster fast(delayed_config(4, nullptr));
+  const RunResult no_delay = SgdSolver::run(fast, workload, config);
+
+  engine::Cluster slow(delayed_config(
+      4, std::make_shared<straggler::ControlledDelay>(0, 1.0)));
+  const RunResult with_delay = SgdSolver::run(slow, workload, config);
+
+  EXPECT_GT(with_delay.mean_wait_ms, no_delay.mean_wait_ms * 1.3);
+}
+
+TEST(StragglerBehaviour, AsyncWaitTimeFlatAcrossDelays) {
+  const Workload workload = tiny_workload(3);
+  const SolverConfig config = timed_config(120, 2.0);
+
+  engine::Cluster fast(delayed_config(4, nullptr));
+  const RunResult no_delay = AsgdSolver::run(fast, workload, config);
+
+  engine::Cluster slow(delayed_config(
+      4, std::make_shared<straggler::ControlledDelay>(0, 1.0)));
+  const RunResult with_delay = AsgdSolver::run(slow, workload, config);
+
+  // The paper's Figure 4: ASGD's wait does not grow with delay intensity.
+  // Allow generous noise but demand it stays within 2x.
+  EXPECT_LT(with_delay.mean_wait_ms, no_delay.mean_wait_ms * 2.0 + 1.0);
+}
+
+TEST(StragglerBehaviour, AsyncBeatsSyncWallClockUnderDelay) {
+  // Same update budget per paradigm pair, one worker at half speed: the
+  // sync run pays the straggler every iteration, the async run doesn't.
+  const Workload workload = tiny_workload(4);
+  auto delay = std::make_shared<straggler::ControlledDelay>(0, 1.0);
+
+  // 24 sync iterations x 8 partitions = 192 tasks; 192 async updates = same
+  // task count, so the comparison is budget-fair.
+  engine::Cluster sync_cluster(delayed_config(4, delay));
+  const RunResult sync = SgdSolver::run(sync_cluster, workload, timed_config(24, 2.0));
+
+  engine::Cluster async_cluster(delayed_config(4, delay));
+  const RunResult async_run =
+      AsgdSolver::run(async_cluster, workload, timed_config(192, 2.0));
+
+  EXPECT_LT(async_run.wall_ms, sync.wall_ms);
+}
+
+TEST(StragglerBehaviour, PcsSlowsSyncMoreThanAsync) {
+  // Production-cluster pattern on 8 workers: sync pays the slowest machine
+  // every round; async throughput tracks the healthy majority.
+  const Workload workload = tiny_workload(5);
+  auto pcs = std::make_shared<straggler::ProductionCluster>(8, /*seed=*/3);
+
+  engine::Cluster sync_cluster(delayed_config(8, pcs));
+  const RunResult sync = SgdSolver::run(sync_cluster, workload, timed_config(16, 2.0));
+
+  engine::Cluster async_cluster(delayed_config(8, pcs));
+  const RunResult async_run =
+      AsgdSolver::run(async_cluster, workload, timed_config(128, 2.0));
+
+  EXPECT_LT(async_run.wall_ms, sync.wall_ms);
+  EXPECT_LT(async_run.mean_wait_ms, sync.mean_wait_ms);
+}
+
+TEST(StragglerBehaviour, DelayDoesNotChangeSyncTrajectory) {
+  // The straggler slows wall clock but must not change the math: same seeds
+  // mean identical batches, so final error matches the no-delay run.
+  const Workload workload = tiny_workload(6);
+  const SolverConfig config = timed_config(20, 1.0);
+
+  engine::Cluster fast(delayed_config(4, nullptr));
+  const RunResult a = SgdSolver::run(fast, workload, config);
+  engine::Cluster slow(delayed_config(
+      4, std::make_shared<straggler::ControlledDelay>(1, 1.0)));
+  const RunResult b = SgdSolver::run(slow, workload, config);
+
+  EXPECT_NEAR(a.final_error(), b.final_error(), 1e-9);
+}
+
+}  // namespace
+}  // namespace asyncml::optim

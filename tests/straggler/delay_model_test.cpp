@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "straggler/controlled_delay.hpp"
+#include "straggler/production_cluster.hpp"
+
+namespace asyncml::straggler {
+namespace {
+
+TEST(ControlledDelay, OnlyStragglerDelayed) {
+  ControlledDelay model(/*straggler=*/2, /*intensity=*/0.6);
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_DOUBLE_EQ(model.multiplier(w, 0), w == 2 ? 1.6 : 1.0);
+  }
+}
+
+TEST(ControlledDelay, ZeroIntensityIsNoDelay) {
+  ControlledDelay model(0, 0.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 5), 1.0);
+}
+
+TEST(ControlledDelay, FullIntensityHalvesSpeed) {
+  // The paper: "a 100% delay means the worker is executing jobs at half
+  // speed" — i.e. service time x2.
+  ControlledDelay model(0, 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 0), 2.0);
+}
+
+TEST(ControlledDelay, StationaryAcrossRounds) {
+  ControlledDelay model(1, 0.3);
+  EXPECT_DOUBLE_EQ(model.multiplier(1, 0), model.multiplier(1, 99));
+}
+
+TEST(ProductionCluster, PaperProportionsAt32Workers) {
+  // 25% stragglers of 32 = 8; 20% of those long tail = 2 (the paper: "6 are
+  // assigned a random delay between 150%-250% and two are long tail").
+  ProductionCluster model(32, /*seed=*/1);
+  EXPECT_EQ(model.num_stragglers(), 8);
+  EXPECT_EQ(model.num_long_tail(), 2);
+}
+
+TEST(ProductionCluster, MultipliersWithinConfiguredBands) {
+  ProductionCluster model(32, /*seed=*/2);
+  int uniform = 0, long_tail = 0, normal = 0;
+  for (int w = 0; w < 32; ++w) {
+    const double m = model.multiplier(w, 0);
+    if (m == 1.0) {
+      ++normal;
+    } else if (m >= 1.5 && m <= 2.5) {
+      ++uniform;
+    } else if (m > 2.5 && m <= 10.0) {
+      ++long_tail;
+    } else {
+      FAIL() << "multiplier out of band: " << m;
+    }
+  }
+  EXPECT_EQ(normal, 24);
+  EXPECT_EQ(uniform + long_tail, 8);
+  EXPECT_GE(long_tail, 1);
+}
+
+TEST(ProductionCluster, DeterministicPerSeed) {
+  ProductionCluster a(32, 7), b(32, 7), c(32, 8);
+  EXPECT_EQ(a.multipliers(), b.multipliers());
+  EXPECT_NE(a.multipliers(), c.multipliers());
+}
+
+TEST(ProductionCluster, SmallClusterStillHasStragglers) {
+  ProductionCluster model(8, 3);
+  EXPECT_EQ(model.num_stragglers(), 2);
+  int delayed = 0;
+  for (int w = 0; w < 8; ++w) delayed += model.multiplier(w, 0) > 1.0 ? 1 : 0;
+  EXPECT_EQ(delayed, 2);
+}
+
+TEST(ProductionCluster, CustomConfigRespected) {
+  PcsConfig config;
+  config.straggler_fraction = 0.5;
+  config.long_tail_fraction = 0.0;
+  config.uniform_lo = 3.0;
+  config.uniform_hi = 4.0;
+  ProductionCluster model(10, 5, config);
+  EXPECT_EQ(model.num_stragglers(), 5);
+  EXPECT_EQ(model.num_long_tail(), 0);
+  for (int w = 0; w < 10; ++w) {
+    const double m = model.multiplier(w, 0);
+    EXPECT_TRUE(m == 1.0 || (m >= 3.0 && m <= 4.0)) << m;
+  }
+}
+
+TEST(NoDelay, AlwaysUnit) {
+  engine::NoDelay model;
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(31, 999), 1.0);
+}
+
+}  // namespace
+}  // namespace asyncml::straggler

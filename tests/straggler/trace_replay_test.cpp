@@ -1,0 +1,76 @@
+#include "straggler/trace_replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::straggler {
+namespace {
+
+TEST(TraceReplay, ReplaysScheduledMultipliers) {
+  TraceReplay model({{1.0, 2.0, 3.0}, {1.5}});
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(1, 0), 1.5);
+}
+
+TEST(TraceReplay, TailRepeatsLastEntry) {
+  TraceReplay model({{1.0, 4.0}});
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 99), 4.0);
+}
+
+TEST(TraceReplay, UntracedWorkersRunFullSpeed) {
+  TraceReplay model(std::vector<std::vector<double>>{{2.0}});
+  EXPECT_DOUBLE_EQ(model.multiplier(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(-1, 0), 1.0);
+  TraceReplay empty(std::vector<std::vector<double>>{{}});
+  EXPECT_DOUBLE_EQ(empty.multiplier(0, 0), 1.0);
+}
+
+TEST(TraceReplay, CsvParsesStepFunction) {
+  const std::string csv =
+      "worker,seq,multiplier\n"
+      "0,0,1.0\n"
+      "0,3,2.5\n"
+      "1,1,4.0\n";
+  const auto parsed = TraceReplay::from_csv(csv, 2);
+  ASSERT_TRUE(parsed.is_ok());
+  const TraceReplay& model = parsed.value();
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 2), 1.0);  // step-filled
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 3), 2.5);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 10), 2.5);
+  EXPECT_DOUBLE_EQ(model.multiplier(1, 0), 1.0);  // filled before first entry
+  EXPECT_DOUBLE_EQ(model.multiplier(1, 1), 4.0);
+}
+
+TEST(TraceReplay, CsvIgnoresCommentsAndBlanks) {
+  const auto parsed = TraceReplay::from_csv("# comment\n\n0,0,2.0\n", 1);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_DOUBLE_EQ(parsed.value().multiplier(0, 0), 2.0);
+}
+
+TEST(TraceReplay, CsvRejectsMalformedRow) {
+  EXPECT_FALSE(TraceReplay::from_csv("0;0;2.0\n", 1).is_ok());
+  EXPECT_FALSE(TraceReplay::from_csv("nonsense\n", 1).is_ok());
+}
+
+TEST(TraceReplay, CsvRejectsOutOfRangeWorker) {
+  EXPECT_FALSE(TraceReplay::from_csv("7,0,2.0\n", 2).is_ok());
+}
+
+TEST(TraceReplay, CsvRejectsSubUnitMultiplier) {
+  EXPECT_FALSE(TraceReplay::from_csv("0,0,0.5\n", 1).is_ok());
+}
+
+TEST(TraceReplay, ModelsWorkerBecomingStraggler) {
+  // The drifting-straggler scenario the STAT EWMA exists for: fast for 5
+  // rounds, then 3x slow.
+  std::vector<double> trace(5, 1.0);
+  trace.resize(10, 3.0);
+  TraceReplay model({trace});
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 5), 3.0);
+}
+
+}  // namespace
+}  // namespace asyncml::straggler

@@ -1,0 +1,59 @@
+#include "support/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::support {
+namespace {
+
+TEST(Ewma, FirstObservationSetsValue) {
+  Ewma e(0.2);
+  e.observe(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 10.0);
+}
+
+TEST(Ewma, BlendsTowardNewObservations) {
+  Ewma e(0.5);
+  e.observe(0.0);
+  e.observe(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.observe(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Ewma, MeanIsPlainAverage) {
+  Ewma e(0.1);
+  e.observe(1.0);
+  e.observe(2.0);
+  e.observe(3.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+  EXPECT_EQ(e.count(), 3);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.observe(4.2);
+  EXPECT_NEAR(e.value(), 4.2, 1e-9);
+}
+
+TEST(Ewma, TracksRegimeChangeFasterThanMean) {
+  // A worker that *becomes* a straggler: EWMA should approach the new level
+  // while the plain mean lags — the reason STAT uses EWMA.
+  Ewma e(0.3);
+  for (int i = 0; i < 50; ++i) e.observe(1.0);
+  for (int i = 0; i < 20; ++i) e.observe(10.0);
+  EXPECT_GT(e.value(), 9.0);
+  EXPECT_LT(e.mean(), 4.5);
+}
+
+TEST(Ewma, ResetRestoresInitialState) {
+  Ewma e(0.2);
+  e.observe(5.0);
+  e.reset();
+  EXPECT_EQ(e.count(), 0);
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace asyncml::support

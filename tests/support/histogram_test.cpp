@@ -1,0 +1,99 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::support {
+namespace {
+
+TEST(Histogram, EmptyHistogramZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.quantile_ns(0.5), 0.0);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.record(1e6);
+  h.record(3e6);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 2e6);
+}
+
+TEST(Histogram, MinMaxTracked) {
+  Histogram h;
+  h.record(5e3);
+  h.record(2e6);
+  h.record(9e4);
+  EXPECT_DOUBLE_EQ(h.min_ns(), 5e3);
+  EXPECT_DOUBLE_EQ(h.max_ns(), 2e6);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min_ns(), 0.0);
+}
+
+TEST(Histogram, QuantileWithinBucketError) {
+  // All mass at ~1ms: any quantile should land within the same power-of-two
+  // bucket (factor-2 accuracy).
+  Histogram h;
+  for (int i = 0; i < 1'000; ++i) h.record(1e6);
+  const double p50 = h.quantile_ns(0.5);
+  EXPECT_GE(p50, 0.5e6);
+  EXPECT_LE(p50, 2e6);
+}
+
+TEST(Histogram, QuantilesMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1'000; ++i) h.record(i * 1e4);
+  EXPECT_LE(h.quantile_ns(0.5), h.quantile_ns(0.9));
+  EXPECT_LE(h.quantile_ns(0.9), h.quantile_ns(0.99));
+  EXPECT_LE(h.quantile_ns(0.99), h.max_ns());
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  h.record(3e6);
+  EXPECT_LE(h.quantile_ns(0.99), 3e6);
+}
+
+TEST(Histogram, MergeCombinesCountsAndExtremes) {
+  Histogram a, b;
+  a.record(1e6);
+  b.record(4e6);
+  b.record(2e3);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min_ns(), 2e3);
+  EXPECT_DOUBLE_EQ(a.max_ns(), 4e6);
+}
+
+TEST(Histogram, MergeIntoEmpty) {
+  Histogram a, b;
+  b.record(7e5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min_ns(), 7e5);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.record(1e6);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.max_ns(), 0.0);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.record(1e6);
+  const std::string s = h.summary_ms();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asyncml::support

@@ -1,0 +1,157 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace asyncml::support {
+namespace {
+
+TEST(RngStream, DeterministicForSameSeed) {
+  RngStream a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngStream, DifferentSeedsDiffer) {
+  RngStream a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngStream, SubstreamIsDeterministic) {
+  RngStream root(7);
+  RngStream s1 = root.substream(3);
+  RngStream s2 = RngStream(7).substream(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(s1(), s2());
+}
+
+TEST(RngStream, SubstreamIndependentOfParentConsumption) {
+  // Deriving a substream depends only on the seed path, not on how many
+  // numbers the parent has produced.
+  RngStream a(9);
+  (void)a();
+  (void)a();
+  RngStream b(9);
+  EXPECT_EQ(a.substream(5)(), b.substream(5)());
+}
+
+TEST(RngStream, AdjacentSubstreamsDiffer) {
+  RngStream root(1234);
+  RngStream s0 = root.substream(0);
+  RngStream s1 = root.substream(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (s0() == s1()) ? 1 : 0;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngStream, NestedSubstreamPathsAreOrderSensitive) {
+  RngStream root(5);
+  RngStream ab = root.substream(1).substream(2);
+  RngStream ba = root.substream(2).substream(1);
+  EXPECT_NE(ab(), ba());
+}
+
+TEST(RngStream, NextDoubleInUnitInterval) {
+  RngStream rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngStream, NextDoubleMeanNearHalf) {
+  RngStream rng(13);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngStream, UniformRespectsBounds) {
+  RngStream rng(17);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.uniform(1.5, 2.5);
+    EXPECT_GE(x, 1.5);
+    EXPECT_LT(x, 2.5);
+  }
+}
+
+TEST(RngStream, NextBelowInRange) {
+  RngStream rng(19);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+}
+
+TEST(RngStream, NextBelowCoversAllValues) {
+  RngStream rng(23);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngStream, GaussianMomentsRoughlyStandard) {
+  RngStream rng(29);
+  const int n = 100'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngStream, BernoulliFrequencyMatchesProbability) {
+  RngStream rng(31);
+  const int n = 100'000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.1) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.1, 0.01);
+}
+
+TEST(SampleWithoutReplacement, ReturnsDistinctInRange) {
+  RngStream rng(37);
+  const auto sample = sample_without_replacement(rng, 100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(SampleWithoutReplacement, KEqualsNReturnsEverything) {
+  RngStream rng(41);
+  const auto sample = sample_without_replacement(rng, 10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SampleWithoutReplacement, KGreaterThanNClampsToN) {
+  RngStream rng(43);
+  EXPECT_EQ(sample_without_replacement(rng, 5, 50).size(), 5u);
+}
+
+TEST(SampleWithoutReplacement, UniformCoverage) {
+  // Every index should be picked roughly equally often over many draws.
+  RngStream rng(47);
+  std::vector<int> counts(20, 0);
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t idx : sample_without_replacement(rng, 20, 5)) counts[idx] += 1;
+  }
+  const double expected = trials * 5.0 / 20.0;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(SplitMix, DeriveSeedOrderSensitive) {
+  EXPECT_NE(derive_seed(derive_seed(1, 2), 3), derive_seed(derive_seed(1, 3), 2));
+}
+
+}  // namespace
+}  // namespace asyncml::support

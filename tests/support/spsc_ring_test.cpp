@@ -1,0 +1,66 @@
+#include "support/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace asyncml::support {
+namespace {
+
+TEST(SpscRing, PushPopBasic) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.try_pop().value(), 1);
+  EXPECT_EQ(ring.try_pop().value(), 2);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, CapacityRoundedUp) {
+  SpscRing<int> ring(5);
+  EXPECT_GE(ring.capacity(), 5u);
+}
+
+TEST(SpscRing, FullRingRefusesPush) {
+  SpscRing<int> ring(2);
+  std::size_t pushed = 0;
+  while (ring.try_push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, ring.capacity());
+  (void)ring.try_pop();
+  EXPECT_TRUE(ring.try_push(99));
+}
+
+TEST(SpscRing, OrderPreservedAcrossWraparound) {
+  SpscRing<int> ring(4);
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (ring.try_push(next_push)) ++next_push;
+    while (auto v = ring.try_pop()) {
+      EXPECT_EQ(*v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerDeliversInOrder) {
+  SpscRing<int> ring(1024);
+  constexpr int kItems = 200'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace asyncml::support

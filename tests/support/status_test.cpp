@@ -1,0 +1,64 @@
+#include "support/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asyncml::support {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(StatusCode::kNotFound, "missing thing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status(StatusCode::kInternal, "x"), Status(StatusCode::kInternal, "x"));
+  EXPECT_FALSE(Status(StatusCode::kInternal, "x") == Status(StatusCode::kInternal, "y"));
+}
+
+TEST(StatusCodeName, AllCodesNamed) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition), "FAILED_PRECONDITION");
+  EXPECT_STREQ(status_code_name(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_TRUE(v.status().is_ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status(StatusCode::kUnavailable, "down"));
+  EXPECT_FALSE(v.is_ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(StatusOr, WorksWithMoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(3));
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(*std::move(v).value(), 3);
+}
+
+}  // namespace
+}  // namespace asyncml::support

@@ -1,0 +1,61 @@
+#include "support/thread_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "support/stopwatch.hpp"
+
+namespace asyncml::support {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(PreciseSleep, ZeroAndNegativeReturnImmediately) {
+  Stopwatch watch;
+  precise_sleep(0ns);
+  precise_sleep(-5ms);
+  EXPECT_LT(watch.elapsed_ms(), 1.0);
+}
+
+TEST(PreciseSleep, SleepsAtLeastRequested) {
+  Stopwatch watch;
+  precise_sleep(5ms);
+  EXPECT_GE(watch.elapsed_ms(), 4.9);
+}
+
+TEST(PreciseSleep, OvershootBounded) {
+  // Spin finish should keep overshoot well under scheduler-quantum scale.
+  Stopwatch watch;
+  precise_sleep(5ms);
+  EXPECT_LT(watch.elapsed_ms(), 9.0);
+}
+
+TEST(PreciseSleep, SubMillisecondAccuracy) {
+  Stopwatch watch;
+  precise_sleep_ms(0.3);
+  const double elapsed = watch.elapsed_ms();
+  EXPECT_GE(elapsed, 0.29);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(SetThreadName, DoesNotCrash) {
+  set_current_thread_name("asyncml-test");
+  set_current_thread_name("a-very-long-thread-name-exceeding-15-chars");
+  SUCCEED();
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch watch;
+  precise_sleep_ms(2.0);
+  watch.reset();
+  EXPECT_LT(watch.elapsed_ms(), 1.0);
+}
+
+TEST(Stopwatch, ToMsConversion) {
+  EXPECT_DOUBLE_EQ(to_ms(std::chrono::milliseconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_ms(std::chrono::microseconds(1500)), 1.5);
+}
+
+}  // namespace
+}  // namespace asyncml::support
