@@ -1,7 +1,7 @@
 // End-to-end runner for real LIBSVM files: drop in rcv1_full.binary, mnist8m
 // or epsilon exactly as the paper used them.
 //
-//   ./build/examples/libsvm_runner <file.libsvm> [algorithm] [workers]
+//   ./build/example_libsvm_runner <file.libsvm> [algorithm] [workers]
 //
 // algorithm: sgd | asgd | saga | asaga | svrg   (default asgd)
 // With no arguments it generates and saves a small synthetic LIBSVM file and

@@ -3,7 +3,7 @@
 // This is the paper's Algorithm 2 (ASGD) spelled out against the public API,
 // with the correspondence marked line by line.  Run it:
 //
-//   ./build/examples/quickstart
+//   ./build/example_quickstart
 //
 // It builds a synthetic least-squares problem, starts an 8-worker cluster
 // with one slow worker, and optimizes asynchronously; the straggler never

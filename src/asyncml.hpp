@@ -2,6 +2,23 @@
 
 // Umbrella header: everything a downstream application needs to build and run
 // synchronous/asynchronous distributed optimization with ASYNC.
+//
+// Intended usage — applications include only this header and follow the
+// shape of examples/quickstart.cpp:
+//
+//   1. build a Dataset (data::load_libsvm / data::synthetic::*) and wrap it
+//      in a Workload (optim/workload.hpp) with a loss from optim/loss.hpp;
+//   2. stand up an engine::Cluster (workers × cores, optional straggler
+//      DelayModel from src/straggler/) and a core::AsyncContext over it;
+//   3. either call a packaged solver (optim::AsgdSolver::run,
+//      optim::AsagaSolver::run, ...) and read back its RunResult, or write
+//      the loop yourself
+//      against the Table-1 API of core/api.hpp: dispatch with ASYNCreduce
+//      under a BarrierControl, drain with ASYNCcollect, publish models with
+//      ASYNCbroadcast, and steer using the STAT snapshot.
+//
+// Library code should include the specific module headers instead; this
+// header exists for applications, examples, and benchmarks.
 
 #include "core/api.hpp"              // Table-1-named free functions
 #include "core/async_context.hpp"   // AC, ASYNCcollect/broadcast, barriers

@@ -20,6 +20,21 @@
 // ASYNCbarrier is expressed as the BarrierControl argument of the dispatch
 // instead of an RDD transformation, because barrier decisions happen at the
 // scheduler in this engine.
+//
+// Intended usage — an asynchronous solver loop is four calls:
+//
+//   AsyncContext ac(cluster, partitions);
+//   auto w_br = ASYNCbroadcast(ac, w0);                    // publish model
+//   ASYNCreduce(ac, points.sample(b), zero, grad_op,
+//               barriers::ssp(16));                        // dispatch round
+//   while (ASYNChasNext(ac)) {
+//     auto r = ASYNCcollectAll(ac);                        // staleness-tagged
+//     w -= step(r->staleness) * gradient_of(r->result);    // apply update
+//     w_br = ASYNCbroadcast(ac, w);                        // next version
+//   }
+//
+// All functions are thin inline forwarders — there is no behavior here, only
+// naming; see AsyncContext for semantics, ownership and thread-safety.
 
 #include "core/async_context.hpp"
 

@@ -176,7 +176,7 @@ TEST(AsyncContext, FailedTasksRetriedThroughFactory) {
 TEST(AsyncContext, HandleForReturnsPinnedVersion) {
   engine::Cluster cluster(quiet_config(1));
   AsyncContext ac(cluster, 1);
-  ac.async_broadcast(linalg::DenseVector{7.0});
+  (void)ac.async_broadcast(linalg::DenseVector{7.0});
   const HistoryBroadcast handle = ac.handle_for(0);
   EXPECT_DOUBLE_EQ(handle.value()[0], 7.0);
 }

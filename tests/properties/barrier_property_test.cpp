@@ -36,7 +36,9 @@ TEST_P(BarrierRandomSnapshots, SspMonotoneInBound) {
     bool prev_open = false;
     for (std::uint64_t s = 1; s <= 25; ++s) {
       const bool open = barriers::ssp(s).gate(snap);
-      if (prev_open) EXPECT_TRUE(open) << "SSP not monotone at s=" << s;
+      if (prev_open) {
+        EXPECT_TRUE(open) << "SSP not monotone at s=" << s;
+      }
       prev_open = open;
     }
   }
@@ -51,7 +53,9 @@ TEST_P(BarrierRandomSnapshots, AvailableFractionMonotoneInBeta) {
     bool prev_open = false;
     for (double beta = 1.0; beta >= 0.1; beta -= 0.1) {
       const bool open = barriers::available_fraction(beta).gate(snap);
-      if (prev_open) EXPECT_TRUE(open) << "beta barrier not monotone at " << beta;
+      if (prev_open) {
+        EXPECT_TRUE(open) << "beta barrier not monotone at " << beta;
+      }
       prev_open = open;
     }
   }
@@ -76,7 +80,9 @@ TEST_P(BarrierRandomSnapshots, AspAdmitsSupersetOfEveryFilter) {
   for (int trial = 0; trial < 200; ++trial) {
     const StatSnapshot snap = random_snapshot(rng, 8);
     for (const WorkerStat& w : snap.workers) {
-      if (ctime.filter(w, snap)) EXPECT_TRUE(asp.filter(w, snap));
+      if (ctime.filter(w, snap)) {
+        EXPECT_TRUE(asp.filter(w, snap));
+      }
     }
   }
 }
@@ -100,7 +106,9 @@ TEST_P(BarrierRandomSnapshots, CompletionTimeMonotoneInRatio) {
       bool prev_pass = false;
       for (double ratio = 0.5; ratio <= 3.0; ratio += 0.25) {
         const bool pass = barriers::completion_time_within(ratio).filter(w, snap);
-        if (prev_pass) EXPECT_TRUE(pass);
+        if (prev_pass) {
+          EXPECT_TRUE(pass);
+        }
         prev_pass = pass;
       }
     }
