@@ -25,7 +25,7 @@ int main() {
 
   metrics::Table summary(
       {"dataset", "delay", "SGD wall ms", "ASGD wall ms", "SGD err", "ASGD err",
-       "speedup(ASGD vs SGD)"});
+       "speedup(ASGD vs SGD)", "ASGD result KB"});
   std::vector<std::string> rows;
 
   for (const bench::BenchDataset& ds : bench::all_datasets(/*row_scale=*/2.0)) {
@@ -61,7 +61,9 @@ int main() {
                        metrics::Table::num(async_run.wall_ms, 4),
                        metrics::Table::num(sync.final_error()),
                        metrics::Table::num(async_run.final_error()),
-                       bench::speedup_str(sync.trace, async_run.trace)});
+                       bench::speedup_str(sync.trace, async_run.trace),
+                       metrics::Table::num(
+                           static_cast<double>(async_run.result_bytes) / 1024.0, 4)});
     }
   }
 

@@ -95,7 +95,7 @@ engine::Cluster::Config cluster_config(int workers,
   // Realistic but cheap network: results/broadcasts cost tens of
   // microseconds; the SAGA full-table ablation makes this matter.
   config.network.latency_ms = 0.02;
-  config.network.bandwidth_mbps = 2000.0;
+  config.network.bandwidth_MBps = 2000.0;
   config.network.time_scale = 1.0;
   return config;
 }

@@ -17,6 +17,7 @@
 #include "linalg/blas.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/dense_vector.hpp"
+#include "linalg/grad_vector.hpp"
 #include "linalg/sparse.hpp"
 
 namespace asyncml::data {
@@ -40,6 +41,16 @@ class RowRef {
       linalg::axpy(a, dense_, y);
     } else {
       linalg::axpy(a, sparse_, y);
+    }
+  }
+
+  /// g += a * x, preserving g's sparse accumulation when x is sparse (dense
+  /// rows have full support and densify g immediately).
+  void axpy_into(double a, linalg::GradVector& g) const {
+    if (is_dense_) {
+      g.axpy(a, dense_);
+    } else {
+      g.axpy(a, sparse_);
     }
   }
 

@@ -15,15 +15,17 @@ namespace asyncml::engine {
 struct NetworkModel {
   /// One-way message latency in milliseconds.
   double latency_ms = 0.02;
-  /// Link bandwidth in megabytes per second (per worker NIC).
-  double bandwidth_mbps = 2000.0;
+  /// Link bandwidth in megaBYTES per second (per worker NIC).  Named MBps
+  /// explicitly: the formula divides mebibytes by this, so a megabits
+  /// reading would mis-model transfers by 8x.
+  double bandwidth_MBps = 2000.0;
   /// Global scale on charged time; 0 disables network charging entirely.
   double time_scale = 1.0;
 
   [[nodiscard]] double transfer_ms(std::size_t bytes) const {
     if (time_scale <= 0.0) return 0.0;
     const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
-    return time_scale * (latency_ms + 1e3 * mb / bandwidth_mbps);
+    return time_scale * (latency_ms + 1e3 * mb / bandwidth_MBps);
   }
 };
 

@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <type_traits>
 #include <typeindex>
 #include <typeinfo>
 #include <utility>
@@ -20,10 +21,22 @@ class Payload {
  public:
   Payload() : type_(typeid(void)) {}
 
-  /// Wraps `value`; `bytes` is the modeled serialized size (defaults to
-  /// sizeof(T), callers with dynamic containers should pass the real size).
+  /// Wraps a trivially-copyable `value`; the modeled wire size is sizeof(T).
+  /// Container-backed payloads (vectors, strings, gradient accumulators)
+  /// must use the two-argument overload — sizeof() sees only the handle and
+  /// would silently under-charge the transfer.
   template <typename T>
-  [[nodiscard]] static Payload wrap(T value, std::size_t bytes = sizeof(T)) {
+  [[nodiscard]] static Payload wrap(T value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Payload::wrap(value): non-trivially-copyable payloads have "
+                  "a dynamic wire size; pass it explicitly via "
+                  "wrap(value, bytes)");
+    return wrap(std::move(value), sizeof(T));
+  }
+
+  /// Wraps `value` with an explicit modeled serialized size.
+  template <typename T>
+  [[nodiscard]] static Payload wrap(T value, std::size_t bytes) {
     Payload p;
     p.data_ = std::make_shared<const T>(std::move(value));
     p.bytes_ = bytes;

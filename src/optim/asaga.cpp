@@ -20,6 +20,8 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   const double step_scale =
       config.async_step_scale.value_or(1.0 / static_cast<double>(cluster.num_workers()));
 
+  const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+
   detail::reset_run_metrics(cluster.metrics());
 
   core::AsyncContext ac(cluster, workload.num_partitions());
@@ -38,8 +40,9 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   auto rebuild_factory = [&] {
     return ac.make_aggregate_factory(
-        sampled, GradHist{}, detail::make_saga_seq(workload.loss, w_br, table, dim),
-        opts);
+        sampled,
+        GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
+        detail::make_saga_seq(workload.loss, w_br, table, grad_cfg), opts);
   };
   core::AsyncScheduler::TaskFactory factory = rebuild_factory();
 
@@ -58,13 +61,13 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
     if (g.count > 0) {
       const double inv_b = 1.0 / static_cast<double>(g.count);
       linalg::DenseVector direction = alpha_bar;
-      linalg::axpy(inv_b, g.grad.span(), direction.span());
-      linalg::axpy(-inv_b, g.hist.span(), direction.span());
+      g.grad.scale_into(inv_b, direction.span());
+      g.hist.scale_into(-inv_b, direction.span());
       linalg::axpy(-config.step(updates) * step_scale, direction.span(), w.span());
 
       const double inv_n = 1.0 / static_cast<double>(n);
-      linalg::axpy(inv_n, g.grad.span(), alpha_bar.span());
-      linalg::axpy(-inv_n, g.hist.span(), alpha_bar.span());
+      g.grad.scale_into(inv_n, alpha_bar.span());
+      g.hist.scale_into(-inv_n, alpha_bar.span());
     }
     ++updates;
     ac.advance_version();

@@ -21,6 +21,7 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
                                    ? 1.0
                                    : 1.0 / static_cast<double>(cluster.num_workers());
   const double step_scale = config.async_step_scale.value_or(default_scale);
+  const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
 
@@ -37,9 +38,9 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   // Factory building this round's gradient tasks against the latest w_br.
   auto rebuild_factory = [&] {
-    return ac.make_aggregate_factory(sampled, GradCount{},
-                                     detail::make_grad_seq(workload.loss, w_br, dim),
-                                     opts);
+    return ac.make_aggregate_factory(
+        sampled, GradCount{linalg::GradVector(grad_cfg)},
+        detail::make_grad_seq(workload.loss, w_br, grad_cfg), opts);
   };
   core::AsyncScheduler::TaskFactory factory = rebuild_factory();
 
@@ -67,7 +68,7 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
       if (config.staleness_adaptive_lr) {
         lr /= 1.0 + static_cast<double>(collected->staleness);  // Listing 1
       }
-      linalg::axpy(-lr / static_cast<double>(g.count), g.grad.span(), w.span());
+      g.grad.scale_into(-lr / static_cast<double>(g.count), w.span());
     }
     ++updates;
     ac.advance_version();

@@ -14,20 +14,19 @@ namespace {
 /// snapshot gradient at the epoch's w̃ (both through the history broadcast,
 /// so w̃ is fetched once per worker per epoch).
 auto make_svrg_seq(std::shared_ptr<const Loss> loss, core::HistoryBroadcast w_br,
-                   core::HistoryBroadcast snapshot_br, std::size_t dim) {
-  return [loss = std::move(loss), w_br, snapshot_br, dim](
+                   core::HistoryBroadcast snapshot_br,
+                   linalg::GradVectorConfig grad_cfg) {
+  return [loss = std::move(loss), w_br, snapshot_br, grad_cfg](
              GradHist acc, const data::LabeledPoint& p) {
-    if (acc.grad.size() != dim) {
-      acc.grad.resize(dim);
-      acc.hist.resize(dim);
-    }
+    acc.grad.ensure(grad_cfg);
+    acc.hist.ensure(grad_cfg);
     const linalg::DenseVector& w = w_br.value();
     const double coeff = loss->derivative(p.features.dot(w.span()), p.label);
-    p.features.axpy_into(coeff, acc.grad.span());
+    p.features.axpy_into(coeff, acc.grad);
 
     const linalg::DenseVector& snap = snapshot_br.value();
     const double coeff_snap = loss->derivative(p.features.dot(snap.span()), p.label);
-    p.features.axpy_into(coeff_snap, acc.hist.span());
+    p.features.axpy_into(coeff_snap, acc.hist);
     acc.count += 1;
     return acc;
   };
@@ -48,6 +47,8 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
       *workload.dataset, workload.num_partitions(), 1.0);
   const double step_scale =
       config.async_step_scale.value_or(1.0 / static_cast<double>(cluster.num_workers()));
+
+  const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
 
@@ -72,16 +73,15 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
     full_opts.service_floor_ms = full_service_ms;
     full_opts.rng_seed = config.seed;
     auto full_results = ac.sync_round(
-        workload.points, GradCount{},
-        detail::make_grad_seq(workload.loss, snapshot_br, dim), full_opts);
+        workload.points, GradCount{linalg::GradVector(grad_cfg)},
+        detail::make_grad_seq(workload.loss, snapshot_br, grad_cfg), full_opts);
     GradCount mu_sum;
     for (core::TaggedResult& r : full_results) {
       mu_sum = comb(std::move(mu_sum), r.result.payload.get<GradCount>());
     }
     linalg::DenseVector mu(dim);
     if (mu_sum.count > 0) {
-      linalg::axpy(1.0 / static_cast<double>(mu_sum.count), mu_sum.grad.span(),
-                   mu.span());
+      mu_sum.grad.scale_into(1.0 / static_cast<double>(mu_sum.count), mu.span());
     }
 
     // ---- Asynchronous inner loop. -----------------------------------------
@@ -92,8 +92,9 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
     core::HistoryBroadcast w_br = ac.handle_for(snapshot_version);
     auto rebuild_factory = [&] {
       return ac.make_aggregate_factory(
-          sampled, GradHist{},
-          make_svrg_seq(workload.loss, w_br, snapshot_br, dim), opts);
+          sampled,
+          GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
+          make_svrg_seq(workload.loss, w_br, snapshot_br, grad_cfg), opts);
     };
     core::AsyncScheduler::TaskFactory factory = rebuild_factory();
     detail::dispatch_live(ac, config.barrier, factory);
@@ -107,8 +108,8 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
       if (g.count > 0) {
         const double inv_b = 1.0 / static_cast<double>(g.count);
         linalg::DenseVector direction = mu;
-        linalg::axpy(inv_b, g.grad.span(), direction.span());
-        linalg::axpy(-inv_b, g.hist.span(), direction.span());
+        g.grad.scale_into(inv_b, direction.span());
+        g.hist.scale_into(-inv_b, direction.span());
         linalg::axpy(-config.step(updates) * step_scale, direction.span(), w.span());
       }
       ++inner;
@@ -132,8 +133,8 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
       if (g.count > 0) {
         const double inv_b = 1.0 / static_cast<double>(g.count);
         linalg::DenseVector direction = mu;
-        linalg::axpy(inv_b, g.grad.span(), direction.span());
-        linalg::axpy(-inv_b, g.hist.span(), direction.span());
+        g.grad.scale_into(inv_b, direction.span());
+        g.hist.scale_into(-inv_b, direction.span());
         linalg::axpy(-config.step(updates) * step_scale, direction.span(), w.span());
         ++updates;
         ac.advance_version();

@@ -36,6 +36,8 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
           : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
                                         config.batch_fraction, /*saga_two_pass=*/true);
 
+  const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+
   detail::reset_run_metrics(cluster.metrics());
 
   const engine::Rdd<data::LabeledPoint> sampled =
@@ -63,24 +65,22 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
         cluster.broadcast(table, payload_size_bytes(table));
     const std::uint64_t current_index = table.models.size() - 1;
 
-    auto seq = [loss = workload.loss, table_br, index_table, dim, current_index](
+    auto seq = [loss = workload.loss, table_br, index_table, grad_cfg, current_index](
                    GradHist acc, const data::LabeledPoint& p) {
-      if (acc.grad.size() != dim) {
-        acc.grad.resize(dim);
-        acc.hist.resize(dim);
-      }
+      acc.grad.ensure(grad_cfg);
+      acc.hist.ensure(grad_cfg);
       const ModelTable& models = table_br.value();
       const linalg::DenseVector& w_new = models.models[current_index];
       const double coeff_new =
           loss->derivative(p.features.dot(w_new.span()), p.label);
-      p.features.axpy_into(coeff_new, acc.grad.span());
+      p.features.axpy_into(coeff_new, acc.grad);
 
       const engine::Version last = index_table->get(p.index);
       if (last != detail::kNeverVisited) {
         const linalg::DenseVector& w_old = models.models[last];
         const double coeff_old =
             loss->derivative(p.features.dot(w_old.span()), p.label);
-        p.features.axpy_into(coeff_old, acc.hist.span());
+        p.features.axpy_into(coeff_old, acc.hist);
       }
       index_table->set(p.index, current_index);
       acc.count += 1;
@@ -94,18 +94,20 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
     stage.model_version = k;
     stage.service_floor_ms = service_ms;
     stage.rng_seed = config.seed;
-    const GradHist total =
-        engine::aggregate_sync(cluster, sampled, GradHist{}, seq, comb, stage);
+    const GradHist total = engine::aggregate_sync(
+        cluster, sampled,
+        GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)}, seq,
+        comb, stage);
 
     if (total.count > 0) {
       const double inv_b = 1.0 / static_cast<double>(total.count);
       linalg::DenseVector direction = alpha_bar;
-      linalg::axpy(inv_b, total.grad.span(), direction.span());
-      linalg::axpy(-inv_b, total.hist.span(), direction.span());
+      total.grad.scale_into(inv_b, direction.span());
+      total.hist.scale_into(-inv_b, direction.span());
       linalg::axpy(-config.step(k), direction.span(), w.span());
       const double inv_n = 1.0 / static_cast<double>(n);
-      linalg::axpy(inv_n, total.grad.span(), alpha_bar.span());
-      linalg::axpy(-inv_n, total.hist.span(), alpha_bar.span());
+      total.grad.scale_into(inv_n, alpha_bar.span());
+      total.hist.scale_into(-inv_n, alpha_bar.span());
     }
     table.models.push_back(w);  // "update table" (Algorithm 3 line 8)
     recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);

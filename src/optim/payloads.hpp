@@ -2,17 +2,21 @@
 
 // Task-result payload types of the optimizers, with wire-size overloads so
 // the engine charges realistic transfer costs.
+//
+// Gradients ride in linalg::GradVector, so a sparse mini-batch ships only the
+// union of its feature indices (8 + 12*nnz bytes) instead of dim*8 — the
+// charged network bytes the paper's figures measure now track true support.
 
 #include <cstdint>
 
-#include "linalg/dense_vector.hpp"
+#include "linalg/grad_vector.hpp"
 
 namespace asyncml::optim {
 
 /// Sum of per-sample gradients over the task's mini-batch plus the batch
 /// size; the server divides to get the unbiased mini-batch gradient.
 struct GradCount {
-  linalg::DenseVector grad;
+  linalg::GradVector grad;
   std::uint64_t count = 0;
 };
 
@@ -23,8 +27,8 @@ struct GradCount {
 /// SAGA/ASAGA (and SVRG-style) payload: the batch's fresh gradient sum and
 /// its historical (or snapshot) gradient sum.
 struct GradHist {
-  linalg::DenseVector grad;  ///< Σ ∇f_j(w_current) over the batch
-  linalg::DenseVector hist;  ///< Σ ∇f_j(w_historical_j) over the batch
+  linalg::GradVector grad;  ///< Σ ∇f_j(w_current) over the batch
+  linalg::GradVector hist;  ///< Σ ∇f_j(w_historical_j) over the batch
   std::uint64_t count = 0;
 };
 

@@ -18,6 +18,8 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
           : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
                                         config.batch_fraction, /*saga_two_pass=*/true);
 
+  const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+
   detail::reset_run_metrics(cluster.metrics());
 
   core::AsyncContext ac(cluster, workload.num_partitions());
@@ -40,9 +42,10 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   auto comb = detail::grad_hist_comb();
   for (std::uint64_t k = 0; k < config.updates; ++k) {
-    auto seq = detail::make_saga_seq(workload.loss, w_br, table, dim);
-    std::vector<core::TaggedResult> results =
-        ac.sync_round(sampled, GradHist{}, seq, opts);
+    auto seq = detail::make_saga_seq(workload.loss, w_br, table, grad_cfg);
+    std::vector<core::TaggedResult> results = ac.sync_round(
+        sampled, GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
+        seq, opts);
 
     GradHist total;
     for (core::TaggedResult& r : results) {
@@ -52,13 +55,13 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
       const double inv_b = 1.0 / static_cast<double>(total.count);
       // w ← w − α (ĝ_new − ĝ_old + ᾱ)
       linalg::DenseVector direction = alpha_bar;
-      linalg::axpy(inv_b, total.grad.span(), direction.span());
-      linalg::axpy(-inv_b, total.hist.span(), direction.span());
+      total.grad.scale_into(inv_b, direction.span());
+      total.hist.scale_into(-inv_b, direction.span());
       linalg::axpy(-config.step(k), direction.span(), w.span());
       // ᾱ ← ᾱ + (1/n) Σ_B (∇f_j − α_j)
       const double inv_n = 1.0 / static_cast<double>(n);
-      linalg::axpy(inv_n, total.grad.span(), alpha_bar.span());
-      linalg::axpy(-inv_n, total.hist.span(), alpha_bar.span());
+      total.grad.scale_into(inv_n, alpha_bar.span());
+      total.hist.scale_into(-inv_n, alpha_bar.span());
     }
     ac.advance_version();
     w_br = ac.async_broadcast(w);

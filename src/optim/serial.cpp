@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "linalg/blas.hpp"
+#include "linalg/grad_vector.hpp"
 
 namespace asyncml::optim {
 
@@ -14,7 +15,11 @@ DenseVector serial_sgd(const data::Dataset& dataset, const Loss& loss,
   const std::size_t n = dataset.rows();
   DenseVector w(dataset.cols());
   support::RngStream root(seed);
-  DenseVector grad(dataset.cols());
+  const linalg::GradVectorConfig grad_cfg = linalg::resolve_grad_config(
+      linalg::GradMode::kAuto, dataset.cols(),
+      linalg::expected_union_density(dataset.density(),
+                                     batch_fraction * static_cast<double>(n)));
+  linalg::GradVector grad(grad_cfg);
   for (std::uint64_t k = 0; k < iterations; ++k) {
     support::RngStream rng = root.substream(k);
     grad.set_zero();
@@ -23,11 +28,11 @@ DenseVector serial_sgd(const data::Dataset& dataset, const Loss& loss,
       if (!rng.bernoulli(batch_fraction)) continue;
       const data::LabeledPoint p = dataset.point(r);
       const double coeff = loss.derivative(p.features.dot(w.span()), p.label);
-      p.features.axpy_into(coeff, grad.span());
+      p.features.axpy_into(coeff, grad);
       ++count;
     }
     if (count == 0) continue;
-    linalg::axpy(-step(k) / static_cast<double>(count), grad.span(), w.span());
+    grad.scale_into(-step(k) / static_cast<double>(count), w.span());
   }
   return w;
 }
@@ -51,7 +56,11 @@ DenseVector serial_saga(const data::Dataset& dataset, const Loss& loss,
   }
 
   support::RngStream root(seed);
-  DenseVector batch_dir(d);
+  const linalg::GradVectorConfig grad_cfg = linalg::resolve_grad_config(
+      linalg::GradMode::kAuto, d,
+      linalg::expected_union_density(dataset.density(),
+                                     batch_fraction * static_cast<double>(n)));
+  linalg::GradVector batch_dir(grad_cfg);
   for (std::uint64_t k = 0; k < iterations; ++k) {
     support::RngStream rng = root.substream(k);
     batch_dir.set_zero();
@@ -62,7 +71,7 @@ DenseVector serial_saga(const data::Dataset& dataset, const Loss& loss,
       const data::LabeledPoint p = dataset.point(r);
       const double coeff_new = loss.derivative(p.features.dot(w.span()), p.label);
       const double delta = coeff_new - table_coeff[r];
-      p.features.axpy_into(delta, batch_dir.span());
+      p.features.axpy_into(delta, batch_dir);
       p.features.axpy_into(delta / static_cast<double>(n), mean.span());
       table_coeff[r] = coeff_new;
       ++count;
@@ -71,8 +80,8 @@ DenseVector serial_saga(const data::Dataset& dataset, const Loss& loss,
     // w ← w − α [ (g_new − g_old)/b + mean_before ]; mean was already
     // advanced, so reconstruct mean_before = mean − batch_dir/n.
     DenseVector direction = mean;
-    linalg::axpy(-1.0 / static_cast<double>(n), batch_dir.span(), direction.span());
-    linalg::axpy(1.0 / static_cast<double>(count), batch_dir.span(), direction.span());
+    batch_dir.scale_into(-1.0 / static_cast<double>(n), direction.span());
+    batch_dir.scale_into(1.0 / static_cast<double>(count), direction.span());
     linalg::axpy(-step, direction.span(), w.span());
   }
   return w;

@@ -20,6 +20,8 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
           : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
                                         config.batch_fraction);
 
+  const linalg::GradVectorConfig grad_cfg = grad_config(workload, config);
+
   reset_run_metrics(cluster.metrics());
 
   linalg::DenseVector w(dim);
@@ -44,15 +46,15 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
     stage.service_floor_ms = service_ms;
     stage.rng_seed = config.seed;
 
-    auto seq = make_grad_seq(workload.loss, w_br, dim);
+    auto seq = make_grad_seq(workload.loss, w_br, grad_cfg);
+    const GradCount zero{linalg::GradVector(grad_cfg)};
     const GradCount total =
-        tree ? engine::tree_aggregate_sync(cluster, sampled, GradCount{}, seq, comb,
-                                           stage)
-             : engine::aggregate_sync(cluster, sampled, GradCount{}, seq, comb, stage);
+        tree ? engine::tree_aggregate_sync(cluster, sampled, zero, seq, comb, stage)
+             : engine::aggregate_sync(cluster, sampled, zero, seq, comb, stage);
 
     if (total.count > 0) {
-      linalg::axpy(-config.step(k) / static_cast<double>(total.count),
-                   total.grad.span(), w.span());
+      total.grad.scale_into(-config.step(k) / static_cast<double>(total.count),
+                            w.span());
     }
     recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
 

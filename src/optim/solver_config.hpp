@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "core/barrier.hpp"
+#include "linalg/grad_vector.hpp"
 #include "optim/step_size.hpp"
 #include "optim/workload.hpp"
 
@@ -52,6 +53,33 @@ struct SolverConfig {
   /// Epoch-based variance reduction (EpochVrSolver only): inner updates per
   /// epoch; `updates` then counts total inner updates across epochs.
   std::uint64_t epoch_inner_updates = 50;
+
+  /// Gradient accumulation representation. kAuto reads the workload's
+  /// dataset density (or `density_hint`) and starts sparse for sparse
+  /// datasets, so task results ship O(batch-support) bytes instead of dim×8.
+  linalg::GradMode grad_mode = linalg::GradMode::kAuto;
+
+  /// nnz/dim ratio at which sparse gradient accumulators densify.
+  double grad_densify_threshold = linalg::kDefaultDensifyThreshold;
+
+  /// Overrides the dataset density the kAuto choice reads; nullopt → the
+  /// solver propagates workload.dataset->density().
+  std::optional<double> density_hint;
+
+  /// Concrete per-run representation (solvers call this via
+  /// detail::grad_config with the workload's dim/density).  The kAuto choice
+  /// is driven by the expected support of one task's batch gradient — the
+  /// union of `expected_batch_rows` rows — not the raw per-cell density: a
+  /// mid-density dataset saturates a large batch and should start dense.
+  [[nodiscard]] linalg::GradVectorConfig grad_config(
+      std::size_t dim, double dataset_density,
+      double expected_batch_rows = 1.0) const {
+    const double cell_density = density_hint.value_or(dataset_density);
+    return linalg::resolve_grad_config(
+        grad_mode, dim,
+        linalg::expected_union_density(cell_density, expected_batch_rows),
+        grad_densify_threshold);
+  }
 };
 
 }  // namespace asyncml::optim

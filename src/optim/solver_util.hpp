@@ -3,6 +3,7 @@
 // Internals shared by the solvers: run-metric bookkeeping and the gradient
 // sequence operators (the `map` bodies of Algorithms 1–4).
 
+#include <algorithm>
 #include <memory>
 
 #include "core/async_context.hpp"
@@ -10,12 +11,28 @@
 #include "data/dataset.hpp"
 #include "engine/metrics.hpp"
 #include "linalg/blas.hpp"
+#include "linalg/grad_vector.hpp"
 #include "optim/loss.hpp"
 #include "optim/payloads.hpp"
 #include "optim/run_result.hpp"
+#include "optim/solver_config.hpp"
 #include "support/thread_util.hpp"
 
 namespace asyncml::optim::detail {
+
+/// Resolves the gradient representation for a (workload, config) pair: the
+/// expected per-task batch support (dataset density unioned over the rows
+/// one task samples) drives the kAuto choice, so rcv1-like runs accumulate
+/// and ship sparse gradients without any per-solver opt-in while saturating
+/// batches start dense.
+[[nodiscard]] inline linalg::GradVectorConfig grad_config(const Workload& workload,
+                                                          const SolverConfig& config) {
+  const double rows_per_task =
+      config.batch_fraction * static_cast<double>(workload.n()) /
+      static_cast<double>(std::max(1, workload.num_partitions()));
+  return config.grad_config(workload.dim(), workload.dataset->density(),
+                            std::max(1.0, rows_per_task));
+}
 
 /// Sentinel for "sample never visited": its historical gradient is the zero
 /// vector (SAGA with uninitialized table; ᾱ starts at 0 consistently).
@@ -60,16 +77,18 @@ inline int dispatch_live(core::AsyncContext& ac, const core::BarrierControl& bar
 
 /// Gradient-sum sequence op (the `map(p => ∇f_p(w_br.value))` of Algorithms
 /// 1–2), generic over the broadcast handle type (engine::Broadcast or
-/// core::HistoryBroadcast — both expose value()).
+/// core::HistoryBroadcast — both expose value()).  `grad_cfg` fixes the
+/// accumulator representation (see detail::grad_config); passing a bare dim
+/// yields the default sparse-start policy.
 template <typename Handle>
 [[nodiscard]] auto make_grad_seq(std::shared_ptr<const Loss> loss, Handle w_br,
-                                 std::size_t dim) {
-  return [loss = std::move(loss), w_br, dim](GradCount acc,
-                                             const data::LabeledPoint& p) {
-    if (acc.grad.size() != dim) acc.grad.resize(dim);
+                                 linalg::GradVectorConfig grad_cfg) {
+  return [loss = std::move(loss), w_br, grad_cfg](GradCount acc,
+                                                  const data::LabeledPoint& p) {
+    acc.grad.ensure(grad_cfg);
     const linalg::DenseVector& w = w_br.value();
     const double coeff = loss->derivative(p.features.dot(w.span()), p.label);
-    p.features.axpy_into(coeff, acc.grad.span());
+    p.features.axpy_into(coeff, acc.grad);
     acc.count += 1;
     return acc;
   };
@@ -79,8 +98,7 @@ template <typename Handle>
 [[nodiscard]] inline auto grad_comb() {
   return [](GradCount a, const GradCount& b) {
     if (b.count == 0) return a;
-    if (a.grad.size() != b.grad.size()) a.grad.resize(b.grad.size());
-    linalg::axpy(1.0, b.grad.span(), a.grad.span());
+    a.grad.add(b.grad);
     a.count += b.count;
     return a;
   };
@@ -93,23 +111,21 @@ template <typename Handle>
 [[nodiscard]] inline auto make_saga_seq(std::shared_ptr<const Loss> loss,
                                         core::HistoryBroadcast w_br,
                                         std::shared_ptr<core::SampleVersionTable> table,
-                                        std::size_t dim) {
-  return [loss = std::move(loss), w_br, table = std::move(table), dim](
+                                        linalg::GradVectorConfig grad_cfg) {
+  return [loss = std::move(loss), w_br, table = std::move(table), grad_cfg](
              GradHist acc, const data::LabeledPoint& p) {
-    if (acc.grad.size() != dim) {
-      acc.grad.resize(dim);
-      acc.hist.resize(dim);
-    }
+    acc.grad.ensure(grad_cfg);
+    acc.hist.ensure(grad_cfg);
     const linalg::DenseVector& w_new = w_br.value();
     const double coeff_new = loss->derivative(p.features.dot(w_new.span()), p.label);
-    p.features.axpy_into(coeff_new, acc.grad.span());
+    p.features.axpy_into(coeff_new, acc.grad);
 
     const engine::Version last = table->get(p.index);
     if (last != kNeverVisited) {
       const linalg::DenseVector& w_old = w_br.value_at(last);
       const double coeff_old =
           loss->derivative(p.features.dot(w_old.span()), p.label);
-      p.features.axpy_into(coeff_old, acc.hist.span());
+      p.features.axpy_into(coeff_old, acc.hist);
     }
     table->set(p.index, w_br.version());
     acc.count += 1;
@@ -121,12 +137,8 @@ template <typename Handle>
 [[nodiscard]] inline auto grad_hist_comb() {
   return [](GradHist a, const GradHist& b) {
     if (b.count == 0) return a;
-    if (a.grad.size() != b.grad.size()) {
-      a.grad.resize(b.grad.size());
-      a.hist.resize(b.hist.size());
-    }
-    linalg::axpy(1.0, b.grad.span(), a.grad.span());
-    linalg::axpy(1.0, b.hist.span(), a.hist.span());
+    a.grad.add(b.grad);
+    a.hist.add(b.hist);
     a.count += b.count;
     return a;
   };

@@ -101,10 +101,10 @@ TEST(PaperApi, Algorithm2Transliteration) {
   core::HistoryBroadcast w_br = ASYNCbroadcast(ac, w);       // w_br = broadcast(w)
   auto grad_map = [loss, &dim](core::HistoryBroadcast handle) {
     return [loss, handle, dim](optim::GradCount acc, const data::LabeledPoint& p) {
-      if (acc.grad.size() != dim) acc.grad.resize(dim);
+      acc.grad.ensure(linalg::GradVectorConfig(dim));
       const auto& model = handle.value();
       p.features.axpy_into(loss->derivative(p.features.dot(model.span()), p.label),
-                           acc.grad.span());
+                           acc.grad);
       acc.count += 1;
       return acc;
     };
@@ -116,7 +116,7 @@ TEST(PaperApi, Algorithm2Transliteration) {
     ASSERT_TRUE(collected.has_value());
     const auto& g = collected->result.payload.get<optim::GradCount>();
     if (g.count > 0) {
-      linalg::axpy(-0.02 / static_cast<double>(g.count), g.grad.span(), w.span());
+      g.grad.scale_into(-0.02 / static_cast<double>(g.count), w.span());
     }
     ++updates;
     ac.advance_version();

@@ -118,7 +118,7 @@ TEST(BroadcastHandle, WorkerSideValueGoesThroughCache) {
 TEST(NetworkModel, TransferTimeScalesWithBytes) {
   NetworkModel net;
   net.latency_ms = 1.0;
-  net.bandwidth_mbps = 1.0;  // 1 MB/s => 1 MB takes 1000 ms
+  net.bandwidth_MBps = 1.0;  // 1 MB/s => 1 MB takes 1000 ms
   net.time_scale = 1.0;
   EXPECT_NEAR(net.transfer_ms(0), 1.0, 1e-9);
   EXPECT_NEAR(net.transfer_ms(1024 * 1024), 1001.0, 1e-6);

@@ -36,9 +36,14 @@ TEST(Payload, HoldsChecksType) {
 }
 
 TEST(Payload, SharedAcrossCopies) {
-  Payload a = Payload::wrap<std::string>(std::string("hello"));
+  // Container-backed payloads must pass their real serialized size; the
+  // sizeof-defaulting overload is compile-time restricted to trivially
+  // copyable types.
+  static_assert(!std::is_trivially_copyable_v<std::string>);
+  Payload a = Payload::wrap<std::string>(std::string("hello"), 5);
   Payload b = a;  // shares the underlying value
   EXPECT_EQ(&a.get<std::string>(), &b.get<std::string>());
+  EXPECT_EQ(b.bytes(), 5u);
 }
 
 TEST(Payload, MovePreservesValue) {

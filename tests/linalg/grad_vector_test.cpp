@@ -1,0 +1,280 @@
+// GradVector: densification edge cases (empty, duplicate indices, threshold
+// boundary), combine across representation pairs, kernels, and exact wire
+// sizes.
+
+#include "linalg/grad_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "linalg/blas.hpp"
+
+namespace asyncml::linalg {
+namespace {
+
+SparseRowView row_view(const std::vector<std::uint32_t>& idx,
+                       const std::vector<double>& val) {
+  return {{idx.data(), idx.size()}, {val.data(), val.size()}};
+}
+
+TEST(GradVector, EmptyIsSparseZero) {
+  GradVector g(GradVectorConfig(100));
+  EXPECT_TRUE(g.configured());
+  EXPECT_FALSE(g.is_dense());
+  EXPECT_EQ(g.nnz(), 0u);
+  EXPECT_EQ(g.size_bytes(), 0u);  // empty accumulators ship nothing
+  EXPECT_EQ(g.to_dense(), DenseVector(100));
+
+  DenseVector y(100, 1.0);
+  g.scale_into(5.0, y.span());  // zero contributes nothing
+  EXPECT_EQ(y, DenseVector(100, 1.0));
+}
+
+TEST(GradVector, UnconfiguredDefaultIsInert) {
+  GradVector g;
+  EXPECT_FALSE(g.configured());
+  EXPECT_EQ(g.dim(), 0u);
+  g.ensure(GradVectorConfig(8));
+  EXPECT_TRUE(g.configured());
+  g.ensure(GradVectorConfig(99));  // second ensure is a no-op
+  EXPECT_EQ(g.dim(), 8u);
+}
+
+TEST(GradVector, AccumulatesDuplicateIndicesAcrossRows) {
+  // Threshold 0.9: 4 distinct entries over dim=10 must stay sparse.
+  GradVector g(GradVectorConfig(10, 0.9, /*dense_start=*/false));
+  const std::vector<std::uint32_t> i1{1, 4, 7};
+  const std::vector<double> v1{1.0, 2.0, 3.0};
+  const std::vector<std::uint32_t> i2{4, 7, 9};
+  const std::vector<double> v2{10.0, 20.0, 30.0};
+  g.axpy(2.0, row_view(i1, v1));
+  g.axpy(-1.0, row_view(i2, v2));
+
+  EXPECT_EQ(g.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(g.value_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(g.value_at(4), 4.0 - 10.0);
+  EXPECT_DOUBLE_EQ(g.value_at(7), 6.0 - 20.0);
+  EXPECT_DOUBLE_EQ(g.value_at(9), -30.0);
+  EXPECT_DOUBLE_EQ(g.value_at(0), 0.0);
+}
+
+TEST(GradVector, DensifiesStrictlyPastThreshold) {
+  // dim=100, threshold 0.25: 25 entries stay sparse, the 26th densifies.
+  GradVector g(GradVectorConfig(100, 0.25, /*dense_start=*/false));
+  for (std::uint32_t k = 0; k < 25; ++k) {
+    const std::vector<std::uint32_t> idx{k};
+    const std::vector<double> val{1.0};
+    g.axpy(1.0, row_view(idx, val));
+  }
+  EXPECT_FALSE(g.is_dense());
+  EXPECT_EQ(g.nnz(), 25u);
+
+  const std::vector<std::uint32_t> idx{25};
+  const std::vector<double> val{1.0};
+  g.axpy(1.0, row_view(idx, val));
+  EXPECT_TRUE(g.is_dense());
+  EXPECT_EQ(g.nnz(), 100u);  // dense ships every coordinate
+  for (std::uint32_t k = 0; k <= 25; ++k) EXPECT_DOUBLE_EQ(g.value_at(k), 1.0);
+  EXPECT_DOUBLE_EQ(g.value_at(60), 0.0);
+}
+
+TEST(GradVector, DenseRowForcesDensify) {
+  GradVector g(GradVectorConfig(4));
+  const std::vector<std::uint32_t> idx{2};
+  const std::vector<double> val{5.0};
+  g.axpy(1.0, row_view(idx, val));
+  ASSERT_FALSE(g.is_dense());
+
+  const std::vector<double> dense_row{1.0, 2.0, 3.0, 4.0};
+  g.axpy(0.5, {dense_row.data(), dense_row.size()});
+  EXPECT_TRUE(g.is_dense());
+  EXPECT_DOUBLE_EQ(g.value_at(2), 5.0 + 1.5);
+  EXPECT_DOUBLE_EQ(g.value_at(0), 0.5);
+}
+
+TEST(GradVector, StartDenseSkipsSparsePhase) {
+  GradVector g(GradVectorConfig(6, 0.25, /*dense_start=*/true));
+  EXPECT_TRUE(g.is_dense());
+  // Dense storage is lazy: an untouched accumulator (an empty-batch task's
+  // payload) holds and ships nothing, exactly like the old empty DenseVector.
+  EXPECT_EQ(g.nnz(), 0u);
+  EXPECT_EQ(g.size_bytes(), 0u);
+  const std::vector<std::uint32_t> idx{3};
+  const std::vector<double> val{2.0};
+  g.axpy(3.0, row_view(idx, val));
+  EXPECT_DOUBLE_EQ(g.value_at(3), 6.0);
+  EXPECT_EQ(g.nnz(), 6u);
+  EXPECT_EQ(g.size_bytes(), 6 * sizeof(double));
+}
+
+TEST(GradVector, CombineAllRepresentationPairs) {
+  const std::vector<std::uint32_t> ia{0, 2};
+  const std::vector<double> va{1.0, 2.0};
+  const std::vector<std::uint32_t> ib{2, 3};
+  const std::vector<double> vb{10.0, 20.0};
+
+  // Threshold 0.9 keeps the 3-entry union sparse over dim=4.
+  auto sparse_a = [&] {
+    GradVector g(GradVectorConfig(4, 0.9, false));
+    g.axpy(1.0, row_view(ia, va));
+    return g;
+  };
+  auto dense_b = [&] {
+    GradVector g(GradVectorConfig(4, 0.9, true));
+    g.axpy(1.0, row_view(ib, vb));
+    return g;
+  };
+  auto sparse_b = [&] {
+    GradVector g(GradVectorConfig(4, 0.9, false));
+    g.axpy(1.0, row_view(ib, vb));
+    return g;
+  };
+  const DenseVector expected{1.0, 0.0, 12.0, 20.0};
+
+  {  // sparse += sparse
+    GradVector g = sparse_a();
+    g.add(sparse_b());
+    EXPECT_FALSE(g.is_dense());
+    EXPECT_EQ(g.to_dense(), expected);
+  }
+  {  // sparse += dense -> densifies
+    GradVector g = sparse_a();
+    g.add(dense_b());
+    EXPECT_TRUE(g.is_dense());
+    EXPECT_EQ(g.to_dense(), expected);
+  }
+  {  // dense += sparse
+    GradVector g(GradVectorConfig(4, 0.9, true));
+    g.add(sparse_a());
+    g.add(sparse_b());
+    EXPECT_TRUE(g.is_dense());
+    EXPECT_EQ(g.to_dense(), expected);
+  }
+  {  // unconfigured adopts the other side wholesale (driver-side zero)
+    GradVector g;
+    g.add(sparse_a());
+    EXPECT_TRUE(g.configured());
+    EXPECT_FALSE(g.is_dense());
+    g.add(sparse_b());
+    EXPECT_EQ(g.to_dense(), expected);
+  }
+  {  // adding an empty/unconfigured right side is a no-op
+    GradVector g = sparse_a();
+    g.add(GradVector{});
+    g.add(GradVector(GradVectorConfig(4, 0.9, false)));
+    EXPECT_EQ(g.to_dense(), (DenseVector{1.0, 0.0, 2.0, 0.0}));
+  }
+}
+
+TEST(GradVector, ScaleIntoMatchesToDenseAxpy) {
+  GradVector g(GradVectorConfig(16));
+  const std::vector<std::uint32_t> idx{1, 5, 9, 13};
+  const std::vector<double> val{0.5, -2.0, 3.0, 7.0};
+  g.axpy(1.5, row_view(idx, val));
+
+  DenseVector via_scale(16, 0.25);
+  g.scale_into(-0.3, via_scale.span());
+
+  DenseVector via_dense(16, 0.25);
+  const DenseVector d = g.to_dense();
+  axpy(-0.3, d.span(), via_dense.span());
+
+  EXPECT_LT(max_abs_diff(via_scale.span(), via_dense.span()), 1e-15);
+}
+
+TEST(GradVector, ExactWireSizes) {
+  GradVector g(GradVectorConfig(1000));
+  const std::vector<std::uint32_t> idx{10, 20, 30};
+  const std::vector<double> val{1.0, 2.0, 3.0};
+  g.axpy(1.0, row_view(idx, val));
+  // sparse: u64 header + nnz * (u32 + f64)
+  EXPECT_EQ(g.size_bytes(), 8u + 3u * 12u);
+
+  const std::vector<double> dense_row(1000, 0.1);
+  g.axpy(1.0, {dense_row.data(), dense_row.size()});
+  EXPECT_EQ(g.size_bytes(), 1000u * sizeof(double));
+}
+
+TEST(GradVector, TableGrowthPreservesValuesAgainstReference) {
+  // Enough scattered keys to force several rehash rounds; compare with a map.
+  GradVector g(GradVectorConfig(100'000, 0.9, false));
+  std::map<std::uint32_t, double> ref;
+  std::uint32_t key = 7;
+  for (int round = 0; round < 400; ++round) {
+    key = (key * 2654435761u + 13u) % 100'000u;
+    const double value = 0.01 * static_cast<double>(round + 1);
+    const std::vector<std::uint32_t> idx{key};
+    const std::vector<double> val{value};
+    g.axpy(1.0, row_view(idx, val));
+    ref[key] += value;
+  }
+  ASSERT_FALSE(g.is_dense());
+  EXPECT_EQ(g.nnz(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_DOUBLE_EQ(g.value_at(k), v);
+}
+
+TEST(GradVector, SetZeroRevertsToStartRepresentation) {
+  GradVector g(GradVectorConfig(8, 0.25, /*dense_start=*/false));
+  const std::vector<double> dense_row(8, 1.0);
+  g.axpy(1.0, {dense_row.data(), dense_row.size()});
+  ASSERT_TRUE(g.is_dense());
+
+  g.set_zero();
+  EXPECT_FALSE(g.is_dense());
+  EXPECT_EQ(g.nnz(), 0u);
+  EXPECT_EQ(g.to_dense(), DenseVector(8));
+
+  // And it accumulates correctly again after the reset.
+  const std::vector<std::uint32_t> idx{6};
+  const std::vector<double> val{4.0};
+  g.axpy(1.0, row_view(idx, val));
+  EXPECT_DOUBLE_EQ(g.value_at(6), 4.0);
+  EXPECT_EQ(g.nnz(), 1u);
+}
+
+TEST(GradVector, ForEachVisitsEveryEntryOnce) {
+  GradVector g(GradVectorConfig(32));
+  const std::vector<std::uint32_t> idx{3, 17, 31};
+  const std::vector<double> val{1.0, 2.0, 4.0};
+  g.axpy(1.0, row_view(idx, val));
+  double sum = 0.0;
+  std::size_t visits = 0;
+  g.for_each([&](std::uint32_t, double v) {
+    sum += v;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 3u);
+  EXPECT_DOUBLE_EQ(sum, 7.0);
+}
+
+TEST(ResolveGradConfig, ExpectedUnionDensityDrivesAutoChoice) {
+  // 1 - (1-d)^rows, clamped and monotone in both arguments.
+  EXPECT_NEAR(expected_union_density(0.01, 1.0), 0.01, 1e-12);
+  EXPECT_NEAR(expected_union_density(0.1, 16.0), 1.0 - std::pow(0.9, 16.0), 1e-12);
+  EXPECT_DOUBLE_EQ(expected_union_density(1.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_union_density(0.0, 100.0), 0.0);
+  // A mid-density dataset saturates a 16-row batch: kAuto must start dense
+  // even though the per-cell density is below the densify threshold.
+  const GradVectorConfig saturating = resolve_grad_config(
+      GradMode::kAuto, 1000, expected_union_density(0.1, 16.0));
+  EXPECT_TRUE(saturating.start_dense);
+  const GradVectorConfig sparse_batch = resolve_grad_config(
+      GradMode::kAuto, 1000, expected_union_density(0.001, 16.0));
+  EXPECT_FALSE(sparse_batch.start_dense);
+}
+
+TEST(ResolveGradConfig, AutoFollowsDatasetDensity) {
+  const GradVectorConfig sparse = resolve_grad_config(GradMode::kAuto, 100, 0.01);
+  EXPECT_FALSE(sparse.start_dense);
+  const GradVectorConfig dense = resolve_grad_config(GradMode::kAuto, 100, 0.9);
+  EXPECT_TRUE(dense.start_dense);
+  // Forced modes override density.
+  EXPECT_TRUE(resolve_grad_config(GradMode::kDense, 100, 0.001).start_dense);
+  EXPECT_FALSE(resolve_grad_config(GradMode::kSparse, 100, 1.0).start_dense);
+}
+
+}  // namespace
+}  // namespace asyncml::linalg

@@ -61,8 +61,9 @@ TEST_P(DistributedGradientProperty, EngineGradientMatchesSerialReference) {
   const double fraction = 0.4;
   const GradCount total = engine::aggregate_sync(
       cluster, workload.points.sample(fraction), GradCount{},
-      detail::make_grad_seq(workload.loss, w_br, workload.dim()), detail::grad_comb(),
-      stage);
+      detail::make_grad_seq(workload.loss, w_br,
+                            linalg::GradVectorConfig(workload.dim())),
+      detail::grad_comb(), stage);
 
   // Serial reference: iterate partitions in order with the same task RNG
   // derivation the worker uses: (seed, partition+1, seq).
@@ -82,8 +83,9 @@ TEST_P(DistributedGradientProperty, EngineGradientMatchesSerialReference) {
   }
 
   EXPECT_EQ(total.count, expected_count);
-  ASSERT_EQ(total.grad.size(), expected.size());
-  EXPECT_LT(linalg::max_abs_diff(total.grad.span(), expected.span()), 1e-9);
+  const linalg::DenseVector grad = total.grad.to_dense();
+  ASSERT_EQ(grad.size(), expected.size());
+  EXPECT_LT(linalg::max_abs_diff(grad.span(), expected.span()), 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(

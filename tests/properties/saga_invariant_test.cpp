@@ -53,19 +53,20 @@ TEST_P(SagaInvariants, VersionTableConsistentAndAlphaBarExact) {
   // Run a handful of SAGA rounds, mirroring SagaSolver's update rule.
   std::vector<linalg::DenseVector> published{w};
   for (int k = 0; k < 12; ++k) {
-    auto seq = detail::make_saga_seq(workload.loss, w_br, table, dim);
+    auto seq = detail::make_saga_seq(workload.loss, w_br, table,
+                                     linalg::GradVectorConfig(dim));
     auto results = ac.sync_round(sampled, GradHist{}, seq, opts);
     GradHist total;
     for (auto& r : results) total = comb(std::move(total), r.result.payload.get<GradHist>());
     if (total.count > 0) {
       const double inv_b = 1.0 / static_cast<double>(total.count);
       linalg::DenseVector direction = alpha_bar;
-      linalg::axpy(inv_b, total.grad.span(), direction.span());
-      linalg::axpy(-inv_b, total.hist.span(), direction.span());
+      total.grad.scale_into(inv_b, direction.span());
+      total.hist.scale_into(-inv_b, direction.span());
       linalg::axpy(-0.02, direction.span(), w.span());
       const double inv_n = 1.0 / static_cast<double>(n);
-      linalg::axpy(inv_n, total.grad.span(), alpha_bar.span());
-      linalg::axpy(-inv_n, total.hist.span(), alpha_bar.span());
+      total.grad.scale_into(inv_n, alpha_bar.span());
+      total.hist.scale_into(-inv_n, alpha_bar.span());
     }
     ac.advance_version();
     w_br = ac.async_broadcast(w);
