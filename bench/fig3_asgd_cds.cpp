@@ -25,7 +25,7 @@ int main() {
 
   metrics::Table summary(
       {"dataset", "delay", "SGD wall ms", "ASGD wall ms", "SGD err", "ASGD err",
-       "speedup(ASGD vs SGD)", "ASGD result KB"});
+       "speedup(ASGD vs SGD)", "ASGD result KB", "ASGD bcast KB (base+delta)"});
   std::vector<std::string> rows;
 
   for (const bench::BenchDataset& ds : bench::all_datasets(/*row_scale=*/2.0)) {
@@ -63,7 +63,8 @@ int main() {
                        metrics::Table::num(async_run.final_error()),
                        bench::speedup_str(sync.trace, async_run.trace),
                        metrics::Table::num(
-                           static_cast<double>(async_run.result_bytes) / 1024.0, 4)});
+                           static_cast<double>(async_run.result_bytes) / 1024.0, 4),
+                       bench::bcast_kb_str(async_run)});
     }
   }
 

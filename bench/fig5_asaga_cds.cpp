@@ -25,7 +25,7 @@ int main() {
 
   metrics::Table summary(
       {"dataset", "delay", "SAGA wall ms", "ASAGA wall ms", "SAGA err", "ASAGA err",
-       "speedup(ASAGA vs SAGA)"});
+       "speedup(ASAGA vs SAGA)", "ASAGA bcast KB (base+delta)"});
   std::vector<std::string> rows;
 
   for (const bench::BenchDataset& ds : bench::all_datasets(/*row_scale=*/2.0)) {
@@ -61,7 +61,8 @@ int main() {
                        metrics::Table::num(async_run.wall_ms, 4),
                        metrics::Table::num(sync.final_error()),
                        metrics::Table::num(async_run.final_error()),
-                       bench::speedup_str(sync.trace, async_run.trace)});
+                       bench::speedup_str(sync.trace, async_run.trace),
+                       bench::bcast_kb_str(async_run)});
     }
   }
 

@@ -174,4 +174,11 @@ std::string speedup_str(const metrics::Trace& baseline, const metrics::Trace& co
   return os.str();
 }
 
+
+std::string bcast_kb_str(const optim::RunResult& run) {
+  return std::to_string(run.broadcast_bytes / 1024) + " (" +
+         std::to_string(run.broadcast_base_bytes / 1024) + "+" +
+         std::to_string(run.broadcast_delta_bytes / 1024) + ")";
+}
+
 }  // namespace asyncml::bench

@@ -72,4 +72,8 @@ void banner(const std::string& title, const std::string& paper_claim);
 [[nodiscard]] std::string speedup_str(const metrics::Trace& baseline,
                                       const metrics::Trace& contender);
 
+/// "total (base+delta)" rendering of a run's charged broadcast KB — the
+/// model-store byte split the fig3/fig5 summaries print.
+[[nodiscard]] std::string bcast_kb_str(const optim::RunResult& run);
+
 }  // namespace asyncml::bench

@@ -1,0 +1,136 @@
+// Microbenchmark — delta-chain apply vs full-snapshot fetch in the model store.
+//
+// Times the steady-state step every asynchronous round pays: a worker that
+// already holds version v−1 materializes version v.  Under delta publishing
+// it fetches one sparse overwrite delta (8 + 12*nnz wire bytes) and applies
+// it onto a copy of its cached ancestor; under full-snapshot publishing it
+// fetches the full 8*dim payload.  Reports the wall cost of resolution and —
+// the headline — the modeled per-version wire bytes, across a sweep of
+// per-version update densities.  No google-benchmark dependency: plain
+// wall-clock over enough iterations to dominate timer noise.
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "harness.hpp"
+#include "store/model_cache.hpp"
+#include "store/model_store.hpp"
+
+using namespace asyncml;
+
+namespace {
+
+struct CaseResult {
+  double ns_per_resolve = 0.0;
+  std::uint64_t step_wire_bytes = 0;  ///< bytes charged for the v−1 → v step
+};
+
+/// Publishes `versions` models over `dim` coords, each update touching
+/// ~`density * dim` random coordinates.
+void publish_churn(store::ModelStore& model_store, std::size_t dim,
+                   engine::Version versions, double density) {
+  support::RngStream rng(7);
+  linalg::DenseVector w(dim);
+  for (engine::Version v = 0; v < versions; ++v) {
+    const auto touches = std::max<std::size_t>(
+        1, static_cast<std::size_t>(density * static_cast<double>(dim)));
+    for (std::size_t t = 0; t < touches; ++t) {
+      w[rng.next_below(dim)] += rng.uniform(-1.0, 1.0);
+    }
+    model_store.publish(w, v);
+  }
+}
+
+CaseResult run_case(const engine::BroadcastStore& broadcasts,
+                    store::ModelStore& model_store, engine::Version head,
+                    int iters) {
+  engine::NetworkModel net;
+  net.time_scale = 0.0;  // measure CPU cost; bytes are counted, not slept
+  CaseResult out;
+  double total_ms = 0.0;
+  for (int it = -3; it < iters; ++it) {  // negative iterations warm the caches
+    // A warm worker: it materialized v−1 last round, v is new to it.
+    engine::ClusterMetrics metrics(1);
+    engine::BroadcastCache bcache(&broadcasts, &net, &metrics);
+    store::VersionedModelCache cache(&model_store, &bcache, &metrics);
+    (void)cache.value_at(head - 1);
+    metrics.broadcast_bytes.reset();
+
+    support::Stopwatch watch;
+    const linalg::DenseVector& w = cache.value_at(head);
+    if (it >= 0) total_ms += watch.elapsed_ms();
+    if (it == 0) out.step_wire_bytes = metrics.broadcast_bytes.load();
+    if (w[0] > 1e300) std::cout << "";  // keep the resolve observable
+  }
+  out.ns_per_resolve = total_ms * 1e6 / static_cast<double>(iters);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Micro: model-store resolution, delta chain vs full snapshot",
+                "a worker holding version v-1 pays O(delta-nnz) wire bytes for "
+                "version v, not O(dim)");
+
+  constexpr std::size_t kDim = 16384;
+  constexpr engine::Version kVersions = 16;  // one base + 15 deltas
+  const std::vector<double> kDensities = {0.0001, 0.001, 0.01, 0.1};
+
+  metrics::Table table({"update density", "resolve ns (snapshot)",
+                        "resolve ns (delta)", "step B (snapshot)",
+                        "step B (delta)", "bytes ratio"});
+  std::vector<std::string> rows;
+
+  for (double density : kDensities) {
+    engine::BroadcastStore snap_broadcasts;
+    store::StoreConfig snap_config;
+    snap_config.delta_enabled = false;
+    store::ModelStore snap_store(&snap_broadcasts, snap_config);
+    publish_churn(snap_store, kDim, kVersions, density);
+
+    engine::BroadcastStore delta_broadcasts;
+    store::StoreConfig delta_config;
+    delta_config.base_interval = kVersions;  // a single chain for the sweep
+    store::ModelStore delta_store(&delta_broadcasts, delta_config);
+    publish_churn(delta_store, kDim, kVersions, density);
+
+    const double nnz_per_chain =
+        std::max(1.0, density * static_cast<double>(kDim) *
+                          static_cast<double>(kVersions - 1));
+    const int iters = static_cast<int>(std::clamp(
+        4.0e7 / (nnz_per_chain + static_cast<double>(kDim)), 50.0, 20000.0));
+
+    const CaseResult snap =
+        run_case(snap_broadcasts, snap_store, kVersions - 1, iters);
+    const CaseResult delta =
+        run_case(delta_broadcasts, delta_store, kVersions - 1, iters);
+
+    const auto whole = [](double v) {
+      return std::to_string(static_cast<long long>(v + 0.5));
+    };
+    table.add_row(
+        {metrics::Table::num(density, 4), whole(snap.ns_per_resolve),
+         whole(delta.ns_per_resolve), std::to_string(snap.step_wire_bytes),
+         std::to_string(delta.step_wire_bytes),
+         metrics::Table::num(static_cast<double>(snap.step_wire_bytes) /
+                                 static_cast<double>(std::max<std::uint64_t>(
+                                     1, delta.step_wire_bytes)),
+                             3)});
+    std::ostringstream os;
+    os << density << ',' << snap.ns_per_resolve << ',' << delta.ns_per_resolve
+       << ',' << snap.step_wire_bytes << ',' << delta.step_wire_bytes;
+    rows.push_back(os.str());
+  }
+
+  bench::write_csv("micro_model_store.csv",
+                   "density,snapshot_ns,delta_ns,snapshot_bytes,delta_bytes", rows);
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nshape check: per-version delta bytes collapse at low update "
+               "density and approach one snapshot as deltas densify; delta "
+               "resolution pays an O(dim) ancestor copy plus O(nnz) applies "
+               "(microseconds) for orders-of-magnitude fewer wire bytes.\n";
+  return 0;
+}

@@ -48,6 +48,8 @@
 #include "optim/solver_config.hpp"
 #include "optim/step_size.hpp"
 #include "optim/workload.hpp"
+#include "store/model_cache.hpp"
+#include "store/model_store.hpp"
 #include "straggler/controlled_delay.hpp"
 #include "straggler/production_cluster.hpp"
 #include "straggler/trace_replay.hpp"

@@ -71,10 +71,12 @@ inline int ASYNCaggregate(AsyncContext& ac, const engine::Rdd<T>& rdd, U zero,
   return ac.collect();
 }
 
-/// ASYNCbroadcast: publish a model as a dynamic (history) broadcast variable.
+/// ASYNCbroadcast: publish a model as a dynamic (history) broadcast variable
+/// (shipped as a sparse delta against the previous version when profitable —
+/// see src/store/).
 [[nodiscard]] inline HistoryBroadcast ASYNCbroadcast(AsyncContext& ac,
-                                                     linalg::DenseVector w) {
-  return ac.async_broadcast(std::move(w));
+                                                     const linalg::DenseVector& w) {
+  return ac.async_broadcast(w);
 }
 
 /// AC.STAT — snapshot of all workers' status.

@@ -2,11 +2,12 @@
 
 namespace asyncml::core {
 
-AsyncContext::AsyncContext(engine::Cluster& cluster, int num_partitions)
+AsyncContext::AsyncContext(engine::Cluster& cluster, int num_partitions,
+                           store::StoreConfig store_config)
     : cluster_(cluster),
       coordinator_(cluster),
       scheduler_(cluster, coordinator_),
-      registry_(std::make_shared<HistoryRegistry>(&cluster.store())) {
+      registry_(std::make_shared<HistoryRegistry>(&cluster.store(), store_config)) {
   scheduler_.set_num_partitions(num_partitions);
   coordinator_.start();
 }
@@ -58,9 +59,9 @@ std::optional<TaggedResult> AsyncContext::collect(
   }
 }
 
-HistoryBroadcast AsyncContext::async_broadcast(linalg::DenseVector w) {
+HistoryBroadcast AsyncContext::async_broadcast(const linalg::DenseVector& w) {
   const engine::Version version = coordinator_.current_version();
-  registry_->publish(std::move(w), version);
+  registry_->publish(w, version);
   return HistoryBroadcast(registry_, version);
 }
 

@@ -24,6 +24,7 @@
 // tasks built from the RDD), but it lives with the scheduler because that is
 // where our engine makes placement decisions.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +54,10 @@ struct SubmitOptions {
 
 class AsyncContext {
  public:
-  AsyncContext(engine::Cluster& cluster, int num_partitions);
+  /// `store_config` tunes the delta-versioned model store behind
+  /// ASYNCbroadcast (delta vs full-snapshot publishing, base cadence).
+  AsyncContext(engine::Cluster& cluster, int num_partitions,
+               store::StoreConfig store_config = {});
   ~AsyncContext();
 
   AsyncContext(const AsyncContext&) = delete;
@@ -89,7 +93,7 @@ class AsyncContext {
 
   /// Publishes `w` as the model at the *current* version and returns the
   /// pinned handle tasks should capture.
-  [[nodiscard]] HistoryBroadcast async_broadcast(linalg::DenseVector w);
+  [[nodiscard]] HistoryBroadcast async_broadcast(const linalg::DenseVector& w);
 
   /// Handle pinned to an already-published version.
   [[nodiscard]] HistoryBroadcast handle_for(engine::Version version) const {
@@ -97,6 +101,20 @@ class AsyncContext {
   }
 
   [[nodiscard]] HistoryRegistry& history() { return *registry_; }
+
+  /// Garbage-collects history the STAT table proves unreachable: versions
+  /// below the minimum in-flight dispatch version (no running task can read
+  /// an older pinned model).  History-reading solvers pass the extra floor
+  /// their bookkeeping requires — ASAGA/SAGA their SampleVersionTable
+  /// minimum, epoch VR the current snapshot version.  Returns the bound GC'd
+  /// against.
+  engine::Version gc_history(
+      std::optional<engine::Version> extra_floor = std::nullopt) {
+    engine::Version bound = stat().min_inflight_version();
+    if (extra_floor.has_value()) bound = std::min(bound, *extra_floor);
+    registry_->prune_below(bound);
+    return bound;
+  }
 
   // -- task factories and dispatch --------------------------------------------
 

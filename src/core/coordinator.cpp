@@ -7,6 +7,7 @@ namespace asyncml::core {
 Coordinator::Coordinator(engine::Cluster& cluster)
     : cluster_(cluster),
       stats_(static_cast<std::size_t>(cluster.num_workers())),
+      inflight_versions_(static_cast<std::size_t>(cluster.num_workers())),
       task_time_ewma_(static_cast<std::size_t>(cluster.num_workers())) {
   for (int w = 0; w < cluster.num_workers(); ++w) {
     stats_[static_cast<std::size_t>(w)].id = w;
@@ -59,6 +60,11 @@ void Coordinator::apply_result_locked(const engine::TaskResult& r) {
   WorkerStat& row = stats_[static_cast<std::size_t>(r.worker)];
   row.outstanding = std::max(0, row.outstanding - 1);
   row.available = row.outstanding == 0;
+  auto& inflight = inflight_versions_[static_cast<std::size_t>(r.worker)];
+  if (const auto it = inflight.find(r.model_version); it != inflight.end()) {
+    inflight.erase(it);  // exactly one instance: this task's pin is released
+  }
+  fill_min_outstanding_locked(row);
   if (r.ok()) {
     row.tasks_completed += 1;
   } else {
@@ -114,6 +120,14 @@ void Coordinator::on_dispatch(engine::WorkerId worker, int tasks,
   row.available = row.outstanding == 0;
   row.last_dispatch_version = version;
   row.ever_dispatched = true;
+  auto& inflight = inflight_versions_[static_cast<std::size_t>(worker)];
+  for (int t = 0; t < tasks; ++t) inflight.insert(version);
+  fill_min_outstanding_locked(row);
+}
+
+void Coordinator::fill_min_outstanding_locked(WorkerStat& row) const {
+  const auto& inflight = inflight_versions_[static_cast<std::size_t>(row.id)];
+  row.min_outstanding_version = inflight.empty() ? 0 : *inflight.begin();
 }
 
 }  // namespace asyncml::core

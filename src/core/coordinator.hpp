@@ -15,6 +15,7 @@
 #include <atomic>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -93,12 +94,20 @@ class Coordinator {
  private:
   void drain_loop();
   void apply_result_locked(const engine::TaskResult& r);
+  /// Refreshes `row.min_outstanding_version` from the in-flight version
+  /// multiset; requires stat_mutex_ held.
+  void fill_min_outstanding_locked(WorkerStat& row) const;
 
   engine::Cluster& cluster_;
   std::atomic<engine::Version> version_{0};
 
   mutable std::mutex stat_mutex_;
   std::vector<WorkerStat> stats_;
+  /// Per-worker versions of tasks currently in flight (one entry per task):
+  /// the authoritative source of the history-GC bound. A plain "last
+  /// dispatched version" is not enough — a multi-core worker can hold an old
+  /// queued task while newer ones are dispatched past it.
+  std::vector<std::multiset<engine::Version>> inflight_versions_;
   std::vector<support::Ewma> task_time_ewma_;
 
   support::BlockingQueue<TaggedResult> results_;

@@ -1,65 +1,49 @@
 #include "core/history.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+
+#include "store/model_cache.hpp"
 
 namespace asyncml::core {
 
-engine::BroadcastId HistoryRegistry::publish(linalg::DenseVector w,
+engine::BroadcastId HistoryRegistry::publish(const linalg::DenseVector& w,
                                              engine::Version version) {
-  const std::size_t bytes = w.size_bytes();
-  const engine::BroadcastId id =
-      store_->put(engine::Payload::wrap<linalg::DenseVector>(std::move(w), bytes));
-  std::lock_guard lock(mutex_);
-  ids_[version] = id;
-  return id;
+  return store_.publish(w, version);
 }
 
 std::optional<engine::BroadcastId> HistoryRegistry::id_of(
     engine::Version version) const {
-  std::lock_guard lock(mutex_);
-  const auto it = ids_.find(version);
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  return store_.id_of(version);
 }
 
 const linalg::DenseVector& HistoryRegistry::value_at(engine::Version version) const {
-  const auto id = id_of(version);
-  if (!id.has_value()) {
-    std::fprintf(stderr, "HistoryRegistry: version %llu was never published or was pruned\n",
-                 static_cast<unsigned long long>(version));
-    std::abort();
+  // On a worker thread, resolve through that worker's versioned model cache
+  // (materialized hit = free; miss fetches and charges the missing chain
+  // links). On the driver, the same resolution runs without charging.
+  if (engine::WorkerEnv* env = engine::current_worker_env();
+      env != nullptr && env->cache != nullptr) {
+    return store_.cache_for(env->id, env->cache, env->metrics).value_at(version);
   }
-  // Broadcast<T>::value() routes through the worker cache when called from a
-  // task, and reads the store directly on the driver. The returned reference
-  // is into the shared immutable payload.
-  engine::Broadcast<linalg::DenseVector> handle(*id, store_);
-  return handle.value();
+  return store_.driver_cache().value_at(version);
 }
 
 void HistoryRegistry::prune_below(engine::Version min_version) {
-  std::lock_guard lock(mutex_);
-  for (auto it = ids_.begin(); it != ids_.end() && it->first < min_version;) {
-    store_->erase(it->second);
-    it = ids_.erase(it);
-  }
+  store_.gc_below(min_version);
 }
 
-std::size_t HistoryRegistry::size() const {
-  std::lock_guard lock(mutex_);
-  return ids_.size();
-}
+std::size_t HistoryRegistry::size() const { return store_.size(); }
 
 std::optional<engine::Version> HistoryRegistry::oldest() const {
-  std::lock_guard lock(mutex_);
-  if (ids_.empty()) return std::nullopt;
-  return ids_.begin()->first;
+  return store_.oldest();
 }
 
 engine::Version SampleVersionTable::min_version() const {
+  engine::Version m = ~engine::Version{0};
   if (versions_.empty()) return 0;
-  return *std::min_element(versions_.begin(), versions_.end());
+  for (const auto& v : versions_) {
+    m = std::min(m, v.load(std::memory_order_relaxed));
+  }
+  return m;
 }
 
 }  // namespace asyncml::core

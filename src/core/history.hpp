@@ -13,40 +13,50 @@
 // worker-local SampleVersionTable, to "the model as it was when sample
 // `index` was last used".
 //
-// HistoryRegistry is the server-side version→broadcast-id map; the
+// Publishing and resolution are delegated to the delta-versioned ModelStore
+// (src/store/): a new version ships as a sparse delta against its
+// predecessor (8 + 12*nnz wire bytes) instead of a full 8*dim snapshot, and
+// a worker materializes version v from its nearest locally cached ancestor,
+// fetching only the missing chain links.  HistoryRegistry remains the
+// version-keyed facade the solvers and the AsyncContext talk to; the
 // HistoryBroadcast handle is what task closures capture (the `w_br` of
-// Algorithm 4).  Value resolution reuses the engine's Broadcast<T> routing,
-// so worker-side reads go through the worker's cache with fetch-through
-// charging.
+// Algorithm 4).
 
-#include <map>
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <vector>
 
 #include "engine/broadcast.hpp"
 #include "engine/types.hpp"
 #include "linalg/dense_vector.hpp"
+#include "store/model_store.hpp"
 
 namespace asyncml::core {
 
 class HistoryRegistry {
  public:
-  explicit HistoryRegistry(engine::BroadcastStore* store) : store_(store) {}
+  explicit HistoryRegistry(engine::BroadcastStore* broadcasts,
+                           store::StoreConfig config = {})
+      : store_(broadcasts, config) {}
 
-  /// Publishes `w` as the model at `version`; returns the broadcast id.
-  engine::BroadcastId publish(linalg::DenseVector w, engine::Version version);
+  /// Publishes `w` as the model at `version` (sparse delta or base snapshot,
+  /// per the store's policy); returns the broadcast id it registered.
+  engine::BroadcastId publish(const linalg::DenseVector& w, engine::Version version);
 
-  /// Broadcast id of a published version (nullopt if unknown/pruned).
+  /// Broadcast id of a published version (nullopt if unknown/GC'd).
   [[nodiscard]] std::optional<engine::BroadcastId> id_of(engine::Version version) const;
 
   /// Resolves the model at `version`. On a worker thread this routes through
-  /// the worker's broadcast cache (cache hit = free; miss = charged fetch).
-  /// Aborts if the version was never published — a logic error upstream.
+  /// the worker's VersionedModelCache (materialized hit = free; miss fetches
+  /// and charges exactly the missing chain links). Aborts if the version was
+  /// never published or was GC'd — a logic error upstream.
   [[nodiscard]] const linalg::DenseVector& value_at(engine::Version version) const;
 
-  /// Drops versions older than `min_version` from the server store.
-  /// Workers prune their caches lazily via Worker::cache().prune_below.
+  /// Garbage-collects versions older than `min_version` (exact broadcast ids
+  /// on the server and in every worker cache; the oldest retained version is
+  /// rebased onto a fresh base snapshot when its delta chain crossed the
+  /// cut). `min_version` must be a safe bound — see AsyncContext::gc_history.
   void prune_below(engine::Version min_version);
 
   [[nodiscard]] std::size_t size() const;
@@ -54,10 +64,15 @@ class HistoryRegistry {
   /// Oldest retained version (for prune policies); nullopt when empty.
   [[nodiscard]] std::optional<engine::Version> oldest() const;
 
+  /// The underlying delta-versioned store (chain metadata, publish stats).
+  [[nodiscard]] store::ModelStore& model_store() noexcept { return store_; }
+  [[nodiscard]] const store::ModelStore& model_store() const noexcept {
+    return store_;
+  }
+
  private:
-  engine::BroadcastStore* store_;
-  mutable std::mutex mutex_;
-  std::map<engine::Version, engine::BroadcastId> ids_;
+  // mutable: value_at() is logically const but materializes into caches.
+  mutable store::ModelStore store_;
 };
 
 /// Copyable handle pinned to the version that was current at dispatch time —
@@ -91,24 +106,33 @@ class HistoryBroadcast {
 /// Worker-local "last version used per sample" table — the bookkeeping that
 /// lets ASAGA recompute historical gradients instead of storing them.
 ///
-/// Concurrency contract: entry i is only read/written by the task currently
-/// processing the partition that owns sample i, and the scheduler never runs
-/// two tasks of one partition concurrently; cross-worker visibility after a
-/// retry is established by the result-queue handoff.
+/// Concurrency contract: entry i is only *written* by the task currently
+/// processing the partition that owns sample i (the scheduler never runs two
+/// tasks of one partition concurrently; cross-worker visibility after a
+/// retry is established by the result-queue handoff).  Entries are relaxed
+/// atomics because the driver's history GC scans min_version() concurrently
+/// with task updates; entries only ever increase, so a concurrent scan can
+/// only under-estimate the minimum — which keeps the GC bound conservative.
 class SampleVersionTable {
  public:
   explicit SampleVersionTable(std::size_t n, engine::Version init = 0)
-      : versions_(n, init) {}
+      : versions_(n) {
+    for (auto& v : versions_) v.store(init, std::memory_order_relaxed);
+  }
 
-  [[nodiscard]] engine::Version get(std::size_t i) const { return versions_.at(i); }
-  void set(std::size_t i, engine::Version v) { versions_.at(i) = v; }
+  [[nodiscard]] engine::Version get(std::size_t i) const {
+    return versions_.at(i).load(std::memory_order_relaxed);
+  }
+  void set(std::size_t i, engine::Version v) {
+    versions_.at(i).store(v, std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t size() const noexcept { return versions_.size(); }
 
   /// Smallest version still referenced — safe lower bound for pruning.
   [[nodiscard]] engine::Version min_version() const;
 
  private:
-  std::vector<engine::Version> versions_;
+  std::vector<std::atomic<engine::Version>> versions_;
 };
 
 }  // namespace asyncml::core

@@ -22,6 +22,16 @@ std::uint64_t StatSnapshot::max_staleness() const noexcept {
   return m;
 }
 
+engine::Version StatSnapshot::min_inflight_version() const noexcept {
+  engine::Version m = current_version;
+  for (const WorkerStat& w : workers) {
+    if (w.ever_dispatched && w.outstanding > 0) {
+      m = std::min(m, w.min_outstanding_version);
+    }
+  }
+  return m;
+}
+
 double StatSnapshot::mean_avg_task_ms() const noexcept {
   double sum = 0.0;
   int n = 0;

@@ -35,6 +35,10 @@ struct WorkerStat {
   std::uint64_t result_staleness = 0;
   /// current_version − version of the last task dispatched to this worker.
   std::uint64_t task_staleness = 0;
+  /// Smallest model version among this worker's outstanding tasks — NOT the
+  /// last dispatch: a 2-core worker can hold an old queued task while newer
+  /// ones are dispatched past it. Meaningful only when outstanding > 0.
+  engine::Version min_outstanding_version = 0;
   /// EWMA of task service time (ms) — "average-task-completion time".
   double avg_task_ms = 0.0;
   /// Plain mean of task service times (ms), for reporting.
@@ -62,6 +66,13 @@ struct StatSnapshot {
   /// the quantity SSP bounds. Idle workers are excluded (their staleness is
   /// reset by the next dispatch).
   [[nodiscard]] std::uint64_t max_staleness() const noexcept;
+
+  /// Smallest model version any in-flight task was dispatched against —
+  /// no running task can read a pinned model older than this, which makes it
+  /// the history GC bound (history-reading solvers additionally floor it by
+  /// their SampleVersionTable minimum). Falls back to `current_version` when
+  /// nothing is in flight.
+  [[nodiscard]] engine::Version min_inflight_version() const noexcept;
 
   /// Mean of workers' EWMA task times; 0 when nothing completed yet.
   [[nodiscard]] double mean_avg_task_ms() const noexcept;

@@ -17,13 +17,6 @@ Payload BroadcastStore::get(BroadcastId id) const {
   return it == entries_.end() ? Payload{} : it->second;
 }
 
-void BroadcastStore::prune_below(BroadcastId min_id) {
-  std::lock_guard lock(mutex_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    it = it->first < min_id ? entries_.erase(it) : std::next(it);
-  }
-}
-
 void BroadcastStore::erase(BroadcastId id) {
   std::lock_guard lock(mutex_);
   entries_.erase(id);
@@ -34,7 +27,7 @@ std::size_t BroadcastStore::size() const {
   return entries_.size();
 }
 
-Payload BroadcastCache::get_or_fetch(BroadcastId id) {
+Payload BroadcastCache::get_or_fetch(BroadcastId id, BroadcastClass cls) {
   {
     std::lock_guard lock(mutex_);
     if (const auto it = cache_.find(id); it != cache_.end()) {
@@ -46,16 +39,31 @@ Payload BroadcastCache::get_or_fetch(BroadcastId id) {
   // done outside the cache lock so slow transfers don't serialize the other
   // executor thread of this worker.
   Payload payload = store_->get(id);
-  if (payload.has_value()) {
-    if (net_ != nullptr) support::precise_sleep_ms(net_->transfer_ms(payload.bytes()));
-    if (metrics_ != nullptr) {
-      metrics_->broadcast_fetches.add(1);
-      metrics_->broadcast_bytes.add(payload.bytes());
-    }
+  if (!payload.has_value()) return payload;
+  return charge_and_cache(id, std::move(payload), cls);
+}
+
+Payload BroadcastCache::admit(BroadcastId id, const Payload& payload,
+                              BroadcastClass cls) {
+  {
     std::lock_guard lock(mutex_);
-    cache_.emplace(id, payload);
+    if (const auto it = cache_.find(id); it != cache_.end()) {
+      if (metrics_ != nullptr) metrics_->broadcast_hits.add(1);
+      return it->second;
+    }
   }
-  return payload;
+  if (!payload.has_value()) return payload;
+  return charge_and_cache(id, payload, cls);
+}
+
+Payload BroadcastCache::charge_and_cache(BroadcastId id, Payload payload,
+                                         BroadcastClass cls) {
+  if (net_ != nullptr) support::precise_sleep_ms(net_->transfer_ms(payload.bytes()));
+  if (metrics_ != nullptr) metrics_->count_broadcast_fetch(cls, payload.bytes());
+  std::lock_guard lock(mutex_);
+  // A concurrent fetch of the same id may have landed first; keep the
+  // existing entry (identical content) so references into it stay valid.
+  return cache_.emplace(id, std::move(payload)).first->second;
 }
 
 bool BroadcastCache::contains(BroadcastId id) const {
@@ -63,11 +71,9 @@ bool BroadcastCache::contains(BroadcastId id) const {
   return cache_.contains(id);
 }
 
-void BroadcastCache::prune_below(BroadcastId min_id) {
+void BroadcastCache::erase(BroadcastId id) {
   std::lock_guard lock(mutex_);
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    it = it->first < min_id ? cache_.erase(it) : std::next(it);
-  }
+  cache_.erase(id);
 }
 
 std::size_t BroadcastCache::size() const {

@@ -29,10 +29,10 @@ class BroadcastStore {
   /// Looks up a payload; returns an empty payload when absent.
   [[nodiscard]] Payload get(BroadcastId id) const;
 
-  /// Removes entries with id < `min_id` (history pruning).
-  void prune_below(BroadcastId min_id);
-
-  /// Removes one entry; no-op if absent.
+  /// Removes one entry; no-op if absent. There is deliberately no id-threshold
+  /// prune: broadcast-id order is registration order, not version order, so a
+  /// threshold would erase unrelated broadcasts that happen to have been
+  /// registered mid-run — owners erase their exact ids instead.
   void erase(BroadcastId id);
 
   [[nodiscard]] std::size_t size() const;
@@ -53,17 +53,30 @@ class BroadcastCache {
       : store_(store), net_(net), metrics_(metrics) {}
 
   /// Returns the payload for `id`, fetching and caching on first access.
-  [[nodiscard]] Payload get_or_fetch(BroadcastId id);
+  /// `cls` labels the charged bytes for the base/delta traffic split.
+  [[nodiscard]] Payload get_or_fetch(BroadcastId id,
+                                     BroadcastClass cls = BroadcastClass::kSnapshot);
+
+  /// Caches a payload the caller already holds (a chain link snapshotted by
+  /// the model store): a hit is free, a miss charges the transfer exactly
+  /// like get_or_fetch but without re-reading the driver store — so a payload
+  /// pinned before a concurrent GC still resolves. Returns the cached copy.
+  [[nodiscard]] Payload admit(BroadcastId id, const Payload& payload,
+                              BroadcastClass cls = BroadcastClass::kSnapshot);
 
   /// True if `id` is locally cached (no fetch).
   [[nodiscard]] bool contains(BroadcastId id) const;
 
-  /// Drops cached entries with id < `min_id`.
-  void prune_below(BroadcastId min_id);
+  /// Drops one cached entry; no-op if absent. Exact-id eviction for the same
+  /// reason BroadcastStore has no threshold prune (ids are not version-ordered).
+  void erase(BroadcastId id);
 
   [[nodiscard]] std::size_t size() const;
 
  private:
+  /// Charges and inserts `payload` under `id` unless already cached.
+  Payload charge_and_cache(BroadcastId id, Payload payload, BroadcastClass cls);
+
   const BroadcastStore* store_;
   const NetworkModel* net_;
   ClusterMetrics* metrics_;
@@ -73,10 +86,12 @@ class BroadcastCache {
 
 // Thread-local pointer to the executing worker's environment; set by the
 // worker loop for the duration of a task. Broadcast handles use it to route
-// value() through the worker's cache when called from task code.
+// value() through the worker's cache when called from task code; the model
+// store uses it to find the worker's versioned model cache and metrics.
 struct WorkerEnv {
   WorkerId id = -1;
   BroadcastCache* cache = nullptr;
+  ClusterMetrics* metrics = nullptr;
 };
 
 [[nodiscard]] WorkerEnv* current_worker_env() noexcept;

@@ -17,6 +17,12 @@
 
 namespace asyncml::engine {
 
+/// Traffic class of a fetched broadcast payload. The delta-versioned model
+/// store publishes two kinds of driver→worker payloads — full base snapshots
+/// and sparse model deltas — and the byte accounting keeps them apart so the
+/// benches can report how much of the broadcast traffic the deltas saved.
+enum class BroadcastClass { kSnapshot, kDelta };
+
 class ClusterMetrics {
  public:
   explicit ClusterMetrics(int num_workers)
@@ -55,8 +61,19 @@ class ClusterMetrics {
 
   [[nodiscard]] int num_workers() const { return static_cast<int>(wait_hists_.size()); }
 
+  /// Counts one broadcast fetch of `bytes` in traffic class `cls` (the total
+  /// and the per-class counter move together by construction).
+  void count_broadcast_fetch(BroadcastClass cls, std::size_t bytes) {
+    broadcast_fetches.add(1);
+    broadcast_bytes.add(bytes);
+    (cls == BroadcastClass::kDelta ? broadcast_delta_bytes : broadcast_base_bytes)
+        .add(bytes);
+  }
+
   // Wire-traffic counters (modeled bytes).
   support::RelaxedCounter broadcast_bytes;   ///< broadcast values fetched by workers
+  support::RelaxedCounter broadcast_base_bytes;   ///< full-snapshot share of broadcast_bytes
+  support::RelaxedCounter broadcast_delta_bytes;  ///< sparse-delta share of broadcast_bytes
   support::RelaxedCounter result_bytes;      ///< task result payloads
   support::RelaxedCounter task_messages;     ///< tasks shipped
   support::RelaxedCounter broadcast_fetches; ///< cache misses that hit the driver

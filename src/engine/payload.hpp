@@ -59,6 +59,16 @@ class Payload {
     return has_value() && type_ == std::type_index(typeid(T));
   }
 
+  /// Shares ownership of the wrapped value (aliasing shared_ptr). Lets a
+  /// cache keep the value alive after the payload is erased from every store
+  /// — the delta store aliases base snapshots this way instead of copying.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<const T> share() const {
+    assert(has_value() && type_ == std::type_index(typeid(T)) &&
+           "Payload::share<T>: type mismatch");
+    return std::shared_ptr<const T>(data_, static_cast<const T*>(data_.get()));
+  }
+
  private:
   std::shared_ptr<const void> data_;
   std::size_t bytes_ = 0;

@@ -37,7 +37,7 @@ void Worker::stop() {
 
 void Worker::executor_loop() {
   support::set_current_thread_name("worker-" + std::to_string(id_));
-  WorkerEnv env{id_, &cache_};
+  WorkerEnv env{id_, &cache_, deps_.metrics};
   set_current_worker_env(&env);
 
   // Wait-time bookkeeping is per executor thread: "wait" is the stretch from

@@ -101,6 +101,17 @@ void GradVector::add(const GradVector& other) {
   maybe_densify();
 }
 
+void GradVector::set(std::uint32_t index, double value) {
+  assert(configured() && index < cfg_.dim && "GradVector::set before ensure()");
+  if (dense_mode_) {
+    touch_dense()[index] = value;
+    return;
+  }
+  if (keys_.empty()) init_table();
+  vals_[upsert_slot(index)] = value;
+  maybe_densify();
+}
+
 void GradVector::scale_into(double a, std::span<double> y) const {
   assert(y.size() == cfg_.dim);
   if (dense_mode_) {
@@ -109,6 +120,21 @@ void GradVector::scale_into(double a, std::span<double> y) const {
   }
   for (std::size_t s = 0; s < keys_.size(); ++s) {
     if (keys_[s] != kEmptyKey) y[keys_[s]] += a * vals_[s];
+  }
+}
+
+void GradVector::overwrite_into(std::span<double> y) const {
+  assert(y.size() == cfg_.dim);
+  if (dense_mode_) {
+    if (dense_.empty()) {
+      std::fill(y.begin(), y.end(), 0.0);  // dense zero specifies every coord
+    } else {
+      std::copy(dense_.begin(), dense_.end(), y.begin());
+    }
+    return;
+  }
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (keys_[s] != kEmptyKey) y[keys_[s]] = vals_[s];
   }
 }
 

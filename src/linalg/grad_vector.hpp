@@ -121,8 +121,18 @@ class GradVector {
   /// `other` wholesale; mixed representations densify this side.
   void add(const GradVector& other);
 
+  /// Sets coordinate `index` to `value` (insert-or-overwrite).  Unlike axpy
+  /// this does not accumulate — it is the sparse-assignment primitive the
+  /// delta-versioned model store builds overwrite deltas from.
+  void set(std::uint32_t index, double value);
+
   /// y += a * this (the apply-update kernel); y.size() must equal dim.
   void scale_into(double a, std::span<double> y) const;
+
+  /// y[i] = value for every stored entry (sparse overwrite — the delta-apply
+  /// kernel; untouched coordinates of y keep their current values when the
+  /// representation is sparse).  A dense representation assigns all of y.
+  void overwrite_into(std::span<double> y) const;
 
   /// Materializes the dense equivalent (dim-sized).
   [[nodiscard]] DenseVector to_dense() const;
@@ -169,23 +179,25 @@ class GradVector {
         (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> 32);
   }
 
-  void sparse_add(std::uint32_t key, double delta) {
-    std::size_t slot = hash(key) & mask_;
+  /// Probe for `key`, inserting a zero-valued entry (growing the table as
+  /// needed) when absent; returns the slot holding the entry. Sparse mode
+  /// with an initialized table only.
+  std::size_t upsert_slot(std::uint32_t key) {
     while (true) {
-      if (keys_[slot] == key) {
-        vals_[slot] += delta;
-        return;
+      std::size_t slot = hash(key) & mask_;
+      while (keys_[slot] != key && keys_[slot] != kEmptyKey) {
+        slot = (slot + 1) & mask_;
       }
-      if (keys_[slot] == kEmptyKey) {
-        keys_[slot] = key;
-        vals_[slot] = delta;
-        ++nnz_;
-        if (nnz_ * 8 >= keys_.size() * 5) grow();  // keep load under 5/8
-        return;
-      }
-      slot = (slot + 1) & mask_;
+      if (keys_[slot] == key) return slot;
+      keys_[slot] = key;
+      vals_[slot] = 0.0;
+      ++nnz_;
+      if (nnz_ * 8 < keys_.size() * 5) return slot;  // keep load under 5/8
+      grow();  // slots moved; re-probe (the key is present now)
     }
   }
+
+  void sparse_add(std::uint32_t key, double delta) { vals_[upsert_slot(key)] += delta; }
 
   void maybe_densify() {
     if (static_cast<double>(nnz_) >

@@ -24,7 +24,7 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   detail::reset_run_metrics(cluster.metrics());
 
-  core::AsyncContext ac(cluster, workload.num_partitions());
+  core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
   auto table =
@@ -74,6 +74,9 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
     w_br = ac.async_broadcast(w);
     factory = rebuild_factory();
     recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
+    // History GC: floored by the sample table so recomputable historical
+    // gradients keep their versions resolvable.
+    detail::maybe_gc_history(ac, config, updates, table->min_version());
 
     detail::dispatch_live(ac, config.barrier, factory);
   }

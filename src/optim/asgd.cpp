@@ -25,7 +25,8 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   detail::reset_run_metrics(cluster.metrics());
 
-  core::AsyncContext ac(cluster, workload.num_partitions());  // AC = new ASYNCcontext
+  // AC = new ASYNCcontext; models publish through the delta-versioned store.
+  core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
 
@@ -75,6 +76,7 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
     w_br = ac.async_broadcast(w);
     factory = rebuild_factory();
     recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
+    detail::maybe_gc_history(ac, config, updates);
 
     // points.ASYNCbarrier(f, AC.STAT) ... — admit whatever the barrier allows.
     detail::dispatch_live(ac, config.barrier, factory);

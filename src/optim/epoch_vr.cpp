@@ -52,7 +52,7 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   detail::reset_run_metrics(cluster.metrics());
 
-  core::AsyncContext ac(cluster, workload.num_partitions());
+  core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
 
@@ -65,6 +65,9 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
   auto comb = detail::grad_comb();
   while (updates < config.updates) {
     // ---- Epoch head: synchronous full gradient at the snapshot w̃. --------
+    // The previous epoch's history (its snapshot and inner versions) is dead
+    // once the tail drain left the cluster quiet; compact it.
+    if (config.gc_every != 0) (void)ac.gc_history();
     const linalg::DenseVector snapshot = w;
     core::HistoryBroadcast snapshot_br = ac.async_broadcast(snapshot);
     const engine::Version snapshot_version = snapshot_br.version();
@@ -118,6 +121,8 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
       w_br = ac.async_broadcast(w);
       factory = rebuild_factory();
       recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
+      // In-flight inner tasks still read the epoch's w̃ — floor the GC there.
+      detail::maybe_gc_history(ac, config, updates, snapshot_version);
       if (inner < config.epoch_inner_updates && updates < config.updates) {
         detail::dispatch_live(ac, config.barrier, factory);
       }

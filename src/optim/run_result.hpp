@@ -22,6 +22,8 @@ struct RunResult {
   double mean_wait_ms = 0.0;       ///< per-iteration worker wait (Fig 4/6, Table 3)
   double p95_wait_ms = 0.0;
   std::uint64_t broadcast_bytes = 0;  ///< modeled bytes fetched by workers
+  std::uint64_t broadcast_base_bytes = 0;   ///< full-snapshot share of broadcast_bytes
+  std::uint64_t broadcast_delta_bytes = 0;  ///< sparse-delta share of broadcast_bytes
   std::uint64_t result_bytes = 0;     ///< modeled bytes of result payloads
   std::uint64_t broadcast_fetches = 0;
   std::uint64_t broadcast_hits = 0;

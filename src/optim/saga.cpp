@@ -22,7 +22,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   detail::reset_run_metrics(cluster.metrics());
 
-  core::AsyncContext ac(cluster, workload.num_partitions());
+  core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
   auto table =
@@ -66,6 +66,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
     ac.advance_version();
     w_br = ac.async_broadcast(w);
     recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
+    detail::maybe_gc_history(ac, config, k + 1, table->min_version());
   }
   recorder.snapshot(config.updates, watch.elapsed_ms(), w);
 

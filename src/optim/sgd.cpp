@@ -34,6 +34,7 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
   recorder.snapshot(0, 0.0, w);
 
   engine::BroadcastId previous_id = 0;
+  std::vector<engine::BroadcastId> dead_ids;  // erased from worker caches below
   for (std::uint64_t k = 0; k < config.updates; ++k) {
     // Fresh broadcast of w each iteration (Algorithm 1 line 2); workers
     // fetch it once, tasks on the same worker share the cached copy.
@@ -60,13 +61,20 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
 
     // The previous iteration's broadcast is dead: drop it from the store so
     // memory stays bounded over long runs (Spark unpersists similarly), and
-    // periodically trim the worker caches too.
-    if (previous_id != 0) cluster.store().erase(previous_id);
+    // periodically trim the worker caches too — by the exact dead ids, never
+    // an id threshold: broadcast ids are registration-ordered, so a threshold
+    // would also evict unrelated broadcasts registered mid-run.
+    if (previous_id != 0) {
+      cluster.store().erase(previous_id);
+      dead_ids.push_back(previous_id);
+    }
     previous_id = w_br.id();
     if ((k & 63u) == 63u) {
       for (int worker = 0; worker < cluster.num_workers(); ++worker) {
-        cluster.worker(worker).cache().prune_below(w_br.id());
+        engine::BroadcastCache& cache = cluster.worker(worker).cache();
+        for (const engine::BroadcastId id : dead_ids) cache.erase(id);
       }
+      dead_ids.clear();
     }
   }
   recorder.snapshot(config.updates, watch.elapsed_ms(), w);

@@ -13,6 +13,7 @@
 #include "linalg/grad_vector.hpp"
 #include "optim/step_size.hpp"
 #include "optim/workload.hpp"
+#include "store/store_config.hpp"
 
 namespace asyncml::optim {
 
@@ -65,6 +66,17 @@ struct SolverConfig {
   /// Overrides the dataset density the kAuto choice reads; nullopt → the
   /// solver propagates workload.dataset->density().
   std::optional<double> density_hint;
+
+  /// Delta-versioned model store behind ASYNCbroadcast: delta vs
+  /// full-snapshot publishing, base-snapshot cadence, densify cutoff.
+  /// Only read by solvers publishing through the AsyncContext.
+  store::StoreConfig store_config;
+
+  /// Model-history GC cadence: every `gc_every` updates the async solvers
+  /// compact delta chains below the STAT minimum in-flight version
+  /// (AsyncContext::gc_history). 0 disables GC (history grows unboundedly —
+  /// only sensible for short diagnostic runs).
+  std::uint64_t gc_every = 64;
 
   /// Concrete per-run representation (solvers call this via
   /// detail::grad_config with the workload's dim/density).  The kAuto choice

@@ -41,6 +41,8 @@ inline constexpr engine::Version kNeverVisited = ~engine::Version{0};
 inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.reset_waits();
   m.broadcast_bytes.reset();
+  m.broadcast_base_bytes.reset();
+  m.broadcast_delta_bytes.reset();
   m.result_bytes.reset();
   m.task_messages.reset();
   m.broadcast_fetches.reset();
@@ -54,9 +56,23 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
   r.mean_wait_ms = waits.mean_ns() / 1e6;
   r.p95_wait_ms = waits.quantile_ns(0.95) / 1e6;
   r.broadcast_bytes = m.broadcast_bytes.load();
+  r.broadcast_base_bytes = m.broadcast_base_bytes.load();
+  r.broadcast_delta_bytes = m.broadcast_delta_bytes.load();
   r.result_bytes = m.result_bytes.load();
   r.broadcast_fetches = m.broadcast_fetches.load();
   r.broadcast_hits = m.broadcast_hits.load();
+}
+
+/// STAT-keyed history GC on the configured cadence: every `gc_every` updates,
+/// delta chains below the minimum in-flight version (further floored by
+/// `extra_floor` — the SampleVersionTable minimum for history-reading
+/// solvers) are compacted. Exactly then no dispatched task can reference the
+/// erased versions.
+inline void maybe_gc_history(core::AsyncContext& ac, const SolverConfig& config,
+                             std::uint64_t updates,
+                             std::optional<engine::Version> extra_floor = std::nullopt) {
+  if (config.gc_every == 0 || updates == 0 || updates % config.gc_every != 0) return;
+  ac.gc_history(extra_floor);
 }
 
 /// Dispatch with a liveness guarantee: if the barrier admits nobody AND the

@@ -1,0 +1,87 @@
+#pragma once
+
+// Worker-side versioned model cache: the consumer half of the delta store.
+//
+// value_at(v) asks the store for the cheapest chain from v down to this
+// cache's nearest materialized ancestor (or a base snapshot, when that costs
+// fewer wire bytes), fetches only the missing links — each charged
+// individually through the worker's BroadcastCache/NetworkModel, base links
+// as BroadcastClass::kSnapshot and delta links as kDelta — and materializes
+// the dense model by applying the overwrite deltas in O(Σ nnz).  A version
+// already materialized is a pure cache hit: no wire traffic, no payload
+// lookups.
+//
+// Resolution is single-flight per cache: when both executor threads of a
+// worker need new versions at once, the second waits for the first and then
+// anchors on its materialization instead of re-fetching almost the same
+// chain (one worker, one wire).
+//
+// Base snapshots are materialized zero-copy by aliasing the broadcast payload
+// (Payload::share), so a chain's base costs memory once regardless of how
+// many caches anchor on it.
+//
+// Thread safety: all methods are safe to call from the worker's executor
+// threads concurrently with driver-side publish/GC.  Returned references stay
+// valid until the version is dropped by GC — which the STAT-keyed GC bound
+// guarantees cannot happen while a dispatched task can still reference it.
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/broadcast.hpp"
+#include "engine/types.hpp"
+#include "linalg/dense_vector.hpp"
+
+namespace asyncml::store {
+
+class ModelStore;
+
+class VersionedModelCache {
+ public:
+  /// `bcache`/`metrics` may be null (the driver-side cache): resolution then
+  /// reads payloads without charging.
+  VersionedModelCache(const ModelStore* store, engine::BroadcastCache* bcache,
+                      engine::ClusterMetrics* metrics)
+      : store_(store), bcache_(bcache), metrics_(metrics) {}
+
+  VersionedModelCache(const VersionedModelCache&) = delete;
+  VersionedModelCache& operator=(const VersionedModelCache&) = delete;
+
+  /// The dense model at `version`.  Materialized hit = free; miss fetches
+  /// exactly the chain links missing from this worker and charges their exact
+  /// wire bytes.  Aborts (via ModelStore::chain_for) on unknown/GC'd versions.
+  [[nodiscard]] const linalg::DenseVector& value_at(engine::Version version);
+
+  /// True if `version` is materialized locally (value_at would be free).
+  [[nodiscard]] bool contains(engine::Version version) const;
+
+  /// Number of materialized versions held.
+  [[nodiscard]] std::size_t size() const;
+
+  // -- ModelStore hooks -------------------------------------------------------
+
+  /// GC propagation: drops materialized versions < `min_version` and evicts
+  /// the exact erased broadcast ids from the worker's payload cache.
+  void drop_below(engine::Version min_version,
+                  const std::vector<engine::BroadcastId>& erased_ids);
+
+  /// Republish propagation: invalidates one version's materialization.
+  void invalidate(engine::Version version,
+                  const std::vector<engine::BroadcastId>& erased_ids);
+
+ private:
+  const ModelStore* store_;
+  engine::BroadcastCache* bcache_;   ///< null on the driver — no charging
+  engine::ClusterMetrics* metrics_;  ///< null on the driver
+  mutable std::mutex mutex_;
+  std::condition_variable resolved_cv_;
+  std::unordered_map<engine::Version, std::shared_ptr<const linalg::DenseVector>>
+      models_;
+  std::unordered_set<engine::Version> inflight_;  ///< single-flight latches
+};
+
+}  // namespace asyncml::store

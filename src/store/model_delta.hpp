@@ -1,0 +1,45 @@
+#pragma once
+
+// Sparse model delta: the driver→worker payload the store ships instead of a
+// full snapshot when a version changed only a mini-batch's support.
+//
+// A delta stores *assignments* (index, new value) against its parent version
+// rather than differences: applying `w[i] = v` reproduces the published model
+// bit-for-bit, whereas `w[i] += (v - old)` would accumulate rounding across a
+// chain.  The index/value representation reuses linalg::GradVector's sparse
+// table, and the modeled wire size is exact:
+//
+//   u64 nnz header + nnz x (u32 index, f64 value) = 8 + 12*nnz bytes.
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "engine/types.hpp"
+#include "linalg/grad_vector.hpp"
+
+namespace asyncml::store {
+
+struct ModelDelta {
+  /// Version this delta applies on top of (the previously published version).
+  engine::Version parent = 0;
+  /// (index, new value) assignments; always sparse (a delta that would
+  /// densify is published as a base snapshot instead).
+  linalg::GradVector values;
+
+  /// Exact modeled wire size: the nnz header always ships, even for an empty
+  /// delta (a republish of an unchanged model).
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return sizeof(std::uint64_t) +
+           values.nnz() * (sizeof(std::uint32_t) + sizeof(double));
+  }
+
+  /// Overwrites the touched coordinates of `w` (the chain-apply kernel,
+  /// O(nnz)).
+  void apply_to(std::span<double> w) const {
+    assert(!values.is_dense() && "ModelDelta must stay sparse");
+    values.overwrite_into(w);
+  }
+};
+
+}  // namespace asyncml::store

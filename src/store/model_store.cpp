@@ -1,0 +1,335 @@
+#include "store/model_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "store/model_cache.hpp"
+
+namespace asyncml::store {
+
+ModelStore::ModelStore(engine::BroadcastStore* broadcasts, StoreConfig config)
+    : broadcasts_(broadcasts), cfg_(config) {
+  assert(broadcasts_ != nullptr);
+  if (cfg_.base_interval == 0) cfg_.base_interval = 1;  // every version a base
+}
+
+ModelStore::~ModelStore() = default;
+
+engine::BroadcastId ModelStore::publish(const linalg::DenseVector& w,
+                                        engine::Version version) {
+  // publish() runs on the driver thread only (it is not thread-safe against
+  // itself or gc_below); prev_/since_base_ are driver-private state, so the
+  // O(dim) diff and payload construction stay OFF mutex_ — workers resolving
+  // concurrent versions only contend on the brief entries_ commit below.
+  std::vector<engine::BroadcastId> replaced;
+  bool replacing_parent = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = entries_.find(version); it != entries_.end()) {
+      // Same-version republish (epoch boundaries re-broadcast the current
+      // version when no update landed in between).  Unchanged model: the
+      // existing entry already is this publish — keep it, zero wire cost.
+      if (has_prev_ && version == prev_version_ && w == prev_) {
+        return it->second.has_base() ? it->second.base_id : it->second.delta_id;
+      }
+      // Changed model: the entry is swapped below (after the new payloads
+      // exist, so resolutions never observe a gap) and caches invalidated.
+      // The replaced version cannot serve as its own delta parent, so the
+      // new entry starts a fresh base.
+      replacing_parent = version == prev_version_;
+      if (it->second.has_base()) replaced.push_back(it->second.base_id);
+      if (it->second.has_delta()) replaced.push_back(it->second.delta_id);
+    }
+  }
+
+  const std::size_t dim = w.size();
+  const bool can_delta = has_prev_ && !replacing_parent && cfg_.delta_enabled &&
+                         dim == prev_.size();
+  const bool scheduled_base = since_base_ + 1 >= cfg_.base_interval;
+  bool densified = false;
+
+  ModelDelta delta;
+  if (can_delta) {
+    delta.parent = prev_version_;
+    // Overwrite deltas must stay sparse; the size cutoff below fires first.
+    delta.values.ensure(linalg::GradVectorConfig(dim, /*threshold=*/1.01,
+                                                 /*dense_start=*/false));
+    const double limit = cfg_.densify_threshold * static_cast<double>(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (w[i] != prev_[i]) {
+        delta.values.set(static_cast<std::uint32_t>(i), w[i]);
+        if (static_cast<double>(delta.values.nnz()) > limit) {
+          densified = true;  // a full snapshot is cheaper; break the chain
+          break;
+        }
+      }
+    }
+  }
+
+  VersionEntry entry;
+  entry.parent = delta.parent;
+  // The delta twin ships whenever it stayed sparse — also alongside a
+  // scheduled base, so warm workers ride the chain straight through it.
+  if (can_delta && !densified) {
+    entry.delta_bytes = delta.wire_bytes();
+    entry.delta_id = broadcasts_->put(
+        engine::Payload::wrap<ModelDelta>(std::move(delta), entry.delta_bytes));
+  }
+  if (!can_delta || densified || scheduled_base) {
+    entry.base_bytes = w.size_bytes();
+    entry.base_id = broadcasts_->put(
+        engine::Payload::wrap<linalg::DenseVector>(w, entry.base_bytes));
+    since_base_ = 0;
+  } else {
+    since_base_ += 1;
+  }
+  entry.kind = entry.has_base() ? EntryKind::kBase : EntryKind::kDelta;
+
+  {
+    std::lock_guard lock(mutex_);
+    entries_[version] = entry;
+    if (entry.has_delta()) {
+      stats_.deltas_published += 1;
+      stats_.delta_bytes_published += entry.delta_bytes;
+    }
+    if (entry.has_base()) {
+      stats_.bases_published += 1;
+      stats_.base_bytes_published += entry.base_bytes;
+    }
+  }
+  prev_ = w;
+  prev_version_ = version;
+  has_prev_ = true;
+
+  if (!replaced.empty()) {
+    // Old payloads are erased only after the swap, so a resolution that
+    // pinned them mid-flight keeps working and then re-validates (see
+    // VersionedModelCache::value_at).
+    for (const engine::BroadcastId id : replaced) broadcasts_->erase(id);
+    for (VersionedModelCache* cache : snapshot_caches()) {
+      cache->invalidate(version, replaced);
+    }
+  }
+  return entry.has_base() ? entry.base_id : entry.delta_id;
+}
+
+std::optional<VersionEntry> ModelStore::entry_of(engine::Version version) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(version);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<engine::BroadcastId> ModelStore::id_of(engine::Version version) const {
+  const auto entry = entry_of(version);
+  if (!entry.has_value()) return std::nullopt;
+  return entry->has_base() ? entry->base_id : entry->delta_id;
+}
+
+std::vector<ChainLink> ModelStore::chain_locked(
+    engine::Version version,
+    const std::unordered_set<engine::Version>* anchors) const {
+  // Walk from `version` toward older versions collecting delta links, keeping
+  // the cheapest base stop seen so far; commit to a materialized anchor only
+  // while its accumulated delta cost still beats every base plan.
+  std::vector<ChainLink> deltas;  // walk order: version, parent, grandparent…
+  std::size_t delta_cost = 0;
+  std::size_t best_base_cost = std::numeric_limits<std::size_t>::max();
+  engine::Version best_base = 0;
+
+  const auto die = [&](engine::Version u) {
+    std::fprintf(stderr,
+                 "ModelStore: version %llu (resolving %llu) %s — a task "
+                 "referenced a model below the GC bound or one never "
+                 "published\n",
+                 static_cast<unsigned long long>(u),
+                 static_cast<unsigned long long>(version),
+                 u < gc_floor_ ? "was garbage-collected" : "was never published");
+    std::abort();
+  };
+  const auto pinned_payload = [&](engine::BroadcastId id, engine::Version u) {
+    engine::Payload payload = broadcasts_->get(id);
+    if (!payload.has_value()) {
+      std::fprintf(stderr,
+                   "ModelStore: broadcast %llu of version %llu missing from "
+                   "the store — entry erased without going through gc_below?\n",
+                   static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(u));
+      std::abort();
+    }
+    return payload;
+  };
+  // Assembles the final chain from the best base stop: [base] + deltas above.
+  const auto base_plan = [&] {
+    assert(best_base_cost != std::numeric_limits<std::size_t>::max());
+    const VersionEntry& base_entry = entries_.at(best_base);
+    std::vector<ChainLink> chain;
+    chain.push_back(ChainLink{best_base, base_entry.base_id,
+                              base_entry.base_bytes, /*is_base=*/true,
+                              pinned_payload(base_entry.base_id, best_base)});
+    for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+      if (it->version > best_base) chain.push_back(std::move(*it));
+    }
+    return chain;
+  };
+
+  engine::Version u = version;
+  while (true) {
+    const auto it = entries_.find(u);
+    if (it == entries_.end()) die(u);
+    const VersionEntry& e = it->second;
+
+    if (u != version && anchors != nullptr && anchors->contains(u)) {
+      if (delta_cost <= best_base_cost) {
+        // Materialized anchor wins: [anchor] + deltas above it.
+        std::vector<ChainLink> chain;
+        chain.push_back(ChainLink{u, 0, 0, /*is_base=*/false, engine::Payload{}});
+        for (auto dit = deltas.rbegin(); dit != deltas.rend(); ++dit) {
+          chain.push_back(std::move(*dit));
+        }
+        return chain;
+      }
+      return base_plan();
+    }
+    if (e.has_base()) {
+      const std::size_t cost = e.base_bytes + delta_cost;
+      if (cost < best_base_cost) {
+        best_base_cost = cost;
+        best_base = u;
+      }
+    }
+    // Chain broken (densified delta, GC rebase, first version), or no
+    // cheaper anchor can exist below: take the best base seen.
+    if (!e.has_delta() || delta_cost >= best_base_cost) return base_plan();
+
+    deltas.push_back(ChainLink{u, e.delta_id, e.delta_bytes, /*is_base=*/false,
+                               pinned_payload(e.delta_id, u)});
+    delta_cost += e.delta_bytes;
+    u = e.parent;
+  }
+}
+
+std::vector<ChainLink> ModelStore::chain_for(
+    engine::Version version,
+    const std::unordered_set<engine::Version>* anchors) const {
+  std::lock_guard lock(mutex_);
+  return chain_locked(version, anchors);
+}
+
+linalg::DenseVector ModelStore::materialize_locked(engine::Version version) const {
+  const std::vector<ChainLink> chain = chain_locked(version, nullptr);
+  assert(!chain.empty() && chain.front().is_base);
+  linalg::DenseVector w = chain.front().payload.get<linalg::DenseVector>();
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    chain[i].payload.get<ModelDelta>().apply_to(w.span());
+  }
+  return w;
+}
+
+void ModelStore::gc_below(engine::Version min_version) {
+  std::vector<engine::BroadcastId> erased;
+  {
+    std::lock_guard lock(mutex_);
+    gc_floor_ = std::max(gc_floor_, min_version);
+    const auto first_keep = entries_.lower_bound(min_version);
+    if (entries_.begin() == first_keep) return;  // nothing below the cut
+    if (first_keep == entries_.end()) {
+      // Everything is below the cut; the next publish cannot chain onto a
+      // GC'd parent, so force it to start a fresh base.
+      has_prev_ = false;
+    } else if (first_keep->second.has_delta() &&
+               first_keep->second.parent < min_version) {
+      // The oldest retained version's delta chains below the cut. Drop the
+      // dangling delta; if that leaves the version without a payload,
+      // materialize it first and rebase it onto a fresh base snapshot.
+      VersionEntry& entry = first_keep->second;
+      if (!entry.has_base()) {
+        linalg::DenseVector w = materialize_locked(first_keep->first);
+        entry.base_bytes = w.size_bytes();
+        entry.base_id = broadcasts_->put(engine::Payload::wrap<linalg::DenseVector>(
+            std::move(w), entry.base_bytes));
+        stats_.compactions += 1;
+      }
+      broadcasts_->erase(entry.delta_id);
+      erased.push_back(entry.delta_id);
+      entry.delta_id = 0;
+      entry.delta_bytes = 0;
+      entry.kind = EntryKind::kBase;
+    }
+    for (auto it = entries_.begin(); it != first_keep;) {
+      // Exact ids, never an id threshold: foreign broadcasts may interleave.
+      if (it->second.has_base()) {
+        broadcasts_->erase(it->second.base_id);
+        erased.push_back(it->second.base_id);
+      }
+      if (it->second.has_delta()) {
+        broadcasts_->erase(it->second.delta_id);
+        erased.push_back(it->second.delta_id);
+      }
+      it = entries_.erase(it);
+    }
+  }
+  for (VersionedModelCache* cache : snapshot_caches()) {
+    cache->drop_below(min_version, erased);
+  }
+}
+
+VersionedModelCache& ModelStore::cache_for(engine::WorkerId worker,
+                                           engine::BroadcastCache* bcache,
+                                           engine::ClusterMetrics* metrics) {
+  assert(worker >= 0 && bcache != nullptr);
+  std::lock_guard lock(caches_mutex_);
+  const auto index = static_cast<std::size_t>(worker);
+  if (index >= worker_caches_.size()) worker_caches_.resize(index + 1);
+  if (worker_caches_[index] == nullptr) {
+    worker_caches_[index] =
+        std::make_unique<VersionedModelCache>(this, bcache, metrics);
+  }
+  return *worker_caches_[index];
+}
+
+VersionedModelCache& ModelStore::driver_cache() {
+  std::lock_guard lock(caches_mutex_);
+  if (driver_cache_ == nullptr) {
+    driver_cache_ = std::make_unique<VersionedModelCache>(this, nullptr, nullptr);
+  }
+  return *driver_cache_;
+}
+
+std::vector<VersionedModelCache*> ModelStore::snapshot_caches() {
+  std::lock_guard lock(caches_mutex_);
+  std::vector<VersionedModelCache*> out;
+  out.reserve(worker_caches_.size() + 1);
+  for (const auto& cache : worker_caches_) {
+    if (cache != nullptr) out.push_back(cache.get());
+  }
+  if (driver_cache_ != nullptr) out.push_back(driver_cache_.get());
+  return out;
+}
+
+std::size_t ModelStore::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::optional<engine::Version> ModelStore::oldest() const {
+  std::lock_guard lock(mutex_);
+  if (entries_.empty()) return std::nullopt;
+  return entries_.begin()->first;
+}
+
+engine::Version ModelStore::gc_floor() const {
+  std::lock_guard lock(mutex_);
+  return gc_floor_;
+}
+
+StoreStats ModelStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace asyncml::store

@@ -1,0 +1,182 @@
+#pragma once
+
+// Delta-versioned model store: the driver-side half of sparse model shipping.
+//
+// The ASYNCbroadcaster (paper §4.3) already avoids re-broadcasting *past*
+// models; this store removes the remaining O(dim) cost of broadcasting every
+// *new* version.  publish(w, version) diffs the model against the previously
+// published version and registers one of two payload kinds with the engine's
+// BroadcastStore:
+//
+//   base   — a full DenseVector snapshot (8*dim wire bytes).  Forced for the
+//            first version, every `base_interval` versions (bounding chain
+//            length), when the delta densifies past `densify_threshold`, or
+//            whenever delta publishing is disabled.
+//   delta  — a sparse overwrite set against the parent version
+//            (ModelDelta, exactly 8 + 12*nnz wire bytes).
+//
+// A scheduled base (the every-`base_interval` kind) is *dual-published*: the
+// base snapshot AND its delta against the parent are both registered, so the
+// version chain is never broken by a base — a warm worker rides the delta
+// chain straight through it, while a cold (or very stale) worker anchors on
+// the snapshot.  Only densified deltas and post-GC rebases break the chain.
+//
+// Versions therefore form chains  base ← delta ← delta ← …  A worker-side
+// VersionedModelCache materializes version v by walking v's chain down to its
+// nearest locally materialized ancestor, stopping early at a base snapshot
+// when that is the cheaper wire plan (the walk compares accumulated delta
+// bytes against snapshot bytes), fetching only the missing links — each
+// charged individually through the NetworkModel — and applying the deltas in
+// O(Σ nnz).
+//
+// Garbage collection (`gc_below`) keys off the coordinator's STAT minimum
+// in-flight version: once no dispatched task can reference versions < m they
+// are erased by *exact broadcast id* (ids are registration-ordered, not
+// version-ordered, so threshold pruning would hit foreign broadcasts), and
+// the oldest retained version is rebased onto a fresh base snapshot when its
+// chain reached below the cut.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/broadcast.hpp"
+#include "engine/types.hpp"
+#include "linalg/dense_vector.hpp"
+#include "store/model_delta.hpp"
+#include "store/store_config.hpp"
+
+namespace asyncml::store {
+
+class VersionedModelCache;
+
+enum class EntryKind : std::uint8_t { kBase, kDelta };
+
+/// Server-side metadata of one published version.  A version can carry a
+/// base snapshot, a delta against its parent, or both (dual-published
+/// scheduled bases).
+struct VersionEntry {
+  /// Primary representation: kBase whenever a snapshot exists.
+  EntryKind kind = EntryKind::kBase;
+  /// Version this entry's delta applies on top of (meaningful with a delta).
+  engine::Version parent = 0;
+  engine::BroadcastId base_id = 0;   ///< 0 = no snapshot payload
+  engine::BroadcastId delta_id = 0;  ///< 0 = no delta payload
+  std::size_t base_bytes = 0;        ///< modeled wire size of the snapshot
+  std::size_t delta_bytes = 0;       ///< modeled wire size of the delta
+
+  [[nodiscard]] bool has_base() const noexcept { return base_id != 0; }
+  [[nodiscard]] bool has_delta() const noexcept { return delta_id != 0; }
+};
+
+/// One link of a resolution chain, with the payload pinned at snapshot time
+/// so a concurrent GC cannot invalidate an in-progress resolution.  The head
+/// link is consumed either as a materialized anchor (no payload read) or as
+/// a base snapshot (`is_base`); every later link is a delta.
+struct ChainLink {
+  engine::Version version = 0;
+  engine::BroadcastId id = 0;
+  std::size_t bytes = 0;
+  bool is_base = false;
+  engine::Payload payload;
+};
+
+/// Publishing statistics (driver-side; what was *registered*, not fetched —
+/// fetched traffic lives in ClusterMetrics).
+struct StoreStats {
+  std::uint64_t bases_published = 0;
+  std::uint64_t deltas_published = 0;
+  std::uint64_t base_bytes_published = 0;
+  std::uint64_t delta_bytes_published = 0;
+  std::uint64_t compactions = 0;  ///< GC rebases of the oldest retained version
+};
+
+class ModelStore {
+ public:
+  explicit ModelStore(engine::BroadcastStore* broadcasts, StoreConfig config = {});
+  ~ModelStore();
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  /// Publishes `w` as `version` (a delta against the previously published
+  /// version, or a base snapshot per the rules above) and returns the
+  /// registered broadcast id.  Republishing an existing version replaces its
+  /// entry and invalidates cached materializations.
+  ///
+  /// Threading: publish and gc_below are driver-thread operations (not
+  /// thread-safe against each other); the resolution APIs (entry_of /
+  /// chain_for / the caches) are safe from any thread concurrently with them.
+  engine::BroadcastId publish(const linalg::DenseVector& w, engine::Version version);
+
+  /// Metadata of a published version (nullopt if unknown or GC'd).
+  [[nodiscard]] std::optional<VersionEntry> entry_of(engine::Version version) const;
+  [[nodiscard]] std::optional<engine::BroadcastId> id_of(engine::Version version) const;
+
+  /// Snapshot of the cheapest chain that materializes `version`, anchor
+  /// first, in apply order.  The walk runs toward the first version contained
+  /// in `anchors` (a cache's already-materialized versions) but switches to a
+  /// base snapshot head when that costs fewer wire bytes (accumulated delta
+  /// bytes vs snapshot bytes); a chain-breaking entry (densified delta, GC
+  /// rebase, first version) always anchors on its snapshot.  Aborts if the
+  /// version was never published or was GC'd: both are upstream logic errors.
+  [[nodiscard]] std::vector<ChainLink> chain_for(
+      engine::Version version,
+      const std::unordered_set<engine::Version>* anchors = nullptr) const;
+
+  /// Erases all versions < `min_version` (exact broadcast ids, server store
+  /// and every registered cache), rebasing the oldest retained version onto a
+  /// fresh base snapshot when its chain reached below the cut.  `min_version`
+  /// must be a safe lower bound: the STAT minimum in-flight version, further
+  /// floored by the SampleVersionTable minimum for history-reading solvers.
+  void gc_below(engine::Version min_version);
+
+  /// The per-worker materialization cache (created on first use). `bcache`
+  /// and `metrics` belong to the worker; fetches charge through them.
+  [[nodiscard]] VersionedModelCache& cache_for(engine::WorkerId worker,
+                                               engine::BroadcastCache* bcache,
+                                               engine::ClusterMetrics* metrics);
+
+  /// Driver-side materialization cache: same resolution logic, no charging.
+  [[nodiscard]] VersionedModelCache& driver_cache();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::optional<engine::Version> oldest() const;
+  /// Versions below this have been GC'd (resolution aborts).
+  [[nodiscard]] engine::Version gc_floor() const;
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] const StoreConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// chain_for body; requires mutex_ held.
+  [[nodiscard]] std::vector<ChainLink> chain_locked(
+      engine::Version version,
+      const std::unordered_set<engine::Version>* anchors) const;
+
+  /// Materializes `version` server-side (GC rebase); requires mutex_ held.
+  [[nodiscard]] linalg::DenseVector materialize_locked(engine::Version version) const;
+
+  /// Registered caches, snapshotted under caches_mutex_.
+  [[nodiscard]] std::vector<VersionedModelCache*> snapshot_caches();
+
+  engine::BroadcastStore* broadcasts_;
+  StoreConfig cfg_;
+
+  mutable std::mutex mutex_;
+  std::map<engine::Version, VersionEntry> entries_;
+  linalg::DenseVector prev_;          ///< last published model (diff source)
+  engine::Version prev_version_ = 0;
+  bool has_prev_ = false;
+  std::uint32_t since_base_ = 0;      ///< deltas published since the last base
+  engine::Version gc_floor_ = 0;
+  StoreStats stats_;
+
+  std::mutex caches_mutex_;
+  std::vector<std::unique_ptr<VersionedModelCache>> worker_caches_;
+  std::unique_ptr<VersionedModelCache> driver_cache_;
+};
+
+}  // namespace asyncml::store

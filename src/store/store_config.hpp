@@ -1,0 +1,28 @@
+#pragma once
+
+// Configuration of the delta-versioned model store (src/store/).
+
+#include <cstdint>
+
+namespace asyncml::store {
+
+/// Delta nnz/dim ratio above which publishing a full base snapshot is cheaper
+/// than a delta: the wire break-even of the (u32 index, f64 value) encoding is
+/// 12 bytes per touched coordinate against 8 bytes per dense coordinate.
+inline constexpr double kDeltaDensifyThreshold = 2.0 / 3.0;
+
+struct StoreConfig {
+  /// false → publish every version as a full snapshot (the pre-store wire
+  /// model; also what dense workloads effectively degrade to).
+  bool delta_enabled = true;
+
+  /// A full base snapshot is forced every `base_interval` versions, bounding
+  /// the delta-chain length a cold worker must fetch to materialize a model.
+  std::uint32_t base_interval = 16;
+
+  /// Deltas touching more than this fraction of the coordinates densify into
+  /// a base snapshot instead (see kDeltaDensifyThreshold for the break-even).
+  double densify_threshold = kDeltaDensifyThreshold;
+};
+
+}  // namespace asyncml::store

@@ -181,6 +181,40 @@ TEST(AsyncContext, HandleForReturnsPinnedVersion) {
   EXPECT_DOUBLE_EQ(handle.value()[0], 7.0);
 }
 
+TEST(AsyncContext, GcHistoryCompactsBelowStatMinimum) {
+  engine::Cluster cluster(quiet_config(2));
+  AsyncContext ac(cluster, 2);
+  for (engine::Version v = 0; v < 5; ++v) {
+    (void)ac.async_broadcast(linalg::DenseVector{static_cast<double>(v)});
+    ac.advance_version();
+  }
+  (void)ac.async_broadcast(linalg::DenseVector{5.0});
+  ASSERT_EQ(ac.history().size(), 6u);
+
+  // Nothing in flight: the STAT minimum is the current version, so every
+  // older version is provably unreachable and gets compacted.
+  const engine::Version bound = ac.gc_history();
+  EXPECT_EQ(bound, 5u);
+  EXPECT_EQ(ac.history().size(), 1u);
+  EXPECT_EQ(ac.history().oldest().value(), 5u);
+  EXPECT_DOUBLE_EQ(ac.handle_for(5).value()[0], 5.0);
+}
+
+TEST(AsyncContext, GcHistoryHonorsExtraFloor) {
+  engine::Cluster cluster(quiet_config(2));
+  AsyncContext ac(cluster, 2);
+  for (engine::Version v = 0; v < 4; ++v) {
+    (void)ac.async_broadcast(linalg::DenseVector{static_cast<double>(v)});
+    ac.advance_version();
+  }
+  // A history-reading solver (SAGA's sample table) still references v2.
+  const engine::Version bound = ac.gc_history(/*extra_floor=*/2);
+  EXPECT_EQ(bound, 2u);
+  EXPECT_EQ(ac.history().oldest().value(), 2u);
+  EXPECT_DOUBLE_EQ(ac.handle_for(2).value()[0], 2.0);
+  EXPECT_DOUBLE_EQ(ac.handle_for(3).value()[0], 3.0);
+}
+
 TEST(AsyncContext, StatVisibleThroughContext) {
   engine::Cluster cluster(quiet_config(4));
   AsyncContext ac(cluster, 4);

@@ -194,6 +194,35 @@ TEST(Coordinator, TotalOutstandingAggregates) {
   coord.stop();
 }
 
+TEST(Coordinator, MinInflightVersionCoversOldQueuedTasks) {
+  // A 2-core worker can hold an old queued task while newer ones are
+  // dispatched past it: the history-GC bound must report the *minimum*
+  // outstanding version, not the last dispatched one.
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+
+  coord.on_dispatch(0, 1, /*version=*/0);  // old task, still in flight
+  for (int i = 0; i < 5; ++i) coord.advance_version();
+  coord.on_dispatch(0, 1, /*version=*/5);  // newer task on the other core
+
+  StatSnapshot snap = coord.stat();
+  EXPECT_EQ(snap.workers[0].last_dispatch_version, 5u);
+  EXPECT_EQ(snap.workers[0].min_outstanding_version, 0u);
+  EXPECT_EQ(snap.min_inflight_version(), 0u);
+
+  // The newer task finishing first must not unpin the old one.
+  cluster.submit(0, int_task(cluster, 1, /*version=*/5, 1));
+  ASSERT_TRUE(coord.collect_for(1000ms).has_value());
+  EXPECT_EQ(coord.stat().min_inflight_version(), 0u);
+
+  // Once the old task's result lands, the bound catches up to the present.
+  cluster.submit(0, int_task(cluster, 0, /*version=*/0, 2));
+  ASSERT_TRUE(coord.collect_for(1000ms).has_value());
+  EXPECT_EQ(coord.stat().min_inflight_version(), 5u);
+  coord.stop();
+}
+
 TEST(Coordinator, StopIsIdempotent) {
   engine::Cluster cluster(quiet_config(1));
   Coordinator coord(cluster);

@@ -71,7 +71,7 @@ TEST(HistoryBroadcast, DefaultHandleInvalid) {
   EXPECT_FALSE(handle.valid());
 }
 
-TEST(HistoryBroadcast, WorkerSideResolutionCountsOneFetchPerVersion) {
+TEST(HistoryBroadcast, WorkerSideResolutionFetchesEachChainLinkOnce) {
   engine::BroadcastStore store;
   engine::NetworkModel net;
   net.time_scale = 0.0;
@@ -79,23 +79,26 @@ TEST(HistoryBroadcast, WorkerSideResolutionCountsOneFetchPerVersion) {
   engine::BroadcastCache cache(&store, &net, &metrics);
 
   auto registry = std::make_shared<HistoryRegistry>(&store);
-  registry->publish(linalg::DenseVector(64), 0);
-  registry->publish(linalg::DenseVector(64), 1);
+  registry->publish(linalg::DenseVector(64), 0);  // base: 64 x 8 bytes
+  registry->publish(linalg::DenseVector(64), 1);  // unchanged: empty delta (8B)
   const HistoryBroadcast handle(registry, 1);
 
-  engine::WorkerEnv env{0, &cache};
+  engine::WorkerEnv env{0, &cache, &metrics};
   engine::set_current_worker_env(&env);
-  (void)handle.value();       // fetch version 1
-  (void)handle.value();       // hit
-  (void)handle.value_at(0);   // fetch version 0
+  (void)handle.value();       // miss: fetches base v0 + delta v1
+  (void)handle.value();       // materialized hit
+  (void)handle.value_at(0);   // hit — v0's base was materialized on the way
   (void)handle.value_at(0);   // hit
-  (void)handle.value_at(1);   // hit (same payload as value())
+  (void)handle.value_at(1);   // hit
   engine::set_current_worker_env(nullptr);
 
   EXPECT_EQ(metrics.broadcast_fetches.load(), 2u);
-  EXPECT_EQ(metrics.broadcast_hits.load(), 3u);
-  // Exactly two model vectors crossed the wire — the ASYNCbroadcast saving.
-  EXPECT_EQ(metrics.broadcast_bytes.load(), 2u * 64u * 8u);
+  EXPECT_EQ(metrics.broadcast_hits.load(), 4u);
+  // One dense snapshot plus one empty-delta header crossed the wire — the
+  // delta store's saving on top of the ASYNCbroadcast version cache.
+  EXPECT_EQ(metrics.broadcast_bytes.load(), 64u * 8u + 8u);
+  EXPECT_EQ(metrics.broadcast_base_bytes.load(), 64u * 8u);
+  EXPECT_EQ(metrics.broadcast_delta_bytes.load(), 8u);
 }
 
 TEST(SampleVersionTable, GetSetAndMin) {

@@ -66,8 +66,9 @@ TEST(SyntheticSparse, NormalizedRowsHaveUnitNorm) {
 TEST(Rcv1Like, StructuralProfile) {
   const Problem p = rcv1_like(6, /*row_scale=*/0.1);  // 400 rows for speed
   EXPECT_FALSE(p.dataset.is_dense());
-  EXPECT_EQ(p.dataset.cols(), 1'000u);
-  EXPECT_LT(p.dataset.density(), 0.02);  // very sparse
+  EXPECT_EQ(p.dataset.cols(), 4'000u);
+  // Per-row support is a tiny fraction of the feature space, like rcv1.
+  EXPECT_LT(p.dataset.density(), 0.005);
   EXPECT_TRUE(p.optimum_known());
   EXPECT_EQ(p.dataset.name(), "rcv1_like");
 }

@@ -34,13 +34,18 @@ TEST(BroadcastStore, EraseRemovesEntry) {
   store.erase(id);  // idempotent
 }
 
-TEST(BroadcastStore, PruneBelowKeepsNewer) {
+TEST(BroadcastStore, EraseTargetsExactIdOnly) {
+  // Eviction is by exact id: ids are registration-ordered, not version-
+  // ordered, so a foreign broadcast registered between two model versions
+  // must survive the models being dropped around it.
   BroadcastStore store;
-  const BroadcastId a = store.put(Payload::wrap<int>(1));
-  const BroadcastId b = store.put(Payload::wrap<int>(2));
-  store.prune_below(b);
-  EXPECT_FALSE(store.get(a).has_value());
-  EXPECT_TRUE(store.get(b).has_value());
+  const BroadcastId old_model = store.put(Payload::wrap<int>(1));
+  const BroadcastId foreign = store.put(Payload::wrap<int>(42));
+  const BroadcastId new_model = store.put(Payload::wrap<int>(2));
+  store.erase(old_model);
+  EXPECT_FALSE(store.get(old_model).has_value());
+  EXPECT_TRUE(store.get(foreign).has_value());
+  EXPECT_TRUE(store.get(new_model).has_value());
 }
 
 TEST(BroadcastCache, FetchThroughCachesValue) {
@@ -73,7 +78,7 @@ TEST(BroadcastCache, MissOnUnknownIdDoesNotCache) {
   EXPECT_FALSE(cache.contains(123));
 }
 
-TEST(BroadcastCache, PruneBelowDropsOldEntries) {
+TEST(BroadcastCache, EraseDropsExactEntry) {
   BroadcastStore store;
   NetworkModel net;
   net.time_scale = 0.0;
@@ -83,9 +88,52 @@ TEST(BroadcastCache, PruneBelowDropsOldEntries) {
   (void)cache.get_or_fetch(a);
   (void)cache.get_or_fetch(b);
   EXPECT_EQ(cache.size(), 2u);
-  cache.prune_below(b);
+  cache.erase(a);
   EXPECT_FALSE(cache.contains(a));
   EXPECT_TRUE(cache.contains(b));
+  cache.erase(a);  // idempotent
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BroadcastCache, AdmitChargesOnMissAndIsFreeOnHit) {
+  BroadcastStore store;
+  NetworkModel net;
+  net.time_scale = 0.0;
+  ClusterMetrics metrics(1);
+  BroadcastCache cache(&store, &net, &metrics);
+
+  // Admit a payload the caller already holds (a pinned chain link): the id
+  // need not be resolvable through the store anymore.
+  const BroadcastId id = store.put(Payload::wrap<int>(5, 64));
+  const Payload pinned = store.get(id);
+  store.erase(id);
+
+  EXPECT_EQ(cache.admit(id, pinned, BroadcastClass::kDelta).get<int>(), 5);
+  EXPECT_EQ(metrics.broadcast_fetches.load(), 1u);
+  EXPECT_EQ(metrics.broadcast_bytes.load(), 64u);
+  EXPECT_EQ(metrics.broadcast_delta_bytes.load(), 64u);
+  EXPECT_EQ(metrics.broadcast_base_bytes.load(), 0u);
+
+  // Second admit of the same id is a hit: no new bytes.
+  EXPECT_EQ(cache.admit(id, pinned, BroadcastClass::kDelta).get<int>(), 5);
+  EXPECT_EQ(metrics.broadcast_fetches.load(), 1u);
+  EXPECT_EQ(metrics.broadcast_hits.load(), 1u);
+  EXPECT_EQ(metrics.broadcast_bytes.load(), 64u);
+}
+
+TEST(BroadcastCache, FetchClassSplitsByteAccounting) {
+  BroadcastStore store;
+  NetworkModel net;
+  net.time_scale = 0.0;
+  ClusterMetrics metrics(1);
+  BroadcastCache cache(&store, &net, &metrics);
+  const BroadcastId snap = store.put(Payload::wrap<int>(1, 100));
+  const BroadcastId delta = store.put(Payload::wrap<int>(2, 12));
+  (void)cache.get_or_fetch(snap, BroadcastClass::kSnapshot);
+  (void)cache.get_or_fetch(delta, BroadcastClass::kDelta);
+  EXPECT_EQ(metrics.broadcast_base_bytes.load(), 100u);
+  EXPECT_EQ(metrics.broadcast_delta_bytes.load(), 12u);
+  EXPECT_EQ(metrics.broadcast_bytes.load(), 112u);
 }
 
 TEST(BroadcastHandle, DriverSideValueReadsStore) {
