@@ -21,8 +21,9 @@ int main() {
   constexpr int kPartitions = 32;
   constexpr std::uint64_t kIterations = 30;
 
-  metrics::Table summary({"dataset", "SGD wall ms", "ASGD wall ms", "SGD err",
-                          "ASGD err", "speedup(ASGD vs SGD)"});
+  metrics::Table summary({"dataset", "SGD wall ms", "ASGD wall ms", "ASGD+SS wall ms",
+                          "SGD err", "ASGD err", "ASGD+SS err",
+                          "speedup(ASGD vs SGD)", "SS stolen/spec/dup"});
   std::vector<std::string> rows;
 
   for (const std::string& name : {std::string("mnist8m"), std::string("epsilon")}) {
@@ -45,23 +46,48 @@ int main() {
     const optim::RunResult async_run =
         optim::AsgdSolver::run(async_cluster, workload, plan.async_config);
 
+    // ASGD with dynamic placement: the median-anchored barrier shuns the
+    // long-tail stragglers, work stealing migrates their partitions to
+    // healthy workers (so no partition starves), and overdue tasks get
+    // speculative replicas (docs/SCHEDULING.md). Honest expectation: plain
+    // ASGD under ASP is capacity-bound, not barrier-gated, so this does NOT
+    // beat its wall clock (the shunned workers' cores stop contributing);
+    // the win is statistical — no partition starves and no 10x-stale
+    // long-tail gradients land, so the final error edges lower.
+    optim::SolverConfig ss_config = plan.async_config;
+    ss_config.barrier = core::barriers::median_completion_within(2.5);
+    ss_config.steal_mode = core::StealMode::kLocality;
+    ss_config.speculation_factor = 2.0;
+    engine::Cluster ss_cluster(bench::cluster_config(kWorkers, pcs));
+    const optim::RunResult ss = optim::AsgdSolver::run(ss_cluster, workload, ss_config);
+
     for (const std::string& r : bench::trace_rows(name + "-Sync", sync.trace)) {
       rows.push_back(r);
     }
     for (const std::string& r : bench::trace_rows(name + "-ASYNC", async_run.trace)) {
       rows.push_back(r);
     }
+    for (const std::string& r : bench::trace_rows(name + "-ASYNC-SS", ss.trace)) {
+      rows.push_back(r);
+    }
     summary.add_row({name, metrics::Table::num(sync.wall_ms, 4),
                      metrics::Table::num(async_run.wall_ms, 4),
+                     metrics::Table::num(ss.wall_ms, 4),
                      metrics::Table::num(sync.final_error()),
                      metrics::Table::num(async_run.final_error()),
-                     bench::speedup_str(sync.trace, async_run.trace)});
+                     metrics::Table::num(ss.final_error()),
+                     bench::speedup_str(sync.trace, async_run.trace),
+                     std::to_string(ss.partitions_stolen) + "/" +
+                         std::to_string(ss.tasks_speculated) + "/" +
+                         std::to_string(ss.duplicates_dropped)});
   }
 
   bench::write_csv("fig7.csv", "series,time_ms,update,error", rows);
   std::cout << "\n";
   summary.print(std::cout);
   std::cout << "\nshape check: ASGD speedup should be >=2x on both datasets "
-               "(paper: 3x mnist8m, 4x epsilon).\n";
+               "(paper: 3x mnist8m, 4x epsilon). ASGD+SS: tens of one-time "
+               "steals off the long tail, final err <= plain ASGD's, wall "
+               "clock modestly higher (shunned cores idle).\n";
   return 0;
 }

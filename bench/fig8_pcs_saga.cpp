@@ -19,8 +19,9 @@ int main() {
   constexpr int kPartitions = 32;
   constexpr std::uint64_t kIterations = 30;
 
-  metrics::Table summary({"dataset", "SAGA wall ms", "ASAGA wall ms", "SAGA err",
-                          "ASAGA err", "speedup(ASAGA vs SAGA)"});
+  metrics::Table summary({"dataset", "SAGA wall ms", "ASAGA wall ms",
+                          "ASAGA+steal wall ms", "SAGA err", "ASAGA err",
+                          "speedup(ASAGA vs SAGA)", "stolen/migr KB"});
   std::vector<std::string> rows;
 
   for (const std::string& name : {std::string("mnist8m"), std::string("epsilon")}) {
@@ -41,17 +42,35 @@ int main() {
     const optim::RunResult async_run =
         optim::AsagaSolver::run(async_cluster, workload, plan.async_config);
 
+    // ASAGA with the median-anchored barrier + work stealing: long-tail
+    // stragglers are shunned and shed their partitions, so every sample
+    // keeps contributing to the history. (AsagaSolver itself forces
+    // speculation off — replicas of history-writing tasks can race the
+    // SampleVersionTable; docs/SCHEDULING.md, "Composition caveats".)
+    optim::SolverConfig steal_config = plan.async_config;
+    steal_config.barrier = core::barriers::median_completion_within(2.5);
+    steal_config.steal_mode = core::StealMode::kLocality;
+    engine::Cluster steal_cluster(bench::cluster_config(kWorkers, pcs));
+    const optim::RunResult stealing =
+        optim::AsagaSolver::run(steal_cluster, workload, steal_config);
+
     for (const std::string& r : bench::trace_rows(name + "-Sync", sync.trace)) {
       rows.push_back(r);
     }
     for (const std::string& r : bench::trace_rows(name + "-ASYNC", async_run.trace)) {
       rows.push_back(r);
     }
+    for (const std::string& r : bench::trace_rows(name + "-ASYNC-steal", stealing.trace)) {
+      rows.push_back(r);
+    }
     summary.add_row({name, metrics::Table::num(sync.wall_ms, 4),
                      metrics::Table::num(async_run.wall_ms, 4),
+                     metrics::Table::num(stealing.wall_ms, 4),
                      metrics::Table::num(sync.final_error()),
                      metrics::Table::num(async_run.final_error()),
-                     bench::speedup_str(sync.trace, async_run.trace)});
+                     bench::speedup_str(sync.trace, async_run.trace),
+                     std::to_string(stealing.partitions_stolen) + "/" +
+                         std::to_string(stealing.migration_bytes / 1024)});
   }
 
   bench::write_csv("fig8.csv", "series,time_ms,update,error", rows);

@@ -19,6 +19,11 @@ std::optional<TaggedResult> AsyncContext::collect(
   using namespace std::chrono_literals;
   int idle_ms = 0;
   for (;;) {
+    // Speculation rides the collect loop: this is the driver's only resident
+    // spot, and it is exactly where a BSP-style round sits blocked on a
+    // straggler. No-op unless SchedulerPolicy::speculation_factor > 0.
+    scheduler_.maybe_speculate();
+
     // Failures are routed to their own queue; poll it so a failed task does
     // not leave us blocked waiting for a result that will never come.
     while (auto failed = coordinator_.try_collect_failure()) {

@@ -53,6 +53,18 @@ BarrierControl completion_time_within(double ratio) {
   return b;
 }
 
+BarrierControl median_completion_within(double ratio) {
+  BarrierControl b;
+  b.name = "ctime-med(" + std::to_string(ratio) + ")";
+  b.filter = [ratio](const WorkerStat& w, const StatSnapshot& stat) {
+    if (w.tasks_completed == 0) return true;
+    const double cluster_median = stat.median_avg_task_ms();
+    if (cluster_median <= 0.0) return true;
+    return w.avg_task_ms <= ratio * cluster_median;
+  };
+  return b;
+}
+
 BarrierControl probabilistic(double p, std::uint64_t seed) {
   BarrierControl b;
   b.name = "PSP(" + std::to_string(p) + ")";

@@ -52,6 +52,14 @@ namespace barriers {
 /// with no history yet always pass.
 [[nodiscard]] BarrierControl completion_time_within(double ratio);
 
+/// Median-anchored completion-time filter: like completion_time_within but
+/// compares against the cluster *median* EWMA, which a single long-tail
+/// straggler cannot drag upward (the mean version grows more permissive as
+/// the straggler gets slower). The natural partner of work stealing: a
+/// worker this filter shuns keeps accumulating idle partitions for healthy
+/// peers to claim (docs/SCHEDULING.md).
+[[nodiscard]] BarrierControl median_completion_within(double ratio);
+
 /// Probabilistic Synchronous Parallel (after Wang et al. [65], which the
 /// paper cites among the barrier strategies ASYNC can express): every
 /// eligible worker is admitted independently with probability `p` on each

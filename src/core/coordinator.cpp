@@ -36,9 +36,34 @@ void Coordinator::drain_loop() {
     engine::TaskResult result = std::move(*popped);
 
     TaggedResult tagged;
+    bool duplicate = false;
     {
       std::lock_guard lock(stat_mutex_);
       apply_result_locked(result);
+
+      // First-result-wins: a task registered per identity may have replicas
+      // in flight (speculation, retries). Only the first OK result is
+      // delivered; later arrivals — and failures of already-delivered tasks,
+      // which need no retry — are dropped after their STAT bookkeeping.
+      // A failure whose identity still has a live copy is dropped too: the
+      // bit-identical replica covers the task, so a retry would be a wasted
+      // third dispatch (and would burn the shared retry budget). If the
+      // surviving copy also fails, its failure arrives with no copies left
+      // and re-arms the retry path.
+      const TaskKey key{result.partition, result.seq};
+      if (const auto it = inflight_tasks_.find(key); it != inflight_tasks_.end()) {
+        InflightTask& entry = it->second;
+        entry.copies -= 1;
+        if (entry.delivered) {
+          duplicate = true;
+        } else if (result.ok()) {
+          entry.delivered = true;
+        } else if (entry.copies > 0) {
+          duplicate = true;  // a live replica still covers this identity
+        }
+        if (entry.copies <= 0) inflight_tasks_.erase(it);
+      }
+
       const engine::Version now = current_version();
       WorkerStat row = stats_[static_cast<std::size_t>(result.worker)];
       row.result_staleness = now - row.last_result_version;
@@ -47,7 +72,10 @@ void Coordinator::drain_loop() {
       tagged.staleness = now >= result.model_version ? now - result.model_version : 0;
       tagged.worker = row;
     }
-    if (result.ok()) {
+    if (duplicate) {
+      duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+      cluster_.metrics().duplicate_results.add(1);
+    } else if (result.ok()) {
       tagged.result = std::move(result);
       results_.push(std::move(tagged));
     } else {
@@ -112,9 +140,56 @@ int Coordinator::total_outstanding() const {
   return total;
 }
 
+int Coordinator::outstanding(engine::WorkerId worker) const {
+  std::lock_guard lock(stat_mutex_);
+  return stats_[static_cast<std::size_t>(worker)].outstanding;
+}
+
 void Coordinator::on_dispatch(engine::WorkerId worker, int tasks,
                               engine::Version version) {
   std::lock_guard lock(stat_mutex_);
+  register_dispatch_locked(worker, tasks, version);
+}
+
+void Coordinator::on_task_dispatch(engine::WorkerId worker,
+                                   const engine::TaskSpec& spec) {
+  std::lock_guard lock(stat_mutex_);
+  register_dispatch_locked(worker, 1, spec.model_version);
+  inflight_tasks_[TaskKey{spec.partition, spec.seq}].copies += 1;
+}
+
+bool Coordinator::try_register_replica(engine::WorkerId worker,
+                                       const engine::TaskSpec& spec) {
+  std::lock_guard lock(stat_mutex_);
+  const auto it = inflight_tasks_.find(TaskKey{spec.partition, spec.seq});
+  if (it == inflight_tasks_.end() || it->second.delivered || it->second.copies <= 0) {
+    return false;  // original already accounted: a replica would double-deliver
+  }
+  it->second.copies += 1;
+  register_dispatch_locked(worker, 1, spec.model_version);
+  return true;
+}
+
+void Coordinator::on_dispatch_aborted(engine::WorkerId worker,
+                                      const engine::TaskSpec& spec) {
+  std::lock_guard lock(stat_mutex_);
+  WorkerStat& row = stats_[static_cast<std::size_t>(worker)];
+  row.outstanding = std::max(0, row.outstanding - 1);
+  row.available = row.outstanding == 0;
+  auto& inflight = inflight_versions_[static_cast<std::size_t>(worker)];
+  if (const auto it = inflight.find(spec.model_version); it != inflight.end()) {
+    inflight.erase(it);
+  }
+  fill_min_outstanding_locked(row);
+  if (const auto it = inflight_tasks_.find(TaskKey{spec.partition, spec.seq});
+      it != inflight_tasks_.end()) {
+    it->second.copies -= 1;
+    if (it->second.copies <= 0) inflight_tasks_.erase(it);
+  }
+}
+
+void Coordinator::register_dispatch_locked(engine::WorkerId worker, int tasks,
+                                           engine::Version version) {
   WorkerStat& row = stats_[static_cast<std::size_t>(worker)];
   row.outstanding += tasks;
   row.available = row.outstanding == 0;

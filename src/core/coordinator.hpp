@@ -13,10 +13,12 @@
 // as (version at collection) − (version the task computed against).
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/stat.hpp"
@@ -85,15 +87,61 @@ class Coordinator {
   void advance_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
   /// Records that `tasks` tasks were dispatched to `worker` against `version`
-  /// (called by the scheduler; marks the worker unavailable).
+  /// (called by the scheduler; marks the worker unavailable). Results of
+  /// tasks registered this way are always delivered — use on_task_dispatch
+  /// when duplicate replicas of a task may be in flight.
   void on_dispatch(engine::WorkerId worker, int tasks, engine::Version version);
+
+  /// Per-task registration: like on_dispatch for one task, but additionally
+  /// tracks the task's logical identity (partition, seq). Registering the
+  /// same identity again (a speculative replica or a failure retry) arms
+  /// first-result-wins semantics: the first OK result for the identity is
+  /// delivered, every later one is dropped as a duplicate — safe because a
+  /// replica of the same (seed, partition, seq) recomputes the identical
+  /// mini-batch, so duplicates are bit-identical.
+  void on_task_dispatch(engine::WorkerId worker, const engine::TaskSpec& spec);
+
+  /// Registers a speculative replica of an in-flight task, atomically with
+  /// the dedup bookkeeping: succeeds only while the original's identity is
+  /// still undelivered. Returns false when the original's result has already
+  /// been accounted (it may be sitting uncollected in the result queue) — a
+  /// replica dispatched past that point would be delivered a second time.
+  [[nodiscard]] bool try_register_replica(engine::WorkerId worker,
+                                          const engine::TaskSpec& spec);
+
+  /// Reverses one registration (on_task_dispatch / try_register_replica)
+  /// for a task that was never actually submitted — e.g. the cluster shut
+  /// down between registration and submit. Without this the phantom task
+  /// would pin `outstanding` and the history-GC bound forever.
+  void on_dispatch_aborted(engine::WorkerId worker, const engine::TaskSpec& spec);
 
   /// Total tasks in flight across all workers (deadlock diagnostics).
   [[nodiscard]] int total_outstanding() const;
 
+  /// Tasks currently in flight on one worker.
+  [[nodiscard]] int outstanding(engine::WorkerId worker) const;
+
+  /// Replica results dropped by first-result-wins dedup (OK duplicates plus
+  /// failures of already-delivered tasks, which need no retry).
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Logical identity of a dispatched task: replicas share it, so it keys
+  /// the first-result-wins bookkeeping. (partition, seq) is unique per
+  /// logical dispatch — the scheduler never re-issues a round sequence for
+  /// the same partition.
+  using TaskKey = std::pair<engine::PartitionId, std::uint64_t>;
+  struct InflightTask {
+    int copies = 0;        ///< dispatched replicas still unaccounted for
+    bool delivered = false;  ///< an OK result has already been released
+  };
+
   void drain_loop();
   void apply_result_locked(const engine::TaskResult& r);
+  void register_dispatch_locked(engine::WorkerId worker, int tasks,
+                                engine::Version version);
   /// Refreshes `row.min_outstanding_version` from the in-flight version
   /// multiset; requires stat_mutex_ held.
   void fill_min_outstanding_locked(WorkerStat& row) const;
@@ -109,6 +157,11 @@ class Coordinator {
   /// queued task while newer ones are dispatched past it.
   std::vector<std::multiset<engine::Version>> inflight_versions_;
   std::vector<support::Ewma> task_time_ewma_;
+  /// First-result-wins bookkeeping for tasks registered per identity
+  /// (on_task_dispatch). Entries die when their last replica is accounted
+  /// for, so the map stays bounded by the in-flight task count.
+  std::map<TaskKey, InflightTask> inflight_tasks_;
+  std::atomic<std::uint64_t> duplicates_dropped_{0};
 
   support::BlockingQueue<TaggedResult> results_;
   support::BlockingQueue<engine::TaskResult> failures_;

@@ -1,8 +1,22 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 #include "data/partition.hpp"
 
 namespace asyncml::core {
+
+namespace {
+
+/// Per-worker speed estimate in ms/task: the EWMA when the worker has
+/// history, `fallback` (cluster mean of the workers that do) otherwise.
+double speed_ms(const WorkerStat& row, double fallback) {
+  return row.tasks_completed > 0 ? row.avg_task_ms : fallback;
+}
+
+}  // namespace
 
 AsyncScheduler::AsyncScheduler(engine::Cluster& cluster, Coordinator& coordinator)
     : cluster_(cluster), coordinator_(coordinator) {
@@ -12,12 +26,39 @@ AsyncScheduler::AsyncScheduler(engine::Cluster& cluster, Coordinator& coordinato
 void AsyncScheduler::set_num_partitions(int num_partitions) {
   num_partitions_ = num_partitions;
   busy_.assign(static_cast<std::size_t>(num_partitions), false);
+  inflight_.assign(static_cast<std::size_t>(num_partitions), InflightRecord{});
+  pending_migration_ms_.assign(static_cast<std::size_t>(num_partitions), 0.0);
   busy_count_ = 0;
   for (int w = 0; w < cluster_.num_workers(); ++w) {
     owned_[static_cast<std::size_t>(w)] =
         data::partitions_of_worker(w, num_partitions, cluster_.num_workers());
   }
   cursor_.assign(static_cast<std::size_t>(cluster_.num_workers()), 0);
+}
+
+void AsyncScheduler::set_policy(SchedulerPolicy policy) { policy_ = std::move(policy); }
+
+const std::vector<engine::PartitionId>& AsyncScheduler::partitions_of(
+    engine::WorkerId worker) const {
+  if (worker < 0 || worker >= cluster_.num_workers()) {
+    throw std::out_of_range("AsyncScheduler::partitions_of: worker " +
+                            std::to_string(worker) + " out of range [0, " +
+                            std::to_string(cluster_.num_workers()) + ")");
+  }
+  return owned_[static_cast<std::size_t>(worker)];
+}
+
+std::size_t AsyncScheduler::partition_data_bytes(engine::PartitionId p) const {
+  const auto index = static_cast<std::size_t>(p);
+  return index < policy_.partition_bytes.size() ? policy_.partition_bytes[index] : 0;
+}
+
+int AsyncScheduler::idle_owned(engine::WorkerId worker) const {
+  int idle = 0;
+  for (const engine::PartitionId p : owned_[static_cast<std::size_t>(worker)]) {
+    idle += busy_[static_cast<std::size_t>(p)] ? 0 : 1;
+  }
+  return idle;
 }
 
 int AsyncScheduler::dispatch_partitions(engine::WorkerId worker,
@@ -33,7 +74,6 @@ int AsyncScheduler::dispatch_partitions(engine::WorkerId worker,
   std::size_t& cursor = cursor_[static_cast<std::size_t>(worker)];
   const std::size_t start = cursor;
   std::vector<engine::TaskSpec> specs;
-  engine::Version version = 0;
   for (std::size_t scanned = 0; scanned < partitions.size(); ++scanned) {
     if (budget >= 0 && static_cast<int>(specs.size()) >= budget) break;
     const engine::PartitionId p = partitions[(start + scanned) % partitions.size()];
@@ -41,17 +81,36 @@ int AsyncScheduler::dispatch_partitions(engine::WorkerId worker,
     engine::TaskSpec spec = factory(p);
     spec.id = cluster_.next_task_id();
     spec.seq = seq;
-    version = spec.model_version;
+    spec.migration_ms = pending_migration_ms_[static_cast<std::size_t>(p)];
+    pending_migration_ms_[static_cast<std::size_t>(p)] = 0.0;
     busy_[static_cast<std::size_t>(p)] = true;
     ++busy_count_;
     specs.push_back(std::move(spec));
     cursor = (start + scanned + 1) % partitions.size();
   }
   if (specs.empty()) return 0;
-  // Mark outstanding *before* submitting so the coordinator never observes a
-  // result for a task it does not know about.
-  coordinator_.on_dispatch(worker, static_cast<int>(specs.size()), version);
-  for (engine::TaskSpec& spec : specs) cluster_.submit(worker, std::move(spec));
+  // Register outstanding *before* submitting so the coordinator never
+  // observes a result for a task it does not know about. Registration is
+  // per task identity (partition, seq): that arms first-result-wins
+  // deduplication should a speculative replica be launched later.
+  for (const engine::TaskSpec& spec : specs) {
+    coordinator_.on_task_dispatch(worker, spec);
+  }
+  const support::TimePoint now = support::Clock::now();
+  const int already_queued =
+      coordinator_.outstanding(worker) - static_cast<int>(specs.size());
+  int batch_index = 0;
+  for (engine::TaskSpec& spec : specs) {
+    auto& record = inflight_[static_cast<std::size_t>(spec.partition)];
+    record.spec = spec;  // exact copy: a replica must recompute bit-identically
+    record.dispatched_at = now;
+    record.worker = worker;
+    record.queue_ahead = std::max(0, already_queued) + batch_index;
+    record.speculated = false;
+    record.valid = true;
+    ++batch_index;
+    cluster_.submit(worker, std::move(spec));
+  }
   return static_cast<int>(specs.size());
 }
 
@@ -64,6 +123,9 @@ int AsyncScheduler::dispatch_eligible(const BarrierControl& barrier,
                                       const TaskFactory& factory) {
   const StatSnapshot stat = coordinator_.stat();
   if (!barrier.gate(stat)) return 0;
+  if (policy_.steal_mode == StealMode::kLocality) {
+    steal_pass(stat, &barrier, /*capacity_mode=*/true);
+  }
   const int cores = cluster_.config().cores_per_worker;
   // All tasks admitted by one dispatch call share one round sequence: they
   // are peers of the same logical iteration (partition ids already separate
@@ -81,12 +143,212 @@ int AsyncScheduler::dispatch_eligible(const BarrierControl& barrier,
 }
 
 int AsyncScheduler::dispatch_all(const TaskFactory& factory) {
+  if (policy_.steal_mode == StealMode::kLocality) {
+    steal_pass(coordinator_.stat(), /*barrier=*/nullptr, /*capacity_mode=*/false);
+  }
   const std::uint64_t seq = ++round_;
   int submitted = 0;
   for (int w = 0; w < cluster_.num_workers(); ++w) {
     submitted += dispatch_partitions(w, factory, seq, /*budget=*/-1);
   }
   return submitted;
+}
+
+int AsyncScheduler::steal_pass(const StatSnapshot& stat, const BarrierControl* barrier,
+                               bool capacity_mode) {
+  const int workers = cluster_.num_workers();
+  if (workers < 2 || num_partitions_ == 0) return 0;
+  const double fallback = stat.mean_avg_task_ms();
+  if (fallback <= 0.0) return 0;  // no service history yet: nothing to steal on
+  const double cores = static_cast<double>(cluster_.config().cores_per_worker);
+
+  // Live working copies; the stat snapshot's outstanding counts are fixed
+  // for the pass (no dispatch happens inside it).
+  std::vector<int> idle(static_cast<std::size_t>(workers));
+  std::vector<int> busy_owned(static_cast<std::size_t>(workers));
+  std::vector<double> speed(static_cast<std::size_t>(workers));
+  std::vector<bool> passes(static_cast<std::size_t>(workers), true);
+  for (int w = 0; w < workers; ++w) {
+    const WorkerStat& row = stat.workers[static_cast<std::size_t>(w)];
+    idle[static_cast<std::size_t>(w)] = idle_owned(w);
+    busy_owned[static_cast<std::size_t>(w)] =
+        static_cast<int>(owned_[static_cast<std::size_t>(w)].size()) -
+        idle[static_cast<std::size_t>(w)];
+    speed[static_cast<std::size_t>(w)] = speed_ms(row, fallback);
+    if (barrier != nullptr) passes[static_cast<std::size_t>(w)] = barrier->filter(row, stat);
+  }
+  // Fluid drain-time estimate: (in-flight + idle backlog) × ms/task ÷ cores.
+  const auto est = [&](int w, int extra_idle) {
+    const WorkerStat& row = stat.workers[static_cast<std::size_t>(w)];
+    const double tasks =
+        static_cast<double>(row.outstanding + idle[static_cast<std::size_t>(w)] + extra_idle);
+    return tasks * speed[static_cast<std::size_t>(w)] / cores;
+  };
+
+  int moves = 0;
+  while (moves < num_partitions_) {
+    // Victim: the most-backlogged worker that has an idle partition to give.
+    // Only a barrier-shunned victim may lose its *last* partition — a
+    // filtered-out worker cannot run it anyway, while taking a healthy
+    // worker's last partition would just move the imbalance around.
+    int victim = -1;
+    for (int w = 0; w < workers; ++w) {
+      if (idle[static_cast<std::size_t>(w)] == 0) continue;
+      const bool may_lose_last = barrier != nullptr && !passes[static_cast<std::size_t>(w)];
+      if (owned_[static_cast<std::size_t>(w)].size() <= 1 && !may_lose_last) continue;
+      if (victim < 0 || est(w, 0) > est(victim, 0)) victim = w;
+    }
+    if (victim < 0) break;
+
+    // Thief: the least-loaded eligible worker. In capacity mode (the
+    // asynchronous path) a thief must have free capacity and no idle owned
+    // partition — it steals only when it would otherwise sit idle.
+    int thief = -1;
+    for (int w = 0; w < workers; ++w) {
+      if (w == victim) continue;
+      if (barrier != nullptr && !passes[static_cast<std::size_t>(w)]) continue;
+      if (capacity_mode) {
+        const WorkerStat& row = stat.workers[static_cast<std::size_t>(w)];
+        if (row.outstanding >= static_cast<int>(cores)) continue;
+        if (idle[static_cast<std::size_t>(w)] > 0) continue;
+        // A worker whose owned partitions are scheduler-busy but already
+        // drained by the coordinator (result awaiting collection) is about
+        // to get local work back — it is not starving, so it must not steal.
+        if (busy_owned[static_cast<std::size_t>(w)] > row.outstanding) continue;
+      }
+      if (thief < 0 || est(w, 0) < est(thief, 0)) thief = w;
+    }
+    if (thief < 0) break;
+
+    // Move only if it beats the hysteresis margin: the victim's backlog must
+    // strictly dominate both post-move drains, so EWMA jitter on a balanced
+    // cluster never reshuffles ownership.
+    const double before = est(victim, 0);
+    const double after = std::max(est(victim, -1), est(thief, +1));
+    if (before <= policy_.steal_margin * after) break;
+
+    // Steal the partition the victim would service last (just before its
+    // round-robin cursor): the least disruption to its local iteration.
+    const auto& owned = owned_[static_cast<std::size_t>(victim)];
+    const std::size_t cursor = cursor_[static_cast<std::size_t>(victim)];
+    engine::PartitionId stolen = engine::kNoPartition;
+    for (std::size_t offset = 1; offset <= owned.size(); ++offset) {
+      const std::size_t index = (cursor + owned.size() - offset) % owned.size();
+      if (!busy_[static_cast<std::size_t>(owned[index])]) {
+        stolen = owned[index];
+        break;
+      }
+    }
+    if (stolen == engine::kNoPartition) break;  // cannot happen: idle[victim] > 0
+    transfer_ownership(stolen, victim, thief);
+    idle[static_cast<std::size_t>(victim)] -= 1;
+    idle[static_cast<std::size_t>(thief)] += 1;
+    ++moves;
+  }
+  return moves;
+}
+
+void AsyncScheduler::transfer_ownership(engine::PartitionId partition,
+                                        engine::WorkerId victim,
+                                        engine::WorkerId thief) {
+  auto& from = owned_[static_cast<std::size_t>(victim)];
+  const auto it = std::find(from.begin(), from.end(), partition);
+  const auto erased = static_cast<std::size_t>(it - from.begin());
+  from.erase(it);
+  std::size_t& cursor = cursor_[static_cast<std::size_t>(victim)];
+  if (cursor > erased) --cursor;
+  if (!from.empty()) cursor %= from.size(); else cursor = 0;
+  owned_[static_cast<std::size_t>(thief)].push_back(partition);
+
+  // The partition's rows must travel once; charge the transfer to its first
+  // task on the new owner. Subsequent rounds are local again.
+  const std::size_t bytes = partition_data_bytes(partition);
+  pending_migration_ms_[static_cast<std::size_t>(partition)] +=
+      cluster_.network().transfer_ms(bytes);
+  cluster_.metrics().migration_bytes.add(bytes);
+  cluster_.metrics().partitions_stolen.add(1);
+  ++steals_;
+}
+
+int AsyncScheduler::maybe_speculate() {
+  if (policy_.speculation_factor <= 0.0 || cluster_.num_workers() < 2) return 0;
+  if (busy_count_ == 0) return 0;
+  const StatSnapshot stat = coordinator_.stat();
+  const double median = stat.median_avg_task_ms();
+  if (median <= 0.0) return 0;
+  const double threshold_ms = policy_.speculation_factor * median;
+  const support::TimePoint now = support::Clock::now();
+  const int cores = cluster_.config().cores_per_worker;
+
+  std::vector<int> free(stat.workers.size());
+  for (std::size_t w = 0; w < stat.workers.size(); ++w) {
+    free[w] = cores - stat.workers[w].outstanding;
+  }
+
+  int launched = 0;
+  for (engine::PartitionId p = 0; p < num_partitions_; ++p) {
+    if (!busy_[static_cast<std::size_t>(p)]) continue;
+    InflightRecord& record = inflight_[static_cast<std::size_t>(p)];
+    if (!record.valid || record.speculated) continue;
+    const double age_ms = support::to_ms(now - record.dispatched_at);
+    if (age_ms <= threshold_ms) continue;
+
+    // Overdue by the age rule. Replicate only if the assigned worker's
+    // *predicted remaining* time still exceeds what a fresh replica needs:
+    // queue position × the worker's current EWMA says when the task should
+    // finish, so a deep-but-healthy queue is left alone while a task doomed
+    // to a straggler's second wave is rescued as soon as the EWMA knows.
+    const WorkerStat& assigned = stat.workers[static_cast<std::size_t>(record.worker)];
+    const double waves = static_cast<double>(record.queue_ahead / cores + 1);
+    const double predicted_remaining = waves * speed_ms(assigned, median) - age_ms;
+    const double replica_cost =
+        median + cluster_.network().transfer_ms(partition_data_bytes(p));
+    if (predicted_remaining <= 1.2 * replica_cost) continue;
+
+    // Target: the fastest worker with a free core, excluding the one already
+    // running the task; workers slower than ~the median are no rescue.
+    int target = -1;
+    double target_speed = 0.0;
+    for (int w = 0; w < cluster_.num_workers(); ++w) {
+      if (w == record.worker || free[static_cast<std::size_t>(w)] <= 0) continue;
+      const double s = speed_ms(stat.workers[static_cast<std::size_t>(w)], median);
+      if (s > 1.25 * median) continue;
+      if (target < 0 || s < target_speed) {
+        target = w;
+        target_speed = s;
+      }
+    }
+    if (target < 0) continue;
+
+    engine::TaskSpec replica = record.spec;
+    replica.id = cluster_.next_task_id();
+    // The replica reads the partition remotely: charge the transfer, but do
+    // not move ownership (the original owner keeps its local copy).
+    const std::size_t bytes = partition_data_bytes(p);
+    replica.migration_ms = cluster_.network().transfer_ms(bytes);
+    // Registration is atomic with the first-result-wins bookkeeping: if the
+    // original's result was already accounted (possibly still sitting
+    // uncollected in the result queue), a replica would be delivered twice —
+    // skip it and stand down on this task.
+    if (!coordinator_.try_register_replica(target, replica)) {
+      record.speculated = true;
+      continue;
+    }
+    if (!cluster_.submit(target, replica)) {
+      // Cluster shut down between registration and submit: unwind the
+      // registration so the phantom replica cannot pin `outstanding` (and
+      // with it the deadlock guard and the history-GC bound) forever.
+      coordinator_.on_dispatch_aborted(target, replica);
+      break;
+    }
+    record.speculated = true;
+    free[static_cast<std::size_t>(target)] -= 1;
+    cluster_.metrics().tasks_speculated.add(1);
+    cluster_.metrics().migration_bytes.add(bytes);
+    ++speculations_;
+    ++launched;
+  }
+  return launched;
 }
 
 void AsyncScheduler::resubmit(const engine::TaskResult& failed,
@@ -96,7 +358,16 @@ void AsyncScheduler::resubmit(const engine::TaskResult& failed,
   spec.id = cluster_.next_task_id();
   spec.seq = failed.seq;  // keep the round: the retry recomputes the same batch
   // The partition is still marked busy from its original dispatch.
-  coordinator_.on_dispatch(target, 1, spec.model_version);
+  coordinator_.on_task_dispatch(target, spec);
+  if (failed.partition >= 0 && failed.partition < num_partitions_) {
+    auto& record = inflight_[static_cast<std::size_t>(failed.partition)];
+    record.spec = spec;
+    record.dispatched_at = support::Clock::now();
+    record.worker = target;
+    record.queue_ahead = std::max(0, coordinator_.outstanding(target) - 1);
+    record.speculated = false;
+    record.valid = true;
+  }
   cluster_.submit(target, std::move(spec));
 }
 
@@ -104,7 +375,8 @@ void AsyncScheduler::on_result_collected(engine::PartitionId partition) {
   if (partition < 0 || partition >= num_partitions_) return;
   if (busy_[static_cast<std::size_t>(partition)]) {
     busy_[static_cast<std::size_t>(partition)] = false;
-    --busy_count_;
+    busy_count_ -= 1;
+    inflight_[static_cast<std::size_t>(partition)].valid = false;
   }
 }
 

@@ -1,6 +1,6 @@
 #pragma once
 
-// The ASYNCscheduler (paper §4.4).
+// The ASYNCscheduler (paper §4.4), extended with dynamic placement.
 //
 // Dispatches tasks to workers according to a barrier-control strategy.
 // Mirroring Spark's executor model, dispatch is *capacity aware*: a worker
@@ -15,19 +15,68 @@
 // synchronous path (dispatch_all) bypasses capacity and ships one task per
 // partition, which is exactly a BSP stage.
 //
+// Placement starts fixed (partition p on worker p % W) but may evolve:
+//
+//  * Locality-aware work stealing (SchedulerPolicy::steal_mode) — when a
+//    worker has free capacity and no idle owned partition, it may claim an
+//    idle partition from the most-backlogged peer, paying a one-time
+//    data-migration cost modeled through NetworkModel.  Ownership transfers,
+//    so subsequent rounds are local again.  Eligibility composes: a thief
+//    must pass the barrier filter, and only a barrier-shunned victim may
+//    lose its last partition (it cannot run it anyway).
+//
+//  * Speculative task replication (SchedulerPolicy::speculation_factor) — a
+//    task whose in-flight age exceeds factor × the cluster-median EWMA
+//    service time is re-dispatched to a fast worker with free capacity.
+//    The coordinator's first-result-wins bookkeeping drops the loser; safe
+//    because a replica of the same (seed, partition, seq) recomputes the
+//    identical mini-batch, so duplicates are bit-identical.
+//
 // The scheduler stamps tasks with a monotonically increasing round sequence
 // (shared by all tasks of one dispatch call); the task RNG derives from
 // (seed, partition, seq), so every round samples a fresh deterministic
-// mini-batch and a retry of the same round recomputes the same batch.
+// mini-batch and a retry or replica of the same round recomputes the same
+// batch.  Neither stealing nor speculation changes any computed value —
+// only where and when work runs (docs/SCHEDULING.md, "Determinism").
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
 #include "core/barrier.hpp"
 #include "core/coordinator.hpp"
 #include "engine/cluster.hpp"
+#include "support/stopwatch.hpp"
 
 namespace asyncml::core {
+
+/// Placement policy for partitions whose owner cannot service them.
+enum class StealMode {
+  kOff,       ///< fixed placement: partition p stays on worker p % W forever
+  kLocality,  ///< backlogged peers shed idle partitions to free workers
+};
+
+/// Dynamic-placement knobs, set once per run (SolverConfig carries the
+/// user-facing copies; docs/SCHEDULING.md is the handbook).
+struct SchedulerPolicy {
+  StealMode steal_mode = StealMode::kOff;
+
+  /// Speculative replication threshold: replicate a task whose in-flight age
+  /// exceeds `speculation_factor` × the cluster-median EWMA service time.
+  /// <= 0 disables speculation.
+  double speculation_factor = 0.0;
+
+  /// Hysteresis for stealing: a move must shrink the victim's estimated
+  /// drain time to below 1/steal_margin of its current value relative to
+  /// the thief's, so EWMA jitter on a healthy cluster never triggers moves
+  /// (a no-delay run keeps the fixed placement bit-for-bit).
+  double steal_margin = 1.15;
+
+  /// Modeled resident bytes per partition — the one-time migration cost of
+  /// a steal (and the remote-read cost of a speculative replica), charged
+  /// through the cluster's NetworkModel. Empty = migration is free.
+  std::vector<std::size_t> partition_bytes;
+};
 
 class AsyncScheduler {
  public:
@@ -38,14 +87,20 @@ class AsyncScheduler {
 
   AsyncScheduler(engine::Cluster& cluster, Coordinator& coordinator);
 
-  /// Fixes partition placement: partition p lives on worker p % W.
+  /// Fixes the initial placement: partition p lives on worker p % W.
   void set_num_partitions(int num_partitions);
 
+  /// Installs the dynamic-placement policy (defaults keep both features
+  /// off, i.e. the classic fixed-placement scheduler).
+  void set_policy(SchedulerPolicy policy);
+  [[nodiscard]] const SchedulerPolicy& policy() const noexcept { return policy_; }
+
   [[nodiscard]] int num_partitions() const noexcept { return num_partitions_; }
+
+  /// Partitions currently owned by `worker`. Throws std::out_of_range with a
+  /// descriptive message for an invalid worker id.
   [[nodiscard]] const std::vector<engine::PartitionId>& partitions_of(
-      engine::WorkerId worker) const {
-    return owned_.at(static_cast<std::size_t>(worker));
-  }
+      engine::WorkerId worker) const;
 
   /// Fills `worker` to capacity with its idle partitions, ignoring barriers
   /// (used for priming). Returns the number of tasks submitted.
@@ -53,12 +108,14 @@ class AsyncScheduler {
 
   /// Dispatches idle partitions to every worker with free capacity that
   /// passes `barrier` (gate checked once against the current STAT snapshot).
-  /// Returns the number of tasks submitted.
+  /// Under StealMode::kLocality, a stealing pass rebalances idle partitions
+  /// onto eligible free workers first. Returns the number of tasks submitted.
   int dispatch_eligible(const BarrierControl& barrier, const TaskFactory& factory);
 
   /// One task per partition to every worker regardless of barrier or
   /// capacity — the synchronous BSP stage used by sync algorithms running
-  /// through ASYNC.
+  /// through ASYNC. Under StealMode::kLocality the stage is preceded by a
+  /// makespan-driven stealing pass over idle partitions.
   int dispatch_all(const TaskFactory& factory);
 
   /// Resubmits a failed task to the next worker (Spark retry semantics for
@@ -69,22 +126,67 @@ class AsyncScheduler {
   /// every collected result.
   void on_result_collected(engine::PartitionId partition);
 
+  /// Speculation sweep: re-dispatches every overdue in-flight task (age >
+  /// speculation_factor × cluster-median EWMA) to a fast worker with free
+  /// capacity, at most one replica per task. Driven by AsyncContext::collect
+  /// so BSP-style rounds blocked on a straggler still speculate. Returns the
+  /// number of replicas dispatched (0 when speculation is off).
+  int maybe_speculate();
+
   [[nodiscard]] std::uint64_t rounds_dispatched() const noexcept { return round_; }
   [[nodiscard]] int busy_partitions() const noexcept { return busy_count_; }
+  [[nodiscard]] std::uint64_t partitions_stolen() const noexcept { return steals_; }
+  [[nodiscard]] std::uint64_t tasks_speculated() const noexcept { return speculations_; }
 
  private:
+  /// Everything the scheduler must remember about an in-flight dispatch to
+  /// replicate it bit-identically: the exact spec (same fn → same pinned
+  /// model version, same rng seed / partition / seq → same mini-batch).
+  struct InflightRecord {
+    engine::TaskSpec spec;
+    support::TimePoint dispatched_at{};
+    engine::WorkerId worker = 0;
+    /// Tasks ahead of this one in the worker's mailbox at dispatch time:
+    /// with the worker's EWMA it predicts when the task *should* finish, so
+    /// the speculation sweep can tell "slow worker" from "deep queue".
+    int queue_ahead = 0;
+    bool speculated = false;
+    bool valid = false;
+  };
+
   /// Dispatches up to `budget` idle partitions of `worker`; -1 = no limit.
   int dispatch_partitions(engine::WorkerId worker, const TaskFactory& factory,
                           std::uint64_t seq, int budget);
 
+  /// One stealing pass over the current backlog. `barrier` non-null applies
+  /// eligibility (thieves must pass the filter; only filtered-out victims
+  /// may lose their last partition); `capacity_mode` restricts thieves to
+  /// workers with free capacity and no idle owned partition (the
+  /// asynchronous path). Returns the number of ownership transfers.
+  int steal_pass(const StatSnapshot& stat, const BarrierControl* barrier,
+                 bool capacity_mode);
+
+  /// Moves ownership of `partition` from `victim` to `thief`, charging the
+  /// modeled migration cost to the partition's next task.
+  void transfer_ownership(engine::PartitionId partition, engine::WorkerId victim,
+                          engine::WorkerId thief);
+
+  [[nodiscard]] std::size_t partition_data_bytes(engine::PartitionId p) const;
+  [[nodiscard]] int idle_owned(engine::WorkerId worker) const;
+
   engine::Cluster& cluster_;
   Coordinator& coordinator_;
+  SchedulerPolicy policy_;
   std::vector<std::vector<engine::PartitionId>> owned_;
   std::vector<bool> busy_;           ///< per-partition in-flight flag
   std::vector<std::size_t> cursor_;  ///< per-worker round-robin position
+  std::vector<InflightRecord> inflight_;     ///< per-partition dispatch records
+  std::vector<double> pending_migration_ms_; ///< charge on next dispatch
   int busy_count_ = 0;
   int num_partitions_ = 0;
   std::uint64_t round_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t speculations_ = 0;
 };
 
 }  // namespace asyncml::core

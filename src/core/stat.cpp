@@ -44,6 +44,23 @@ double StatSnapshot::mean_avg_task_ms() const noexcept {
   return n == 0 ? 0.0 : sum / n;
 }
 
+double StatSnapshot::median_avg_task_ms() const {
+  std::vector<double> times;
+  times.reserve(workers.size());
+  for (const WorkerStat& w : workers) {
+    if (w.tasks_completed > 0) times.push_back(w.avg_task_ms);
+  }
+  if (times.empty()) return 0.0;
+  // Lower median for even counts: with the upper middle, a 2-worker cluster
+  // would report the straggler's own EWMA as "the cluster median" and every
+  // median-anchored mechanism (speculation threshold, median completion
+  // filter) would go dormant exactly when half the cluster is slow.
+  const std::size_t mid = (times.size() - 1) / 2;
+  std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(mid),
+                   times.end());
+  return times[mid];
+}
+
 std::string StatSnapshot::to_string() const {
   std::ostringstream os;
   os << "v" << current_version << " avail=" << available_workers() << "/"

@@ -77,6 +77,13 @@ struct StatSnapshot {
   /// Mean of workers' EWMA task times; 0 when nothing completed yet.
   [[nodiscard]] double mean_avg_task_ms() const noexcept;
 
+  /// Median of workers' EWMA task times over workers with completions (lower
+  /// median for even counts); 0 when nothing completed yet. The speculation
+  /// threshold and the median-completion barrier filter key off this rather
+  /// than the mean, which a single long-tail straggler can drag arbitrarily
+  /// high.
+  [[nodiscard]] double median_avg_task_ms() const;
+
   /// Compact single-line rendering for logs.
   [[nodiscard]] std::string to_string() const;
 };

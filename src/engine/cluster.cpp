@@ -1,14 +1,30 @@
 #include "engine/cluster.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace asyncml::engine {
 
+namespace {
+void validate(const Cluster::Config& config) {
+  // Explicit validation rather than assert(): a zero-worker cluster built
+  // from un-sanitized user input must fail loudly in Release builds too.
+  if (config.num_workers <= 0) {
+    throw std::invalid_argument("Cluster::Config: num_workers must be > 0 (got " +
+                                std::to_string(config.num_workers) + ")");
+  }
+  if (config.cores_per_worker <= 0) {
+    throw std::invalid_argument("Cluster::Config: cores_per_worker must be > 0 (got " +
+                                std::to_string(config.cores_per_worker) + ")");
+  }
+}
+}  // namespace
+
 Cluster::Cluster(Config config)
-    : config_(std::move(config)),
+    : config_((validate(config), std::move(config))),
       metrics_(std::make_unique<ClusterMetrics>(config_.num_workers)),
       delay_owned_(config_.delay ? config_.delay : std::make_shared<const NoDelay>()) {
-  assert(config_.num_workers > 0 && config_.cores_per_worker > 0);
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (WorkerId w = 0; w < config_.num_workers; ++w) {
     Worker::Deps deps;

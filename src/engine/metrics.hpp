@@ -81,6 +81,12 @@ class ClusterMetrics {
   support::RelaxedCounter tasks_completed;
   support::RelaxedCounter tasks_failed;
 
+  // Dynamic-placement counters (work stealing + speculative replication).
+  support::RelaxedCounter migration_bytes;    ///< partition data moved by steals/replicas
+  support::RelaxedCounter partitions_stolen;  ///< ownership transfers
+  support::RelaxedCounter tasks_speculated;   ///< speculative replicas dispatched
+  support::RelaxedCounter duplicate_results;  ///< replica results dropped (first-wins)
+
  private:
   std::vector<support::Histogram> wait_hists_;
   mutable std::vector<support::Padded<std::mutex>> wait_mutexes_;

@@ -37,6 +37,12 @@ struct TaskSpec {
   /// Deterministic sampling seed; the worker derives the task RNG from
   /// (rng_seed, partition, seq).
   std::uint64_t rng_seed = 0;
+  /// One-time data-migration charge in ms, paid before the task runs. The
+  /// scheduler sets it on the first task a worker executes against a stolen
+  /// partition (and on speculative replicas, which read the partition
+  /// remotely). Unlike the service floor it is NOT scaled by the delay
+  /// model: it models the network, not the machine.
+  double migration_ms = 0.0;
 };
 
 struct TaskResult {

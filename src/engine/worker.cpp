@@ -62,6 +62,14 @@ void Worker::executor_loop() {
     result.seq = spec.seq;
     result.model_version = spec.model_version;
 
+    // One-time data-migration charge (stolen partition or speculative
+    // replica): the partition's rows travel before the task can start.
+    // Charged outside the service stopwatch so it never pollutes the EWMA
+    // service times that steer stealing and speculation.
+    if (spec.migration_ms > 0.0) {
+      support::precise_sleep_ms(spec.migration_ms);
+    }
+
     support::Stopwatch watch;
     if (deps_.fault_injector && deps_.fault_injector(id_, spec)) {
       result.status = Status(StatusCode::kInternal, "injected fault");

@@ -9,6 +9,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstring>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -64,5 +65,15 @@ class DenseVector {
  private:
   std::vector<double> data_;
 };
+
+/// Exact bitwise equality (size + every double's bit pattern) — the check
+/// behind the scheduler's placement-independence guarantees
+/// (docs/SCHEDULING.md, "Determinism"). Stricter than operator== for the
+/// guarantee's purpose: -0.0 differs from 0.0 and NaNs compare equal to
+/// themselves, so two runs pass iff they took the identical FP path.
+[[nodiscard]] inline bool bitwise_equal(const DenseVector& a, const DenseVector& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
 
 }  // namespace asyncml::linalg

@@ -25,6 +25,13 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   detail::reset_run_metrics(cluster.metrics());
 
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
+  // History-writing tasks (SampleVersionTable updates) are not idempotent
+  // under racing replicas, so speculation is forced off regardless of the
+  // config knob; stealing never duplicates execution and stays available
+  // (docs/SCHEDULING.md, "Composition caveats").
+  core::SchedulerPolicy policy = detail::scheduler_policy(workload, config);
+  policy.speculation_factor = 0.0;
+  ac.scheduler().set_policy(std::move(policy));
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
   auto table =

@@ -27,6 +27,7 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   // AC = new ASYNCcontext; models publish through the delta-versioned store.
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
+  ac.scheduler().set_policy(detail::scheduler_policy(workload, config));
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
 

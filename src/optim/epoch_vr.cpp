@@ -53,6 +53,7 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
   detail::reset_run_metrics(cluster.metrics());
 
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
+  ac.scheduler().set_policy(detail::scheduler_policy(workload, config));
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
 

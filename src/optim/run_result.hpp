@@ -27,6 +27,10 @@ struct RunResult {
   std::uint64_t result_bytes = 0;     ///< modeled bytes of result payloads
   std::uint64_t broadcast_fetches = 0;
   std::uint64_t broadcast_hits = 0;
+  std::uint64_t migration_bytes = 0;   ///< partition data moved by steals/replicas
+  std::uint64_t partitions_stolen = 0; ///< ownership transfers (work stealing)
+  std::uint64_t tasks_speculated = 0;  ///< speculative replicas dispatched
+  std::uint64_t duplicates_dropped = 0;  ///< replica results dropped (first-wins)
 
   [[nodiscard]] double final_error() const { return metrics::final_error(trace); }
 };

@@ -1,5 +1,7 @@
 #include "optim/sgd.hpp"
 
+#include <algorithm>
+
 #include "engine/actions.hpp"
 #include "metrics/trace.hpp"
 #include "optim/objective.hpp"
@@ -97,6 +99,78 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
 RunResult SgdSolver::run(engine::Cluster& cluster, const Workload& workload,
                          const SolverConfig& config) {
   return detail::run_sync_sgd(cluster, workload, config, /*tree=*/false, "SGD");
+}
+
+RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& workload,
+                                  const SolverConfig& config) {
+  const std::size_t dim = workload.dim();
+  const double service_ms =
+      config.service_floor_ms > 0.0
+          ? config.service_floor_ms
+          : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
+                                        config.batch_fraction);
+  const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+
+  detail::reset_run_metrics(cluster.metrics());
+
+  core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
+  ac.scheduler().set_policy(detail::scheduler_policy(workload, config));
+  const engine::Rdd<data::LabeledPoint> sampled =
+      workload.points.sample(config.batch_fraction);
+  auto comb = detail::grad_comb();
+
+  core::SubmitOptions opts;
+  opts.service_floor_ms = service_ms;
+  opts.rng_seed = config.seed;
+
+  linalg::DenseVector w(dim);
+  metrics::TraceRecorder recorder(config.eval_every);
+  support::Stopwatch watch;
+  recorder.snapshot(0, 0.0, w);
+
+  std::uint64_t tasks = 0;
+  for (std::uint64_t k = 0; k < config.updates; ++k) {
+    // Publish w at the round's version; workers ride the delta chain.
+    core::HistoryBroadcast w_br = ac.async_broadcast(w);
+
+    std::vector<core::TaggedResult> results =
+        ac.sync_round(sampled, GradCount{linalg::GradVector(grad_cfg)},
+                      detail::make_grad_seq(workload.loss, w_br, grad_cfg), opts);
+    tasks += results.size();
+
+    // Combine in partition order, not arrival order: together with the
+    // (seed, partition, seq) task RNG this makes the iterate sequence
+    // independent of placement — stealing and speculative replicas change
+    // the wall clock, never the bits (docs/SCHEDULING.md, "Determinism").
+    std::sort(results.begin(), results.end(),
+              [](const core::TaggedResult& a, const core::TaggedResult& b) {
+                return a.result.partition < b.result.partition;
+              });
+    GradCount total{linalg::GradVector(grad_cfg)};
+    for (core::TaggedResult& r : results) {
+      total = comb(std::move(total), r.result.payload.get<GradCount>());
+    }
+    if (total.count > 0) {
+      total.grad.scale_into(-config.step(k) / static_cast<double>(total.count),
+                            w.span());
+    }
+    ac.advance_version();
+    recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
+    detail::maybe_gc_history(ac, config, k + 1);
+  }
+  recorder.snapshot(config.updates, watch.elapsed_ms(), w);
+
+  RunResult result;
+  result.algorithm = "SGD-sched";
+  result.wall_ms = watch.elapsed_ms();
+  result.updates = config.updates;
+  result.tasks = tasks;
+  result.final_w = w;
+  detail::fill_run_stats(result, cluster.metrics());
+  result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
+    return full_objective(*workload.dataset, *workload.loss, model);
+  });
+  return result;
 }
 
 }  // namespace asyncml::optim

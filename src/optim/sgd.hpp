@@ -18,6 +18,24 @@ class SgdSolver {
                                      const SolverConfig& config);
 };
 
+/// Synchronous SGD dispatched through the ASYNCscheduler instead of the
+/// engine's fixed-placement BSP stage: each iteration is a dispatch_all +
+/// collect-all round, so the dynamic-placement machinery applies — work
+/// stealing rebalances partition ownership away from stragglers and
+/// speculative replication re-runs overdue tasks on fast workers
+/// (SolverConfig::steal_mode / speculation_factor; docs/SCHEDULING.md).
+///
+/// The math is unchanged from SgdSolver, and results are combined in
+/// partition order, so the trajectory is bit-identical across placements:
+/// steal on/off and speculation on/off produce the same iterates, only the
+/// wall clock moves. With both knobs off this is the classic fixed-placement
+/// barrier-wait SGD of Figure 4.
+class ScheduledSgdSolver {
+ public:
+  [[nodiscard]] static RunResult run(engine::Cluster& cluster, const Workload& workload,
+                                     const SolverConfig& config);
+};
+
 namespace detail {
 /// Shared body of SgdSolver and MllibSgdSolver (`tree` selects treeAggregate).
 [[nodiscard]] RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "core/barrier.hpp"
+#include "core/scheduler.hpp"
 #include "linalg/grad_vector.hpp"
 #include "optim/step_size.hpp"
 #include "optim/workload.hpp"
@@ -44,6 +45,20 @@ struct SolverConfig {
   /// Base service time per task in ms; 0 → derive from `cost`.
   double service_floor_ms = 0.0;
   CostModel cost;
+
+  /// Dynamic partition placement (docs/SCHEDULING.md): kLocality lets a
+  /// worker with free capacity and no idle owned partition claim an idle
+  /// partition from the most-backlogged peer, paying a one-time modeled
+  /// migration cost; ownership transfers so later rounds are local. Read by
+  /// every solver that schedules through the AsyncContext.
+  core::StealMode steal_mode = core::StealMode::kOff;
+
+  /// Speculative task replication: re-dispatch a task whose in-flight age
+  /// exceeds `speculation_factor` × the cluster-median EWMA service time to
+  /// a fast worker (first result wins, duplicates dropped — replicas of the
+  /// same (seed, partition, seq) are bit-identical). <= 0 disables; 2.0 is
+  /// a good starting point (docs/SCHEDULING.md).
+  double speculation_factor = 0.0;
 
   /// Snapshot the model every `eval_every` updates for the trace.
   std::uint64_t eval_every = 5;

@@ -49,6 +49,10 @@ inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.broadcast_hits.reset();
   m.tasks_completed.reset();
   m.tasks_failed.reset();
+  m.migration_bytes.reset();
+  m.partitions_stolen.reset();
+  m.tasks_speculated.reset();
+  m.duplicate_results.reset();
 }
 
 inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
@@ -61,6 +65,23 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
   r.result_bytes = m.result_bytes.load();
   r.broadcast_fetches = m.broadcast_fetches.load();
   r.broadcast_hits = m.broadcast_hits.load();
+  r.migration_bytes = m.migration_bytes.load();
+  r.partitions_stolen = m.partitions_stolen.load();
+  r.tasks_speculated = m.tasks_speculated.load();
+  r.duplicates_dropped = m.duplicate_results.load();
+}
+
+/// Scheduler policy for a (workload, config) pair: the SolverConfig knobs
+/// plus the workload's modeled per-partition bytes (the migration cost of a
+/// steal). Installed via ac.scheduler().set_policy by every solver that
+/// schedules through the AsyncContext.
+[[nodiscard]] inline core::SchedulerPolicy scheduler_policy(const Workload& workload,
+                                                            const SolverConfig& config) {
+  core::SchedulerPolicy policy;
+  policy.steal_mode = config.steal_mode;
+  policy.speculation_factor = config.speculation_factor;
+  policy.partition_bytes = workload.partition_bytes();
+  return policy;
 }
 
 /// STAT-keyed history GC on the configured cadence: every `gc_every` updates,

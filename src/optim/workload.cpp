@@ -1,6 +1,20 @@
 #include "optim/workload.hpp"
 
+#include <algorithm>
+
 namespace asyncml::optim {
+
+std::vector<std::size_t> Workload::partition_bytes() const {
+  const std::size_t rows = std::max<std::size_t>(1, dataset->rows());
+  const double bytes_per_row =
+      static_cast<double>(dataset->feature_bytes()) / static_cast<double>(rows);
+  std::vector<std::size_t> out;
+  out.reserve(partitions.size());
+  for (const data::RowRange& range : partitions) {
+    out.push_back(static_cast<std::size_t>(bytes_per_row * static_cast<double>(range.size())));
+  }
+  return out;
+}
 
 Workload Workload::create(data::DatasetPtr dataset, int num_partitions,
                           std::shared_ptr<const Loss> loss) {

@@ -28,6 +28,11 @@ struct Workload {
     return static_cast<int>(partitions.size());
   }
 
+  /// Modeled resident bytes of each partition (row share of the dataset's
+  /// feature bytes): the one-time cost of migrating a partition to a new
+  /// owner, fed to the scheduler as SchedulerPolicy::partition_bytes.
+  [[nodiscard]] std::vector<std::size_t> partition_bytes() const;
+
   /// Partitions `dataset` into `num_partitions` contiguous ranges and builds
   /// the points RDD over them.
   [[nodiscard]] static Workload create(data::DatasetPtr dataset, int num_partitions,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
 
 namespace asyncml::core {
 namespace {
@@ -220,6 +221,87 @@ TEST(Coordinator, MinInflightVersionCoversOldQueuedTasks) {
   cluster.submit(0, int_task(cluster, 0, /*version=*/0, 2));
   ASSERT_TRUE(coord.collect_for(1000ms).has_value());
   EXPECT_EQ(coord.stat().min_inflight_version(), 5u);
+  coord.stop();
+}
+
+TEST(Coordinator, FirstResultWinsDropsReplicaDuplicates) {
+  // Two bit-identical copies of one task identity (partition, seq) in
+  // flight: exactly one result is delivered, the other is dropped after its
+  // STAT bookkeeping, and nothing stays outstanding.
+  engine::Cluster cluster(quiet_config(2));
+  Coordinator coord(cluster);
+  coord.start();
+
+  engine::TaskSpec original = int_task(cluster, /*p=*/3, /*version=*/0, 42);
+  original.seq = 5;
+  engine::TaskSpec replica = int_task(cluster, /*p=*/3, /*version=*/0, 42);
+  replica.seq = 5;
+
+  coord.on_task_dispatch(0, original);
+  ASSERT_TRUE(coord.try_register_replica(1, replica));
+  cluster.submit(0, std::move(original));
+  cluster.submit(1, std::move(replica));
+
+  auto first = coord.collect_for(1000ms);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->result.payload.get<int>(), 42);
+  // The loser is dropped, never queued.
+  EXPECT_FALSE(coord.collect_for(200ms).has_value());
+  EXPECT_EQ(coord.duplicates_dropped(), 1u);
+  EXPECT_EQ(coord.total_outstanding(), 0);
+  coord.stop();
+}
+
+TEST(Coordinator, FailureWithLiveReplicaIsNotRetried) {
+  // Original fails while its bit-identical replica is still in flight: the
+  // replica covers the task, so the failure must not reach the retry queue
+  // (a retry would be a wasted third dispatch). The replica's OK result is
+  // delivered normally.
+  engine::Cluster cluster(quiet_config(2));
+  Coordinator coord(cluster);
+  coord.start();
+
+  engine::TaskSpec original = failing_task(cluster, /*p=*/2);
+  original.seq = 4;
+  engine::TaskSpec replica = int_task(cluster, /*p=*/2, /*version=*/0, 11);
+  replica.seq = 4;
+
+  coord.on_task_dispatch(0, original);
+  ASSERT_TRUE(coord.try_register_replica(1, replica));
+  cluster.submit(0, std::move(original));
+  cluster.submit(1, std::move(replica));
+
+  auto delivered = coord.collect_for(1000ms);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->result.payload.get<int>(), 11);
+  // The losing copy may still be in the drain pipeline; wait for its
+  // bookkeeping before asserting on it.
+  for (int i = 0; i < 1000 && coord.total_outstanding() > 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_FALSE(coord.try_collect_failure().has_value());
+  EXPECT_EQ(coord.duplicates_dropped(), 1u);
+  EXPECT_EQ(coord.total_outstanding(), 0);
+  coord.stop();
+}
+
+TEST(Coordinator, ReplicaRegistrationFailsOnceResultAccounted) {
+  // A replica may only be registered while the original is still
+  // unaccounted: once its result has been drained (even if not yet
+  // collected), registering a replica would deliver the identity twice.
+  engine::Cluster cluster(quiet_config(2));
+  Coordinator coord(cluster);
+  coord.start();
+
+  engine::TaskSpec spec = int_task(cluster, /*p=*/1, /*version=*/0, 7);
+  spec.seq = 9;
+  engine::TaskSpec replica = spec;
+  coord.on_task_dispatch(0, spec);
+  cluster.submit(0, std::move(spec));
+  ASSERT_TRUE(coord.collect_for(1000ms).has_value());
+
+  EXPECT_FALSE(coord.try_register_replica(1, replica));
+  EXPECT_EQ(coord.total_outstanding(), 0);
   coord.stop();
 }
 

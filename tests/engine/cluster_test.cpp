@@ -28,6 +28,21 @@ TaskSpec make_task(Cluster& cluster, PartitionId p, TaskFn fn,
   return spec;
 }
 
+TEST(Cluster, ConfigValidationRejectsNonPositiveSizes) {
+  // Explicit std::invalid_argument (not an assert): a zero-worker cluster
+  // from un-sanitized input must fail loudly in Release builds too.
+  EXPECT_THROW(Cluster(quiet_config(0)), std::invalid_argument);
+  EXPECT_THROW(Cluster(quiet_config(-3)), std::invalid_argument);
+  EXPECT_THROW(Cluster(quiet_config(2, 0)), std::invalid_argument);
+  try {
+    Cluster cluster(quiet_config(2, -1));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cores_per_worker"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Cluster, ExecutesTaskAndReturnsResult) {
   Cluster cluster(quiet_config(2));
   auto spec = make_task(cluster, 0, [](TaskContext& ctx) -> support::StatusOr<Payload> {

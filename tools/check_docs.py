@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Docs health check, run by the CI `docs` job (and freely by hand).
+
+Two gates:
+
+1. Link check: every relative markdown link `[text](path)` in the repo's
+   *.md files must point at an existing file or directory (external http/
+   mailto links and pure #anchors are skipped; a trailing #anchor on a file
+   link is stripped before the existence check).
+
+2. Module README coverage: every `src/<module>/` directory must contain a
+   README.md, and docs/ARCHITECTURE.md's module index must reference it
+   (substring `src/<module>/README.md`), so the per-module indexes stay
+   discoverable from the architecture entry point.
+
+Exit code 0 = healthy; 1 = problems (each printed on its own line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {".git", ".claude", "build", "bench_results", "third_party"}
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list[Path]:
+    files = []
+    for path in sorted(REPO.rglob("*.md")):
+        parts = set(path.relative_to(REPO).parts)
+        if parts & SKIP_DIRS:
+            continue
+        files.append(path)
+    return files
+
+
+def check_links(md: Path) -> list[str]:
+    problems = []
+    for target in LINK.findall(md.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (md.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{md.relative_to(REPO)}: broken link -> {target}"
+            )
+    return problems
+
+
+def check_module_readmes() -> list[str]:
+    problems = []
+    architecture = REPO / "docs" / "ARCHITECTURE.md"
+    arch_text = architecture.read_text(encoding="utf-8") if architecture.exists() else ""
+    if not arch_text:
+        problems.append("docs/ARCHITECTURE.md is missing")
+    for module_dir in sorted((REPO / "src").iterdir()):
+        if not module_dir.is_dir():
+            continue
+        module = module_dir.name
+        if not (module_dir / "README.md").exists():
+            problems.append(f"src/{module}/ has no README.md")
+        elif f"src/{module}/README.md" not in arch_text:
+            problems.append(
+                f"docs/ARCHITECTURE.md does not reference src/{module}/README.md"
+            )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    files = markdown_files()
+    for md in files:
+        problems.extend(check_links(md))
+    problems.extend(check_module_readmes())
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_docs: {len(files)} markdown files scanned, "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
