@@ -1,10 +1,14 @@
 #include "harness.hpp"
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <iterator>
+#include <map>
 #include <sstream>
 
 namespace asyncml::bench {
@@ -146,6 +150,42 @@ void write_csv(const std::string& file, const std::string& header,
   out << header << '\n';
   for (const std::string& row : rows) out << row << '\n';
   std::cout << "  [csv] bench_results/" << file << " (" << rows.size() << " rows)\n";
+}
+
+void update_bench_json(const std::vector<std::pair<std::string, double>>& values) {
+  const std::string path = results_path("BENCH_micro.json");
+  // Parse the existing flat {"key": number, ...} object (written by us, so a
+  // minimal scanner suffices; a malformed file is simply rewritten).
+  std::map<std::string, double> merged;
+  if (std::ifstream in(path); in) {
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+      const std::size_t close = text.find('"', pos + 1);
+      if (close == std::string::npos) break;
+      const std::string key = text.substr(pos + 1, close - pos - 1);
+      const std::size_t colon = text.find(':', close);
+      if (colon == std::string::npos) break;
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str() + colon + 1, &end);
+      if (end != text.c_str() + colon + 1) merged[key] = value;
+      pos = close + 1;
+    }
+  }
+  for (const auto& [key, value] : values) merged[key] = value;
+
+  std::ofstream out(path);
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : merged) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  \"" << key << "\": " << std::setprecision(12) << value;
+  }
+  out << "\n}\n";
+  std::cout << "  [json] bench_results/BENCH_micro.json (" << merged.size()
+            << " metrics)\n";
 }
 
 std::vector<std::string> trace_rows(const std::string& series,

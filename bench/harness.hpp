@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "asyncml.hpp"
@@ -59,6 +60,13 @@ struct RunPlan {
 [[nodiscard]] std::string results_path(const std::string& file);
 void write_csv(const std::string& file, const std::string& header,
                const std::vector<std::string>& rows);
+
+/// Read-modify-writes ./bench_results/BENCH_micro.json — the machine-readable
+/// metric sink of the micro benches, compared against the checked-in baseline
+/// by tools/bench_diff.py (CI's non-blocking perf job).  The file is one flat
+/// JSON object of numbers; `values` keys ("<bench>.<case>.<metric>")
+/// overwrite, everything else is preserved, keys are written sorted.
+void update_bench_json(const std::vector<std::pair<std::string, double>>& values);
 
 /// Emits a trace as CSV rows "series,time_ms,update,error".
 [[nodiscard]] std::vector<std::string> trace_rows(const std::string& series,

@@ -69,6 +69,7 @@ int main() {
                         "speedup", "payload B (dense)", "payload B (adaptive)",
                         "bytes ratio"});
   std::vector<std::string> rows;
+  std::vector<std::pair<std::string, double>> json;
 
   for (double density : kDensities) {
     const auto problem = data::synthetic::make_sparse(
@@ -114,10 +115,24 @@ int main() {
     os << density << ',' << dense.ns_per_batch << ',' << adaptive.ns_per_batch << ','
        << dense.payload_bytes << ',' << adaptive.payload_bytes;
     rows.push_back(os.str());
+
+    std::ostringstream key;
+    key << "micro_grad_accumulate.d" << static_cast<int>(density * 1000);
+    json.emplace_back(key.str() + ".dense_ns", dense.ns_per_batch);
+    json.emplace_back(key.str() + ".adaptive_ns", adaptive.ns_per_batch);
+    // The satellite acceptance knob: adaptive compute must stay <= 1.2x
+    // dense at every sweep density (tools/bench_diff.py flags drifts).
+    json.emplace_back(key.str() + ".adaptive_over_dense",
+                      adaptive.ns_per_batch / std::max(1.0, dense.ns_per_batch));
+    json.emplace_back(key.str() + ".bytes_ratio",
+                      static_cast<double>(dense.payload_bytes) /
+                          static_cast<double>(
+                              std::max<std::size_t>(1, adaptive.payload_bytes)));
   }
 
   bench::write_csv("micro_grad_accumulate.csv",
                    "density,dense_ns,adaptive_ns,dense_bytes,adaptive_bytes", rows);
+  bench::update_bench_json(json);
   std::cout << "\n";
   table.print(std::cout);
   std::cout << "\nshape check: adaptive batch time and payload bytes collapse at low "

@@ -82,6 +82,7 @@ int main() {
                         "resolve ns (delta)", "step B (snapshot)",
                         "step B (delta)", "bytes ratio"});
   std::vector<std::string> rows;
+  std::vector<std::pair<std::string, double>> json;
 
   for (double density : kDensities) {
     engine::BroadcastStore snap_broadcasts;
@@ -122,10 +123,20 @@ int main() {
     os << density << ',' << snap.ns_per_resolve << ',' << delta.ns_per_resolve
        << ',' << snap.step_wire_bytes << ',' << delta.step_wire_bytes;
     rows.push_back(os.str());
+
+    std::ostringstream key;
+    key << "micro_model_store.d" << static_cast<int>(density * 10000);
+    json.emplace_back(key.str() + ".snapshot_ns", snap.ns_per_resolve);
+    json.emplace_back(key.str() + ".delta_ns", delta.ns_per_resolve);
+    json.emplace_back(key.str() + ".bytes_ratio",
+                      static_cast<double>(snap.step_wire_bytes) /
+                          static_cast<double>(
+                              std::max<std::uint64_t>(1, delta.step_wire_bytes)));
   }
 
   bench::write_csv("micro_model_store.csv",
                    "density,snapshot_ns,delta_ns,snapshot_bytes,delta_bytes", rows);
+  bench::update_bench_json(json);
   std::cout << "\n";
   table.print(std::cout);
   std::cout << "\nshape check: per-version delta bytes collapse at low update "

@@ -118,13 +118,11 @@ class AsyncContext {
 
   // -- task factories and dispatch --------------------------------------------
 
-  /// Builds a factory producing aggregate tasks over `rdd` (one per
-  /// partition): acc = zero; acc = seq_op(acc, element) per sampled element.
-  template <typename T, typename U, typename SeqOp>
-  [[nodiscard]] AsyncScheduler::TaskFactory make_aggregate_factory(
-      const engine::Rdd<T>& rdd, U zero, SeqOp seq_op, SubmitOptions options) {
-    auto fn = engine::make_aggregate_fn<T, U, SeqOp>(rdd, std::move(zero),
-                                                     std::move(seq_op));
+  /// Builds a factory producing tasks from a prepared per-partition task
+  /// function — the entry point of the fused batch gradient bodies
+  /// (optim/grad_batch.hpp); the RDD aggregate factory lowers to it.
+  [[nodiscard]] AsyncScheduler::TaskFactory make_fn_factory(
+      std::shared_ptr<const engine::TaskFn> fn, SubmitOptions options) {
     return [this, fn = std::move(fn), options](engine::PartitionId p) {
       engine::TaskSpec spec;
       spec.partition = p;
@@ -134,6 +132,16 @@ class AsyncContext {
       spec.rng_seed = options.rng_seed;
       return spec;
     };
+  }
+
+  /// Builds a factory producing aggregate tasks over `rdd` (one per
+  /// partition): acc = zero; acc = seq_op(acc, element) per sampled element.
+  template <typename T, typename U, typename SeqOp>
+  [[nodiscard]] AsyncScheduler::TaskFactory make_aggregate_factory(
+      const engine::Rdd<T>& rdd, U zero, SeqOp seq_op, SubmitOptions options) {
+    return make_fn_factory(engine::make_aggregate_fn<T, U, SeqOp>(
+                               rdd, std::move(zero), std::move(seq_op)),
+                           std::move(options));
   }
 
   /// ASYNCaggregate: dispatch aggregate tasks to workers passing `barrier`.
@@ -161,8 +169,15 @@ class AsyncContext {
   [[nodiscard]] std::vector<TaggedResult> sync_round(const engine::Rdd<T>& rdd, U zero,
                                                      SeqOp seq_op,
                                                      const SubmitOptions& options) {
-    const auto factory =
-        make_aggregate_factory(rdd, std::move(zero), std::move(seq_op), options);
+    return sync_round_fn(engine::make_aggregate_fn<T, U, SeqOp>(
+                             rdd, std::move(zero), std::move(seq_op)),
+                         options);
+  }
+
+  /// sync_round over a prepared task function (fused batch bodies).
+  [[nodiscard]] std::vector<TaggedResult> sync_round_fn(
+      std::shared_ptr<const engine::TaskFn> fn, const SubmitOptions& options) {
+    const auto factory = make_fn_factory(std::move(fn), options);
     const int total = scheduler_.dispatch_all(factory);
     std::vector<TaggedResult> out;
     out.reserve(static_cast<std::size_t>(total));

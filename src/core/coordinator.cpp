@@ -31,56 +31,60 @@ void Coordinator::stop() {
 void Coordinator::drain_loop() {
   support::set_current_thread_name("coordinator");
   while (running_.load(std::memory_order_acquire)) {
-    auto popped = cluster_.results().pop_for(std::chrono::milliseconds(2));
-    if (!popped.has_value()) continue;  // timeout or cluster shutdown; re-check flag
-    engine::TaskResult result = std::move(*popped);
+    // Swap out everything delivered since the last wakeup under one lock
+    // (BlockingQueue::drain_for) instead of one mutex round-trip per
+    // TaskResult; an empty batch means timeout or shutdown — re-check flag.
+    auto batch = cluster_.results().drain_for(std::chrono::milliseconds(2));
+    for (auto& result : batch) process_result(std::move(result));
+  }
+}
 
-    TaggedResult tagged;
-    bool duplicate = false;
-    {
-      std::lock_guard lock(stat_mutex_);
-      apply_result_locked(result);
+void Coordinator::process_result(engine::TaskResult result) {
+  TaggedResult tagged;
+  bool duplicate = false;
+  {
+    std::lock_guard lock(stat_mutex_);
+    apply_result_locked(result);
 
-      // First-result-wins: a task registered per identity may have replicas
-      // in flight (speculation, retries). Only the first OK result is
-      // delivered; later arrivals — and failures of already-delivered tasks,
-      // which need no retry — are dropped after their STAT bookkeeping.
-      // A failure whose identity still has a live copy is dropped too: the
-      // bit-identical replica covers the task, so a retry would be a wasted
-      // third dispatch (and would burn the shared retry budget). If the
-      // surviving copy also fails, its failure arrives with no copies left
-      // and re-arms the retry path.
-      const TaskKey key{result.partition, result.seq};
-      if (const auto it = inflight_tasks_.find(key); it != inflight_tasks_.end()) {
-        InflightTask& entry = it->second;
-        entry.copies -= 1;
-        if (entry.delivered) {
-          duplicate = true;
-        } else if (result.ok()) {
-          entry.delivered = true;
-        } else if (entry.copies > 0) {
-          duplicate = true;  // a live replica still covers this identity
-        }
-        if (entry.copies <= 0) inflight_tasks_.erase(it);
+    // First-result-wins: a task registered per identity may have replicas
+    // in flight (speculation, retries). Only the first OK result is
+    // delivered; later arrivals — and failures of already-delivered tasks,
+    // which need no retry — are dropped after their STAT bookkeeping.
+    // A failure whose identity still has a live copy is dropped too: the
+    // bit-identical replica covers the task, so a retry would be a wasted
+    // third dispatch (and would burn the shared retry budget). If the
+    // surviving copy also fails, its failure arrives with no copies left
+    // and re-arms the retry path.
+    const TaskKey key{result.partition, result.seq};
+    if (const auto it = inflight_tasks_.find(key); it != inflight_tasks_.end()) {
+      InflightTask& entry = it->second;
+      entry.copies -= 1;
+      if (entry.delivered) {
+        duplicate = true;
+      } else if (result.ok()) {
+        entry.delivered = true;
+      } else if (entry.copies > 0) {
+        duplicate = true;  // a live replica still covers this identity
       }
+      if (entry.copies <= 0) inflight_tasks_.erase(it);
+    }
 
-      const engine::Version now = current_version();
-      WorkerStat row = stats_[static_cast<std::size_t>(result.worker)];
-      row.result_staleness = now - row.last_result_version;
-      row.task_staleness =
-          row.ever_dispatched ? now - row.last_dispatch_version : 0;
-      tagged.staleness = now >= result.model_version ? now - result.model_version : 0;
-      tagged.worker = row;
-    }
-    if (duplicate) {
-      duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
-      cluster_.metrics().duplicate_results.add(1);
-    } else if (result.ok()) {
-      tagged.result = std::move(result);
-      results_.push(std::move(tagged));
-    } else {
-      failures_.push(std::move(result));
-    }
+    const engine::Version now = current_version();
+    WorkerStat row = stats_[static_cast<std::size_t>(result.worker)];
+    row.result_staleness = now - row.last_result_version;
+    row.task_staleness =
+        row.ever_dispatched ? now - row.last_dispatch_version : 0;
+    tagged.staleness = now >= result.model_version ? now - result.model_version : 0;
+    tagged.worker = row;
+  }
+  if (duplicate) {
+    duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+    cluster_.metrics().duplicate_results.add(1);
+  } else if (result.ok()) {
+    tagged.result = std::move(result);
+    results_.push(std::move(tagged));
+  } else {
+    failures_.push(std::move(result));
   }
 }
 

@@ -139,6 +139,8 @@ class Coordinator {
   };
 
   void drain_loop();
+  /// Tags, dedups, and routes one delivered TaskResult (drain_loop body).
+  void process_result(engine::TaskResult result);
   void apply_result_locked(const engine::TaskResult& r);
   void register_dispatch_locked(engine::WorkerId worker, int tasks,
                                 engine::Version version);

@@ -103,6 +103,12 @@ class HistoryBroadcast {
   engine::Version pinned_ = 0;
 };
 
+/// Sentinel for "sample never visited": its historical gradient is the zero
+/// vector (SAGA with an uninitialized table; ᾱ starts at 0 consistently).
+/// Lives beside SampleVersionTable because every consumer of the table —
+/// the per-row seq ops and the fused batch bodies alike — branches on it.
+inline constexpr engine::Version kNeverVisited = ~engine::Version{0};
+
 /// Worker-local "last version used per sample" table — the bookkeeping that
 /// lets ASAGA recompute historical gradients instead of storing them.
 ///

@@ -79,31 +79,48 @@ template <typename U, typename CombOp>
 [[nodiscard]] std::vector<TaskResult> run_tasks_sync(
     Cluster& cluster, std::vector<std::pair<WorkerId, TaskSpec>> tasks, int max_retries);
 
-/// Spark `aggregate`: one task per partition, combined on the driver.
-/// Partition p runs on worker p % num_workers (fixed placement).
-template <typename T, typename U, typename SeqOp, typename CombOp>
-[[nodiscard]] U aggregate_sync(Cluster& cluster, const Rdd<T>& rdd, U zero, SeqOp seq_op,
-                               CombOp comb_op, const StageOptions& options) {
-  const int parts = rdd.num_partitions();
+/// One stage task for partition `p` built from a prepared task function.
+[[nodiscard]] inline TaskSpec make_stage_spec(Cluster& cluster, PartitionId p,
+                                              std::shared_ptr<const TaskFn> fn,
+                                              const StageOptions& options) {
+  TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  spec.partition = p;
+  spec.seq = options.seq;
+  spec.model_version = options.model_version;
+  spec.fn = std::move(fn);
+  spec.service_floor_ms = options.service_floor_ms;
+  spec.rng_seed = options.rng_seed;
+  return spec;
+}
+
+/// `aggregate` over a prebuilt per-partition task function (the fused batch
+/// gradient bodies enter here): one task per partition, combined on the
+/// driver. Partition p runs on worker p % num_workers (fixed placement).
+template <typename U, typename CombOp>
+[[nodiscard]] U aggregate_sync_fn(Cluster& cluster, std::shared_ptr<const TaskFn> fn,
+                                  int parts, U zero, CombOp comb_op,
+                                  const StageOptions& options) {
   std::vector<std::pair<WorkerId, TaskSpec>> tasks;
   tasks.reserve(static_cast<std::size_t>(parts));
-  auto fn = make_aggregate_fn<T, U, SeqOp>(rdd, zero, seq_op);
   for (PartitionId p = 0; p < parts; ++p) {
-    TaskSpec spec;
-    spec.id = cluster.next_task_id();
-    spec.partition = p;
-    spec.seq = options.seq;
-    spec.model_version = options.model_version;
-    spec.fn = fn;
-    spec.service_floor_ms = options.service_floor_ms;
-    spec.rng_seed = options.rng_seed;
-    tasks.emplace_back(p % cluster.num_workers(), std::move(spec));
+    tasks.emplace_back(p % cluster.num_workers(),
+                       make_stage_spec(cluster, p, fn, options));
   }
   std::vector<TaskResult> results =
       run_tasks_sync(cluster, std::move(tasks), options.max_retries);
   U acc = std::move(zero);
   for (TaskResult& r : results) acc = comb_op(std::move(acc), r.payload.get<U>());
   return acc;
+}
+
+/// Spark `aggregate`: one task per partition, combined on the driver.
+template <typename T, typename U, typename SeqOp, typename CombOp>
+[[nodiscard]] U aggregate_sync(Cluster& cluster, const Rdd<T>& rdd, U zero, SeqOp seq_op,
+                               CombOp comb_op, const StageOptions& options) {
+  auto fn = make_aggregate_fn<T, U, SeqOp>(rdd, zero, std::move(seq_op));
+  return aggregate_sync_fn(cluster, std::move(fn), rdd.num_partitions(),
+                           std::move(zero), std::move(comb_op), options);
 }
 
 /// Spark `reduce` specialization: zero-less fold where U == T accumulations
@@ -136,27 +153,20 @@ template <typename T, typename Op>
   return std::move(out.value);
 }
 
-/// MLlib-style treeAggregate: per-partition aggregation, then log-depth
-/// combine stages executed as worker tasks (fan-in `fanout`), final combine
-/// on the driver. This is the reduction MLlib's mini-batch SGD uses and is
-/// the baseline of the paper's Figure 2.
-template <typename T, typename U, typename SeqOp, typename CombOp>
-[[nodiscard]] U tree_aggregate_sync(Cluster& cluster, const Rdd<T>& rdd, U zero,
-                                    SeqOp seq_op, CombOp comb_op,
-                                    const StageOptions& options, int fanout = 4) {
-  const int parts = rdd.num_partitions();
+/// MLlib-style treeAggregate over a prebuilt per-partition task function:
+/// per-partition aggregation, then log-depth combine stages executed as
+/// worker tasks (fan-in `fanout`), final combine on the driver. This is the
+/// reduction MLlib's mini-batch SGD uses and is the baseline of the paper's
+/// Figure 2.
+template <typename U, typename CombOp>
+[[nodiscard]] U tree_aggregate_sync_fn(Cluster& cluster,
+                                       std::shared_ptr<const TaskFn> fn, int parts,
+                                       U zero, CombOp comb_op,
+                                       const StageOptions& options, int fanout = 4) {
   std::vector<std::pair<WorkerId, TaskSpec>> tasks;
-  auto fn = make_aggregate_fn<T, U, SeqOp>(rdd, zero, seq_op);
   for (PartitionId p = 0; p < parts; ++p) {
-    TaskSpec spec;
-    spec.id = cluster.next_task_id();
-    spec.partition = p;
-    spec.seq = options.seq;
-    spec.model_version = options.model_version;
-    spec.fn = fn;
-    spec.service_floor_ms = options.service_floor_ms;
-    spec.rng_seed = options.rng_seed;
-    tasks.emplace_back(p % cluster.num_workers(), std::move(spec));
+    tasks.emplace_back(p % cluster.num_workers(),
+                       make_stage_spec(cluster, p, fn, options));
   }
   std::vector<TaskResult> results =
       run_tasks_sync(cluster, std::move(tasks), options.max_retries);
@@ -194,6 +204,16 @@ template <typename T, typename U, typename SeqOp, typename CombOp>
   U acc = std::move(zero);
   for (U& u : level) acc = comb_op(std::move(acc), u);
   return acc;
+}
+
+/// treeAggregate over an RDD + seq op (lowered to the fn-based variant).
+template <typename T, typename U, typename SeqOp, typename CombOp>
+[[nodiscard]] U tree_aggregate_sync(Cluster& cluster, const Rdd<T>& rdd, U zero,
+                                    SeqOp seq_op, CombOp comb_op,
+                                    const StageOptions& options, int fanout = 4) {
+  auto fn = make_aggregate_fn<T, U, SeqOp>(rdd, zero, std::move(seq_op));
+  return tree_aggregate_sync_fn(cluster, std::move(fn), rdd.num_partitions(),
+                                std::move(zero), std::move(comb_op), options, fanout);
 }
 
 }  // namespace asyncml::engine

@@ -70,6 +70,11 @@ class ClusterMetrics {
         .add(bytes);
   }
 
+  // Real CPU time spent inside task functions (nanoseconds), before
+  // service-floor padding: the engine's actual compute cost, which the
+  // padding otherwise hides. The fused-kernel work shows up here.
+  support::RelaxedCounter task_compute_ns;
+
   // Wire-traffic counters (modeled bytes).
   support::RelaxedCounter broadcast_bytes;   ///< broadcast values fetched by workers
   support::RelaxedCounter broadcast_base_bytes;   ///< full-snapshot share of broadcast_bytes

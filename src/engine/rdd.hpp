@@ -13,7 +13,10 @@
 // the same round reproduces the same mini-batch, which is what makes Spark's
 // recompute-on-failure semantics (and ours) sound.
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <type_traits>
 #include <utility>
@@ -24,6 +27,37 @@
 #include "engine/types.hpp"
 
 namespace asyncml::engine {
+
+// Mini-batch sampling kernels shared by the streaming Rdd::sample and the
+// fused batch gradient path (sample_partition_rows). Whatever scheme one
+// side uses, the other replays draw-for-draw — the two mini-batches are the
+// SAME RNG realization, which is what keeps the fused and per-row gradient
+// pipelines bit-identical.
+namespace sampling {
+
+/// Below this fraction, selection uses gap sampling (Spark's
+/// GapSamplingIterator): draw the geometric run of rejections to the next
+/// accepted element — one RNG draw per *selected* element instead of one
+/// Bernoulli draw per element. The realized subsets differ from per-element
+/// draws, but the process is the identical i.i.d. Bernoulli(p); above the
+/// threshold per-element draws are cheaper (and exactly the historical
+/// behaviour).
+inline constexpr double kGapThreshold = 0.4;
+
+[[nodiscard]] inline bool use_gap(double fraction) noexcept {
+  return fraction < kGapThreshold;
+}
+
+/// Number of rejections before the next acceptance of a Bernoulli(p)
+/// process, p in (0, kGapThreshold): floor(log(U)/log(1-p)) for U in (0,1].
+[[nodiscard]] inline std::uint64_t next_gap(support::RngStream& rng, double p) {
+  const double u = 1.0 - rng.next_double();  // (0, 1]
+  const double gap = std::floor(std::log(u) / std::log1p(-p));
+  if (!(gap < 9.0e18)) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(gap);
+}
+
+}  // namespace sampling
 
 template <typename T>
 class Rdd {
@@ -86,6 +120,15 @@ class Rdd {
   /// Bernoulli sampling with probability `fraction` per element — Spark's
   /// `sample(withReplacement = false, fraction)`, the mini-batch operator of
   /// Algorithms 1–4. Draws from the task RNG (deterministic per round).
+  /// Small fractions use gap sampling (sampling::next_gap) — same i.i.d.
+  /// Bernoulli(p) process, O(selected) draws instead of O(elements).
+  ///
+  /// RNG contract: the draw sequence (per-element Bernoulli above the gap
+  /// threshold, one geometric gap per selection below it, no draws at
+  /// fraction 0 or >= 1) is replayed exactly by `sample_partition_rows` for
+  /// the fused batch kernels — changing either side breaks the
+  /// bit-compatibility between the streaming and batch gradient paths
+  /// (tests/properties/batch_equivalence_test.cpp pins it).
   [[nodiscard]] Rdd<T> sample(double fraction) const {
     struct SampleImpl final : Impl {
       std::shared_ptr<const Impl> parent;
@@ -93,6 +136,23 @@ class Rdd {
       SampleImpl(std::shared_ptr<const Impl> p, double f)
           : parent(std::move(p)), fraction(f) {}
       void foreach(PartitionId p, TaskContext& ctx, const Sink& sink) const override {
+        if (fraction >= 1.0) {
+          parent->foreach(p, ctx, sink);
+          return;
+        }
+        if (fraction <= 0.0) return;
+        if (sampling::use_gap(fraction)) {
+          std::uint64_t skip = sampling::next_gap(ctx.rng, fraction);
+          parent->foreach(p, ctx, [&](const T& t) {
+            if (skip == 0) {
+              sink(t);
+              skip = sampling::next_gap(ctx.rng, fraction);
+            } else {
+              --skip;
+            }
+          });
+          return;
+        }
         parent->foreach(p, ctx, [&](const T& t) {
           if (ctx.rng.bernoulli(fraction)) sink(t);
         });
@@ -127,6 +187,45 @@ class Rdd {
   };
   return Rdd<data::LabeledPoint>(
       std::make_shared<const SourceImpl>(std::move(dataset), std::move(partitions)));
+}
+
+/// Draws the Bernoulli mini-batch of one partition, appending the selected
+/// *local* row offsets to `out` — exactly the draw sequence (and therefore
+/// exactly the selections) of make_points_rdd(...).sample(fraction)
+/// streaming that partition.  The fused batch gradient path samples through
+/// this so its mini-batches are bit-identical to the per-row streaming
+/// path's; in gap-sampling mode it additionally skips unselected rows in
+/// O(1) instead of streaming them.
+template <typename RowIdVector>
+inline void sample_partition_rows(std::size_t range_size, double fraction,
+                                  support::RngStream& rng, RowIdVector& out) {
+  if (fraction >= 1.0) {
+    for (std::size_t local = 0; local < range_size; ++local) {
+      out.push_back(static_cast<std::uint32_t>(local));
+    }
+    return;
+  }
+  if (fraction <= 0.0) return;
+  if (sampling::use_gap(fraction)) {
+    std::uint64_t skip = sampling::next_gap(rng, fraction);
+    std::size_t local = 0;
+    while (local < range_size) {
+      if (skip == 0) {
+        out.push_back(static_cast<std::uint32_t>(local));
+        ++local;
+        skip = sampling::next_gap(rng, fraction);
+      } else {
+        const std::uint64_t step =
+            std::min<std::uint64_t>(skip, range_size - local);
+        local += static_cast<std::size_t>(step);
+        skip -= step;
+      }
+    }
+    return;
+  }
+  for (std::size_t local = 0; local < range_size; ++local) {
+    if (rng.bernoulli(fraction)) out.push_back(static_cast<std::uint32_t>(local));
+  }
 }
 
 /// Source RDD over an in-memory vector split into `parts` contiguous ranges

@@ -116,6 +116,10 @@ void Worker::executor_loop() {
     if (deps_.metrics != nullptr) {
       if (result.ok()) {
         deps_.metrics->tasks_completed.add(1);
+        // Completed tasks only: the mean divides by tasks_completed, so
+        // compute burnt by failed attempts must not inflate it.
+        deps_.metrics->task_compute_ns.add(
+            static_cast<std::uint64_t>(result.compute_ms * 1e6));
       } else {
         deps_.metrics->tasks_failed.add(1);
       }

@@ -1,0 +1,303 @@
+#include "linalg/batch.hpp"
+
+#include <cassert>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ASYNCML_X86 1
+#else
+#define ASYNCML_X86 0
+#endif
+
+namespace asyncml::linalg {
+
+namespace {
+
+// ---- scalar reference kernels ----------------------------------------------
+//
+// These ARE the semantics: every other variant (multi-row blocking, AVX2)
+// must produce bit-identical output. Per-row dot keeps linalg::dot's four
+// strided partial sums; per-row accumulate applies coefficients in row order.
+
+inline double dot_scalar(const double* x, const double* y, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += x[i] * y[i];
+    s1 += x[i + 1] * y[i + 1];
+    s2 += x[i + 2] * y[i + 2];
+    s3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < n; ++i) s0 += x[i] * y[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+inline double dot_sparse(const SparseRowView& row, const double* x) {
+  double s = 0.0;
+  for (std::size_t k = 0; k < row.indices.size(); ++k) {
+    s += row.values[k] * x[row.indices[k]];
+  }
+  return s;
+}
+
+void gemv_rows_scalar(const DenseRowBlock& a, std::span<const std::uint32_t> rows,
+                      const double* x, double* margins) {
+  const std::size_t n = a.cols();
+  std::size_t i = 0;
+  // Two rows per pass: x is streamed once per pair, and the 8 live partial
+  // sums still fit the scalar register file without spills.
+  for (; i + 2 <= rows.size(); i += 2) {
+    const double* r0 = a.row_data(rows[i]);
+    const double* r1 = a.row_data(rows[i + 1]);
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    double b0 = 0.0, b1 = 0.0, b2 = 0.0, b3 = 0.0;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double x0 = x[j], x1 = x[j + 1], x2 = x[j + 2], x3 = x[j + 3];
+      a0 += r0[j] * x0;
+      a1 += r0[j + 1] * x1;
+      a2 += r0[j + 2] * x2;
+      a3 += r0[j + 3] * x3;
+      b0 += r1[j] * x0;
+      b1 += r1[j + 1] * x1;
+      b2 += r1[j + 2] * x2;
+      b3 += r1[j + 3] * x3;
+    }
+    for (; j < n; ++j) {
+      a0 += r0[j] * x[j];
+      b0 += r1[j] * x[j];
+    }
+    margins[i] = (a0 + a1) + (a2 + a3);
+    margins[i + 1] = (b0 + b1) + (b2 + b3);
+  }
+  for (; i < rows.size(); ++i) {
+    margins[i] = dot_scalar(a.row_data(rows[i]), x, n);
+  }
+}
+
+void accumulate_rows_scalar(const DenseRowBlock& a,
+                            std::span<const std::uint32_t> rows,
+                            const double* coeffs, double* acc) {
+  const std::size_t n = a.cols();
+  std::size_t i = 0;
+  // Four rows per pass over acc: per coordinate the chain
+  // (((acc+c0·r0)+c1·r1)+c2·r2)+c3·r3 performs the identical rounded ops, in
+  // the identical order, as four separate per-row axpy sweeps.
+  for (; i + 4 <= rows.size(); i += 4) {
+    const double* r0 = a.row_data(rows[i]);
+    const double* r1 = a.row_data(rows[i + 1]);
+    const double* r2 = a.row_data(rows[i + 2]);
+    const double* r3 = a.row_data(rows[i + 3]);
+    const double c0 = coeffs[i], c1 = coeffs[i + 1];
+    const double c2 = coeffs[i + 2], c3 = coeffs[i + 3];
+    for (std::size_t j = 0; j < n; ++j) {
+      double v = acc[j];
+      v += c0 * r0[j];
+      v += c1 * r1[j];
+      v += c2 * r2[j];
+      v += c3 * r3[j];
+      acc[j] = v;
+    }
+  }
+  for (; i < rows.size(); ++i) {
+    const double* r = a.row_data(rows[i]);
+    const double c = coeffs[i];
+    for (std::size_t j = 0; j < n; ++j) acc[j] += c * r[j];
+  }
+}
+
+// ---- AVX2 micro-kernels -----------------------------------------------------
+//
+// Lane k of each 4-lane accumulator is exactly the scalar partial sum s_k;
+// vmulpd/vaddpd round per lane exactly like the scalar mul/add (no FMA), so
+// results are bit-identical to the scalar kernels above.
+
+#if ASYNCML_X86
+
+[[gnu::target("avx2")]] void gemv_rows_avx2(const DenseRowBlock& a,
+                                            std::span<const std::uint32_t> rows,
+                                            const double* x, double* margins) {
+  const std::size_t n = a.cols();
+  std::size_t i = 0;
+  for (; i + 4 <= rows.size(); i += 4) {
+    const double* r0 = a.row_data(rows[i]);
+    const double* r1 = a.row_data(rows[i + 1]);
+    const double* r2 = a.row_data(rows[i + 2]);
+    const double* r3 = a.row_data(rows[i + 3]);
+    // Warm the next block's row starts while this block computes: sampled
+    // rows are strided streams, and the stream-startup miss is what the
+    // hardware prefetcher cannot hide.
+    if (i + 8 <= rows.size()) {
+      for (std::size_t q = 4; q < 8; ++q) {
+        const char* next = reinterpret_cast<const char*>(a.row_data(rows[i + q]));
+        _mm_prefetch(next, _MM_HINT_T0);
+        _mm_prefetch(next + 64, _MM_HINT_T0);
+      }
+    }
+    __m256d s0 = _mm256_setzero_pd();
+    __m256d s1 = _mm256_setzero_pd();
+    __m256d s2 = _mm256_setzero_pd();
+    __m256d s3 = _mm256_setzero_pd();
+    std::size_t j = 0;
+    // 8 columns per iteration: two sequential vector adds into the same
+    // per-row accumulator are the same rounded operations, in the same
+    // order, as two 4-column iterations — only loop overhead changes.
+    for (; j + 8 <= n; j += 8) {
+      const __m256d xa = _mm256_loadu_pd(x + j);
+      const __m256d xb = _mm256_loadu_pd(x + j + 4);
+      s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_loadu_pd(r0 + j), xa));
+      s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_loadu_pd(r1 + j), xa));
+      s2 = _mm256_add_pd(s2, _mm256_mul_pd(_mm256_loadu_pd(r2 + j), xa));
+      s3 = _mm256_add_pd(s3, _mm256_mul_pd(_mm256_loadu_pd(r3 + j), xa));
+      s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_loadu_pd(r0 + j + 4), xb));
+      s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_loadu_pd(r1 + j + 4), xb));
+      s2 = _mm256_add_pd(s2, _mm256_mul_pd(_mm256_loadu_pd(r2 + j + 4), xb));
+      s3 = _mm256_add_pd(s3, _mm256_mul_pd(_mm256_loadu_pd(r3 + j + 4), xb));
+    }
+    for (; j + 4 <= n; j += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + j);
+      s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_loadu_pd(r0 + j), xv));
+      s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_loadu_pd(r1 + j), xv));
+      s2 = _mm256_add_pd(s2, _mm256_mul_pd(_mm256_loadu_pd(r2 + j), xv));
+      s3 = _mm256_add_pd(s3, _mm256_mul_pd(_mm256_loadu_pd(r3 + j), xv));
+    }
+    // Remainder columns continue lane 0's partial sum one element at a time,
+    // matching the scalar kernel's "tail adds into s0" rule exactly.
+    alignas(32) double l0[4], l1[4], l2[4], l3[4];
+    _mm256_store_pd(l0, s0);
+    _mm256_store_pd(l1, s1);
+    _mm256_store_pd(l2, s2);
+    _mm256_store_pd(l3, s3);
+    for (; j < n; ++j) {
+      l0[0] += r0[j] * x[j];
+      l1[0] += r1[j] * x[j];
+      l2[0] += r2[j] * x[j];
+      l3[0] += r3[j] * x[j];
+    }
+    margins[i] = (l0[0] + l0[1]) + (l0[2] + l0[3]);
+    margins[i + 1] = (l1[0] + l1[1]) + (l1[2] + l1[3]);
+    margins[i + 2] = (l2[0] + l2[1]) + (l2[2] + l2[3]);
+    margins[i + 3] = (l3[0] + l3[1]) + (l3[2] + l3[3]);
+  }
+  for (; i < rows.size(); ++i) {
+    const double* r = a.row_data(rows[i]);
+    __m256d s = _mm256_setzero_pd();
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      s = _mm256_add_pd(s, _mm256_mul_pd(_mm256_loadu_pd(r + j), _mm256_loadu_pd(x + j)));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, s);
+    for (; j < n; ++j) lanes[0] += r[j] * x[j];
+    margins[i] = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  }
+}
+
+[[gnu::target("avx2")]] void accumulate_rows_avx2(const DenseRowBlock& a,
+                                                  std::span<const std::uint32_t> rows,
+                                                  const double* coeffs, double* acc) {
+  const std::size_t n = a.cols();
+  std::size_t i = 0;
+  for (; i + 4 <= rows.size(); i += 4) {
+    const double* r0 = a.row_data(rows[i]);
+    const double* r1 = a.row_data(rows[i + 1]);
+    const double* r2 = a.row_data(rows[i + 2]);
+    const double* r3 = a.row_data(rows[i + 3]);
+    const __m256d c0 = _mm256_set1_pd(coeffs[i]);
+    const __m256d c1 = _mm256_set1_pd(coeffs[i + 1]);
+    const __m256d c2 = _mm256_set1_pd(coeffs[i + 2]);
+    const __m256d c3 = _mm256_set1_pd(coeffs[i + 3]);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256d v = _mm256_loadu_pd(acc + j);
+      v = _mm256_add_pd(v, _mm256_mul_pd(c0, _mm256_loadu_pd(r0 + j)));
+      v = _mm256_add_pd(v, _mm256_mul_pd(c1, _mm256_loadu_pd(r1 + j)));
+      v = _mm256_add_pd(v, _mm256_mul_pd(c2, _mm256_loadu_pd(r2 + j)));
+      v = _mm256_add_pd(v, _mm256_mul_pd(c3, _mm256_loadu_pd(r3 + j)));
+      _mm256_storeu_pd(acc + j, v);
+    }
+    for (; j < n; ++j) {
+      double v = acc[j];
+      v += coeffs[i] * r0[j];
+      v += coeffs[i + 1] * r1[j];
+      v += coeffs[i + 2] * r2[j];
+      v += coeffs[i + 3] * r3[j];
+      acc[j] = v;
+    }
+  }
+  for (; i < rows.size(); ++i) {
+    const double* r = a.row_data(rows[i]);
+    const __m256d c = _mm256_set1_pd(coeffs[i]);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256d v = _mm256_loadu_pd(acc + j);
+      v = _mm256_add_pd(v, _mm256_mul_pd(c, _mm256_loadu_pd(r + j)));
+      _mm256_storeu_pd(acc + j, v);
+    }
+    for (; j < n; ++j) acc[j] += coeffs[i] * r[j];
+  }
+}
+
+[[nodiscard]] bool cpu_has_avx2() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+}
+
+#endif  // ASYNCML_X86
+
+}  // namespace
+
+void gemv_rows(const DenseRowBlock& a, std::span<const std::uint32_t> rows,
+               std::span<const double> x, std::span<double> margins) {
+  assert(rows.size() == margins.size() && x.size() == a.cols());
+#if ASYNCML_X86
+  if (cpu_has_avx2()) {
+    gemv_rows_avx2(a, rows, x.data(), margins.data());
+    return;
+  }
+#endif
+  gemv_rows_scalar(a, rows, x.data(), margins.data());
+}
+
+void spmv_rows(const CsrRowSlice& a, std::span<const std::uint32_t> rows,
+               std::span<const double> x, std::span<double> margins) {
+  assert(rows.size() == margins.size() && x.size() == a.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    margins[i] = dot_sparse(a.row(rows[i]), x.data());
+  }
+}
+
+void accumulate_rows(const DenseRowBlock& a, std::span<const std::uint32_t> rows,
+                     std::span<const double> coeffs, std::span<double> acc) {
+  assert(rows.size() == coeffs.size() && acc.size() == a.cols());
+#if ASYNCML_X86
+  if (cpu_has_avx2()) {
+    accumulate_rows_avx2(a, rows, coeffs.data(), acc.data());
+    return;
+  }
+#endif
+  accumulate_rows_scalar(a, rows, coeffs.data(), acc.data());
+}
+
+void accumulate_rows(const CsrRowSlice& a, std::span<const std::uint32_t> rows,
+                     std::span<const double> coeffs, std::span<double> acc) {
+  assert(rows.size() == coeffs.size() && acc.size() == a.cols());
+  double* out = acc.data();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SparseRowView row = a.row(rows[i]);
+    const double c = coeffs[i];
+    for (std::size_t k = 0; k < row.indices.size(); ++k) {
+      out[row.indices[k]] += c * row.values[k];
+    }
+  }
+}
+
+void accumulate_rows(const CsrRowSlice& a, std::span<const std::uint32_t> rows,
+                     std::span<const double> coeffs, GradVector& g) {
+  assert(rows.size() == coeffs.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    g.axpy(coeffs[i], a.row(rows[i]));
+  }
+}
+
+}  // namespace asyncml::linalg

@@ -1,0 +1,60 @@
+#pragma once
+
+// Fused batch gradient kernels: the one-pass margin / transposed-accumulate
+// layer the optimizers' task bodies run on (the Breeze/netlib batch kernels
+// of the paper's Scala stack, ASYNC §2).
+//
+// All kernels take a *block view* of one partition's rows (DenseRowBlock or
+// CsrRowSlice) plus the mini-batch's selected local row ids, and are exactly
+// reassociation-free with respect to the per-row reference path:
+//
+//   * `gemv_rows` / `spmv_rows` compute margin[i] = <row(rows[i]), x> with the
+//     identical per-row reduction order as linalg::dot (dense: 4 strided
+//     partial sums folded (s0+s1)+(s2+s3); sparse: one sequential sum), so
+//     each margin is bit-identical to the per-row dot.
+//   * `accumulate_rows` computes acc += Σ_i coeffs[i]·row(rows[i]) visiting
+//     rows in index order per coordinate — the same sequence of rounded
+//     multiply-adds as per-row axpy calls — so gradients are bit-identical
+//     to the per-row path.  Multi-row blocking only fuses the *passes over
+//     acc*, never the order of additions within a coordinate.
+//
+// The dense kernels carry an AVX2 micro-kernel behind runtime dispatch
+// (__builtin_cpu_supports): lane k of a 4-lane vector accumulator is exactly
+// the scalar path's partial sum s_k, and FMA contraction is never used (it
+// would round once where the scalar path rounds twice), so vector and scalar
+// variants produce identical bits.  Safe to call concurrently on disjoint
+// outputs.
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/grad_vector.hpp"
+#include "linalg/sparse.hpp"
+
+namespace asyncml::linalg {
+
+/// margins[i] = <a.row(rows[i]), x> for a dense row block.
+/// rows.size() == margins.size(); x.size() == a.cols().
+void gemv_rows(const DenseRowBlock& a, std::span<const std::uint32_t> rows,
+               std::span<const double> x, std::span<double> margins);
+
+/// margins[i] = <a.row(rows[i]), x> for a CSR row slice.
+void spmv_rows(const CsrRowSlice& a, std::span<const std::uint32_t> rows,
+               std::span<const double> x, std::span<double> margins);
+
+/// acc += Σ_i coeffs[i] · a.row(rows[i]) (the transposed accumulate
+/// X_Bᵀ·coeffs), preserving per-coordinate addition order across rows.
+void accumulate_rows(const DenseRowBlock& a, std::span<const std::uint32_t> rows,
+                     std::span<const double> coeffs, std::span<double> acc);
+
+/// Sparse-row scatter into a dense accumulator (dense-mode gradient).
+void accumulate_rows(const CsrRowSlice& a, std::span<const std::uint32_t> rows,
+                     std::span<const double> coeffs, std::span<double> acc);
+
+/// Sparse-row scatter into an adaptive GradVector (sparse-mode gradient;
+/// exactly the per-row g.axpy sequence, including any mid-batch densify).
+void accumulate_rows(const CsrRowSlice& a, std::span<const std::uint32_t> rows,
+                     std::span<const double> coeffs, GradVector& g);
+
+}  // namespace asyncml::linalg

@@ -9,7 +9,36 @@
 #include <span>
 #include <vector>
 
+#include "support/aligned.hpp"
+
 namespace asyncml::linalg {
+
+/// Borrowed view of a contiguous block of dense rows (one partition's
+/// features) — the dense counterpart of CsrRowSlice for the batch gradient
+/// kernels.  Local row ids are relative to the block.
+class DenseRowBlock {
+ public:
+  DenseRowBlock() = default;
+  DenseRowBlock(const double* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] std::span<const double> row(std::size_t local) const noexcept {
+    assert(local < rows_);
+    return {data_ + local * cols_, cols_};
+  }
+  [[nodiscard]] const double* row_data(std::size_t local) const noexcept {
+    assert(local < rows_);
+    return data_ + local * cols_;
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
 
 class DenseMatrix {
  public:
@@ -41,6 +70,13 @@ class DenseMatrix {
   [[nodiscard]] double* data() noexcept { return data_.data(); }
   [[nodiscard]] const double* data() const noexcept { return data_.data(); }
 
+  /// View of rows [begin, end) — the partition-slice input of the batch
+  /// kernels. The view borrows this matrix's storage.
+  [[nodiscard]] DenseRowBlock block(std::size_t begin, std::size_t end) const noexcept {
+    assert(begin <= end && end <= rows_);
+    return DenseRowBlock(data_.data() + begin * cols_, end - begin, cols_);
+  }
+
   [[nodiscard]] std::size_t size_bytes() const noexcept {
     return data_.size() * sizeof(double);
   }
@@ -48,7 +84,7 @@ class DenseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  support::AlignedVector<double> data_;  // 64B-aligned for the AVX2 kernels
 };
 
 }  // namespace asyncml::linalg

@@ -15,14 +15,17 @@
 #include <string>
 #include <vector>
 
+#include "support/aligned.hpp"
+
 namespace asyncml::linalg {
 
 class DenseVector {
  public:
   DenseVector() = default;
   explicit DenseVector(std::size_t size, double fill = 0.0) : data_(size, fill) {}
-  DenseVector(std::initializer_list<double> init) : data_(init) {}
-  explicit DenseVector(std::vector<double> data) : data_(std::move(data)) {}
+  DenseVector(std::initializer_list<double> init) : data_(init.begin(), init.end()) {}
+  explicit DenseVector(const std::vector<double>& data)
+      : data_(data.begin(), data.end()) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
@@ -63,7 +66,7 @@ class DenseVector {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::vector<double> data_;
+  support::AlignedVector<double> data_;  // 64B-aligned for the AVX2 kernels
 };
 
 /// Exact bitwise equality (size + every double's bit pattern) — the check

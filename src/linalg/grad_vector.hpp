@@ -28,13 +28,21 @@
 
 #include "linalg/dense_vector.hpp"
 #include "linalg/sparse.hpp"
+#include "support/aligned.hpp"
 
 namespace asyncml::linalg {
 
 /// Default nnz/dim ratio at which a sparse accumulator densifies.  Wire
-/// break-even is 2/3 (12 bytes/entry sparse vs 8 dense); combine/apply cost
-/// favors switching earlier, before probe chains and cache misses dominate.
-inline constexpr double kDefaultDensifyThreshold = 0.25;
+/// break-even is 2/3 (12 bytes/entry sparse vs 8 dense), but *compute*
+/// crosses over far earlier: measured on the accumulate micro bench, hash
+/// upserts beat dense scatter+zero+apply only below ~12% occupancy — above
+/// it the table walk costs more than the O(dim) passes it avoids
+/// (bench_results/micro_grad_accumulate.csv; the old 0.25 default left a
+/// 2.5x regression at 1% cell density, whose 16-row batch union is ~15%).
+/// 1/8 keeps adaptive compute within ~1.2x of dense at every density while
+/// sparse-regime workloads (rcv1-like, batch unions of a few percent) keep
+/// their order-of-magnitude wire win.
+inline constexpr double kDefaultDensifyThreshold = 0.125;
 
 /// Representation policy a solver config chooses.
 enum class GradMode {
@@ -47,6 +55,13 @@ struct GradVectorConfig {
   std::size_t dim = 0;
   double densify_threshold = kDefaultDensifyThreshold;
   bool start_dense = false;
+  /// Expected accumulated nnz of one mini-batch (the batch-union support).
+  /// When nonzero, the sparse table pre-sizes to hold it at ≤1/2 load on
+  /// first use instead of growing through a rehash chain from 32 slots —
+  /// the fix for the mid-density compute regression where rehashing, not
+  /// probing, dominated (bench_micro_grad_accumulate @ density 0.01).
+  /// Purely a performance hint: values and representation are unchanged.
+  std::size_t expected_nnz = 0;
 
   GradVectorConfig() = default;
   // Explicit on purpose: a bare dimension silently defaulting to a
@@ -116,6 +131,12 @@ class GradVector {
   /// this += a * x for a dense row: the support is (assumed) full, so this
   /// densifies immediately.
   void axpy(double a, std::span<const double> x);
+
+  /// Adopts `v` as the dense value (bit-for-bit copy, dense mode).  The
+  /// batch kernels accumulate dense-mode gradients in a reusable scratch
+  /// buffer and publish the result through this; the copy is the modeled
+  /// serialize step, and the bits equal a per-row dense accumulation.
+  void assign_dense(std::span<const double> v);
 
   /// this += other (the combine kernel).  An unconfigured accumulator adopts
   /// `other` wholesale; mixed representations densify this side.
@@ -216,8 +237,9 @@ class GradVector {
 
   GradVectorConfig cfg_;
   bool dense_mode_ = false;
-  // Dense representation (empty = all zeros when dense_mode_).
-  std::vector<double> dense_;
+  // Dense representation (empty = all zeros when dense_mode_); aligned so
+  // dense-mode accumulation and apply run the vector kernels at full speed.
+  support::AlignedVector<double> dense_;
   // Sparse open-addressing table: parallel key/value arrays, linear probing,
   // power-of-two capacity.
   std::vector<std::uint32_t> keys_;

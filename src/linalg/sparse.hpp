@@ -50,6 +50,44 @@ class SparseVector {
   std::vector<double> values_;
 };
 
+/// Borrowed view of a contiguous block of CSR rows — the per-partition unit
+/// the batch gradient kernels (linalg/batch.hpp) consume.  `row_ptr` spans
+/// `rows()+1` absolute offsets into the parent's `col_idx`/`values` arrays,
+/// so row lookups cost two loads and no bounds re-checks.  Local row ids are
+/// relative to the slice (slice row 0 = parent row `begin`).
+class CsrRowSlice {
+ public:
+  CsrRowSlice() = default;
+  CsrRowSlice(std::span<const std::size_t> row_ptr,
+              std::span<const std::uint32_t> col_idx, std::span<const double> values,
+              std::size_t cols)
+      : row_ptr_(row_ptr), col_idx_(col_idx), values_(values), cols_(cols) {
+    assert(!row_ptr_.empty());
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] SparseRowView row(std::size_t local) const noexcept {
+    assert(local + 1 < row_ptr_.size());
+    const std::size_t begin = row_ptr_[local];
+    const std::size_t end = row_ptr_[local + 1];
+    return {{col_idx_.data() + begin, end - begin},
+            {values_.data() + begin, end - begin}};
+  }
+
+  /// Non-zeros in the slice (the batch-kernel work estimate).
+  [[nodiscard]] std::size_t nnz() const noexcept {
+    return row_ptr_[rows()] - row_ptr_[0];
+  }
+
+ private:
+  std::span<const std::size_t> row_ptr_;
+  std::span<const std::uint32_t> col_idx_;  // whole-matrix array (absolute offsets)
+  std::span<const double> values_;          // whole-matrix array (absolute offsets)
+  std::size_t cols_ = 0;
+};
+
 /// Compressed sparse row matrix.
 class CsrMatrix {
  public:
@@ -88,6 +126,15 @@ class CsrMatrix {
     const std::size_t begin = row_ptr_[r];
     const std::size_t end = row_ptr_[r + 1];
     return {{col_idx_.data() + begin, end - begin}, {values_.data() + begin, end - begin}};
+  }
+
+  /// View of rows [begin, end) — the partition-slice input of the batch
+  /// kernels. The view borrows this matrix's storage.
+  [[nodiscard]] CsrRowSlice slice(std::size_t begin, std::size_t end) const noexcept {
+    assert(begin <= end && end < row_ptr_.size());
+    return CsrRowSlice({row_ptr_.data() + begin, end - begin + 1},
+                       {col_idx_.data(), col_idx_.size()},
+                       {values_.data(), values_.size()}, cols_);
   }
 
   [[nodiscard]] std::size_t size_bytes() const noexcept {

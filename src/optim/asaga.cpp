@@ -32,8 +32,6 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   core::SchedulerPolicy policy = detail::scheduler_policy(workload, config);
   policy.speculation_factor = 0.0;
   ac.scheduler().set_policy(std::move(policy));
-  const engine::Rdd<data::LabeledPoint> sampled =
-      workload.points.sample(config.batch_fraction);
   auto table =
       std::make_shared<core::SampleVersionTable>(n, detail::kNeverVisited);
 
@@ -46,10 +44,10 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   core::HistoryBroadcast w_br = ac.async_broadcast(w);  // version 0
 
   auto rebuild_factory = [&] {
-    return ac.make_aggregate_factory(
-        sampled,
-        GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
-        detail::make_saga_seq(workload.loss, w_br, table, grad_cfg), opts);
+    return ac.make_fn_factory(
+        detail::saga_task_fn(workload, config, w_br, table, grad_cfg,
+                             config.batch_fraction),
+        opts);
   };
   core::AsyncScheduler::TaskFactory factory = rebuild_factory();
 

@@ -28,8 +28,6 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
   // AC = new ASYNCcontext; models publish through the delta-versioned store.
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   ac.scheduler().set_policy(detail::scheduler_policy(workload, config));
-  const engine::Rdd<data::LabeledPoint> sampled =
-      workload.points.sample(config.batch_fraction);
 
   core::SubmitOptions opts;
   opts.service_floor_ms = service_ms;
@@ -40,9 +38,9 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   // Factory building this round's gradient tasks against the latest w_br.
   auto rebuild_factory = [&] {
-    return ac.make_aggregate_factory(
-        sampled, GradCount{linalg::GradVector(grad_cfg)},
-        detail::make_grad_seq(workload.loss, w_br, grad_cfg), opts);
+    return ac.make_fn_factory(
+        detail::grad_task_fn(workload, config, w_br, grad_cfg, config.batch_fraction),
+        opts);
   };
   core::AsyncScheduler::TaskFactory factory = rebuild_factory();
 

@@ -8,32 +8,6 @@
 
 namespace asyncml::optim {
 
-namespace {
-
-/// Inner-loop sequence op: fresh gradient at the dispatched model and
-/// snapshot gradient at the epoch's w̃ (both through the history broadcast,
-/// so w̃ is fetched once per worker per epoch).
-auto make_svrg_seq(std::shared_ptr<const Loss> loss, core::HistoryBroadcast w_br,
-                   core::HistoryBroadcast snapshot_br,
-                   linalg::GradVectorConfig grad_cfg) {
-  return [loss = std::move(loss), w_br, snapshot_br, grad_cfg](
-             GradHist acc, const data::LabeledPoint& p) {
-    acc.grad.ensure(grad_cfg);
-    acc.hist.ensure(grad_cfg);
-    const linalg::DenseVector& w = w_br.value();
-    const double coeff = loss->derivative(p.features.dot(w.span()), p.label);
-    p.features.axpy_into(coeff, acc.grad);
-
-    const linalg::DenseVector& snap = snapshot_br.value();
-    const double coeff_snap = loss->derivative(p.features.dot(snap.span()), p.label);
-    p.features.axpy_into(coeff_snap, acc.hist);
-    acc.count += 1;
-    return acc;
-  };
-}
-
-}  // namespace
-
 RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
                              const SolverConfig& config) {
   const std::size_t dim = workload.dim();
@@ -54,8 +28,6 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   ac.scheduler().set_policy(detail::scheduler_policy(workload, config));
-  const engine::Rdd<data::LabeledPoint> sampled =
-      workload.points.sample(config.batch_fraction);
 
   linalg::DenseVector w(dim);
   metrics::TraceRecorder recorder(config.eval_every);
@@ -76,9 +48,10 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
     core::SubmitOptions full_opts;
     full_opts.service_floor_ms = full_service_ms;
     full_opts.rng_seed = config.seed;
-    auto full_results = ac.sync_round(
-        workload.points, GradCount{linalg::GradVector(grad_cfg)},
-        detail::make_grad_seq(workload.loss, snapshot_br, grad_cfg), full_opts);
+    auto full_results = ac.sync_round_fn(
+        detail::grad_task_fn(workload, config, snapshot_br, grad_cfg,
+                             /*fraction=*/std::nullopt),
+        full_opts);
     GradCount mu_sum;
     for (core::TaggedResult& r : full_results) {
       mu_sum = comb(std::move(mu_sum), r.result.payload.get<GradCount>());
@@ -95,10 +68,10 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
 
     core::HistoryBroadcast w_br = ac.handle_for(snapshot_version);
     auto rebuild_factory = [&] {
-      return ac.make_aggregate_factory(
-          sampled,
-          GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
-          make_svrg_seq(workload.loss, w_br, snapshot_br, grad_cfg), opts);
+      return ac.make_fn_factory(
+          detail::svrg_task_fn(workload, config, w_br, snapshot_br, grad_cfg,
+                               config.batch_fraction),
+          opts);
     };
     core::AsyncScheduler::TaskFactory factory = rebuild_factory();
     detail::dispatch_live(ac, config.barrier, factory);

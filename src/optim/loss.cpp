@@ -1,6 +1,8 @@
 #include "optim/loss.hpp"
 
+#include <cassert>
 #include <cmath>
+#include <cstddef>
 
 namespace asyncml::optim {
 
@@ -10,7 +12,7 @@ double LeastSquaresLoss::value(double margin, double label) const {
 }
 
 double LeastSquaresLoss::derivative(double margin, double label) const {
-  return 2.0 * (margin - label);
+  return loss_kernels::least_squares_derivative(margin, label);
 }
 
 double LogisticLoss::value(double margin, double label) const {
@@ -21,11 +23,7 @@ double LogisticLoss::value(double margin, double label) const {
 }
 
 double LogisticLoss::derivative(double margin, double label) const {
-  const double z = -label * margin;
-  // σ(z) = 1/(1+e^{-z}); derivative = −y·σ(−y·m).
-  const double sigma = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
-                                : std::exp(z) / (1.0 + std::exp(z));
-  return -label * sigma;
+  return loss_kernels::logistic_derivative(margin, label);
 }
 
 double SquaredHingeLoss::value(double margin, double label) const {
@@ -34,8 +32,35 @@ double SquaredHingeLoss::value(double margin, double label) const {
 }
 
 double SquaredHingeLoss::derivative(double margin, double label) const {
-  const double gap = 1.0 - label * margin;
-  return gap > 0.0 ? -2.0 * label * gap : 0.0;
+  return loss_kernels::squared_hinge_derivative(margin, label);
+}
+
+void derivative_batch(const Loss& loss, std::span<const double> margins,
+                      std::span<const double> labels, std::span<double> coeffs) {
+  assert(margins.size() == labels.size() && margins.size() == coeffs.size());
+  const std::size_t n = margins.size();
+  switch (loss.kind()) {
+    case LossKind::kLeastSquares:
+      for (std::size_t i = 0; i < n; ++i) {
+        coeffs[i] = loss_kernels::least_squares_derivative(margins[i], labels[i]);
+      }
+      return;
+    case LossKind::kLogistic:
+      for (std::size_t i = 0; i < n; ++i) {
+        coeffs[i] = loss_kernels::logistic_derivative(margins[i], labels[i]);
+      }
+      return;
+    case LossKind::kSquaredHinge:
+      for (std::size_t i = 0; i < n; ++i) {
+        coeffs[i] = loss_kernels::squared_hinge_derivative(margins[i], labels[i]);
+      }
+      return;
+    case LossKind::kCustom:
+      for (std::size_t i = 0; i < n; ++i) {
+        coeffs[i] = loss.derivative(margins[i], labels[i]);
+      }
+      return;
+  }
 }
 
 std::shared_ptr<const Loss> make_least_squares() {

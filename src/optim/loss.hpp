@@ -8,10 +8,49 @@
 // stay loss-agnostic.  The paper's evaluation solves least squares; the other
 // losses demonstrate the claimed generality of the framework.
 
+#include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 
 namespace asyncml::optim {
+
+/// Concrete loss identity for devirtualized batch dispatch: the fused
+/// gradient kernels switch on the kind once per mini-batch instead of
+/// making a virtual derivative call per row. kCustom falls back to the
+/// virtual path (external Loss subclasses keep working, just per-row).
+enum class LossKind {
+  kLeastSquares,
+  kLogistic,
+  kSquaredHinge,
+  kCustom,
+};
+
+/// Scalar loss kernels — the single source of truth for the arithmetic.
+/// Both the virtual per-row methods and the vectorized batch loops call
+/// these, so the two paths are bit-identical by construction.
+namespace loss_kernels {
+
+[[nodiscard]] inline double least_squares_derivative(double margin,
+                                                     double label) noexcept {
+  return 2.0 * (margin - label);
+}
+
+[[nodiscard]] inline double logistic_derivative(double margin, double label) noexcept {
+  const double z = -label * margin;
+  // σ(z) = 1/(1+e^{-z}); derivative = −y·σ(−y·m).
+  const double sigma = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                                : std::exp(z) / (1.0 + std::exp(z));
+  return -label * sigma;
+}
+
+[[nodiscard]] inline double squared_hinge_derivative(double margin,
+                                                     double label) noexcept {
+  const double gap = 1.0 - label * margin;
+  return gap > 0.0 ? -2.0 * label * gap : 0.0;
+}
+
+}  // namespace loss_kernels
 
 class Loss {
  public:
@@ -23,14 +62,26 @@ class Loss {
   /// ∂ℓ/∂margin — the per-sample gradient is derivative(m, y) · x.
   [[nodiscard]] virtual double derivative(double margin, double label) const = 0;
 
+  /// Which devirtualized batch kernel applies (kCustom = none; the batch
+  /// path then loops the virtual derivative).
+  [[nodiscard]] virtual LossKind kind() const { return LossKind::kCustom; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
+
+/// coeffs[i] = loss.derivative(margins[i], labels[i]) — the vectorized,
+/// loss-kind-dispatched derivative kernel of the fused gradient pipeline.
+/// One switch per batch; each element's arithmetic is the scalar kernel's,
+/// so results bit-match the per-row virtual calls.
+void derivative_batch(const Loss& loss, std::span<const double> margins,
+                      std::span<const double> labels, std::span<double> coeffs);
 
 /// ℓ = (margin − y)²; the paper's equation (3) (no ½ factor, matching (4)).
 class LeastSquaresLoss final : public Loss {
  public:
   [[nodiscard]] double value(double margin, double label) const override;
   [[nodiscard]] double derivative(double margin, double label) const override;
+  [[nodiscard]] LossKind kind() const override { return LossKind::kLeastSquares; }
   [[nodiscard]] std::string name() const override { return "least_squares"; }
 };
 
@@ -39,6 +90,7 @@ class LogisticLoss final : public Loss {
  public:
   [[nodiscard]] double value(double margin, double label) const override;
   [[nodiscard]] double derivative(double margin, double label) const override;
+  [[nodiscard]] LossKind kind() const override { return LossKind::kLogistic; }
   [[nodiscard]] std::string name() const override { return "logistic"; }
 };
 
@@ -48,6 +100,7 @@ class SquaredHingeLoss final : public Loss {
  public:
   [[nodiscard]] double value(double margin, double label) const override;
   [[nodiscard]] double derivative(double margin, double label) const override;
+  [[nodiscard]] LossKind kind() const override { return LossKind::kSquaredHinge; }
   [[nodiscard]] std::string name() const override { return "squared_hinge"; }
 };
 

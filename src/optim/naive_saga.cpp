@@ -24,6 +24,16 @@ struct ModelTable {
   return bytes;
 }
 
+/// Handle adapter for the fused batch body: "the fresh model" is one entry
+/// of the wholesale-shipped table.
+struct TableHandle {
+  engine::Broadcast<ModelTable> br;
+  std::uint64_t index = 0;
+  [[nodiscard]] const linalg::DenseVector& value() const {
+    return br.value().models[index];
+  }
+};
+
 }  // namespace
 
 RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workload,
@@ -65,27 +75,42 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
         cluster.broadcast(table, payload_size_bytes(table));
     const std::uint64_t current_index = table.models.size() - 1;
 
-    auto seq = [loss = workload.loss, table_br, index_table, grad_cfg, current_index](
-                   GradHist acc, const data::LabeledPoint& p) {
-      acc.grad.ensure(grad_cfg);
-      acc.hist.ensure(grad_cfg);
-      const ModelTable& models = table_br.value();
-      const linalg::DenseVector& w_new = models.models[current_index];
-      const double coeff_new =
-          loss->derivative(p.features.dot(w_new.span()), p.label);
-      p.features.axpy_into(coeff_new, acc.grad);
+    std::shared_ptr<const engine::TaskFn> fn;
+    if (config.fused_kernels) {
+      fn = detail::make_saga_batch_fn(
+          workload.dataset, workload.partitions, workload.loss,
+          TableHandle{table_br, current_index}, index_table, grad_cfg,
+          config.batch_fraction,
+          [table_br](engine::Version last) -> const linalg::DenseVector& {
+            return table_br.value().models[last];
+          },
+          /*set_version=*/current_index);
+    } else {
+      auto seq = [loss = workload.loss, table_br, index_table, grad_cfg,
+                  current_index](GradHist acc, const data::LabeledPoint& p) {
+        acc.grad.ensure(grad_cfg);
+        acc.hist.ensure(grad_cfg);
+        const ModelTable& models = table_br.value();
+        const linalg::DenseVector& w_new = models.models[current_index];
+        const double coeff_new =
+            loss->derivative(p.features.dot(w_new.span()), p.label);
+        p.features.axpy_into(coeff_new, acc.grad);
 
-      const engine::Version last = index_table->get(p.index);
-      if (last != detail::kNeverVisited) {
-        const linalg::DenseVector& w_old = models.models[last];
-        const double coeff_old =
-            loss->derivative(p.features.dot(w_old.span()), p.label);
-        p.features.axpy_into(coeff_old, acc.hist);
-      }
-      index_table->set(p.index, current_index);
-      acc.count += 1;
-      return acc;
-    };
+        const engine::Version last = index_table->get(p.index);
+        if (last != detail::kNeverVisited) {
+          const linalg::DenseVector& w_old = models.models[last];
+          const double coeff_old =
+              loss->derivative(p.features.dot(w_old.span()), p.label);
+          p.features.axpy_into(coeff_old, acc.hist);
+        }
+        index_table->set(p.index, current_index);
+        acc.count += 1;
+        return acc;
+      };
+      fn = engine::make_aggregate_fn<data::LabeledPoint, GradHist>(
+          sampled, GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
+          std::move(seq));
+    }
 
     engine::StageOptions stage;
     // seq = k+1 aligns batches with SagaSolver (the AsyncScheduler's round
@@ -94,10 +119,10 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
     stage.model_version = k;
     stage.service_floor_ms = service_ms;
     stage.rng_seed = config.seed;
-    const GradHist total = engine::aggregate_sync(
-        cluster, sampled,
-        GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)}, seq,
-        comb, stage);
+    const GradHist total = engine::aggregate_sync_fn(
+        cluster, std::move(fn), workload.num_partitions(),
+        GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)}, comb,
+        stage);
 
     if (total.count > 0) {
       const double inv_b = 1.0 / static_cast<double>(total.count);

@@ -21,6 +21,9 @@ struct RunResult {
   std::uint64_t tasks = 0;         ///< task results consumed
   double mean_wait_ms = 0.0;       ///< per-iteration worker wait (Fig 4/6, Table 3)
   double p95_wait_ms = 0.0;
+  /// Real CPU time inside task functions, per completed task (ms) — the
+  /// engine's actual compute cost before service-floor padding.
+  double mean_task_compute_ms = 0.0;
   std::uint64_t broadcast_bytes = 0;  ///< modeled bytes fetched by workers
   std::uint64_t broadcast_base_bytes = 0;   ///< full-snapshot share of broadcast_bytes
   std::uint64_t broadcast_delta_bytes = 0;  ///< sparse-delta share of broadcast_bytes

@@ -30,8 +30,6 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   core::SchedulerPolicy policy = detail::scheduler_policy(workload, config);
   policy.speculation_factor = 0.0;
   ac.scheduler().set_policy(std::move(policy));
-  const engine::Rdd<data::LabeledPoint> sampled =
-      workload.points.sample(config.batch_fraction);
   auto table =
       std::make_shared<core::SampleVersionTable>(n, detail::kNeverVisited);
 
@@ -49,10 +47,10 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   auto comb = detail::grad_hist_comb();
   for (std::uint64_t k = 0; k < config.updates; ++k) {
-    auto seq = detail::make_saga_seq(workload.loss, w_br, table, grad_cfg);
-    std::vector<core::TaggedResult> results = ac.sync_round(
-        sampled, GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
-        seq, opts);
+    std::vector<core::TaggedResult> results = ac.sync_round_fn(
+        detail::saga_task_fn(workload, config, w_br, table, grad_cfg,
+                             config.batch_fraction),
+        opts);
 
     GradHist total;
     for (core::TaggedResult& r : results) {

@@ -27,8 +27,6 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
   reset_run_metrics(cluster.metrics());
 
   linalg::DenseVector w(dim);
-  const engine::Rdd<data::LabeledPoint> sampled =
-      workload.points.sample(config.batch_fraction);
   auto comb = grad_comb();
 
   metrics::TraceRecorder recorder(config.eval_every);
@@ -49,11 +47,14 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
     stage.service_floor_ms = service_ms;
     stage.rng_seed = config.seed;
 
-    auto seq = make_grad_seq(workload.loss, w_br, grad_cfg);
-    const GradCount zero{linalg::GradVector(grad_cfg)};
+    auto fn = grad_task_fn(workload, config, w_br, grad_cfg, config.batch_fraction);
+    GradCount zero{linalg::GradVector(grad_cfg)};
+    const int parts = workload.num_partitions();
     const GradCount total =
-        tree ? engine::tree_aggregate_sync(cluster, sampled, zero, seq, comb, stage)
-             : engine::aggregate_sync(cluster, sampled, zero, seq, comb, stage);
+        tree ? engine::tree_aggregate_sync_fn(cluster, std::move(fn), parts,
+                                              std::move(zero), comb, stage)
+             : engine::aggregate_sync_fn(cluster, std::move(fn), parts,
+                                         std::move(zero), comb, stage);
 
     if (total.count > 0) {
       total.grad.scale_into(-config.step(k) / static_cast<double>(total.count),
@@ -115,8 +116,6 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
 
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   ac.scheduler().set_policy(detail::scheduler_policy(workload, config));
-  const engine::Rdd<data::LabeledPoint> sampled =
-      workload.points.sample(config.batch_fraction);
   auto comb = detail::grad_comb();
 
   core::SubmitOptions opts;
@@ -133,9 +132,9 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
     // Publish w at the round's version; workers ride the delta chain.
     core::HistoryBroadcast w_br = ac.async_broadcast(w);
 
-    std::vector<core::TaggedResult> results =
-        ac.sync_round(sampled, GradCount{linalg::GradVector(grad_cfg)},
-                      detail::make_grad_seq(workload.loss, w_br, grad_cfg), opts);
+    std::vector<core::TaggedResult> results = ac.sync_round_fn(
+        detail::grad_task_fn(workload, config, w_br, grad_cfg, config.batch_fraction),
+        opts);
     tasks += results.size();
 
     // Combine in partition order, not arrival order: together with the

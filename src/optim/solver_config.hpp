@@ -70,6 +70,15 @@ struct SolverConfig {
   /// epoch; `updates` then counts total inner updates across epochs.
   std::uint64_t epoch_inner_updates = 50;
 
+  /// Fused batch gradient kernels (optim/grad_batch.hpp): one-pass margins
+  /// (gemv / row-slice spmv), loss-kind-dispatched batch derivative, and a
+  /// transposed accumulate with per-thread scratch reuse. Off = the per-row
+  /// seq-op pipeline streaming through the RDD sink chain. The two paths
+  /// are bit-identical by construction (the property sweep pins it), so
+  /// this is purely a compute-speed switch; off exists for reference
+  /// benchmarking and differential tests.
+  bool fused_kernels = true;
+
   /// Gradient accumulation representation. kAuto reads the workload's
   /// dataset density (or `density_hint`) and starts sparse for sparse
   /// datasets, so task results ship O(batch-support) bytes instead of dim×8.

@@ -12,6 +12,7 @@
 #include "engine/metrics.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/grad_vector.hpp"
+#include "optim/grad_batch.hpp"
 #include "optim/loss.hpp"
 #include "optim/payloads.hpp"
 #include "optim/run_result.hpp"
@@ -34,9 +35,9 @@ namespace asyncml::optim::detail {
                             std::max(1.0, rows_per_task));
 }
 
-/// Sentinel for "sample never visited": its historical gradient is the zero
-/// vector (SAGA with uninitialized table; ᾱ starts at 0 consistently).
-inline constexpr engine::Version kNeverVisited = ~engine::Version{0};
+/// Sentinel for "sample never visited" (canonical definition lives beside
+/// SampleVersionTable in core/history.hpp).
+inline constexpr engine::Version kNeverVisited = core::kNeverVisited;
 
 inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.reset_waits();
@@ -49,6 +50,7 @@ inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.broadcast_hits.reset();
   m.tasks_completed.reset();
   m.tasks_failed.reset();
+  m.task_compute_ns.reset();
   m.migration_bytes.reset();
   m.partitions_stolen.reset();
   m.tasks_speculated.reset();
@@ -65,6 +67,12 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
   r.result_bytes = m.result_bytes.load();
   r.broadcast_fetches = m.broadcast_fetches.load();
   r.broadcast_hits = m.broadcast_hits.load();
+  const std::uint64_t completed = m.tasks_completed.load();
+  r.mean_task_compute_ms =
+      completed > 0
+          ? static_cast<double>(m.task_compute_ns.load()) / 1e6 /
+                static_cast<double>(completed)
+          : 0.0;
   r.migration_bytes = m.migration_bytes.load();
   r.partitions_stolen = m.partitions_stolen.load();
   r.tasks_speculated = m.tasks_speculated.load();
@@ -179,6 +187,88 @@ template <typename Handle>
     a.count += b.count;
     return a;
   };
+}
+
+/// SVRG inner sequence op (per-row reference): fresh gradient at the
+/// dispatched model and snapshot gradient at the epoch's w̃.
+[[nodiscard]] inline auto make_svrg_seq(std::shared_ptr<const Loss> loss,
+                                        core::HistoryBroadcast w_br,
+                                        core::HistoryBroadcast snapshot_br,
+                                        linalg::GradVectorConfig grad_cfg) {
+  return [loss = std::move(loss), w_br, snapshot_br, grad_cfg](
+             GradHist acc, const data::LabeledPoint& p) {
+    acc.grad.ensure(grad_cfg);
+    acc.hist.ensure(grad_cfg);
+    const linalg::DenseVector& w = w_br.value();
+    const double coeff = loss->derivative(p.features.dot(w.span()), p.label);
+    p.features.axpy_into(coeff, acc.grad);
+
+    const linalg::DenseVector& snap = snapshot_br.value();
+    const double coeff_snap = loss->derivative(p.features.dot(snap.span()), p.label);
+    p.features.axpy_into(coeff_snap, acc.hist);
+    acc.count += 1;
+    return acc;
+  };
+}
+
+// ---- task-body dispatch: fused batch kernels vs per-row reference ----------
+//
+// Every gradient-shipping solver builds its task bodies through these; the
+// SolverConfig::fused_kernels switch keeps the per-row pipeline alive as the
+// bit-compatible reference (property sweeps, micro benches).  `fraction`
+// engaged = mini-batch sample; nullopt = full partition pass (epoch heads).
+
+/// Gradient-sum task body (Algorithms 1–2).
+template <typename Handle>
+[[nodiscard]] std::shared_ptr<const engine::TaskFn> grad_task_fn(
+    const Workload& workload, const SolverConfig& config, Handle w_br,
+    linalg::GradVectorConfig grad_cfg, std::optional<double> fraction) {
+  if (config.fused_kernels) {
+    return make_grad_batch_fn(workload.dataset, workload.partitions, workload.loss,
+                              w_br, grad_cfg, fraction);
+  }
+  const engine::Rdd<data::LabeledPoint> rdd =
+      fraction.has_value() ? workload.points.sample(*fraction) : workload.points;
+  return engine::make_aggregate_fn<data::LabeledPoint, GradCount>(
+      rdd, GradCount{linalg::GradVector(grad_cfg)},
+      make_grad_seq(workload.loss, w_br, grad_cfg));
+}
+
+/// SAGA task body (Algorithm 4).
+[[nodiscard]] inline std::shared_ptr<const engine::TaskFn> saga_task_fn(
+    const Workload& workload, const SolverConfig& config, core::HistoryBroadcast w_br,
+    std::shared_ptr<core::SampleVersionTable> table, linalg::GradVectorConfig grad_cfg,
+    std::optional<double> fraction) {
+  if (config.fused_kernels) {
+    return make_saga_batch_fn(
+        workload.dataset, workload.partitions, workload.loss, w_br, std::move(table),
+        grad_cfg, fraction,
+        [w_br](engine::Version v) -> const linalg::DenseVector& {
+          return w_br.value_at(v);
+        },
+        w_br.version());
+  }
+  const engine::Rdd<data::LabeledPoint> rdd =
+      fraction.has_value() ? workload.points.sample(*fraction) : workload.points;
+  return engine::make_aggregate_fn<data::LabeledPoint, GradHist>(
+      rdd, GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
+      make_saga_seq(workload.loss, w_br, std::move(table), grad_cfg));
+}
+
+/// SVRG inner task body (epoch VR).
+[[nodiscard]] inline std::shared_ptr<const engine::TaskFn> svrg_task_fn(
+    const Workload& workload, const SolverConfig& config, core::HistoryBroadcast w_br,
+    core::HistoryBroadcast snapshot_br, linalg::GradVectorConfig grad_cfg,
+    std::optional<double> fraction) {
+  if (config.fused_kernels) {
+    return make_svrg_batch_fn(workload.dataset, workload.partitions, workload.loss,
+                              w_br, snapshot_br, grad_cfg, fraction);
+  }
+  const engine::Rdd<data::LabeledPoint> rdd =
+      fraction.has_value() ? workload.points.sample(*fraction) : workload.points;
+  return engine::make_aggregate_fn<data::LabeledPoint, GradHist>(
+      rdd, GradHist{linalg::GradVector(grad_cfg), linalg::GradVector(grad_cfg)},
+      make_svrg_seq(workload.loss, w_br, snapshot_br, grad_cfg));
 }
 
 }  // namespace asyncml::optim::detail

@@ -79,6 +79,38 @@ class BlockingQueue {
     return pop_front_locked(lock);
   }
 
+  /// Takes the entire queue contents in one swap under one lock — the batch
+  /// consumer's primitive (the coordinator's result loop drains every
+  /// delivered TaskResult per wakeup instead of paying one mutex round-trip
+  /// each). Returns an empty deque when the queue is empty.
+  std::deque<T> drain() {
+    std::deque<T> out;
+    {
+      std::lock_guard lock(mutex_);
+      items_.swap(out);
+    }
+    if (!out.empty()) not_full_.notify_all();
+    return out;
+  }
+
+  /// Blocking drain with timeout: waits until the queue is non-empty (or
+  /// closed / timed out), then swaps everything out. Empty result means
+  /// timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::deque<T> drain_for(std::chrono::duration<Rep, Period> timeout) {
+    std::deque<T> out;
+    {
+      std::unique_lock lock(mutex_);
+      if (!not_empty_.wait_for(lock, timeout,
+                               [&] { return closed_ || !items_.empty(); })) {
+        return out;
+      }
+      items_.swap(out);
+    }
+    if (!out.empty()) not_full_.notify_all();
+    return out;
+  }
+
   /// Closes the queue: pending items remain poppable, new pushes are refused,
   /// blocked poppers wake up once the queue drains.
   void close() {

@@ -1,0 +1,121 @@
+#pragma once
+
+// Per-executor-thread scratch arena: reusable buffers for the fused batch
+// gradient kernels.
+//
+// Every gradient task needs short-lived working storage — selected row ids,
+// margins, derivative coefficients, and (for dense-mode gradients) a
+// dim-sized accumulator.  Allocating these per task puts malloc/free on the
+// hot path of every executor thread; the arena instead pools buffers
+// per thread (`ScratchArena::local()` is thread_local) and hands them out as
+// RAII leases that return the storage on destruction.
+//
+// Lifetime rules (see docs/ARCHITECTURE.md, "Batch kernels & scratch"):
+//   * a lease must be released on the thread that took it (guaranteed when
+//     leases live on the stack of a task body — tasks never migrate threads
+//     mid-run);
+//   * a lease must not outlive the task that took it: arena storage is
+//     reused by the next task on the same executor thread, so escaping
+//     spans would alias a later task's scratch.  Anything that outlives the
+//     task (the result payload) must be copied out (GradVector::assign_dense
+//     is the modeled serialize step).
+//
+// The arena is intentionally type-narrow (double / uint32 pools): the point
+// is reuse of the two hot buffer shapes, not a general allocator.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/aligned.hpp"
+
+namespace asyncml::support {
+
+class ScratchArena {
+ public:
+  /// RAII lease over one pooled buffer; returns it to the pool on
+  /// destruction. Move-only.
+  template <typename T>
+  class Lease {
+   public:
+    Lease(ScratchArena* arena, AlignedVector<T> buf)
+        : arena_(arena), buf_(std::move(buf)) {}
+    ~Lease() {
+      if (arena_ != nullptr) arena_->release(std::move(buf_));
+    }
+    Lease(Lease&& other) noexcept
+        : arena_(std::exchange(other.arena_, nullptr)), buf_(std::move(other.buf_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] AlignedVector<T>& vec() noexcept { return buf_; }
+    [[nodiscard]] std::span<T> span() noexcept { return {buf_.data(), buf_.size()}; }
+    [[nodiscard]] std::span<const T> span() const noexcept {
+      return {buf_.data(), buf_.size()};
+    }
+
+   private:
+    ScratchArena* arena_;
+    AlignedVector<T> buf_;
+  };
+
+  /// The calling thread's arena. Executor threads, the driver, and test
+  /// threads each get their own instance — no cross-thread sharing, no locks.
+  [[nodiscard]] static ScratchArena& local() {
+    thread_local ScratchArena arena;
+    return arena;
+  }
+
+  /// `n` doubles with unspecified contents (callers overwrite fully).
+  [[nodiscard]] Lease<double> doubles(std::size_t n) {
+    AlignedVector<double> buf = take(double_pool_);
+    buf.resize(n);
+    return {this, std::move(buf)};
+  }
+
+  /// `n` doubles, all zero (the dense gradient accumulator shape).
+  [[nodiscard]] Lease<double> zeroed_doubles(std::size_t n) {
+    AlignedVector<double> buf = take(double_pool_);
+    buf.assign(n, 0.0);
+    return {this, std::move(buf)};
+  }
+
+  /// Empty index buffer with capacity for `expected` pushes.
+  [[nodiscard]] Lease<std::uint32_t> indices(std::size_t expected) {
+    AlignedVector<std::uint32_t> buf = take(index_pool_);
+    buf.clear();
+    buf.reserve(expected);
+    return {this, std::move(buf)};
+  }
+
+  struct Stats {
+    std::uint64_t leases = 0;     ///< total buffers handed out
+    std::uint64_t pool_hits = 0;  ///< leases served from the pool (no malloc)
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  template <typename T>
+  AlignedVector<T> take(std::vector<AlignedVector<T>>& pool) {
+    ++stats_.leases;
+    if (pool.empty()) return {};
+    ++stats_.pool_hits;
+    AlignedVector<T> buf = std::move(pool.back());
+    pool.pop_back();
+    return buf;
+  }
+
+  void release(AlignedVector<double> buf) { double_pool_.push_back(std::move(buf)); }
+  void release(AlignedVector<std::uint32_t> buf) {
+    index_pool_.push_back(std::move(buf));
+  }
+
+  std::vector<AlignedVector<double>> double_pool_;
+  std::vector<AlignedVector<std::uint32_t>> index_pool_;
+  Stats stats_;
+};
+
+}  // namespace asyncml::support

@@ -1,0 +1,206 @@
+// Batch kernels (linalg/batch.hpp) vs their per-row references: every
+// variant (blocked, AVX2-dispatched) must be *bit-identical* to per-row
+// linalg::dot / axpy sequences — including remainder rows and columns.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "linalg/batch.hpp"
+#include "linalg/blas.hpp"
+#include "support/rng.hpp"
+
+namespace asyncml::linalg {
+namespace {
+
+DenseMatrix random_dense(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  DenseMatrix m(rows, cols);
+  support::RngStream rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m.at(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+CsrMatrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                        std::uint64_t seed) {
+  CsrMatrix m = CsrMatrix::for_appending(cols);
+  support::RngStream rng(seed);
+  for (std::size_t r = 0; r < rows; ++r) {
+    SparseVector row;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) row.push_back(static_cast<std::uint32_t>(c),
+                                                rng.uniform(-1.0, 1.0));
+    }
+    m.append_row(row);
+  }
+  return m;
+}
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  support::RngStream rng(seed);
+  for (double& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// Row counts straddling every blocking remainder (4-row blocks, 2-row
+// scalar pairs) and column counts straddling the 4-wide SIMD remainder.
+const std::vector<std::size_t> kRowCounts = {0, 1, 2, 3, 4, 5, 7, 8, 13};
+const std::vector<std::size_t> kColCounts = {1, 3, 4, 6, 8, 33, 100};
+
+TEST(BatchKernels, GemvRowsBitMatchesPerRowDot) {
+  for (std::size_t cols : kColCounts) {
+    const DenseMatrix m = random_dense(16, cols, 101 + cols);
+    const std::vector<double> x = random_vec(cols, 7);
+    const DenseRowBlock block = m.block(2, 16);
+    for (std::size_t count : kRowCounts) {
+      std::vector<std::uint32_t> rows;
+      for (std::size_t i = 0; i < count; ++i) {
+        rows.push_back(static_cast<std::uint32_t>((i * 5) % block.rows()));
+      }
+      std::vector<double> margins(count, -1.0);
+      gemv_rows(block, rows, x, margins);
+      std::vector<double> reference(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        reference[i] = dot(block.row(rows[i]), x);
+      }
+      EXPECT_TRUE(bits_equal(margins, reference))
+          << "cols=" << cols << " count=" << count;
+    }
+  }
+}
+
+TEST(BatchKernels, SpmvRowsBitMatchesPerRowDot) {
+  const CsrMatrix m = random_sparse(24, 60, 0.2, 33);
+  const std::vector<double> x = random_vec(60, 9);
+  const CsrRowSlice slice = m.slice(4, 20);
+  ASSERT_EQ(slice.rows(), 16u);
+  std::vector<std::uint32_t> rows = {0, 3, 5, 6, 7, 11, 15};
+  std::vector<double> margins(rows.size());
+  spmv_rows(slice, rows, x, margins);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(margins[i], dot(m.row(4 + rows[i]), x)) << "i=" << i;
+  }
+}
+
+TEST(BatchKernels, AccumulateRowsDenseBitMatchesPerRowAxpy) {
+  for (std::size_t cols : kColCounts) {
+    const DenseMatrix m = random_dense(16, cols, 55 + cols);
+    const DenseRowBlock block = m.block(0, 16);
+    for (std::size_t count : kRowCounts) {
+      std::vector<std::uint32_t> rows;
+      std::vector<double> coeffs;
+      support::RngStream rng(17 + count);
+      for (std::size_t i = 0; i < count; ++i) {
+        rows.push_back(static_cast<std::uint32_t>((i * 3) % 16));
+        coeffs.push_back(rng.uniform(-2.0, 2.0));
+      }
+      std::vector<double> acc = random_vec(cols, 77);
+      std::vector<double> reference = acc;
+      accumulate_rows(block, rows, coeffs, acc);
+      for (std::size_t i = 0; i < count; ++i) {
+        axpy(coeffs[i], block.row(rows[i]), reference);
+      }
+      EXPECT_TRUE(bits_equal(acc, reference)) << "cols=" << cols << " count=" << count;
+    }
+  }
+}
+
+TEST(BatchKernels, AccumulateRowsSparseIntoDenseBitMatchesPerRowAxpy) {
+  const CsrMatrix m = random_sparse(20, 50, 0.25, 91);
+  const CsrRowSlice slice = m.slice(0, 20);
+  std::vector<std::uint32_t> rows = {1, 2, 4, 9, 13, 19};
+  std::vector<double> coeffs = {0.5, -1.5, 2.0, 0.25, -0.75, 1.0};
+  std::vector<double> acc(50, 0.0);
+  std::vector<double> reference(50, 0.0);
+  accumulate_rows(slice, rows, coeffs, acc);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    axpy(coeffs[i], m.row(rows[i]), reference);
+  }
+  EXPECT_TRUE(bits_equal(acc, reference));
+}
+
+TEST(BatchKernels, AccumulateRowsIntoGradVectorMatchesPerRowAxpy) {
+  const CsrMatrix m = random_sparse(20, 400, 0.05, 13);
+  const CsrRowSlice slice = m.slice(0, 20);
+  std::vector<std::uint32_t> rows;
+  std::vector<double> coeffs;
+  for (std::uint32_t r = 0; r < 20; ++r) {
+    rows.push_back(r);
+    coeffs.push_back(0.1 * static_cast<double>(r) - 0.7);
+  }
+  const GradVectorConfig cfg(400, kDefaultDensifyThreshold, /*dense_start=*/false);
+  GradVector batch(cfg);
+  GradVector reference(cfg);
+  accumulate_rows(slice, rows, coeffs, batch);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    reference.axpy(coeffs[i], m.row(rows[i]));
+  }
+  EXPECT_EQ(batch.is_dense(), reference.is_dense());
+  EXPECT_EQ(batch.nnz(), reference.nnz());
+  EXPECT_EQ(batch.size_bytes(), reference.size_bytes());
+  const DenseVector a = batch.to_dense();
+  const DenseVector b = reference.to_dense();
+  EXPECT_TRUE(bitwise_equal(a, b));
+}
+
+TEST(BatchKernels, CsrRowSliceViewsParentRows) {
+  const CsrMatrix m = random_sparse(12, 30, 0.3, 3);
+  const CsrRowSlice slice = m.slice(3, 9);
+  EXPECT_EQ(slice.rows(), 6u);
+  EXPECT_EQ(slice.cols(), 30u);
+  std::size_t nnz = 0;
+  for (std::size_t r = 0; r < slice.rows(); ++r) {
+    const SparseRowView ours = slice.row(r);
+    const SparseRowView parent = m.row(3 + r);
+    ASSERT_EQ(ours.nnz(), parent.nnz());
+    nnz += ours.nnz();
+    for (std::size_t k = 0; k < ours.nnz(); ++k) {
+      EXPECT_EQ(ours.indices[k], parent.indices[k]);
+      EXPECT_EQ(ours.values[k], parent.values[k]);
+    }
+  }
+  EXPECT_EQ(slice.nnz(), nnz);
+}
+
+TEST(GradVectorAssignDense, CopiesBitsAndSwitchesRepresentation) {
+  const GradVectorConfig cfg(8, kDefaultDensifyThreshold, /*dense_start=*/false);
+  GradVector g(cfg);
+  g.axpy(1.0, SparseVector({1, 5}, {0.5, -0.25}).view());  // sparse entries
+  const std::vector<double> v = {0.0, 1.5, -0.0, 3.0, 0.0, 0.0, 2.5, -1.0};
+  g.assign_dense(v);
+  EXPECT_TRUE(g.is_dense());
+  EXPECT_EQ(g.nnz(), 8u);
+  const DenseVector dense = g.to_dense();
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(dense[i], v[i]);
+  EXPECT_EQ(g.size_bytes(), 8u * sizeof(double));
+}
+
+TEST(GradVectorPresize, ExpectedNnzHintAvoidsRehashAndKeepsValues) {
+  GradVectorConfig hinted(1024, kDefaultDensifyThreshold, /*dense_start=*/false);
+  hinted.expected_nnz = 200;
+  GradVectorConfig unhinted(1024, kDefaultDensifyThreshold, /*dense_start=*/false);
+
+  GradVector a(hinted);
+  GradVector b(unhinted);
+  support::RngStream rng(5);
+  SparseVector row;
+  for (std::uint32_t c = 0; c < 1024; c += 5) {
+    row.push_back(c, rng.uniform(-1.0, 1.0));
+  }
+  a.axpy(0.5, row.view());
+  b.axpy(0.5, row.view());
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.size_bytes(), b.size_bytes());
+  EXPECT_TRUE(bitwise_equal(a.to_dense(), b.to_dense()));
+}
+
+}  // namespace
+}  // namespace asyncml::linalg

@@ -82,7 +82,10 @@ TEST(GradVector, DensifiesStrictlyPastThreshold) {
 }
 
 TEST(GradVector, DenseRowForcesDensify) {
-  GradVector g(GradVectorConfig(4));
+  // Threshold pinned high: this test is about dense rows forcing the switch,
+  // not about the default occupancy calibration (one entry in dim=4 would
+  // densify on its own under the default).
+  GradVector g(GradVectorConfig(4, /*threshold=*/0.9, /*dense_start=*/false));
   const std::vector<std::uint32_t> idx{2};
   const std::vector<double> val{5.0};
   g.axpy(1.0, row_view(idx, val));

@@ -86,5 +86,49 @@ TEST_P(LossGradientCheck, MatchesFiniteDifference) {
 INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradientCheck,
                          ::testing::Values("ls", "logistic", "hinge"));
 
+TEST(LossKindDispatch, ConcreteLossesReportTheirKind) {
+  EXPECT_EQ(make_least_squares()->kind(), LossKind::kLeastSquares);
+  EXPECT_EQ(make_logistic()->kind(), LossKind::kLogistic);
+  EXPECT_EQ(make_squared_hinge()->kind(), LossKind::kSquaredHinge);
+}
+
+TEST(LossKindDispatch, DerivativeBatchBitMatchesVirtualScalar) {
+  std::vector<double> margins, labels;
+  for (double m : {-37.5, -2.0, -0.5, -0.0, 0.0, 0.3, 1.0, 1.7, 40.0}) {
+    for (double y : {-1.0, 1.0, 0.5, 2.5}) {
+      margins.push_back(m);
+      labels.push_back(y);
+    }
+  }
+  for (const auto& loss :
+       {make_least_squares(), make_logistic(), make_squared_hinge()}) {
+    std::vector<double> coeffs(margins.size());
+    derivative_batch(*loss, margins, labels, coeffs);
+    for (std::size_t i = 0; i < margins.size(); ++i) {
+      const double scalar = loss->derivative(margins[i], labels[i]);
+      EXPECT_EQ(coeffs[i], scalar) << loss->name() << " margin=" << margins[i]
+                                   << " label=" << labels[i];
+    }
+  }
+}
+
+TEST(LossKindDispatch, CustomLossFallsBackToVirtualPath) {
+  struct ShiftedLoss final : Loss {
+    [[nodiscard]] double value(double margin, double label) const override {
+      return margin - label + 1.0;
+    }
+    [[nodiscard]] double derivative(double, double) const override { return 3.5; }
+    [[nodiscard]] std::string name() const override { return "shifted"; }
+  };
+  const ShiftedLoss loss;
+  EXPECT_EQ(loss.kind(), LossKind::kCustom);
+  std::vector<double> margins = {0.0, 1.0};
+  std::vector<double> labels = {1.0, -1.0};
+  std::vector<double> coeffs(2);
+  derivative_batch(loss, margins, labels, coeffs);
+  EXPECT_EQ(coeffs[0], 3.5);
+  EXPECT_EQ(coeffs[1], 3.5);
+}
+
 }  // namespace
 }  // namespace asyncml::optim

@@ -1,0 +1,171 @@
+// Bit-compatibility of the fused batch gradient pipeline with the per-row
+// reference: for every loss kind, density, and solver family, running with
+// SolverConfig::fused_kernels on vs off must produce *bit-identical*
+// trajectories — same RNG draw sequence, same margin arithmetic, same
+// per-coordinate accumulation order (grad_batch.hpp's contract).
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "optim/asgd.hpp"
+#include "optim/epoch_vr.hpp"
+#include "optim/saga.hpp"
+#include "optim/sgd.hpp"
+#include "optim/solver_util.hpp"
+
+namespace asyncml::optim {
+namespace {
+
+engine::Cluster::Config quiet_config(int workers, int cores = 1) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = cores;
+  config.network.time_scale = 0.0;
+  return config;
+}
+
+Workload make_workload(double density, std::shared_ptr<const Loss> loss,
+                       int partitions, std::size_t rows = 160, std::size_t cols = 80) {
+  if (density >= 1.0) {
+    const auto problem = data::synthetic::make_dense(
+        data::synthetic::DenseSpec{.name = "dense", .rows = rows, .cols = cols},
+        /*seed=*/23);
+    return Workload::create(std::make_shared<const data::Dataset>(problem.dataset),
+                            partitions, std::move(loss));
+  }
+  const auto problem = data::synthetic::make_sparse(
+      data::synthetic::SparseSpec{
+          .name = "sweep", .rows = rows, .cols = cols, .density = density},
+      /*seed=*/23);
+  return Workload::create(std::make_shared<const data::Dataset>(problem.dataset),
+                          partitions, std::move(loss));
+}
+
+std::shared_ptr<const Loss> loss_by_name(const std::string& name) {
+  if (name == "least_squares") return make_least_squares();
+  if (name == "logistic") return make_logistic();
+  return make_squared_hinge();
+}
+
+// The synthetic generators emit regression targets; logistic/hinge consume
+// them as real-valued labels, which exercises both sign branches of their
+// derivative kernels across a batch.
+Workload sweep_workload(double density, const std::string& loss_name,
+                        int partitions) {
+  return make_workload(density, loss_by_name(loss_name), partitions);
+}
+
+using Case = std::tuple<std::string, double>;
+
+class FusedSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FusedSweep, SgdBitIdenticalToPerRow) {
+  const auto& [loss_name, density] = GetParam();
+  const Workload workload = sweep_workload(density, loss_name, 4);
+
+  SolverConfig config;
+  config.updates = 15;
+  config.batch_fraction = 0.3;
+  config.step = constant_step(0.02);
+  config.eval_every = 15;
+  config.seed = 7;
+
+  config.fused_kernels = false;
+  engine::Cluster perrow_cluster(quiet_config(3, /*cores=*/2));
+  const RunResult perrow = SgdSolver::run(perrow_cluster, workload, config);
+
+  config.fused_kernels = true;
+  engine::Cluster fused_cluster(quiet_config(3, /*cores=*/2));
+  const RunResult fused = SgdSolver::run(fused_cluster, workload, config);
+
+  EXPECT_TRUE(linalg::bitwise_equal(perrow.final_w, fused.final_w))
+      << "loss=" << loss_name << " density=" << density;
+  // Same accumulator representations => same modeled wire bytes.
+  EXPECT_EQ(perrow.result_bytes, fused.result_bytes);
+}
+
+TEST_P(FusedSweep, SagaBitIdenticalToPerRow) {
+  const auto& [loss_name, density] = GetParam();
+  const Workload workload = sweep_workload(density, loss_name, 3);
+
+  SolverConfig config;
+  config.updates = 10;
+  config.batch_fraction = 0.3;
+  config.step = constant_step(0.01);
+  config.eval_every = 10;
+  config.seed = 11;
+
+  // One worker, one core: a serialized schedule makes the SAGA combine order
+  // (arrival order) deterministic, so the comparison isolates the kernels.
+  config.fused_kernels = false;
+  engine::Cluster perrow_cluster(quiet_config(1));
+  const RunResult perrow = SagaSolver::run(perrow_cluster, workload, config);
+
+  config.fused_kernels = true;
+  engine::Cluster fused_cluster(quiet_config(1));
+  const RunResult fused = SagaSolver::run(fused_cluster, workload, config);
+
+  EXPECT_TRUE(linalg::bitwise_equal(perrow.final_w, fused.final_w))
+      << "loss=" << loss_name << " density=" << density;
+  EXPECT_EQ(perrow.result_bytes, fused.result_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossDensityGrid, FusedSweep,
+    ::testing::Combine(::testing::Values("least_squares", "logistic",
+                                         "squared_hinge"),
+                       ::testing::Values(0.001, 0.01, 0.1, 1.0)),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      const std::string& loss = std::get<0>(info.param);
+      const double density = std::get<1>(info.param);
+      const std::string d = density >= 1.0
+                                ? "dense"
+                                : "d" + std::to_string(static_cast<int>(density * 1000));
+      return loss + "_" + d;
+    });
+
+TEST(FusedEquivalence, AsgdBitIdenticalWhenSerialized) {
+  const Workload workload = make_workload(0.05, make_least_squares(), 4);
+
+  SolverConfig config;
+  config.updates = 24;
+  config.batch_fraction = 0.25;
+  config.step = constant_step(0.02);
+  config.eval_every = 24;
+  config.seed = 13;
+
+  config.fused_kernels = false;
+  engine::Cluster perrow_cluster(quiet_config(1));
+  const RunResult perrow = AsgdSolver::run(perrow_cluster, workload, config);
+
+  config.fused_kernels = true;
+  engine::Cluster fused_cluster(quiet_config(1));
+  const RunResult fused = AsgdSolver::run(fused_cluster, workload, config);
+
+  EXPECT_TRUE(linalg::bitwise_equal(perrow.final_w, fused.final_w));
+}
+
+TEST(FusedEquivalence, EpochVrBitIdenticalWhenSerialized) {
+  const Workload workload = make_workload(0.05, make_least_squares(), 3);
+
+  SolverConfig config;
+  config.updates = 12;
+  config.epoch_inner_updates = 4;
+  config.batch_fraction = 0.3;
+  config.step = constant_step(0.02);
+  config.eval_every = 12;
+  config.seed = 17;
+
+  config.fused_kernels = false;
+  engine::Cluster perrow_cluster(quiet_config(1));
+  const RunResult perrow = EpochVrSolver::run(perrow_cluster, workload, config);
+
+  config.fused_kernels = true;
+  engine::Cluster fused_cluster(quiet_config(1));
+  const RunResult fused = EpochVrSolver::run(fused_cluster, workload, config);
+
+  EXPECT_TRUE(linalg::bitwise_equal(perrow.final_w, fused.final_w));
+}
+
+}  // namespace
+}  // namespace asyncml::optim

@@ -33,6 +33,63 @@ TEST(BlockingQueue, TryPopEmptyReturnsNullopt) {
   EXPECT_FALSE(q.try_pop().has_value());
 }
 
+TEST(BlockingQueue, DrainTakesEverythingInOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  const std::deque<int> all = q.drain();
+  ASSERT_EQ(all.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.drain().empty());
+}
+
+TEST(BlockingQueue, DrainForWaitsForFirstItem) {
+  BlockingQueue<int> q;
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(10ms);
+    q.push(1);
+    q.push(2);
+  });
+  std::deque<int> got;
+  while (got.empty()) got = q.drain_for(200ms);
+  producer.join();
+  // Everything pushed before the swap arrives in one batch; anything later
+  // is picked up by the next drain.
+  std::size_t total = got.size();
+  while (total < 2) total += q.drain_for(200ms).size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(BlockingQueue, DrainForTimesOutEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.drain_for(10ms).empty());
+}
+
+TEST(BlockingQueue, DrainUnblocksBoundedPushers) {
+  BlockingQueue<int> q(/*capacity=*/2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(3);  // blocks until drain frees capacity
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(5ms);
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.drain().size(), 2u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BlockingQueue, DrainForReturnsEmptyWhenClosedAndDrained) {
+  BlockingQueue<int> q;
+  q.push(7);
+  q.close();
+  EXPECT_EQ(q.drain_for(50ms).size(), 1u);  // pending items remain poppable
+  EXPECT_TRUE(q.drain_for(5ms).empty());    // closed + drained: no wait
+}
+
 TEST(BlockingQueue, PopForTimesOut) {
   BlockingQueue<int> q;
   const auto start = std::chrono::steady_clock::now();

@@ -1,0 +1,100 @@
+// ScratchArena: per-thread buffer reuse for the fused batch kernels.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/scratch_arena.hpp"
+
+namespace asyncml::support {
+namespace {
+
+TEST(ScratchArena, ReusesReturnedBuffers) {
+  ScratchArena arena;
+  {
+    auto a = arena.doubles(128);
+    EXPECT_EQ(a.span().size(), 128u);
+  }  // returned to the pool here
+  const std::uint64_t leases_before = arena.stats().leases;
+  const std::uint64_t hits_before = arena.stats().pool_hits;
+  {
+    auto b = arena.doubles(64);
+    EXPECT_EQ(b.span().size(), 64u);
+  }
+  EXPECT_EQ(arena.stats().leases, leases_before + 1);
+  EXPECT_EQ(arena.stats().pool_hits, hits_before + 1);  // no fresh allocation
+}
+
+TEST(ScratchArena, NestedLeasesGetDistinctBuffers) {
+  ScratchArena arena;
+  auto a = arena.zeroed_doubles(32);
+  auto b = arena.zeroed_doubles(32);  // taken while `a` is live
+  EXPECT_NE(a.span().data(), b.span().data());
+  a.span()[0] = 1.0;
+  EXPECT_EQ(b.span()[0], 0.0);
+}
+
+TEST(ScratchArena, ZeroedDoublesAreZeroAfterReuse) {
+  ScratchArena arena;
+  {
+    auto dirty = arena.doubles(16);
+    for (double& v : dirty.vec()) v = 42.0;
+  }
+  auto clean = arena.zeroed_doubles(16);
+  for (double v : clean.span()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ScratchArena, IndicesLeaseStartsEmptyWithCapacity) {
+  ScratchArena arena;
+  {
+    auto idx = arena.indices(100);
+    for (std::uint32_t i = 0; i < 50; ++i) idx.vec().push_back(i);
+  }
+  auto again = arena.indices(10);
+  EXPECT_TRUE(again.vec().empty());
+  EXPECT_GE(again.vec().capacity(), 10u);
+}
+
+TEST(ScratchArena, MoveTransfersOwnership) {
+  ScratchArena arena;
+  auto a = arena.doubles(8);
+  auto b = std::move(a);
+  EXPECT_EQ(b.span().size(), 8u);
+  // `a` must not return its (moved-from) buffer; only one return happens.
+  const std::uint64_t leases = arena.stats().leases;
+  EXPECT_EQ(leases, 1u);
+}
+
+// TSan-facing reuse test: arenas are thread_local, so hammering
+// ScratchArena::local() from many threads concurrently must be race-free
+// and every thread must see its own buffers.
+TEST(ScratchArena, ThreadLocalArenasAreIndependent) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures] {
+      for (int it = 0; it < kIterations; ++it) {
+        auto buf = ScratchArena::local().zeroed_doubles(256);
+        const double mark = static_cast<double>(t * 1'000 + it);
+        for (double& v : buf.vec()) v = mark;
+        for (double v : buf.span()) {
+          if (v != mark) failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (ScratchArena::local().stats().pool_hits + 1 <
+          ScratchArena::local().stats().leases) {
+        failures.fetch_add(1, std::memory_order_relaxed);  // reuse must kick in
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace asyncml::support

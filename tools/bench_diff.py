@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_micro.json run against a checked-in baseline.
+
+The micro benches (bench_micro_grad_batch, bench_micro_grad_accumulate,
+bench_micro_model_store) emit a flat JSON object of metrics into
+bench_results/BENCH_micro.json. This tool diffs two such files and flags
+regressions, so the perf trajectory of the hot paths is visible per PR.
+
+Metric semantics are inferred from the key name:
+  *_ns            lower is better (times)        -> flag when current/baseline > 1 + tol
+  *.speedup       higher is better (ratios)      -> flag when baseline/current > 1 + tol
+  *.bytes_ratio   higher is better (wire wins)   -> flag when baseline/current > 1 + tol
+  *.bit_identical / *.trajectory_bitmatch_*      -> flag when current != 1 (hard invariant)
+  *.adaptive_over_dense                          -> flag when current > 1.2 (advisory:
+                                                   it is measured timing too)
+
+Exit code is 0 unless --strict is passed AND a hard (bit-identity) invariant
+broke. All wall-clock-derived metrics are advisory — shared CI runners are
+noisy — so timing drift never fails the job.
+
+Usage:
+  python3 tools/bench_diff.py --baseline bench_results/BENCH_micro.baseline.json \
+      --current build/bench_results/BENCH_micro.json [--tolerance 0.3] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+ADAPTIVE_OVER_DENSE_LIMIT = 1.2
+
+
+def classify(key: str) -> str:
+    if key.endswith(".bit_identical") or ".trajectory_bitmatch" in key:
+        return "invariant"
+    if key.endswith(".adaptive_over_dense"):
+        return "bounded"
+    if key.endswith("_ns"):
+        return "lower_better"
+    if key.endswith(".speedup") or key.endswith(".bytes_ratio"):
+        return "higher_better"
+    return "info"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="relative drift allowed on timing/ratio metrics")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a hard invariant breaks")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    regressions, invariant_failures = [], []
+    keys = sorted(set(baseline) | set(current))
+    width = max((len(k) for k in keys), default=0)
+    print(f"{'metric'.ljust(width)}  {'baseline':>12}  {'current':>12}  status")
+    for key in keys:
+        base, cur = baseline.get(key), current.get(key)
+        if base is None or cur is None:
+            status = "baseline-only" if cur is None else "new"
+            # A hard invariant that simply was not measured must not slip
+            # through --strict: dropping a bench from the CI run would
+            # otherwise bypass the bit-identity guard silently.
+            if cur is None and classify(key) == "invariant":
+                status = "INVARIANT NOT MEASURED"
+                invariant_failures.append(key)
+        else:
+            kind = classify(key)
+            status = "ok"
+            if kind == "invariant" and cur != 1:
+                status = "INVARIANT BROKEN"
+                invariant_failures.append(key)
+            elif kind == "bounded" and cur > ADAPTIVE_OVER_DENSE_LIMIT:
+                # Advisory like all wall-clock metrics: the 1.2 budget is a
+                # calibration target, but it is measured timing and shared
+                # runners are noisy — report loudly, never fail --strict.
+                status = f"OVER LIMIT ({ADAPTIVE_OVER_DENSE_LIMIT})"
+                regressions.append(key)
+            elif kind == "lower_better" and base > 0 and cur / base > 1 + args.tolerance:
+                status = f"regressed {cur / base:.2f}x"
+                regressions.append(key)
+            elif kind == "higher_better" and cur > 0 and base / cur > 1 + args.tolerance:
+                status = f"regressed {base / cur:.2f}x"
+                regressions.append(key)
+
+        def fmt(v):
+            return f"{v:12.4g}" if isinstance(v, (int, float)) else f"{'-':>12}"
+
+        print(f"{key.ljust(width)}  {fmt(base)}  {fmt(cur)}  {status}")
+
+    print(f"\n{len(regressions)} timing/ratio regression(s), "
+          f"{len(invariant_failures)} invariant failure(s).")
+    if invariant_failures:
+        print("invariants:", ", ".join(invariant_failures))
+    if args.strict and invariant_failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
