@@ -8,6 +8,20 @@ AsyncContext::AsyncContext(engine::Cluster& cluster, int num_partitions,
       coordinator_(cluster),
       scheduler_(cluster, coordinator_),
       registry_(std::make_shared<HistoryRegistry>(&cluster.store(), store_config)) {
+  // Workers with a kJoinWorker fault event start outside the member set:
+  // they own no partitions and receive no dispatch until poll_membership
+  // admits them at their join version (engine/fault.hpp).
+  if (auto* faults = cluster.faults(); faults != nullptr) {
+    std::vector<bool> members(static_cast<std::size_t>(cluster.num_workers()), true);
+    bool any_dormant = false;
+    for (int w = 0; w < cluster.num_workers(); ++w) {
+      if (faults->starts_dormant(w)) {
+        members[static_cast<std::size_t>(w)] = false;
+        any_dormant = true;
+      }
+    }
+    if (any_dormant) scheduler_.set_members(std::move(members));
+  }
   scheduler_.set_num_partitions(num_partitions);
   coordinator_.start();
 }
@@ -19,9 +33,10 @@ std::optional<TaggedResult> AsyncContext::collect(
   using namespace std::chrono_literals;
   int idle_ms = 0;
   for (;;) {
-    // Speculation rides the collect loop: this is the driver's only resident
-    // spot, and it is exactly where a BSP-style round sits blocked on a
-    // straggler. No-op unless SchedulerPolicy::speculation_factor > 0.
+    // Membership and speculation ride the collect loop: this is the driver's
+    // only resident spot, and it is exactly where a BSP-style round sits
+    // blocked on a straggler (or a crashed worker's never-arriving result).
+    poll_membership();
     scheduler_.maybe_speculate();
 
     // Failures are routed to their own queue; poll it so a failed task does
@@ -62,6 +77,27 @@ std::optional<TaggedResult> AsyncContext::collect(
       idle_ms = 0;
     }
   }
+}
+
+void AsyncContext::poll_membership() {
+  auto* faults = cluster_.faults();
+  if (faults == nullptr) return;  // fault-free run: membership is static
+  for (int w = 0; w < cluster_.num_workers(); ++w) {
+    if (!scheduler_.is_member(w)) {
+      // Dormant worker: admit once the model version reaches its join point
+      // (it must still be alive — a crash event can precede the join).
+      const auto join = faults->join_version(w);
+      if (join.has_value() && coordinator_.current_version() >= *join &&
+          cluster_.worker_alive(w)) {
+        scheduler_.admit_worker(w);
+      }
+    } else if (!cluster_.worker_alive(w)) {
+      scheduler_.handle_worker_death(w);
+    }
+  }
+  // A joiner admitted while partitions were busy is still below its fair
+  // share; keep topping it up as results free partitions.
+  scheduler_.rebalance_joiners();
 }
 
 HistoryBroadcast AsyncContext::async_broadcast(const linalg::DenseVector& w) {

@@ -72,6 +72,21 @@ class AsyncContext {
   }
   void advance_version() { coordinator_.advance_version(); }
 
+  /// Seeds the version and dispatch-round counters from a checkpoint
+  /// (optim/checkpoint.hpp). Call before the first broadcast or dispatch of
+  /// a resumed run: tasks pin the model version, and the batch RNG keys on
+  /// the round seq — both streams must continue where the interrupted run
+  /// stopped, not restart at zero.
+  void restore(engine::Version version, std::uint64_t round) {
+    coordinator_.restore_version(version);
+    scheduler_.resume_round(round);
+  }
+
+  /// Replaces the total failed-task retry budget (default 10'000). Chaos
+  /// runs push far more injected failures through collect() than a healthy
+  /// run ever sees; the budget still backstops infinite retry loops.
+  void set_max_retries(std::uint64_t budget) { max_retries_total_ = budget; }
+
   // -- collection (ASYNCcollect / ASYNCcollectAll) ----------------------------
 
   /// Blocking FIFO collect. If `retry_factory` is non-null, failed tasks
@@ -197,6 +212,11 @@ class AsyncContext {
   [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
 
  private:
+  /// Applies pending membership changes (FaultPlan-driven): admits dormant
+  /// workers whose join version has been reached, removes crashed members.
+  /// No-op (one branch) when the cluster has no fault plan.
+  void poll_membership();
+
   engine::Cluster& cluster_;
   Coordinator coordinator_;
   AsyncScheduler scheduler_;

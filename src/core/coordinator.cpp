@@ -1,5 +1,7 @@
 #include "core/coordinator.hpp"
 
+#include <algorithm>
+
 #include "support/thread_util.hpp"
 
 namespace asyncml::core {
@@ -44,38 +46,59 @@ void Coordinator::process_result(engine::TaskResult result) {
   bool duplicate = false;
   {
     std::lock_guard lock(stat_mutex_);
-    apply_result_locked(result);
 
-    // First-result-wins: a task registered per identity may have replicas
-    // in flight (speculation, retries). Only the first OK result is
-    // delivered; later arrivals — and failures of already-delivered tasks,
-    // which need no retry — are dropped after their STAT bookkeeping.
-    // A failure whose identity still has a live copy is dropped too: the
-    // bit-identical replica covers the task, so a retry would be a wasted
-    // third dispatch (and would burn the shared retry budget). If the
-    // surviving copy also fails, its failure arrives with no copies left
-    // and re-arms the retry path.
+    // Excess detection BEFORE any STAT bookkeeping: an arrival from a worker
+    // whose registration for this identity was already consumed — an injected
+    // at-least-once duplicate (kDuplicateResult), or a written-off copy that
+    // surfaced after all — carries no registration, so applying it would
+    // corrupt `outstanding` and the inflight-version multiset, and deliver
+    // the same update twice.
     const TaskKey key{result.partition, result.seq};
-    if (const auto it = inflight_tasks_.find(key); it != inflight_tasks_.end()) {
-      InflightTask& entry = it->second;
-      entry.copies -= 1;
-      if (entry.delivered) {
-        duplicate = true;
-      } else if (result.ok()) {
-        entry.delivered = true;
-      } else if (entry.copies > 0) {
-        duplicate = true;  // a live replica still covers this identity
-      }
-      if (entry.copies <= 0) inflight_tasks_.erase(it);
+    const auto it = inflight_tasks_.find(key);
+    bool excess = false;
+    if (it != inflight_tasks_.end()) {
+      const auto wit = it->second.copies.find(result.worker);
+      excess = wit == it->second.copies.end() || wit->second <= 0;
+    } else if (const auto last = last_accounted_seq_.find(result.partition);
+               last != last_accounted_seq_.end()) {
+      excess = result.seq <= last->second;
     }
 
-    const engine::Version now = current_version();
-    WorkerStat row = stats_[static_cast<std::size_t>(result.worker)];
-    row.result_staleness = now - row.last_result_version;
-    row.task_staleness =
-        row.ever_dispatched ? now - row.last_dispatch_version : 0;
-    tagged.staleness = now >= result.model_version ? now - result.model_version : 0;
-    tagged.worker = row;
+    if (excess) {
+      duplicate = true;
+    } else {
+      apply_result_locked(result);
+
+      // First-result-wins: a task registered per identity may have replicas
+      // in flight (speculation, retries). Only the first OK result is
+      // delivered; later arrivals — and failures of already-delivered tasks,
+      // which need no retry — are dropped after their STAT bookkeeping.
+      // A failure whose identity still has a live copy is dropped too: the
+      // bit-identical replica covers the task, so a retry would be a wasted
+      // third dispatch (and would burn the shared retry budget). If the
+      // surviving copy also fails, its failure arrives with no copies left
+      // and re-arms the retry path.
+      if (it != inflight_tasks_.end()) {
+        InflightTask& entry = it->second;
+        if (entry.delivered) {
+          duplicate = true;
+        } else if (result.ok()) {
+          entry.delivered = true;
+        } else if (entry.copies.size() > 1 ||
+                   entry.copies.at(result.worker) > 1) {
+          duplicate = true;  // a live replica still covers this identity
+        }
+        consume_copy_locked(it, result.worker);
+      }
+
+      const engine::Version now = current_version();
+      WorkerStat row = stats_[static_cast<std::size_t>(result.worker)];
+      row.result_staleness = now - row.last_result_version;
+      row.task_staleness =
+          row.ever_dispatched ? now - row.last_dispatch_version : 0;
+      tagged.staleness = now >= result.model_version ? now - result.model_version : 0;
+      tagged.worker = row;
+    }
   }
   if (duplicate) {
     duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -99,14 +122,42 @@ void Coordinator::apply_result_locked(const engine::TaskResult& r) {
   fill_min_outstanding_locked(row);
   if (r.ok()) {
     row.tasks_completed += 1;
+    // OK results only: failures carry no real service time — an injected
+    // fault or a crash-synthesized bounce reports ~0 ms, which would drag
+    // the EWMA that steers stealing and speculation toward zero and make a
+    // faulty worker look infinitely fast.
+    auto& ewma = task_time_ewma_[static_cast<std::size_t>(r.worker)];
+    ewma.observe(r.service_ms);
+    row.avg_task_ms = ewma.value();
+    row.mean_task_ms = ewma.mean();
   } else {
     row.tasks_failed += 1;
   }
   row.last_result_version = r.model_version;
-  auto& ewma = task_time_ewma_[static_cast<std::size_t>(r.worker)];
-  ewma.observe(r.service_ms);
-  row.avg_task_ms = ewma.value();
-  row.mean_task_ms = ewma.mean();
+}
+
+void Coordinator::consume_copy_locked(std::map<TaskKey, InflightTask>::iterator it,
+                                      engine::WorkerId worker) {
+  InflightTask& entry = it->second;
+  const auto wit = entry.copies.find(worker);
+  if (wit != entry.copies.end() && --wit->second <= 0) entry.copies.erase(wit);
+  if (entry.copies.empty()) {
+    std::uint64_t& floor = last_accounted_seq_[it->first.first];
+    floor = std::max(floor, it->first.second);
+    inflight_tasks_.erase(it);
+  }
+}
+
+void Coordinator::unwind_dispatch_locked(engine::WorkerId worker,
+                                         engine::Version version) {
+  WorkerStat& row = stats_[static_cast<std::size_t>(worker)];
+  row.outstanding = std::max(0, row.outstanding - 1);
+  row.available = row.outstanding == 0;
+  auto& inflight = inflight_versions_[static_cast<std::size_t>(worker)];
+  if (const auto it = inflight.find(version); it != inflight.end()) {
+    inflight.erase(it);
+  }
+  fill_min_outstanding_locked(row);
 }
 
 StatSnapshot Coordinator::stat() const {
@@ -159,17 +210,18 @@ void Coordinator::on_task_dispatch(engine::WorkerId worker,
                                    const engine::TaskSpec& spec) {
   std::lock_guard lock(stat_mutex_);
   register_dispatch_locked(worker, 1, spec.model_version);
-  inflight_tasks_[TaskKey{spec.partition, spec.seq}].copies += 1;
+  inflight_tasks_[TaskKey{spec.partition, spec.seq}].copies[worker] += 1;
 }
 
 bool Coordinator::try_register_replica(engine::WorkerId worker,
                                        const engine::TaskSpec& spec) {
   std::lock_guard lock(stat_mutex_);
   const auto it = inflight_tasks_.find(TaskKey{spec.partition, spec.seq});
-  if (it == inflight_tasks_.end() || it->second.delivered || it->second.copies <= 0) {
+  if (it == inflight_tasks_.end() || it->second.delivered ||
+      it->second.copies.empty()) {
     return false;  // original already accounted: a replica would double-deliver
   }
-  it->second.copies += 1;
+  it->second.copies[worker] += 1;
   register_dispatch_locked(worker, 1, spec.model_version);
   return true;
 }
@@ -177,19 +229,25 @@ bool Coordinator::try_register_replica(engine::WorkerId worker,
 void Coordinator::on_dispatch_aborted(engine::WorkerId worker,
                                       const engine::TaskSpec& spec) {
   std::lock_guard lock(stat_mutex_);
-  WorkerStat& row = stats_[static_cast<std::size_t>(worker)];
-  row.outstanding = std::max(0, row.outstanding - 1);
-  row.available = row.outstanding == 0;
-  auto& inflight = inflight_versions_[static_cast<std::size_t>(worker)];
-  if (const auto it = inflight.find(spec.model_version); it != inflight.end()) {
-    inflight.erase(it);
-  }
-  fill_min_outstanding_locked(row);
+  unwind_dispatch_locked(worker, spec.model_version);
   if (const auto it = inflight_tasks_.find(TaskKey{spec.partition, spec.seq});
       it != inflight_tasks_.end()) {
-    it->second.copies -= 1;
-    if (it->second.copies <= 0) inflight_tasks_.erase(it);
+    consume_copy_locked(it, worker);
   }
+}
+
+bool Coordinator::try_write_off(engine::WorkerId worker,
+                                const engine::TaskSpec& spec) {
+  std::lock_guard lock(stat_mutex_);
+  const auto it = inflight_tasks_.find(TaskKey{spec.partition, spec.seq});
+  if (it == inflight_tasks_.end()) return false;
+  const auto wit = it->second.copies.find(worker);
+  if (wit == it->second.copies.end() || wit->second <= 0) {
+    return false;  // that copy's result already arrived: nothing to write off
+  }
+  unwind_dispatch_locked(worker, spec.model_version);
+  consume_copy_locked(it, worker);
+  return true;
 }
 
 void Coordinator::register_dispatch_locked(engine::WorkerId worker, int tasks,

@@ -86,6 +86,13 @@ class Coordinator {
   /// Bumps the model version; call after every model update.
   void advance_version() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
+  /// Seeds the version counter from a checkpoint. Call before any dispatch:
+  /// tasks pin the version at dispatch time, so a resumed run must start
+  /// counting where the interrupted one stopped (optim/checkpoint.hpp).
+  void restore_version(engine::Version version) {
+    version_.store(version, std::memory_order_release);
+  }
+
   /// Records that `tasks` tasks were dispatched to `worker` against `version`
   /// (called by the scheduler; marks the worker unavailable). Results of
   /// tasks registered this way are always delivered — use on_task_dispatch
@@ -115,6 +122,16 @@ class Coordinator {
   /// would pin `outstanding` and the history-GC bound forever.
   void on_dispatch_aborted(engine::WorkerId worker, const engine::TaskSpec& spec);
 
+  /// Writes off a registered copy presumed lost in transit (a dropped result
+  /// — see engine/fault.hpp): unwinds its STAT registration like
+  /// on_dispatch_aborted, but only if that copy is still unaccounted — false
+  /// means its result arrived in the meantime and nothing was changed, so the
+  /// caller can never double-unwind in the race against the drain thread.
+  /// Should the written-off result surface after all, per-worker dedup drops
+  /// it as an excess arrival without touching STAT.
+  [[nodiscard]] bool try_write_off(engine::WorkerId worker,
+                                   const engine::TaskSpec& spec);
+
   /// Total tasks in flight across all workers (deadlock diagnostics).
   [[nodiscard]] int total_outstanding() const;
 
@@ -134,7 +151,13 @@ class Coordinator {
   /// the same partition.
   using TaskKey = std::pair<engine::PartitionId, std::uint64_t>;
   struct InflightTask {
-    int copies = 0;        ///< dispatched replicas still unaccounted for
+    /// Unaccounted replicas per worker. Accounting is per (identity, worker):
+    /// an at-least-once transport echo from one worker (kDuplicateResult) can
+    /// never consume the registration of a replica still running elsewhere —
+    /// with a single shared count, a duplicate would burn the entry and the
+    /// late replica's arrival would corrupt `outstanding` and be delivered a
+    /// second time.
+    std::map<engine::WorkerId, int> copies;
     bool delivered = false;  ///< an OK result has already been released
   };
 
@@ -144,6 +167,12 @@ class Coordinator {
   void apply_result_locked(const engine::TaskResult& r);
   void register_dispatch_locked(engine::WorkerId worker, int tasks,
                                 engine::Version version);
+  /// Reverses one register_dispatch_locked slot (STAT half of abort/write-off).
+  void unwind_dispatch_locked(engine::WorkerId worker, engine::Version version);
+  /// Drops the worker's copy from `it`'s entry; erases the entry when no
+  /// copies remain and records the identity in last_accounted_seq_.
+  void consume_copy_locked(std::map<TaskKey, InflightTask>::iterator it,
+                           engine::WorkerId worker);
   /// Refreshes `row.min_outstanding_version` from the in-flight version
   /// multiset; requires stat_mutex_ held.
   void fill_min_outstanding_locked(WorkerStat& row) const;
@@ -163,6 +192,11 @@ class Coordinator {
   /// (on_task_dispatch). Entries die when their last replica is accounted
   /// for, so the map stays bounded by the in-flight task count.
   std::map<TaskKey, InflightTask> inflight_tasks_;
+  /// Highest fully-accounted seq per partition. An arrival with no inflight
+  /// entry and seq at or below this floor was already accounted in full —
+  /// an injected duplicate of a retired task, or a written-off copy that
+  /// surfaced late — and must be dropped without any STAT bookkeeping.
+  std::map<engine::PartitionId, std::uint64_t> last_accounted_seq_;
   std::atomic<std::uint64_t> duplicates_dropped_{0};
 
   support::BlockingQueue<TaggedResult> results_;

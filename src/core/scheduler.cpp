@@ -1,6 +1,7 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <string>
 
@@ -21,6 +22,8 @@ double speed_ms(const WorkerStat& row, double fallback) {
 AsyncScheduler::AsyncScheduler(engine::Cluster& cluster, Coordinator& coordinator)
     : cluster_(cluster), coordinator_(coordinator) {
   owned_.resize(static_cast<std::size_t>(cluster.num_workers()));
+  member_.assign(static_cast<std::size_t>(cluster.num_workers()), true);
+  filling_.assign(static_cast<std::size_t>(cluster.num_workers()), false);
 }
 
 void AsyncScheduler::set_num_partitions(int num_partitions) {
@@ -29,11 +32,121 @@ void AsyncScheduler::set_num_partitions(int num_partitions) {
   inflight_.assign(static_cast<std::size_t>(num_partitions), InflightRecord{});
   pending_migration_ms_.assign(static_cast<std::size_t>(num_partitions), 0.0);
   busy_count_ = 0;
+  // Distribute over *members* only: with all workers members this is exactly
+  // data::partitions_of_worker's p % W placement (bit-compatible with the
+  // fixed scheduler); dormant workers own nothing until admitted.
+  std::vector<engine::WorkerId> live;
   for (int w = 0; w < cluster_.num_workers(); ++w) {
-    owned_[static_cast<std::size_t>(w)] =
-        data::partitions_of_worker(w, num_partitions, cluster_.num_workers());
+    owned_[static_cast<std::size_t>(w)].clear();
+    if (member_[static_cast<std::size_t>(w)]) live.push_back(w);
+  }
+  assert(!live.empty() && "AsyncScheduler: member set must not be empty");
+  for (engine::PartitionId p = 0; p < num_partitions; ++p) {
+    owned_[static_cast<std::size_t>(live[static_cast<std::size_t>(p) % live.size()])]
+        .push_back(p);
   }
   cursor_.assign(static_cast<std::size_t>(cluster_.num_workers()), 0);
+}
+
+void AsyncScheduler::set_members(std::vector<bool> members) {
+  assert(static_cast<int>(members.size()) == cluster_.num_workers());
+  member_ = std::move(members);
+  filling_.assign(member_.size(), false);
+}
+
+int AsyncScheduler::member_count() const {
+  return static_cast<int>(std::count(member_.begin(), member_.end(), true));
+}
+
+bool AsyncScheduler::dispatchable(engine::WorkerId worker) const {
+  return member_[static_cast<std::size_t>(worker)] && cluster_.worker_alive(worker);
+}
+
+int AsyncScheduler::admit_worker(engine::WorkerId worker) {
+  if (member_[static_cast<std::size_t>(worker)]) return 0;
+  member_[static_cast<std::size_t>(worker)] = true;
+  filling_[static_cast<std::size_t>(worker)] = true;
+  return rebalance_joiners();
+}
+
+int AsyncScheduler::rebalance_joiners() {
+  int moved = 0;
+  const int members = member_count();
+  const int share = members > 0 ? num_partitions_ / members : 0;
+  for (int w = 0; w < cluster_.num_workers(); ++w) {
+    if (!filling_[static_cast<std::size_t>(w)]) continue;
+    if (!member_[static_cast<std::size_t>(w)] || !cluster_.worker_alive(w)) {
+      filling_[static_cast<std::size_t>(w)] = false;  // crashed before filling
+      continue;
+    }
+    moved += fill_toward_share(w);
+    if (static_cast<int>(owned_[static_cast<std::size_t>(w)].size()) >= share) {
+      filling_[static_cast<std::size_t>(w)] = false;  // reached its fair share
+    }
+  }
+  return moved;
+}
+
+int AsyncScheduler::fill_toward_share(engine::WorkerId worker) {
+  const int members = member_count();
+  const int share = members > 0 ? num_partitions_ / members : 0;
+  // Pull idle partitions from the most-loaded members until the newcomer
+  // holds its fair share; busy partitions stay put (their in-flight task
+  // already targets the old owner — moving them buys nothing now). If
+  // everything is busy right now, the membership poll retries on the next
+  // collect pass (rebalance_empty_members), when results have freed some.
+  int moved = 0;
+  while (static_cast<int>(owned_[static_cast<std::size_t>(worker)].size()) < share) {
+    int victim = -1;
+    engine::PartitionId candidate = engine::kNoPartition;
+    for (int w = 0; w < cluster_.num_workers(); ++w) {
+      if (w == worker || !member_[static_cast<std::size_t>(w)]) continue;
+      const auto& owned = owned_[static_cast<std::size_t>(w)];
+      if (static_cast<int>(owned.size()) <= share || owned.size() <= 1) continue;
+      if (victim >= 0 &&
+          owned.size() <= owned_[static_cast<std::size_t>(victim)].size()) {
+        continue;
+      }
+      for (const engine::PartitionId p : owned) {
+        if (!busy_[static_cast<std::size_t>(p)]) {
+          victim = w;
+          candidate = p;
+          break;
+        }
+      }
+    }
+    if (victim < 0) break;
+    transfer_ownership(candidate, victim, worker);
+    ++moved;
+  }
+  return moved;
+}
+
+int AsyncScheduler::handle_worker_death(engine::WorkerId worker) {
+  if (!member_[static_cast<std::size_t>(worker)]) return 0;
+  member_[static_cast<std::size_t>(worker)] = false;
+  // Every partition the dead worker owned — busy ones included; their
+  // in-flight tasks surface as crash-synthesized failures and are
+  // resubmitted to the new owner's side of the cluster — moves to the
+  // currently least-loaded alive member.
+  const std::vector<engine::PartitionId> orphans =
+      owned_[static_cast<std::size_t>(worker)];
+  int moved = 0;
+  for (const engine::PartitionId p : orphans) {
+    int heir = -1;
+    for (int w = 0; w < cluster_.num_workers(); ++w) {
+      if (!dispatchable(w)) continue;
+      if (heir < 0 ||
+          owned_[static_cast<std::size_t>(w)].size() <
+              owned_[static_cast<std::size_t>(heir)].size()) {
+        heir = w;
+      }
+    }
+    if (heir < 0) break;  // no member left alive: nothing to inherit the data
+    transfer_ownership(p, worker, heir);
+    ++moved;
+  }
+  return moved;
 }
 
 void AsyncScheduler::set_policy(SchedulerPolicy policy) { policy_ = std::move(policy); }
@@ -100,6 +213,7 @@ int AsyncScheduler::dispatch_partitions(engine::WorkerId worker,
   const int already_queued =
       coordinator_.outstanding(worker) - static_cast<int>(specs.size());
   int batch_index = 0;
+  int accepted = 0;
   for (engine::TaskSpec& spec : specs) {
     auto& record = inflight_[static_cast<std::size_t>(spec.partition)];
     record.spec = spec;  // exact copy: a replica must recompute bit-identically
@@ -108,13 +222,26 @@ int AsyncScheduler::dispatch_partitions(engine::WorkerId worker,
     record.queue_ahead = std::max(0, already_queued) + batch_index;
     record.speculated = false;
     record.valid = true;
-    ++batch_index;
-    cluster_.submit(worker, std::move(spec));
+    if (cluster_.submit(worker, spec)) {
+      ++batch_index;
+      ++accepted;
+      continue;
+    }
+    // The transport rejected the submit (fault injection, shutdown): unwind
+    // the registration and free the partition, or the phantom task would pin
+    // `outstanding` — and with it sync-round result counts, the collect
+    // deadlock guard, and the history-GC bound — forever. The partition is
+    // simply not part of this round; the next dispatch pass retries it.
+    coordinator_.on_dispatch_aborted(worker, spec);
+    busy_[static_cast<std::size_t>(spec.partition)] = false;
+    --busy_count_;
+    record.valid = false;
   }
-  return static_cast<int>(specs.size());
+  return accepted;
 }
 
 int AsyncScheduler::dispatch_worker(engine::WorkerId worker, const TaskFactory& factory) {
+  if (!dispatchable(worker)) return 0;
   const int cores = cluster_.config().cores_per_worker;
   return dispatch_partitions(worker, factory, ++round_, cores);
 }
@@ -133,6 +260,7 @@ int AsyncScheduler::dispatch_eligible(const BarrierControl& barrier,
   const std::uint64_t seq = round_ + 1;
   int submitted = 0;
   for (const WorkerStat& w : stat.workers) {
+    if (!dispatchable(w.id)) continue;
     const int free = cores - w.outstanding;
     if (free <= 0) continue;
     if (!barrier.filter(w, stat)) continue;
@@ -149,6 +277,7 @@ int AsyncScheduler::dispatch_all(const TaskFactory& factory) {
   const std::uint64_t seq = ++round_;
   int submitted = 0;
   for (int w = 0; w < cluster_.num_workers(); ++w) {
+    if (!dispatchable(w)) continue;
     submitted += dispatch_partitions(w, factory, seq, /*budget=*/-1);
   }
   return submitted;
@@ -271,12 +400,16 @@ void AsyncScheduler::transfer_ownership(engine::PartitionId partition,
 }
 
 int AsyncScheduler::maybe_speculate() {
-  if (policy_.speculation_factor <= 0.0 || cluster_.num_workers() < 2) return 0;
+  if ((policy_.speculation_factor <= 0.0 && policy_.lost_task_factor <= 0.0) ||
+      cluster_.num_workers() < 2) {
+    return 0;
+  }
   if (busy_count_ == 0) return 0;
   const StatSnapshot stat = coordinator_.stat();
   const double median = stat.median_avg_task_ms();
   if (median <= 0.0) return 0;
   const double threshold_ms = policy_.speculation_factor * median;
+  const double lost_ms = policy_.lost_task_factor * median;
   const support::TimePoint now = support::Clock::now();
   const int cores = cluster_.config().cores_per_worker;
 
@@ -289,33 +422,55 @@ int AsyncScheduler::maybe_speculate() {
   for (engine::PartitionId p = 0; p < num_partitions_; ++p) {
     if (!busy_[static_cast<std::size_t>(p)]) continue;
     InflightRecord& record = inflight_[static_cast<std::size_t>(p)];
-    if (!record.valid || record.speculated) continue;
+    if (!record.valid) continue;
     const double age_ms = support::to_ms(now - record.dispatched_at);
-    if (age_ms <= threshold_ms) continue;
 
-    // Overdue by the age rule. Replicate only if the assigned worker's
-    // *predicted remaining* time still exceeds what a fresh replica needs:
-    // queue position × the worker's current EWMA says when the task should
-    // finish, so a deep-but-healthy queue is left alone while a task doomed
-    // to a straggler's second wave is rescued as soon as the EWMA knows.
-    const WorkerStat& assigned = stat.workers[static_cast<std::size_t>(record.worker)];
-    const double waves = static_cast<double>(record.queue_ahead / cores + 1);
-    const double predicted_remaining = waves * speed_ms(assigned, median) - age_ms;
-    const double replica_cost =
-        median + cluster_.network().transfer_ms(partition_data_bytes(p));
-    if (predicted_remaining <= 1.2 * replica_cost) continue;
+    // Past the lost horizon the result is presumed gone for good (dropped in
+    // transit, or its holder crashed): waiting longer cannot pay off, so the
+    // rescue bypasses the one-replica limit and the predicted-remaining
+    // gate below. record.dispatched_at is refreshed on rescue, so a stranded
+    // rescue re-arms only after a full horizon of its own.
+    const bool presumed_lost = policy_.lost_task_factor > 0.0 && age_ms > lost_ms;
+    if (!presumed_lost) {
+      if (policy_.speculation_factor <= 0.0 || record.speculated) continue;
+      if (age_ms <= threshold_ms) continue;
 
-    // Target: the fastest worker with a free core, excluding the one already
-    // running the task; workers slower than ~the median are no rescue.
+      // Overdue by the age rule. Replicate only if the assigned worker's
+      // *predicted remaining* time still exceeds what a fresh replica needs:
+      // queue position × the worker's current EWMA says when the task should
+      // finish, so a deep-but-healthy queue is left alone while a task doomed
+      // to a straggler's second wave is rescued as soon as the EWMA knows.
+      const WorkerStat& assigned = stat.workers[static_cast<std::size_t>(record.worker)];
+      const double waves = static_cast<double>(record.queue_ahead / cores + 1);
+      const double predicted_remaining = waves * speed_ms(assigned, median) - age_ms;
+      const double replica_cost =
+          median + cluster_.network().transfer_ms(partition_data_bytes(p));
+      if (predicted_remaining <= 1.2 * replica_cost) continue;
+    }
+
+    // Target: the fastest dispatchable worker with a free core, excluding
+    // the one already holding the task. Regular speculation refuses targets
+    // slower than ~the median (no rescue); a lost-task rescue takes any
+    // alive member — the alternative is never finishing the round — and may
+    // even queue behind a busy core: on a saturated cluster (dispatch refills
+    // every core between collects) a free core never shows at sweep time, so
+    // insisting on one would strand the rescue forever. Free cores still win
+    // ties so the rescue runs as soon as possible.
     int target = -1;
     double target_speed = 0.0;
+    bool target_free = false;
     for (int w = 0; w < cluster_.num_workers(); ++w) {
-      if (w == record.worker || free[static_cast<std::size_t>(w)] <= 0) continue;
+      if (w == record.worker) continue;
+      const bool has_free = free[static_cast<std::size_t>(w)] > 0;
+      if (!has_free && !presumed_lost) continue;
+      if (!dispatchable(w)) continue;
       const double s = speed_ms(stat.workers[static_cast<std::size_t>(w)], median);
-      if (s > 1.25 * median) continue;
-      if (target < 0 || s < target_speed) {
+      if (!presumed_lost && s > 1.25 * median) continue;
+      if (target < 0 || (has_free && !target_free) ||
+          (has_free == target_free && s < target_speed)) {
         target = w;
         target_speed = s;
+        target_free = has_free;
       }
     }
     if (target < 0) continue;
@@ -341,7 +496,21 @@ int AsyncScheduler::maybe_speculate() {
       coordinator_.on_dispatch_aborted(target, replica);
       break;
     }
-    record.speculated = true;
+    if (presumed_lost) {
+      // Replacement registered FIRST, lost copy written off SECOND: the
+      // identity holds a registered copy throughout, so a concurrent late
+      // arrival can never retire the entry mid-rescue. try_write_off
+      // returning false means the "lost" result landed after all — then
+      // both copies are genuine and first-result-wins settles it.
+      (void)coordinator_.try_write_off(record.worker, record.spec);
+      record.spec = replica;
+      record.worker = target;
+      record.dispatched_at = support::Clock::now();
+      record.queue_ahead = std::max(0, coordinator_.outstanding(target) - 1);
+      record.speculated = false;  // the rescue gets a full horizon of its own
+    } else {
+      record.speculated = true;
+    }
     free[static_cast<std::size_t>(target)] -= 1;
     cluster_.metrics().tasks_speculated.add(1);
     cluster_.metrics().migration_bytes.add(bytes);
@@ -353,22 +522,46 @@ int AsyncScheduler::maybe_speculate() {
 
 void AsyncScheduler::resubmit(const engine::TaskResult& failed,
                               const TaskFactory& factory) {
-  const engine::WorkerId target = (failed.worker + 1) % cluster_.num_workers();
-  engine::TaskSpec spec = factory(failed.partition);
-  spec.id = cluster_.next_task_id();
-  spec.seq = failed.seq;  // keep the round: the retry recomputes the same batch
-  // The partition is still marked busy from its original dispatch.
-  coordinator_.on_task_dispatch(target, spec);
-  if (failed.partition >= 0 && failed.partition < num_partitions_) {
-    auto& record = inflight_[static_cast<std::size_t>(failed.partition)];
-    record.spec = spec;
-    record.dispatched_at = support::Clock::now();
-    record.worker = target;
-    record.queue_ahead = std::max(0, coordinator_.outstanding(target) - 1);
-    record.speculated = false;
-    record.valid = true;
+  // Next *dispatchable* worker after the failed one: a retry must never land
+  // back on a crashed worker (it would bounce forever and burn the retry
+  // budget). Falls back to the failed worker itself only when it is the sole
+  // survivor of the hop scan.
+  std::vector<engine::WorkerId> candidates;
+  for (int hop = 1; hop <= cluster_.num_workers(); ++hop) {
+    const engine::WorkerId candidate =
+        (failed.worker + hop) % cluster_.num_workers();
+    if (dispatchable(candidate)) candidates.push_back(candidate);
   }
-  cluster_.submit(target, std::move(spec));
+  if (candidates.empty()) candidates.push_back((failed.worker + 1) % cluster_.num_workers());
+  for (const engine::WorkerId target : candidates) {
+    engine::TaskSpec spec = factory(failed.partition);
+    spec.id = cluster_.next_task_id();
+    spec.seq = failed.seq;  // keep the round: the retry recomputes the same batch
+    // The partition is still marked busy from its original dispatch.
+    coordinator_.on_task_dispatch(target, spec);
+    if (cluster_.submit(target, spec)) {
+      if (failed.partition >= 0 && failed.partition < num_partitions_) {
+        auto& record = inflight_[static_cast<std::size_t>(failed.partition)];
+        record.spec = std::move(spec);
+        record.dispatched_at = support::Clock::now();
+        record.worker = target;
+        record.queue_ahead = std::max(0, coordinator_.outstanding(target) - 1);
+        record.speculated = false;
+        record.valid = true;
+      }
+      return;
+    }
+    // Submit rejected: unwind and try the next candidate.
+    coordinator_.on_dispatch_aborted(target, spec);
+  }
+  // Every candidate rejected the retry. Free the partition so a later
+  // dispatch pass can reschedule it instead of leaving it busy forever.
+  if (failed.partition >= 0 && failed.partition < num_partitions_ &&
+      busy_[static_cast<std::size_t>(failed.partition)]) {
+    busy_[static_cast<std::size_t>(failed.partition)] = false;
+    --busy_count_;
+    inflight_[static_cast<std::size_t>(failed.partition)].valid = false;
+  }
 }
 
 void AsyncScheduler::on_result_collected(engine::PartitionId partition) {

@@ -66,6 +66,23 @@ struct SchedulerPolicy {
   /// <= 0 disables speculation.
   double speculation_factor = 0.0;
 
+  /// Lost-task rescue: a task whose in-flight age exceeds `lost_task_factor`
+  /// × the cluster-median EWMA service time is presumed lost — its result
+  /// was dropped in transit or its holder died without notice — so ordinary
+  /// speculation can never pay off (the "original" will not finish). The
+  /// sweep writes the lost copy's registration off (Coordinator::
+  /// try_write_off, race-safe against a late arrival) and dispatches a
+  /// fresh replica, bypassing both the one-replica-per-task limit and the
+  /// predicted-remaining gate, accepting any alive worker with a free core.
+  /// <= 0 disables rescue (the default): like speculation, rescue re-executes
+  /// tasks, which is only safe when task closures are stateless or
+  /// re-entrant — SAGA's version-table tasks are neither. Runs that face
+  /// result drops or crashes (chaos tests) opt in; 6.0 is a sane value, well
+  /// above any speculation_factor. On a fast simulated cluster the EWMA
+  /// median is sub-millisecond, so a horizon even briefly exceeded would
+  /// otherwise fire constantly.
+  double lost_task_factor = 0.0;
+
   /// Hysteresis for stealing: a move must shrink the victim's estimated
   /// drain time to below 1/steal_margin of its current value relative to
   /// the thief's, so EWMA jitter on a healthy cluster never triggers moves
@@ -87,8 +104,57 @@ class AsyncScheduler {
 
   AsyncScheduler(engine::Cluster& cluster, Coordinator& coordinator);
 
-  /// Fixes the initial placement: partition p lives on worker p % W.
+  /// Fixes the initial placement over the current member set: with all
+  /// workers members (the default) partition p lives on worker p % W; with
+  /// M < W members, on the p % M-th member. Call set_members first.
   void set_num_partitions(int num_partitions);
+
+  // -- elastic membership ----------------------------------------------------
+  //
+  // The member set is the workers that own partitions and receive dispatch.
+  // It changes mid-run: a dormant worker joins (FaultPlan kJoinWorker →
+  // AsyncContext admits it), a crashed worker leaves. Neither event changes
+  // any computed value — partition ownership moves, but a task's mini-batch
+  // still derives from (seed, partition, seq) alone.
+
+  /// Replaces the member set (size = cluster worker count). Call before
+  /// set_num_partitions; non-members own nothing and receive no dispatch
+  /// until admitted.
+  void set_members(std::vector<bool> members);
+  [[nodiscard]] bool is_member(engine::WorkerId worker) const {
+    return member_[static_cast<std::size_t>(worker)];
+  }
+  [[nodiscard]] int member_count() const;
+
+  /// Admits a dormant worker mid-run: marks it a member and moves idle
+  /// partitions onto it from the most-loaded members, up to its fair share
+  /// (⌊P / members⌋), charging the modeled migration cost. The worker's
+  /// first task per partition then cold-anchors on the nearest store
+  /// snapshot and catches up over the delta chain (store/model_store.hpp).
+  /// Returns the number of partitions transferred.
+  int admit_worker(engine::WorkerId worker);
+
+  /// Tops mid-run joiners up toward their fair share: admit_worker can only
+  /// move partitions that are idle *right now*, so a worker admitted while
+  /// everything was busy keeps filling as results free partitions. Called by
+  /// the AsyncContext membership poll each collect pass; restricted to
+  /// workers still flagged as filling (a one-shot per admission), so a
+  /// settled distribution — including one reshaped by work stealing — never
+  /// churns. Returns the number of partitions transferred.
+  int rebalance_joiners();
+
+  /// Removes a dead worker from the member set and moves every partition it
+  /// owned to the least-loaded alive members. Tasks it held in flight are
+  /// not touched here: they surface as crash-synthesized failures and ride
+  /// the normal retry path (or a replica already covers them). Returns the
+  /// number of partitions transferred.
+  int handle_worker_death(engine::WorkerId worker);
+
+  /// Seeds the round counter from a checkpoint. Call before the first
+  /// dispatch of a resumed run: mini-batches derive from (seed, partition,
+  /// seq), so the seq stream must continue where the interrupted run
+  /// stopped for the resumed trajectory to match the uninterrupted one.
+  void resume_round(std::uint64_t round) { round_ = round; }
 
   /// Installs the dynamic-placement policy (defaults keep both features
   /// off, i.e. the classic fixed-placement scheduler).
@@ -174,9 +240,18 @@ class AsyncScheduler {
   [[nodiscard]] std::size_t partition_data_bytes(engine::PartitionId p) const;
   [[nodiscard]] int idle_owned(engine::WorkerId worker) const;
 
+  /// True when `worker` may be dispatched to: a member that is still alive.
+  [[nodiscard]] bool dispatchable(engine::WorkerId worker) const;
+
+  /// Moves idle partitions from the most-loaded members onto `worker` until
+  /// it owns its fair share (⌊P / members⌋); the admit/rebalance core.
+  int fill_toward_share(engine::WorkerId worker);
+
   engine::Cluster& cluster_;
   Coordinator& coordinator_;
   SchedulerPolicy policy_;
+  std::vector<bool> member_;   ///< elastic member set (all true by default)
+  std::vector<bool> filling_;  ///< joiners still below their fair share
   std::vector<std::vector<engine::PartitionId>> owned_;
   std::vector<bool> busy_;           ///< per-partition in-flight flag
   std::vector<std::size_t> cursor_;  ///< per-worker round-robin position

@@ -23,6 +23,9 @@ void validate(const Cluster::Config& config) {
 
 Cluster::Cluster(Config config)
     : config_((validate(config), std::move(config))),
+      faults_(config_.faults.empty()
+                  ? nullptr
+                  : std::make_unique<FaultState>(config_.faults)),
       metrics_(std::make_unique<ClusterMetrics>(config_.num_workers)),
       delay_owned_(config_.delay ? config_.delay : std::make_shared<const NoDelay>()) {
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
@@ -33,7 +36,7 @@ Cluster::Cluster(Config config)
     deps.delay = delay_owned_.get();
     deps.metrics = metrics_.get();
     deps.results = &results_;
-    deps.fault_injector = config_.fault_injector;
+    deps.faults = faults_.get();
     workers_.push_back(std::make_unique<Worker>(w, config_.cores_per_worker, deps));
   }
 }
@@ -43,6 +46,11 @@ Cluster::~Cluster() { shutdown(); }
 bool Cluster::submit(WorkerId worker, TaskSpec spec) {
   if (shut_down_.load(std::memory_order_acquire)) return false;
   assert(worker >= 0 && worker < config_.num_workers);
+  // Injected dispatch failure: reported exactly like shutdown so callers run
+  // their real abort/unwind path (the scheduler's on_dispatch_aborted).
+  if (faults_ != nullptr && faults_->should_reject_submit(worker, spec)) {
+    return false;
+  }
   return workers_[static_cast<std::size_t>(worker)]->submit(std::move(spec));
 }
 

@@ -14,6 +14,7 @@
 
 #include "engine/broadcast.hpp"
 #include "engine/delay_model.hpp"
+#include "engine/fault.hpp"
 #include "engine/metrics.hpp"
 #include "engine/network.hpp"
 #include "engine/task.hpp"
@@ -31,8 +32,9 @@ class Cluster {
     NetworkModel network;
     /// Straggler behaviour; null means no delay.
     std::shared_ptr<const DelayModel> delay;
-    /// Test hook for fault-tolerance paths.
-    FaultInjector fault_injector;
+    /// Declarative failure schedule (crashes, drops, delays, joins); an empty
+    /// plan costs nothing at runtime. See engine/fault.hpp.
+    FaultPlan faults;
   };
 
   explicit Cluster(Config config);
@@ -59,8 +61,18 @@ class Cluster {
   /// Fresh unique task id.
   [[nodiscard]] TaskId next_task_id() noexcept { return next_task_id_.fetch_add(1); }
 
-  /// Ships a task to a worker's mailbox. Returns false if shut down.
+  /// Ships a task to a worker's mailbox. Returns false if shut down or if a
+  /// kRejectSubmit fault fires for this (worker, task) — indistinguishable to
+  /// callers, which is the point: the dispatch-abort unwind path is the same.
   bool submit(WorkerId worker, TaskSpec spec);
+
+  /// False once a kCrashWorker fault has felled `worker` (fail-stop).
+  [[nodiscard]] bool worker_alive(WorkerId worker) const {
+    return workers_.at(static_cast<std::size_t>(worker))->alive();
+  }
+
+  /// The compiled fault plan, or nullptr when the plan is empty.
+  [[nodiscard]] FaultState* faults() noexcept { return faults_.get(); }
 
   /// Result channel: every completed task lands here exactly once.
   [[nodiscard]] support::BlockingQueue<TaskResult>& results() noexcept { return results_; }
@@ -78,6 +90,7 @@ class Cluster {
 
  private:
   Config config_;
+  std::unique_ptr<FaultState> faults_;
   BroadcastStore store_;
   std::unique_ptr<ClusterMetrics> metrics_;
   support::BlockingQueue<TaskResult> results_;

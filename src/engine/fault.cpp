@@ -1,0 +1,170 @@
+#include "engine/fault.hpp"
+
+#include "engine/task.hpp"
+
+namespace asyncml::engine {
+
+namespace {
+
+bool key_matches(const FaultKey& key, WorkerId worker, const TaskSpec& spec) {
+  if (key.worker.has_value() && *key.worker != worker) return false;
+  if (key.partition.has_value() && *key.partition != spec.partition) return false;
+  if (key.seq.has_value() && *key.seq != spec.seq) return false;
+  return true;
+}
+
+bool in_window(const FaultEvent& event, std::uint64_t match_index) {
+  if (match_index <= event.after) return false;
+  return event.times == 0 || match_index <= event.after + event.times;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::fail_task(FaultKey key, std::uint64_t times, std::uint64_t after) {
+  return add({.kind = FaultKind::kFailTask, .key = key, .after = after, .times = times});
+}
+
+FaultPlan& FaultPlan::reject_submit(FaultKey key, std::uint64_t times,
+                                    std::uint64_t after) {
+  return add(
+      {.kind = FaultKind::kRejectSubmit, .key = key, .after = after, .times = times});
+}
+
+FaultPlan& FaultPlan::crash_worker(WorkerId worker, std::uint64_t at_task) {
+  // Fail-stop is permanent: from the at_task-th dequeue onwards (the worker
+  // flips dead at the first firing anyway).
+  FaultKey key;
+  key.worker = worker;
+  return add({.kind = FaultKind::kCrashWorker,
+              .key = key,
+              .after = at_task > 0 ? at_task - 1 : 0,
+              .times = 0});
+}
+
+FaultPlan& FaultPlan::drop_result(FaultKey key, std::uint64_t times,
+                                  std::uint64_t after) {
+  return add(
+      {.kind = FaultKind::kDropResult, .key = key, .after = after, .times = times});
+}
+
+FaultPlan& FaultPlan::duplicate_result(FaultKey key, std::uint64_t times,
+                                       std::uint64_t after) {
+  return add(
+      {.kind = FaultKind::kDuplicateResult, .key = key, .after = after, .times = times});
+}
+
+FaultPlan& FaultPlan::delay(FaultStage stage, double delay_ms, FaultKey key,
+                            std::uint64_t times, std::uint64_t after) {
+  return add({.kind = FaultKind::kDelay,
+              .key = key,
+              .after = after,
+              .times = times,
+              .stage = stage,
+              .delay_ms = delay_ms});
+}
+
+FaultPlan& FaultPlan::join_worker(WorkerId worker, Version at_version) {
+  FaultKey key;
+  key.worker = worker;
+  return add({.kind = FaultKind::kJoinWorker, .key = key, .join_version = at_version});
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  events_.push_back(event);
+  return *this;
+}
+
+FaultState::FaultState(FaultPlan plan)
+    : plan_(std::move(plan)), matches_(plan_.events().size(), 0) {}
+
+bool FaultState::fire(FaultKind kind, WorkerId worker, const TaskSpec& spec) {
+  bool fired = false;
+  std::lock_guard lock(mutex_);
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != kind) continue;
+    if (!key_matches(event.key, worker, spec)) continue;
+    matches_[i] += 1;
+    fired = fired || in_window(event, matches_[i]);
+  }
+  return fired;
+}
+
+void FaultState::stats_lock_add(std::uint64_t FaultStats::* field) {
+  std::lock_guard lock(mutex_);
+  stats_.*field += 1;
+}
+
+bool FaultState::should_fail_task(WorkerId worker, const TaskSpec& spec) {
+  const bool fired = fire(FaultKind::kFailTask, worker, spec);
+  if (fired) stats_lock_add(&FaultStats::tasks_failed);
+  return fired;
+}
+
+bool FaultState::should_reject_submit(WorkerId worker, const TaskSpec& spec) {
+  const bool fired = fire(FaultKind::kRejectSubmit, worker, spec);
+  if (fired) stats_lock_add(&FaultStats::submits_rejected);
+  return fired;
+}
+
+bool FaultState::should_crash(WorkerId worker, const TaskSpec& spec) {
+  return fire(FaultKind::kCrashWorker, worker, spec);
+}
+
+bool FaultState::should_drop_result(WorkerId worker, const TaskSpec& spec) {
+  const bool fired = fire(FaultKind::kDropResult, worker, spec);
+  if (fired) stats_lock_add(&FaultStats::results_dropped);
+  return fired;
+}
+
+bool FaultState::should_duplicate_result(WorkerId worker, const TaskSpec& spec) {
+  const bool fired = fire(FaultKind::kDuplicateResult, worker, spec);
+  if (fired) stats_lock_add(&FaultStats::results_duplicated);
+  return fired;
+}
+
+double FaultState::stage_delay_ms(FaultStage stage, WorkerId worker,
+                                  const TaskSpec& spec) {
+  double total = 0.0;
+  bool fired = false;
+  {
+    std::lock_guard lock(mutex_);
+    const auto& events = plan_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultEvent& event = events[i];
+      if (event.kind != FaultKind::kDelay || event.stage != stage) continue;
+      if (!key_matches(event.key, worker, spec)) continue;
+      matches_[i] += 1;
+      if (in_window(event, matches_[i])) {
+        total += event.delay_ms;
+        fired = true;
+      }
+    }
+    if (fired) stats_.delays_injected += 1;
+  }
+  return total;
+}
+
+bool FaultState::starts_dormant(WorkerId worker) const {
+  return join_version(worker).has_value();
+}
+
+std::optional<Version> FaultState::join_version(WorkerId worker) const {
+  std::optional<Version> earliest;
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind != FaultKind::kJoinWorker) continue;
+    if (!event.key.worker.has_value() || *event.key.worker != worker) continue;
+    if (!earliest.has_value() || event.join_version < *earliest) {
+      earliest = event.join_version;
+    }
+  }
+  return earliest;
+}
+
+FaultStats FaultState::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace asyncml::engine

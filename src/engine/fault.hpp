@@ -1,0 +1,189 @@
+#pragma once
+
+// Deterministic fault injection: declarative, replayable failure schedules.
+//
+// The engine's failure behaviour is configuration, not test-local lambdas
+// (the style of open-cradle's test-params context mixin): a FaultPlan is a
+// list of events, each keyed on (worker, partition, seq) — any key may be
+// wildcarded — plus an occurrence window (`after` matches skipped, `times`
+// matches fired).  The compiled FaultState is consulted by the Worker at
+// fixed points of the task lifecycle and by Cluster::submit, so the same
+// plan against the same task stream replays the identical failure schedule;
+// chaos tests generate plans from a seeded RNG and the plan — not the wall
+// clock — decides what fails.
+//
+// Event kinds and where they fire:
+//
+//   kFailTask         worker, before the task function runs: the task
+//                     becomes a non-OK TaskResult (the retry path covers it).
+//                     Firing *before* the function keeps stateful closures
+//                     (SAGA's version table) un-half-applied.
+//   kRejectSubmit     Cluster::submit returns false as if the cluster had
+//                     shut down — the exact window of the scheduler's
+//                     on_dispatch_aborted unwind.
+//   kCrashWorker      fail-stop: the worker dies at the matching dequeue.
+//                     Nothing leaves the machine afterwards; every task it
+//                     held (the one in hand, its mailbox, in-progress sibling
+//                     tasks) surfaces as a synthesized kUnavailable failure —
+//                     the simulated transport detecting the dead executor,
+//                     which routes the loss through the coordinator's normal
+//                     retry/dedup machinery (a live replica wins; otherwise
+//                     the task is resubmitted to a live worker).
+//   kDropResult       the task runs, the result never leaves the worker
+//                     (permanent non-delivery; only speculative replication
+//                     can recover it — see SchedulerPolicy::lost_task_factor).
+//   kDuplicateResult  at-least-once delivery: the result is pushed twice
+//                     (the coordinator's delivered-identity dedup drops the
+//                     second copy).
+//   kDelay            extra milliseconds at one pipeline stage: queue (before
+//                     execution), compute (inside the measured task time),
+//                     serialize (after compute, before the network charge),
+//                     network (with the result transfer).
+//   kJoinWorker       elastic membership: the worker starts OUTSIDE the
+//                     member set (no partitions, no dispatch) and joins when
+//                     the coordinator's model version reaches
+//                     `join_version` (AsyncContext admits it and the
+//                     scheduler rebalances partitions onto it; its first task
+//                     cold-anchors on the nearest store snapshot and rides
+//                     the delta chain — PR 3's catch-up path).
+//
+// Determinism: an event with all three keys set replays exactly. An event
+// counted with wildcards (`crash worker 2 at its 5th task`) is deterministic
+// when the worker runs one executor core (dequeue order is a single stream);
+// chaos tests therefore run 1-core workers.  docs/FAULTS.md is the handbook.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "engine/types.hpp"
+
+namespace asyncml::engine {
+
+struct TaskSpec;
+
+enum class FaultKind : std::uint8_t {
+  kFailTask,
+  kRejectSubmit,
+  kCrashWorker,
+  kDropResult,
+  kDuplicateResult,
+  kDelay,
+  kJoinWorker,
+};
+
+/// Pipeline stage a kDelay event stretches.
+enum class FaultStage : std::uint8_t { kQueue, kCompute, kSerialize, kNetwork };
+
+/// Match keys of an event; an unset field matches anything.
+struct FaultKey {
+  std::optional<WorkerId> worker = std::nullopt;
+  std::optional<PartitionId> partition = std::nullopt;
+  std::optional<std::uint64_t> seq = std::nullopt;
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kFailTask;
+  FaultKey key;
+  /// Occurrence window over this event's *matching* tasks: the first `after`
+  /// matches pass unharmed, the next `times` fire (0 = every match onwards).
+  std::uint64_t after = 0;
+  std::uint64_t times = 1;
+  FaultStage stage = FaultStage::kCompute;  ///< kDelay only
+  double delay_ms = 0.0;                    ///< kDelay only
+  Version join_version = 0;                 ///< kJoinWorker only
+};
+
+/// Declarative failure schedule; value type, buildable fluently:
+///   FaultPlan plan;
+///   plan.fail_task({}, /*times=*/5)                  // first 5 tasks fail
+///       .crash_worker(2, /*at_task=*/7)              // w2 dies at its 7th task
+///       .delay(FaultStage::kNetwork, 5.0, {.worker = 1})
+///       .join_worker(3, /*at_version=*/40);
+class FaultPlan {
+ public:
+  FaultPlan& fail_task(FaultKey key = {}, std::uint64_t times = 1,
+                       std::uint64_t after = 0);
+  FaultPlan& reject_submit(FaultKey key = {}, std::uint64_t times = 1,
+                           std::uint64_t after = 0);
+  FaultPlan& crash_worker(WorkerId worker, std::uint64_t at_task = 1);
+  FaultPlan& drop_result(FaultKey key = {}, std::uint64_t times = 1,
+                         std::uint64_t after = 0);
+  FaultPlan& duplicate_result(FaultKey key = {}, std::uint64_t times = 1,
+                              std::uint64_t after = 0);
+  FaultPlan& delay(FaultStage stage, double delay_ms, FaultKey key = {},
+                   std::uint64_t times = 0, std::uint64_t after = 0);
+  FaultPlan& join_worker(WorkerId worker, Version at_version);
+  FaultPlan& add(FaultEvent event);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Injection counters (what actually fired), for assertions and reports.
+struct FaultStats {
+  std::uint64_t tasks_failed = 0;
+  std::uint64_t submits_rejected = 0;
+  std::uint64_t workers_crashed = 0;
+  std::uint64_t results_dropped = 0;
+  std::uint64_t results_duplicated = 0;
+  std::uint64_t delays_injected = 0;
+};
+
+/// Runtime of a FaultPlan: thread-safe matching with per-event occurrence
+/// counters. One instance is shared by the Cluster and all its Workers; the
+/// coordinator/scheduler layers never see it (death is observed through
+/// Cluster::worker_alive, joins through pending_join/joined).
+class FaultState {
+ public:
+  explicit FaultState(FaultPlan plan);
+
+  FaultState(const FaultState&) = delete;
+  FaultState& operator=(const FaultState&) = delete;
+
+  // -- lifecycle queries (each advances the matched events' counters) --------
+
+  [[nodiscard]] bool should_fail_task(WorkerId worker, const TaskSpec& spec);
+  [[nodiscard]] bool should_reject_submit(WorkerId worker, const TaskSpec& spec);
+  [[nodiscard]] bool should_crash(WorkerId worker, const TaskSpec& spec);
+  [[nodiscard]] bool should_drop_result(WorkerId worker, const TaskSpec& spec);
+  [[nodiscard]] bool should_duplicate_result(WorkerId worker, const TaskSpec& spec);
+  /// Total extra milliseconds injected at `stage` for this task.
+  [[nodiscard]] double stage_delay_ms(FaultStage stage, WorkerId worker,
+                                      const TaskSpec& spec);
+
+  // -- elastic membership ----------------------------------------------------
+
+  /// True if the plan holds a join event for `worker` (it starts dormant).
+  [[nodiscard]] bool starts_dormant(WorkerId worker) const;
+  /// The version at which a dormant `worker` becomes a member (nullopt when
+  /// the plan has no join event for it).
+  [[nodiscard]] std::optional<Version> join_version(WorkerId worker) const;
+
+  // -- bookkeeping -----------------------------------------------------------
+
+  void count_crash() { stats_lock_add(&FaultStats::workers_crashed); }
+
+  [[nodiscard]] FaultStats stats() const;
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  /// Matches `spec` against every event of `kind`, advancing match counters;
+  /// returns true if any matched event is inside its firing window.
+  [[nodiscard]] bool fire(FaultKind kind, WorkerId worker, const TaskSpec& spec);
+  void stats_lock_add(std::uint64_t FaultStats::* field);
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> matches_;  ///< per-event match counts
+  FaultStats stats_;
+};
+
+}  // namespace asyncml::engine

@@ -35,6 +35,19 @@ void Worker::stop() {
   threads_.clear();
 }
 
+void Worker::bounce(const TaskSpec& spec) {
+  TaskResult result;
+  result.id = spec.id;
+  result.worker = id_;
+  result.partition = spec.partition;
+  result.seq = spec.seq;
+  result.model_version = spec.model_version;
+  result.status = Status(StatusCode::kUnavailable, "worker crashed");
+  result.finished_at = Clock::now();
+  if (deps_.metrics != nullptr) deps_.metrics->tasks_failed.add(1);
+  deps_.results->push(std::move(result));
+}
+
 void Worker::executor_loop() {
   support::set_current_thread_name("worker-" + std::to_string(id_));
   WorkerEnv env{id_, &cache_, deps_.metrics};
@@ -46,6 +59,14 @@ void Worker::executor_loop() {
 
   while (auto msg = mailbox_.pop()) {
     TaskSpec spec = std::move(*msg);
+
+    // Fail-stop: a dead worker computes nothing; every dequeued task bounces
+    // straight back as a transport-level failure (no sleeps, no side effects).
+    if (dead_.load(std::memory_order_acquire)) {
+      bounce(spec);
+      continue;
+    }
+
     const auto received = Clock::now();
     if (last_submit.has_value() && deps_.metrics != nullptr) {
       deps_.metrics->record_wait(
@@ -53,6 +74,23 @@ void Worker::executor_loop() {
                    std::chrono::duration_cast<std::chrono::nanoseconds>(received -
                                                                         *last_submit)
                        .count()));
+    }
+
+    // Injected queue-stage stall (the task sat in the mailbox "longer").
+    if (deps_.faults != nullptr) {
+      const double queue_ms =
+          deps_.faults->stage_delay_ms(FaultStage::kQueue, id_, spec);
+      if (queue_ms > 0.0) support::precise_sleep_ms(queue_ms);
+    }
+
+    // Crash point: fires at dequeue, before any work — stateful closures
+    // (SAGA's version table) are never half-applied by a crash.
+    if (deps_.faults != nullptr && deps_.faults->should_crash(id_, spec)) {
+      if (!dead_.exchange(true, std::memory_order_acq_rel)) {
+        deps_.faults->count_crash();
+      }
+      bounce(spec);
+      continue;
     }
 
     TaskResult result;
@@ -71,7 +109,7 @@ void Worker::executor_loop() {
     }
 
     support::Stopwatch watch;
-    if (deps_.fault_injector && deps_.fault_injector(id_, spec)) {
+    if (deps_.faults != nullptr && deps_.faults->should_fail_task(id_, spec)) {
       result.status = Status(StatusCode::kInternal, "injected fault");
     } else if (!spec.fn) {
       result.status = Status(StatusCode::kInvalidArgument, "task has no function");
@@ -95,6 +133,12 @@ void Worker::executor_loop() {
       } catch (...) {
         result.status = Status(StatusCode::kInternal, "task threw unknown exception");
       }
+      // Injected compute-stage stall lands inside the measured task time.
+      if (deps_.faults != nullptr) {
+        const double compute_ms =
+            deps_.faults->stage_delay_ms(FaultStage::kCompute, id_, spec);
+        if (compute_ms > 0.0) support::precise_sleep_ms(compute_ms);
+      }
     }
     result.compute_ms = watch.elapsed_ms();
 
@@ -109,10 +153,31 @@ void Worker::executor_loop() {
     }
     result.service_ms = watch.elapsed_ms();
 
-    // Charge the result payload's transfer to the driver.
-    if (deps_.network != nullptr && result.payload.has_value()) {
-      support::precise_sleep_ms(deps_.network->transfer_ms(result.payload.bytes()));
+    // Injected serialize-stage stall: after compute, before the wire.
+    if (deps_.faults != nullptr) {
+      const double serialize_ms =
+          deps_.faults->stage_delay_ms(FaultStage::kSerialize, id_, spec);
+      if (serialize_ms > 0.0) support::precise_sleep_ms(serialize_ms);
     }
+
+    // Charge the result payload's transfer to the driver (plus any injected
+    // network-stage stall).
+    double transfer_ms = 0.0;
+    if (deps_.network != nullptr && result.payload.has_value()) {
+      transfer_ms += deps_.network->transfer_ms(result.payload.bytes());
+    }
+    if (deps_.faults != nullptr) {
+      transfer_ms += deps_.faults->stage_delay_ms(FaultStage::kNetwork, id_, spec);
+    }
+    if (transfer_ms > 0.0) support::precise_sleep_ms(transfer_ms);
+
+    // A sibling executor may have crashed this worker while we were mid-task:
+    // fail-stop means our result never made it off the machine either.
+    if (dead_.load(std::memory_order_acquire)) {
+      result.status = Status(StatusCode::kUnavailable, "worker crashed");
+      result.payload = Payload();
+    }
+
     if (deps_.metrics != nullptr) {
       if (result.ok()) {
         deps_.metrics->tasks_completed.add(1);
@@ -126,7 +191,25 @@ void Worker::executor_loop() {
       deps_.metrics->result_bytes.add(result.payload.bytes());
     }
 
+    // Permanent non-delivery: the task ran, the result vanishes in flight.
+    // Only a speculative replica (or presumed-lost re-speculation) recovers
+    // it. Crash-synthesized failures are never dropped — they ARE the
+    // delivery-failure notification.
+    const bool alive = !dead_.load(std::memory_order_acquire);
+    if (alive && deps_.faults != nullptr &&
+        deps_.faults->should_drop_result(id_, spec)) {
+      last_submit = Clock::now();
+      continue;
+    }
+
+    const bool duplicate = alive && deps_.faults != nullptr &&
+                           deps_.faults->should_duplicate_result(id_, spec);
+
     result.finished_at = Clock::now();
+    if (duplicate) {
+      TaskResult copy = result;  // payload is shared_ptr-backed, cheap to copy
+      deps_.results->push(std::move(copy));
+    }
     deps_.results->push(std::move(result));
     last_submit = Clock::now();
   }

@@ -11,22 +11,30 @@
 //      TaskResult to the driver's result queue.
 // Errors (injected faults, exceptions) become non-OK TaskResults; nothing
 // unwinds across the thread boundary.
+//
+// Fault injection is declarative: Deps carries an optional FaultState
+// (compiled from the cluster's FaultPlan) consulted at fixed lifecycle
+// points — queue delay, crash, pre-run task failure, compute/serialize/
+// network delays, result drop/duplication.  A crashed worker is fail-stop:
+// `dead()` flips true, the crashing task and everything still in (or
+// entering) the mailbox bounce back as synthesized kUnavailable failures —
+// the simulated transport noticing the dead executor — and executor threads
+// that were mid-task when the crash hit convert their result to the same
+// failure at push time, so nothing useful ever leaves a dead machine.
 
-#include <functional>
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "engine/broadcast.hpp"
 #include "engine/delay_model.hpp"
+#include "engine/fault.hpp"
 #include "engine/metrics.hpp"
 #include "engine/network.hpp"
 #include "engine/task.hpp"
 #include "support/blocking_queue.hpp"
 
 namespace asyncml::engine {
-
-/// Test hook: return true to make the task fail without running it.
-using FaultInjector = std::function<bool(WorkerId, const TaskSpec&)>;
 
 class Worker {
  public:
@@ -36,7 +44,7 @@ class Worker {
     const DelayModel* delay = nullptr;
     ClusterMetrics* metrics = nullptr;
     support::BlockingQueue<TaskResult>* results = nullptr;
-    FaultInjector fault_injector;  // optional
+    FaultState* faults = nullptr;  // optional, shared across the cluster
   };
 
   Worker(WorkerId id, int cores, Deps deps);
@@ -45,7 +53,9 @@ class Worker {
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
 
-  /// Enqueues a task; returns false after stop().
+  /// Enqueues a task; returns false after stop(). A dead worker still
+  /// accepts tasks — they bounce back as kUnavailable failures, which is how
+  /// callers that raced the crash learn about it.
   bool submit(TaskSpec spec);
 
   /// Closes the mailbox and joins executor threads. Idempotent.
@@ -55,16 +65,25 @@ class Worker {
   [[nodiscard]] int cores() const noexcept { return static_cast<int>(threads_.size()); }
   [[nodiscard]] std::size_t mailbox_depth() const { return mailbox_.size(); }
 
+  /// False once a kCrashWorker fault has fired on this worker (fail-stop).
+  [[nodiscard]] bool alive() const noexcept {
+    return !dead_.load(std::memory_order_acquire);
+  }
+
   /// The worker's broadcast cache (exposed for cache-behaviour tests).
   [[nodiscard]] BroadcastCache& cache() { return cache_; }
 
  private:
   void executor_loop();
+  /// Pushes a synthesized kUnavailable failure for `spec` (no sleeps, no
+  /// payload): the transport's dead-executor notification.
+  void bounce(const TaskSpec& spec);
 
   WorkerId id_;
   Deps deps_;
   BroadcastCache cache_;
   support::BlockingQueue<TaskSpec> mailbox_;
+  std::atomic<bool> dead_{false};
   std::vector<std::jthread> threads_;
 };
 

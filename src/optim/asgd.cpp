@@ -34,7 +34,17 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
   opts.rng_seed = config.seed;
 
   linalg::DenseVector w(dim);
-  core::HistoryBroadcast w_br = ac.async_broadcast(w);  // publish version 0
+  std::uint64_t updates0 = 0;
+  if (auto cp = detail::maybe_resume(config); cp.has_value()) {
+    // Trajectory-equivalent resume: the restored model republishes at the
+    // restored version and the update count continues, but arrival order —
+    // and therefore the exact float trajectory — is scheduling-dependent,
+    // exactly as between two uninterrupted async runs.
+    w = std::move(cp->model);
+    updates0 = cp->update_index;
+    ac.restore(cp->model_version, cp->round);
+  }
+  core::HistoryBroadcast w_br = ac.async_broadcast(w);  // publish at the current version
 
   // Factory building this round's gradient tasks against the latest w_br.
   auto rebuild_factory = [&] {
@@ -46,12 +56,12 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   metrics::TraceRecorder recorder(config.eval_every);
   support::Stopwatch watch;
-  recorder.snapshot(0, 0.0, w);
+  recorder.snapshot(updates0, 0.0, w);
 
   // Prime every worker the barrier admits (all of them, initially).
   detail::dispatch_live(ac, config.barrier, factory);
 
-  std::uint64_t updates = 0;
+  std::uint64_t updates = updates0;
   while (updates < config.updates) {
     auto collected = ac.collect(&factory);  // while(AC.hasNext()) { ASYNCcollect() }
     if (!collected.has_value()) break;      // context stopped
@@ -76,6 +86,7 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
     factory = rebuild_factory();
     recorder.maybe_snapshot(updates, watch.elapsed_ms(), w);
     detail::maybe_gc_history(ac, config, updates);
+    detail::maybe_checkpoint(config, ac, w, updates);
 
     // points.ASYNCbarrier(f, AC.STAT) ... — admit whatever the barrier allows.
     detail::dispatch_live(ac, config.barrier, factory);

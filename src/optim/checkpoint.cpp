@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <new>
 
 namespace asyncml::optim {
 
@@ -11,7 +12,8 @@ using support::StatusOr;
 
 namespace {
 
-constexpr char kMagic[8] = {'A', 'M', 'L', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV1[8] = {'A', 'M', 'L', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'A', 'M', 'L', 'C', 'K', 'P', 'T', '2'};
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -26,69 +28,68 @@ bool read_u64(std::istream& in, std::uint64_t& v) {
   return static_cast<bool>(in.read(reinterpret_cast<char*>(&v), sizeof(v)));
 }
 
-void write_vector(std::ostream& out, const std::string& name,
-                  const linalg::DenseVector& v) {
+void write_name(std::ostream& out, const std::string& name) {
   write_u32(out, static_cast<std::uint32_t>(name.size()));
   out.write(name.data(), static_cast<std::streamsize>(name.size()));
+}
+
+void write_vector(std::ostream& out, const std::string& name,
+                  const linalg::DenseVector& v) {
+  write_name(out, name);
   write_u64(out, v.size());
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size_bytes()));
 }
 
-StatusOr<std::pair<std::string, linalg::DenseVector>> read_vector(std::istream& in) {
+/// Bytes left between the stream position and end-of-file; the loader
+/// validates every claimed length against this so a corrupted header can
+/// never drive a multi-gigabyte allocation (the v1 loader crashed with
+/// bad_alloc on exactly that input).
+std::uint64_t bytes_remaining(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos < 0) return 0;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  return end > pos ? static_cast<std::uint64_t>(end - pos) : 0;
+}
+
+StatusOr<std::string> read_name(std::istream& in) {
   std::uint32_t name_len = 0;
   if (!read_u32(in, name_len) || name_len > 4096) {
-    return Status(StatusCode::kInvalidArgument, "checkpoint: bad vector name length");
+    return Status(StatusCode::kInvalidArgument, "checkpoint: bad name length");
   }
   std::string name(name_len, '\0');
   if (!in.read(name.data(), name_len)) {
     return Status(StatusCode::kInvalidArgument, "checkpoint: truncated name");
   }
+  return name;
+}
+
+StatusOr<std::pair<std::string, linalg::DenseVector>> read_vector(std::istream& in) {
+  auto name = read_name(in);
+  if (!name.is_ok()) return name.status();
   std::uint64_t dim = 0;
   if (!read_u64(in, dim) || dim > (1ULL << 32)) {
     return Status(StatusCode::kInvalidArgument, "checkpoint: bad vector size");
   }
-  linalg::DenseVector v(dim);
-  if (!in.read(reinterpret_cast<char*>(v.data()),
-               static_cast<std::streamsize>(v.size_bytes()))) {
-    return Status(StatusCode::kInvalidArgument, "checkpoint: truncated vector data");
+  if (dim * sizeof(double) > bytes_remaining(in)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "checkpoint: vector length overruns file");
   }
-  return std::make_pair(std::move(name), std::move(v));
-}
-
-}  // namespace
-
-Status save_checkpoint(const std::string& path, const SolverCheckpoint& checkpoint) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status(StatusCode::kInternal, "checkpoint: cannot create " + path);
-
-  out.write(kMagic, sizeof(kMagic));
-  write_u64(out, checkpoint.update_index);
-  write_u32(out, static_cast<std::uint32_t>(1 + checkpoint.aux.size()));
-  write_vector(out, "model", checkpoint.model);
-  for (const auto& [name, vec] : checkpoint.aux) {
-    if (name == "model") {
-      return Status(StatusCode::kInvalidArgument,
-                    "checkpoint: aux name 'model' is reserved");
+  try {
+    linalg::DenseVector v(dim);
+    if (!in.read(reinterpret_cast<char*>(v.data()),
+                 static_cast<std::streamsize>(v.size_bytes()))) {
+      return Status(StatusCode::kInvalidArgument, "checkpoint: truncated vector data");
     }
-    write_vector(out, name, vec);
+    return std::make_pair(std::move(name).value(), std::move(v));
+  } catch (const std::bad_alloc&) {
+    return Status(StatusCode::kInternal, "checkpoint: vector allocation failed");
   }
-  if (!out) return Status(StatusCode::kInternal, "checkpoint: write failed");
-  return Status::ok();
 }
 
-StatusOr<SolverCheckpoint> load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status(StatusCode::kNotFound, "checkpoint: cannot open " + path);
-
-  char magic[sizeof(kMagic)] = {};
-  if (!in.read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status(StatusCode::kInvalidArgument, "checkpoint: bad magic");
-  }
-  SolverCheckpoint checkpoint;
-  if (!read_u64(in, checkpoint.update_index)) {
-    return Status(StatusCode::kInvalidArgument, "checkpoint: truncated header");
-  }
+Status read_vectors(std::istream& in, SolverCheckpoint& checkpoint) {
   std::uint32_t vectors = 0;
   if (!read_u32(in, vectors) || vectors == 0 || vectors > 10'000) {
     return Status(StatusCode::kInvalidArgument, "checkpoint: bad vector count");
@@ -108,6 +109,77 @@ StatusOr<SolverCheckpoint> load_checkpoint(const std::string& path) {
   if (!saw_model) {
     return Status(StatusCode::kInvalidArgument, "checkpoint: missing model vector");
   }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status save_checkpoint(const std::string& path, const SolverCheckpoint& checkpoint) {
+  for (const auto& [name, vec] : checkpoint.aux) {
+    (void)vec;
+    if (name == "model") {
+      return Status(StatusCode::kInvalidArgument,
+                    "checkpoint: aux name 'model' is reserved");
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status(StatusCode::kInternal, "checkpoint: cannot create " + path);
+
+  out.write(kMagicV2, sizeof(kMagicV2));
+  write_u64(out, checkpoint.update_index);
+  write_u64(out, checkpoint.model_version);
+  write_u64(out, checkpoint.round);
+  write_u32(out, static_cast<std::uint32_t>(checkpoint.counters.size()));
+  for (const auto& [name, value] : checkpoint.counters) {
+    write_name(out, name);
+    write_u64(out, value);
+  }
+  write_u32(out, static_cast<std::uint32_t>(1 + checkpoint.aux.size()));
+  write_vector(out, "model", checkpoint.model);
+  for (const auto& [name, vec] : checkpoint.aux) {
+    write_vector(out, name, vec);
+  }
+  if (!out) return Status(StatusCode::kInternal, "checkpoint: write failed");
+  return Status::ok();
+}
+
+StatusOr<SolverCheckpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status(StatusCode::kNotFound, "checkpoint: cannot open " + path);
+
+  char magic[sizeof(kMagicV2)] = {};
+  if (!in.read(magic, sizeof(magic))) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: bad magic");
+  }
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: bad magic");
+  }
+
+  SolverCheckpoint checkpoint;
+  if (!read_u64(in, checkpoint.update_index)) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: truncated header");
+  }
+  if (v2) {
+    if (!read_u64(in, checkpoint.model_version) || !read_u64(in, checkpoint.round)) {
+      return Status(StatusCode::kInvalidArgument, "checkpoint: truncated header");
+    }
+    std::uint32_t counters = 0;
+    if (!read_u32(in, counters) || counters > 10'000) {
+      return Status(StatusCode::kInvalidArgument, "checkpoint: bad counter count");
+    }
+    for (std::uint32_t i = 0; i < counters; ++i) {
+      auto name = read_name(in);
+      if (!name.is_ok()) return name.status();
+      std::uint64_t value = 0;
+      if (!read_u64(in, value)) {
+        return Status(StatusCode::kInvalidArgument, "checkpoint: truncated counter");
+      }
+      checkpoint.counters.emplace(std::move(name).value(), value);
+    }
+  }
+  const Status vectors = read_vectors(in, checkpoint);
+  if (!vectors.is_ok()) return vectors;
   return checkpoint;
 }
 

@@ -13,9 +13,19 @@
 //   ...
 //   auto restored = load_checkpoint(path);
 //
-// Format: magic "AMLCKPT1", then update index, then named dense vectors
-// (u32 name length, name bytes, u64 dim, doubles), little-endian host order
-// (documented limitation: not portable across endianness).
+// Format v2 ("AMLCKPT2"): update index, model version, dispatch round, a
+// named u64 counter map (STAT totals, solver run counters), then named dense
+// vectors (u32 name length, name bytes, u64 dim, doubles).  Little-endian
+// host order (documented limitation: not portable across endianness).
+// Version + round matter for *bit-exact* resume: mini-batches derive from
+// (seed, partition, seq), so the restored run must continue the seq stream
+// where the original left off, not restart it at zero.
+//
+// v1 files ("AMLCKPT1": update index + vectors only) still load; the v2-only
+// fields come back zero/empty.  Every malformed input — truncated file, bad
+// magic, a vector length that overruns the file — is a non-OK Status, never
+// a crash: claimed sizes are validated against the actual file size before
+// any allocation.
 
 #include <cstdint>
 #include <map>
@@ -28,7 +38,15 @@ namespace asyncml::optim {
 
 struct SolverCheckpoint {
   std::uint64_t update_index = 0;
+  /// Coordinator model version at snapshot time (v2).
+  std::uint64_t model_version = 0;
+  /// Scheduler dispatch round — the per-partition seq counter (v2). Resuming
+  /// from it keeps the deterministic (seed, partition, seq) batch stream
+  /// aligned with the uninterrupted run.
+  std::uint64_t round = 0;
   linalg::DenseVector model;
+  /// Named scalar counters (e.g. STAT totals) (v2).
+  std::map<std::string, std::uint64_t> counters;
   /// Named auxiliary vectors (e.g. SAGA's "alpha_bar", ADMM's duals).
   std::map<std::string, linalg::DenseVector> aux;
 };

@@ -29,6 +29,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   // (docs/SCHEDULING.md, "Composition caveats").
   core::SchedulerPolicy policy = detail::scheduler_policy(workload, config);
   policy.speculation_factor = 0.0;
+  policy.lost_task_factor = 0.0;  // rescue re-executes tasks: same hazard
   ac.scheduler().set_policy(std::move(policy));
   auto table =
       std::make_shared<core::SampleVersionTable>(n, detail::kNeverVisited);
@@ -39,14 +40,26 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
 
   linalg::DenseVector w(dim);
   linalg::DenseVector alpha_bar(dim);  // ᾱ — "averageHistory" of Algorithm 3
+  std::uint64_t k0 = 0;
+  if (auto cp = detail::maybe_resume(config); cp.has_value()) {
+    // SAGA resumes the *model* and the version/round streams, but restarts
+    // ᾱ and the version table cold: the table's entries reference published
+    // history the restarted process no longer holds, and restoring ᾱ
+    // without them would bias every correction term. A cold table is just
+    // plain SAGA warm-started at w — unbiased, converging from a better
+    // iterate. The checkpoint still carries "alpha_bar" for inspection.
+    w = std::move(cp->model);
+    k0 = cp->update_index;
+    ac.restore(cp->model_version, cp->round);
+  }
   core::HistoryBroadcast w_br = ac.async_broadcast(w);
 
   metrics::TraceRecorder recorder(config.eval_every);
   support::Stopwatch watch;
-  recorder.snapshot(0, 0.0, w);
+  recorder.snapshot(k0, 0.0, w);
 
   auto comb = detail::grad_hist_comb();
-  for (std::uint64_t k = 0; k < config.updates; ++k) {
+  for (std::uint64_t k = k0; k < config.updates; ++k) {
     std::vector<core::TaggedResult> results = ac.sync_round_fn(
         detail::saga_task_fn(workload, config, w_br, table, grad_cfg,
                              config.batch_fraction),
@@ -72,6 +85,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
     w_br = ac.async_broadcast(w);
     recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
     detail::maybe_gc_history(ac, config, k + 1, table->min_version());
+    detail::maybe_checkpoint(config, ac, w, k + 1, {{"alpha_bar", alpha_bar}});
   }
   recorder.snapshot(config.updates, watch.elapsed_ms(), w);
 

@@ -123,12 +123,21 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
   opts.rng_seed = config.seed;
 
   linalg::DenseVector w(dim);
+  std::uint64_t k0 = 0;
+  if (auto cp = detail::maybe_resume(config); cp.has_value()) {
+    // Bit-exact resume: the restored model plus the restored version and
+    // dispatch-round streams make updates k0, k0+1, … identical to the
+    // uninterrupted run's (tests/faults/checkpoint_restore_test.cpp pins it).
+    w = std::move(cp->model);
+    k0 = cp->update_index;
+    ac.restore(cp->model_version, cp->round);
+  }
   metrics::TraceRecorder recorder(config.eval_every);
   support::Stopwatch watch;
-  recorder.snapshot(0, 0.0, w);
+  recorder.snapshot(k0, 0.0, w);
 
   std::uint64_t tasks = 0;
-  for (std::uint64_t k = 0; k < config.updates; ++k) {
+  for (std::uint64_t k = k0; k < config.updates; ++k) {
     // Publish w at the round's version; workers ride the delta chain.
     core::HistoryBroadcast w_br = ac.async_broadcast(w);
 
@@ -156,6 +165,7 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
     ac.advance_version();
     recorder.maybe_snapshot(k + 1, watch.elapsed_ms(), w);
     detail::maybe_gc_history(ac, config, k + 1);
+    detail::maybe_checkpoint(config, ac, w, k + 1);
   }
   recorder.snapshot(config.updates, watch.elapsed_ms(), w);
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "core/barrier.hpp"
 #include "core/scheduler.hpp"
@@ -59,6 +60,33 @@ struct SolverConfig {
   /// same (seed, partition, seq) are bit-identical). <= 0 disables; 2.0 is
   /// a good starting point (docs/SCHEDULING.md).
   double speculation_factor = 0.0;
+
+  /// Lost-task rescue horizon (SchedulerPolicy::lost_task_factor,
+  /// docs/FAULTS.md): a task in flight longer than `lost_task_factor` × the
+  /// cluster-median EWMA service time is presumed lost (dropped result,
+  /// crashed holder) — its registration is written off and a fresh replica
+  /// dispatched. <= 0 (default) disables. Only safe for solvers whose task
+  /// bodies are re-entrant (plain gradient sums; NOT SAGA's version-table
+  /// tasks); 6.0 is a sane horizon for chaos runs.
+  double lost_task_factor = 0.0;
+
+  // -- checkpoint / restore (optim/checkpoint.hpp, docs/FAULTS.md) -----------
+
+  /// Snapshot the solver state (model, version, round, STAT totals, solver
+  /// aux vectors) to `checkpoint_path` every `checkpoint_every` model
+  /// updates. 0 (default) = never. Read by the checkpoint-aware solvers
+  /// (ScheduledSgd, Asgd, Saga).
+  std::uint64_t checkpoint_every = 0;
+
+  /// Snapshot destination; each snapshot overwrites the previous one.
+  /// Required when checkpoint_every > 0.
+  std::string checkpoint_path;
+
+  /// Resume from this checkpoint before the first update: synchronous
+  /// solvers continue bit-exactly (same trajectory as the uninterrupted
+  /// run), asynchronous ones trajectory-equivalently. Empty = fresh start.
+  /// A malformed file aborts loudly rather than silently restarting.
+  std::string resume_from;
 
   /// Snapshot the model every `eval_every` updates for the trace.
   std::uint64_t eval_every = 5;

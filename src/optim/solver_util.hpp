@@ -4,7 +4,11 @@
 // sequence operators (the `map` bodies of Algorithms 1–4).
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
+#include <string>
 
 #include "core/async_context.hpp"
 #include "core/history.hpp"
@@ -12,6 +16,7 @@
 #include "engine/metrics.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/grad_vector.hpp"
+#include "optim/checkpoint.hpp"
 #include "optim/grad_batch.hpp"
 #include "optim/loss.hpp"
 #include "optim/payloads.hpp"
@@ -88,8 +93,61 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
   core::SchedulerPolicy policy;
   policy.steal_mode = config.steal_mode;
   policy.speculation_factor = config.speculation_factor;
+  policy.lost_task_factor = config.lost_task_factor;
   policy.partition_bytes = workload.partition_bytes();
   return policy;
+}
+
+/// Loads config.resume_from when set. A malformed or unreadable checkpoint
+/// aborts loudly: silently starting from zero would masquerade as a
+/// successful resume with a wrong trajectory.
+[[nodiscard]] inline std::optional<SolverCheckpoint> maybe_resume(
+    const SolverConfig& config) {
+  if (config.resume_from.empty()) return std::nullopt;
+  auto loaded = load_checkpoint(config.resume_from);
+  if (!loaded.is_ok()) {
+    std::fprintf(stderr, "maybe_resume: cannot resume from '%s': %s\n",
+                 config.resume_from.c_str(), loaded.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(loaded).value();
+}
+
+/// Snapshots the solver state to config.checkpoint_path on the
+/// checkpoint_every cadence. `update_index` counts *completed* model updates
+/// (call with k+1 after the k-th update has been applied and the version
+/// advanced, so a restore at index k resumes with update k+1). `aux` carries
+/// solver-specific vectors (SAGA's "alpha_bar").
+inline void maybe_checkpoint(const SolverConfig& config, core::AsyncContext& ac,
+                             const linalg::DenseVector& w, std::uint64_t update_index,
+                             std::map<std::string, linalg::DenseVector> aux = {}) {
+  if (config.checkpoint_every == 0 || update_index == 0 ||
+      update_index % config.checkpoint_every != 0) {
+    return;
+  }
+  SolverCheckpoint cp;
+  cp.update_index = update_index;
+  cp.model_version = ac.current_version();
+  cp.round = ac.scheduler().rounds_dispatched();
+  cp.model = w;
+  cp.aux = std::move(aux);
+  const core::StatSnapshot stat = ac.stat();
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  for (const auto& row : stat.workers) {
+    completed += static_cast<std::uint64_t>(row.tasks_completed);
+    failed += static_cast<std::uint64_t>(row.tasks_failed);
+  }
+  cp.counters["tasks_completed"] = completed;
+  cp.counters["tasks_failed"] = failed;
+  cp.counters["duplicates_dropped"] = ac.coordinator().duplicates_dropped();
+  cp.counters["retries"] = ac.retries();
+  const support::Status saved = save_checkpoint(config.checkpoint_path, cp);
+  if (!saved.is_ok()) {
+    std::fprintf(stderr, "maybe_checkpoint: cannot write '%s': %s\n",
+                 config.checkpoint_path.c_str(), saved.to_string().c_str());
+    std::abort();
+  }
 }
 
 /// STAT-keyed history GC on the configured cadence: every `gc_every` updates,

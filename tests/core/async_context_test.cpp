@@ -160,10 +160,7 @@ TEST(AsyncContext, StalenessTagReflectsUpdatesDuringFlight) {
 
 TEST(AsyncContext, FailedTasksRetriedThroughFactory) {
   engine::Cluster::Config config = quiet_config(2);
-  std::atomic<int> fails{0};
-  config.fault_injector = [&](engine::WorkerId w, const engine::TaskSpec&) {
-    return w == 0 && fails.fetch_add(1) < 1;  // first task on worker 0 fails
-  };
+  config.faults.fail_task({.worker = 0}, /*times=*/1);  // first task on worker 0 fails
   engine::Cluster cluster(config);
   AsyncContext ac(cluster, 2);
   const auto rdd = engine::make_vector_rdd(std::vector<int>{1, 2}, 2);

@@ -305,6 +305,55 @@ TEST(Coordinator, ReplicaRegistrationFailsOnceResultAccounted) {
   coord.stop();
 }
 
+TEST(Coordinator, DispatchAbortUnwindsRegistration) {
+  // Registration happens before submit; if the transport then rejects the
+  // submit (fault injection, shutdown), the abort must unwind everything the
+  // registration touched — outstanding, availability, and the min-inflight
+  // GC bound — or the phantom task pins them all forever.
+  engine::Cluster cluster(quiet_config(1));
+  Coordinator coord(cluster);
+  coord.start();
+
+  engine::TaskSpec spec = int_task(cluster, /*p=*/0, /*version=*/0, 3);
+  spec.seq = 2;
+  coord.on_task_dispatch(0, spec);
+  EXPECT_EQ(coord.total_outstanding(), 1);
+  EXPECT_EQ(coord.stat().available_workers(), 0);
+
+  coord.on_dispatch_aborted(0, spec);
+  EXPECT_EQ(coord.total_outstanding(), 0);
+  EXPECT_EQ(coord.stat().available_workers(), 1);
+  EXPECT_EQ(coord.stat().min_inflight_version(), 0u);  // back to the present
+  coord.stop();
+}
+
+TEST(Coordinator, RetryAfterAbortedDispatchStillDelivers) {
+  // The resubmit reject path: register on worker 0, abort, register the SAME
+  // (partition, seq) identity on worker 1. The abort must not poison the
+  // identity (e.g. via the accounted-seq duplicate floor): the retry's
+  // genuine result still delivers exactly once.
+  engine::Cluster cluster(quiet_config(2));
+  Coordinator coord(cluster);
+  coord.start();
+
+  engine::TaskSpec spec = int_task(cluster, /*p=*/0, /*version=*/0, 3);
+  spec.seq = 6;
+  coord.on_task_dispatch(0, spec);
+  coord.on_dispatch_aborted(0, spec);
+
+  engine::TaskSpec retry = int_task(cluster, /*p=*/0, /*version=*/0, 8);
+  retry.seq = 6;
+  coord.on_task_dispatch(1, retry);
+  cluster.submit(1, std::move(retry));
+
+  auto delivered = coord.collect_for(1000ms);
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->result.payload.get<int>(), 8);
+  EXPECT_EQ(delivered->worker.id, 1);
+  EXPECT_EQ(coord.total_outstanding(), 0);
+  coord.stop();
+}
+
 TEST(Coordinator, StopIsIdempotent) {
   engine::Cluster cluster(quiet_config(1));
   Coordinator coord(cluster);

@@ -69,15 +69,8 @@ TEST(TreeAggregateSync, FanoutLargerThanPartitions) {
 
 TEST(RunTasksSync, RetriesInjectedFaultOnAnotherWorker) {
   Cluster::Config config = quiet_config(2, 1);
-  std::atomic<int> faults{0};
   // Worker 0 always fails; worker 1 succeeds — retry must hop workers.
-  config.fault_injector = [&](WorkerId w, const TaskSpec&) {
-    if (w == 0) {
-      faults.fetch_add(1);
-      return true;
-    }
-    return false;
-  };
+  config.faults.fail_task({.worker = 0}, /*times=*/0);
   Cluster cluster(config);
   const Rdd<int> rdd = make_vector_rdd(std::vector<int>{7}, 1);
   StageOptions options;
@@ -86,7 +79,8 @@ TEST(RunTasksSync, RetriesInjectedFaultOnAnotherWorker) {
       cluster, rdd, 0L, [](long acc, const int& x) { return acc + x; },
       [](long a, const long& b) { return a + b; }, options);
   EXPECT_EQ(total, 7L);
-  EXPECT_GE(faults.load(), 1);
+  ASSERT_NE(cluster.faults(), nullptr);
+  EXPECT_GE(cluster.faults()->stats().tasks_failed, 1u);
 }
 
 TEST(RunTasksSync, ResultsOrderedBySubmissionSlot) {

@@ -113,12 +113,9 @@ TEST(Cluster, MissingFunctionRejected) {
   EXPECT_FALSE(results[0].ok());
 }
 
-TEST(Cluster, FaultInjectorForcesFailure) {
+TEST(Cluster, FaultPlanForcesFailure) {
   Cluster::Config config = quiet_config(1);
-  std::atomic<int> injected{0};
-  config.fault_injector = [&](WorkerId, const TaskSpec&) {
-    return injected.fetch_add(1) == 0;  // fail only the first task
-  };
+  config.faults.fail_task({}, /*times=*/1);  // fail only the first task
   Cluster cluster(config);
   for (int i = 0; i < 2; ++i) {
     auto spec = make_task(cluster, i, [](TaskContext&) -> support::StatusOr<Payload> {
@@ -130,6 +127,8 @@ TEST(Cluster, FaultInjectorForcesFailure) {
   int failures = 0;
   for (const TaskResult& r : results) failures += r.ok() ? 0 : 1;
   EXPECT_EQ(failures, 1);
+  ASSERT_NE(cluster.faults(), nullptr);
+  EXPECT_EQ(cluster.faults()->stats().tasks_failed, 1u);
 }
 
 TEST(Cluster, ServiceFloorPadsExecution) {

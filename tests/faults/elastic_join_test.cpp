@@ -1,0 +1,135 @@
+// Elastic membership through the full AsyncContext stack: a dormant worker
+// joins mid-run at its FaultPlan version and inherits its fair share of
+// partitions; a crashed member is evicted and its partitions fail over to
+// the survivors; an asynchronous solver rides through both.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/async_context.hpp"
+#include "data/synthetic.hpp"
+#include "engine/cluster.hpp"
+#include "optim/asgd.hpp"
+#include "optim/objective.hpp"
+
+namespace asyncml::core {
+namespace {
+
+engine::Cluster::Config quiet_config(int workers) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 1;
+  config.network.time_scale = 0.0;
+  return config;
+}
+
+std::shared_ptr<const engine::TaskFn> trivial_fn() {
+  return std::make_shared<const engine::TaskFn>(
+      [](engine::TaskContext& ctx) -> support::StatusOr<engine::Payload> {
+        return engine::Payload::wrap<int>(ctx.partition);
+      });
+}
+
+int total_owned(const AsyncScheduler& scheduler, int workers) {
+  int total = 0;
+  for (int w = 0; w < workers; ++w) {
+    total += static_cast<int>(scheduler.partitions_of(w).size());
+  }
+  return total;
+}
+
+TEST(ElasticJoin, DormantWorkerIsAdmittedAtItsJoinVersion) {
+  engine::Cluster::Config config = quiet_config(3);
+  config.faults.join_worker(/*worker=*/2, /*at_version=*/5);
+  engine::Cluster cluster(config);
+  AsyncContext ac(cluster, /*num_partitions=*/6);
+
+  // Before the join version: worker 2 is outside the member set, owns
+  // nothing, and the six partitions are spread over the two live members.
+  EXPECT_FALSE(ac.scheduler().is_member(2));
+  EXPECT_TRUE(ac.scheduler().partitions_of(2).empty());
+  EXPECT_EQ(ac.scheduler().partitions_of(0).size(), 3u);
+  EXPECT_EQ(ac.scheduler().partitions_of(1).size(), 3u);
+  EXPECT_EQ(ac.scheduler().member_count(), 2);
+
+  const auto fn = trivial_fn();
+  for (int round = 0; round < 10; ++round) {
+    auto results = ac.sync_round_fn(fn, SubmitOptions{});
+    ASSERT_EQ(results.size(), 6u);
+    ac.advance_version();
+  }
+
+  // The membership poll admitted worker 2 once the version crossed 5 and
+  // topped it up to its fair share (⌊6 / 3⌋ = 2) as partitions went idle.
+  EXPECT_TRUE(ac.scheduler().is_member(2));
+  EXPECT_EQ(ac.scheduler().member_count(), 3);
+  EXPECT_EQ(ac.scheduler().partitions_of(2).size(), 2u);
+  EXPECT_EQ(total_owned(ac.scheduler(), 3), 6);
+
+  // And it is genuinely pulling its weight, not just holding ownership.
+  const StatSnapshot stat = ac.stat();
+  EXPECT_GT(stat.workers[2].tasks_completed, 0u);
+}
+
+TEST(ElasticJoin, CrashedMemberFailsOverToSurvivors) {
+  engine::Cluster::Config config = quiet_config(2);
+  // Worker 1 dies at its third dequeue: mid-way through the second round.
+  config.faults.crash_worker(/*worker=*/1, /*at_task=*/3);
+  engine::Cluster cluster(config);
+  AsyncContext ac(cluster, /*num_partitions=*/4);
+
+  const auto fn = trivial_fn();
+  for (int round = 0; round < 6; ++round) {
+    // Every round still completes: the crash-synthesized kUnavailable
+    // failures ride the retry path onto the surviving worker.
+    auto results = ac.sync_round_fn(fn, SubmitOptions{});
+    ASSERT_EQ(results.size(), 4u) << "round " << round;
+    for (const TaggedResult& r : results) {
+      EXPECT_TRUE(r.result.ok());
+    }
+    ac.advance_version();
+  }
+
+  EXPECT_FALSE(cluster.worker_alive(1));
+  EXPECT_FALSE(ac.scheduler().is_member(1));
+  EXPECT_EQ(ac.scheduler().member_count(), 1);
+  // Every partition failed over to the survivor.
+  EXPECT_EQ(ac.scheduler().partitions_of(0).size(), 4u);
+  EXPECT_TRUE(ac.scheduler().partitions_of(1).empty());
+  EXPECT_GT(ac.retries(), 0u);
+  ASSERT_NE(cluster.faults(), nullptr);
+  EXPECT_EQ(cluster.faults()->stats().workers_crashed, 1u);
+}
+
+TEST(ElasticJoin, AsgdRunsThroughACrashAndALateJoin) {
+  // Acceptance-style end-to-end: one worker dies early, a spare joins later,
+  // and ASGD still spends its full update budget and converges.
+  const auto problem = data::synthetic::tiny(120, 6, 0.0, /*seed=*/21);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  const optim::Workload workload =
+      optim::Workload::create(dataset, 4, optim::make_least_squares());
+
+  engine::Cluster::Config config = quiet_config(3);
+  config.faults.crash_worker(/*worker=*/0, /*at_task=*/10)
+      .join_worker(/*worker=*/2, /*at_version=*/15);
+  engine::Cluster cluster(config);
+
+  optim::SolverConfig solver;
+  solver.updates = 80;
+  solver.batch_fraction = 0.3;
+  solver.step = optim::inverse_decay_step(0.05, 1.0, 0.01);
+  solver.service_floor_ms = 0.0;
+  solver.eval_every = 20;
+  solver.seed = 7;
+  const optim::RunResult result = optim::AsgdSolver::run(cluster, workload, solver);
+
+  EXPECT_EQ(result.updates, 80u);
+  EXPECT_LT(result.final_error(), 0.5);
+  EXPECT_FALSE(cluster.worker_alive(0));
+  EXPECT_TRUE(cluster.worker_alive(2));
+  EXPECT_EQ(cluster.faults()->stats().workers_crashed, 1u);
+}
+
+}  // namespace
+}  // namespace asyncml::core

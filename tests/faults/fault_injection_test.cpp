@@ -1,0 +1,163 @@
+// Engine-level fault injection through a real Cluster: fail-stop worker
+// crashes, result drop / duplication, staged delays, and submit rejection.
+// Each scenario checks both the observable behaviour (what arrives on the
+// result channel) and the FaultState counters (what actually fired).
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster.hpp"
+#include "support/stopwatch.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+Cluster::Config quiet_config(int workers, int cores = 1) {
+  Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = cores;
+  config.network.time_scale = 0.0;
+  return config;
+}
+
+TaskSpec make_task(Cluster& cluster, PartitionId p, std::uint64_t seq = 0) {
+  TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  spec.partition = p;
+  spec.seq = seq;
+  spec.fn = std::make_shared<const TaskFn>(
+      [](TaskContext& ctx) -> support::StatusOr<Payload> {
+        return Payload::wrap<int>(ctx.partition);
+      });
+  return spec;
+}
+
+TEST(FaultInjection, DroppedResultNeverLeavesTheWorker) {
+  Cluster::Config config = quiet_config(1);
+  config.faults.drop_result({.partition = 0}, /*times=*/1);
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 0)));
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 1)));
+  // Only partition 1's result can arrive; partition 0's was computed and
+  // then swallowed (permanent non-delivery, not a failure).
+  auto results = cluster.collect_n(1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].partition, 1);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_NE(cluster.faults(), nullptr);
+  EXPECT_EQ(cluster.faults()->stats().results_dropped, 1u);
+  // The drop is invisible to the failure counters: the task ran fine.
+  EXPECT_EQ(cluster.metrics().tasks_completed.load(), 2u);
+}
+
+TEST(FaultInjection, DuplicatedResultArrivesTwiceBitIdentical) {
+  Cluster::Config config = quiet_config(1);
+  config.faults.duplicate_result({.partition = 3}, /*times=*/1);
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 3, /*seq=*/7)));
+  auto results = cluster.collect_n(2);
+  ASSERT_EQ(results.size(), 2u);
+  for (const TaskResult& r : results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.partition, 3);
+    EXPECT_EQ(r.seq, 7u);
+    EXPECT_EQ(r.payload.get<int>(), 3);
+  }
+  EXPECT_EQ(results[0].id, results[1].id);
+  EXPECT_EQ(cluster.faults()->stats().results_duplicated, 1u);
+}
+
+TEST(FaultInjection, CrashedWorkerIsFailStop) {
+  Cluster::Config config = quiet_config(2);
+  config.faults.crash_worker(/*worker=*/0, /*at_task=*/1);
+  Cluster cluster(config);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.submit(0, make_task(cluster, i)));
+  }
+  // Every task the dead worker held surfaces as a synthesized kUnavailable
+  // failure — the transport noticing the dead executor — so the loss rides
+  // the coordinator's normal retry path instead of hanging a collect.
+  auto results = cluster.collect_n(3);
+  ASSERT_EQ(results.size(), 3u);
+  for (const TaskResult& r : results) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status.code(), support::StatusCode::kUnavailable);
+  }
+  EXPECT_FALSE(cluster.worker_alive(0));
+  EXPECT_TRUE(cluster.worker_alive(1));
+  EXPECT_EQ(cluster.faults()->stats().workers_crashed, 1u);
+
+  // Fail-stop is permanent: later submits are still accepted (the transport
+  // cannot know) but bounce straight back as failures.
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 9)));
+  auto late = cluster.collect_n(1);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_FALSE(late[0].ok());
+
+  // The sibling worker is unaffected.
+  ASSERT_TRUE(cluster.submit(1, make_task(cluster, 4)));
+  auto alive = cluster.collect_n(1);
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_TRUE(alive[0].ok());
+}
+
+TEST(FaultInjection, CrashFiresBeforeTheTaskFunction) {
+  // The crash replaces the matching task's execution entirely: stateful
+  // closures are never half-applied (the SAGA idempotency contract).
+  Cluster::Config config = quiet_config(1);
+  config.faults.crash_worker(/*worker=*/0, /*at_task=*/1);
+  Cluster cluster(config);
+  int executions = 0;
+  TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  spec.partition = 0;
+  spec.fn = std::make_shared<const TaskFn>(
+      [&executions](TaskContext&) -> support::StatusOr<Payload> {
+        ++executions;
+        return Payload::wrap<int>(0);
+      });
+  ASSERT_TRUE(cluster.submit(0, std::move(spec)));
+  auto results = cluster.collect_n(1);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_EQ(executions, 0);
+}
+
+TEST(FaultInjection, RejectedSubmitLooksLikeShutdown) {
+  Cluster::Config config = quiet_config(1);
+  config.faults.reject_submit({}, /*times=*/1);
+  Cluster cluster(config);
+  EXPECT_FALSE(cluster.submit(0, make_task(cluster, 0)));
+  EXPECT_TRUE(cluster.submit(0, make_task(cluster, 1)));
+  auto results = cluster.collect_n(1);
+  EXPECT_EQ(results[0].partition, 1);
+  EXPECT_EQ(cluster.faults()->stats().submits_rejected, 1u);
+}
+
+TEST(FaultInjection, ComputeDelayStretchesServiceTime) {
+  Cluster::Config config = quiet_config(1);
+  config.faults.delay(FaultStage::kCompute, 8.0, {}, /*times=*/1);
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 0)));
+  auto results = cluster.collect_n(1);
+  EXPECT_GE(results[0].service_ms, 7.5);  // inside the measured window
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 1)));
+  auto clean = cluster.collect_n(1);
+  EXPECT_LT(clean[0].service_ms, 7.5);  // window exhausted
+  EXPECT_EQ(cluster.faults()->stats().delays_injected, 1u);
+}
+
+TEST(FaultInjection, QueueAndNetworkDelaysAddWallClockOnly) {
+  Cluster::Config config = quiet_config(1);
+  config.faults.delay(FaultStage::kQueue, 3.0, {}, /*times=*/1)
+      .delay(FaultStage::kNetwork, 3.0, {}, /*times=*/1);
+  Cluster cluster(config);
+  support::Stopwatch watch;
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 0)));
+  auto results = cluster.collect_n(1);
+  EXPECT_GE(watch.elapsed_ms(), 5.5);  // both sleeps happened
+  // Neither stage is part of the measured task time.
+  EXPECT_LT(results[0].service_ms, 3.0);
+  EXPECT_EQ(cluster.faults()->stats().delays_injected, 2u);
+}
+
+}  // namespace
+}  // namespace asyncml::engine

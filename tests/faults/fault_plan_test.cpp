@@ -1,0 +1,156 @@
+// FaultPlan / FaultState unit semantics: declarative events, wildcard keys,
+// occurrence windows, and the membership (join) queries. Everything here is
+// pure matching logic — no cluster, no threads — so it pins the replayable
+// contract the chaos suite builds on (docs/FAULTS.md).
+
+#include "engine/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/task.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+TaskSpec spec_of(PartitionId partition, std::uint64_t seq) {
+  TaskSpec spec;
+  spec.partition = partition;
+  spec.seq = seq;
+  return spec;
+}
+
+TEST(FaultPlan, EmptyPlanMatchesNothing) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  FaultState state(plan);
+  EXPECT_FALSE(state.should_fail_task(0, spec_of(0, 0)));
+  EXPECT_FALSE(state.should_crash(0, spec_of(0, 0)));
+  EXPECT_FALSE(state.should_drop_result(0, spec_of(0, 0)));
+  EXPECT_FALSE(state.should_duplicate_result(0, spec_of(0, 0)));
+  EXPECT_FALSE(state.should_reject_submit(0, spec_of(0, 0)));
+  EXPECT_EQ(state.stage_delay_ms(FaultStage::kCompute, 0, spec_of(0, 0)), 0.0);
+}
+
+TEST(FaultPlan, WindowSkipsAfterThenFiresTimes) {
+  FaultPlan plan;
+  plan.fail_task({}, /*times=*/2, /*after=*/3);  // matches 4 and 5 fire
+  FaultState state(plan);
+  int fired = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    fired += state.should_fail_task(0, spec_of(0, s)) ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(state.stats().tasks_failed, 2u);
+}
+
+TEST(FaultPlan, TimesZeroFiresForever) {
+  FaultPlan plan;
+  plan.fail_task({}, /*times=*/0, /*after=*/2);
+  FaultState state(plan);
+  int fired = 0;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    fired += state.should_fail_task(0, spec_of(0, s)) ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 6);  // everything past the first two matches
+}
+
+TEST(FaultPlan, FullyKeyedEventFiresOnExactTaskOnly) {
+  FaultPlan plan;
+  FaultKey key;
+  key.worker = 1;
+  key.partition = 2;
+  key.seq = 5;
+  plan.fail_task(key, /*times=*/1);
+  FaultState state(plan);
+  EXPECT_FALSE(state.should_fail_task(0, spec_of(2, 5)));  // wrong worker
+  EXPECT_FALSE(state.should_fail_task(1, spec_of(3, 5)));  // wrong partition
+  EXPECT_FALSE(state.should_fail_task(1, spec_of(2, 4)));  // wrong seq
+  EXPECT_TRUE(state.should_fail_task(1, spec_of(2, 5)));
+  EXPECT_FALSE(state.should_fail_task(1, spec_of(2, 5)));  // window exhausted
+}
+
+TEST(FaultPlan, WildcardWorkerCountsAcrossWorkers) {
+  FaultPlan plan;
+  plan.fail_task({.partition = 0}, /*times=*/2);
+  FaultState state(plan);
+  // Matching is keyed on the partition alone; the two firings may land on
+  // different workers.
+  EXPECT_TRUE(state.should_fail_task(0, spec_of(0, 0)));
+  EXPECT_FALSE(state.should_fail_task(1, spec_of(1, 1)));  // partition mismatch
+  EXPECT_TRUE(state.should_fail_task(1, spec_of(0, 1)));
+  EXPECT_FALSE(state.should_fail_task(0, spec_of(0, 2)));
+}
+
+TEST(FaultPlan, CrashWorkerAtTaskIsPermanentFailStop) {
+  FaultPlan plan;
+  plan.crash_worker(/*worker=*/1, /*at_task=*/3);
+  FaultState state(plan);
+  // Worker 1's first two dequeues pass; the third and every later one match.
+  EXPECT_FALSE(state.should_crash(1, spec_of(0, 0)));
+  EXPECT_FALSE(state.should_crash(1, spec_of(0, 1)));
+  EXPECT_TRUE(state.should_crash(1, spec_of(0, 2)));
+  EXPECT_TRUE(state.should_crash(1, spec_of(0, 3)));  // fail-stop: stays down
+  // Other workers never match.
+  EXPECT_FALSE(state.should_crash(0, spec_of(0, 4)));
+}
+
+TEST(FaultPlan, DelaysSumAcrossMatchingEvents) {
+  FaultPlan plan;
+  plan.delay(FaultStage::kNetwork, 4.0, {.worker = 0})
+      .delay(FaultStage::kNetwork, 6.0, {})
+      .delay(FaultStage::kCompute, 9.0, {});
+  FaultState state(plan);
+  EXPECT_DOUBLE_EQ(state.stage_delay_ms(FaultStage::kNetwork, 0, spec_of(0, 0)),
+                   10.0);
+  EXPECT_DOUBLE_EQ(state.stage_delay_ms(FaultStage::kNetwork, 1, spec_of(0, 1)),
+                   6.0);
+  EXPECT_DOUBLE_EQ(state.stage_delay_ms(FaultStage::kQueue, 0, spec_of(0, 2)), 0.0);
+  // One count per *delayed task*, not per matched event: the first query
+  // summed two events but counts once, the third query injected nothing.
+  EXPECT_EQ(state.stats().delays_injected, 2u);
+}
+
+TEST(FaultPlan, JoinWorkerStartsDormantWithVersion) {
+  FaultPlan plan;
+  plan.join_worker(/*worker=*/2, /*at_version=*/40);
+  FaultState state(plan);
+  EXPECT_TRUE(state.starts_dormant(2));
+  EXPECT_FALSE(state.starts_dormant(0));
+  ASSERT_TRUE(state.join_version(2).has_value());
+  EXPECT_EQ(*state.join_version(2), 40u);
+  EXPECT_FALSE(state.join_version(0).has_value());
+}
+
+TEST(FaultPlan, StatsCountEachKind) {
+  FaultPlan plan;
+  plan.fail_task({}, 1)
+      .reject_submit({}, 1)
+      .drop_result({}, 1)
+      .duplicate_result({}, 1);
+  FaultState state(plan);
+  EXPECT_TRUE(state.should_fail_task(0, spec_of(0, 0)));
+  EXPECT_TRUE(state.should_reject_submit(0, spec_of(0, 1)));
+  EXPECT_TRUE(state.should_drop_result(0, spec_of(0, 2)));
+  EXPECT_TRUE(state.should_duplicate_result(0, spec_of(0, 3)));
+  state.count_crash();
+  const FaultStats stats = state.stats();
+  EXPECT_EQ(stats.tasks_failed, 1u);
+  EXPECT_EQ(stats.submits_rejected, 1u);
+  EXPECT_EQ(stats.results_dropped, 1u);
+  EXPECT_EQ(stats.results_duplicated, 1u);
+  EXPECT_EQ(stats.workers_crashed, 1u);
+}
+
+TEST(FaultPlan, IndependentEventsKeepIndependentWindows) {
+  // Two fail events with disjoint keys each get their own counter: firing
+  // one must not consume the other's window.
+  FaultPlan plan;
+  plan.fail_task({.worker = 0}, /*times=*/1).fail_task({.worker = 1}, /*times=*/1);
+  FaultState state(plan);
+  EXPECT_TRUE(state.should_fail_task(0, spec_of(0, 0)));
+  EXPECT_TRUE(state.should_fail_task(1, spec_of(0, 1)));
+  EXPECT_EQ(state.stats().tasks_failed, 2u);
+}
+
+}  // namespace
+}  // namespace asyncml::engine

@@ -82,6 +82,133 @@ TEST(Checkpoint, TruncatedFileRejected) {
   std::filesystem::remove(path);
 }
 
+TEST(Checkpoint, V2RoundTripCarriesVersionRoundAndCounters) {
+  SolverCheckpoint cp;
+  cp.update_index = 100;
+  cp.model_version = 97;
+  cp.round = 412;
+  cp.model = linalg::DenseVector{1.0, 2.0};
+  cp.counters["tasks_completed"] = 1234;
+  cp.counters["retries"] = 7;
+
+  const std::string path = temp_path("asyncml_ckpt_v2.bin");
+  ASSERT_TRUE(save_checkpoint(path, cp).is_ok());
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().model_version, 97u);
+  EXPECT_EQ(loaded.value().round, 412u);
+  ASSERT_EQ(loaded.value().counters.size(), 2u);
+  EXPECT_EQ(loaded.value().counters.at("tasks_completed"), 1234u);
+  EXPECT_EQ(loaded.value().counters.at("retries"), 7u);
+  std::filesystem::remove(path);
+}
+
+namespace raw {
+
+void u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void name(std::ofstream& out, const std::string& s) {
+  u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+/// Magic + v2 header (update index, model version, round, 0 counters).
+void v2_header(std::ofstream& out) {
+  out.write("AMLCKPT2", 8);
+  u64(out, 1);
+  u64(out, 1);
+  u64(out, 1);
+  u32(out, 0);
+}
+
+}  // namespace raw
+
+TEST(Checkpoint, V1FileStillLoads) {
+  const std::string path = temp_path("asyncml_ckpt_v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("AMLCKPT1", 8);
+    raw::u64(out, 55);  // update index; v1 has no version/round/counters
+    raw::u32(out, 1);
+    raw::name(out, "model");
+    raw::u64(out, 2);
+    const double values[2] = {4.0, 8.0};
+    out.write(reinterpret_cast<const char*>(values), sizeof(values));
+  }
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().update_index, 55u);
+  EXPECT_EQ(loaded.value().model_version, 0u);  // v2-only fields come back zero
+  EXPECT_EQ(loaded.value().round, 0u);
+  EXPECT_TRUE(loaded.value().counters.empty());
+  EXPECT_EQ(loaded.value().model, (linalg::DenseVector{4.0, 8.0}));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, VectorLengthOverrunningFileRejectedWithoutAllocating) {
+  // A corrupted dim within the sanity bound but far past end-of-file must be
+  // caught by the bytes-remaining check, not by attempting the allocation.
+  const std::string path = temp_path("asyncml_ckpt_overrun.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    raw::v2_header(out);
+    raw::u32(out, 1);
+    raw::name(out, "model");
+    raw::u64(out, 1ULL << 31);  // claims 16 GiB of doubles; file holds none
+  }
+  const auto loaded = load_checkpoint(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), support::StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, AbsurdVectorDimRejected) {
+  const std::string path = temp_path("asyncml_ckpt_absurd.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    raw::v2_header(out);
+    raw::u32(out, 1);
+    raw::name(out, "model");
+    raw::u64(out, (1ULL << 32) + 1);
+  }
+  EXPECT_FALSE(load_checkpoint(path).is_ok());
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, AbsurdCounterCountRejected) {
+  const std::string path = temp_path("asyncml_ckpt_counters.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("AMLCKPT2", 8);
+    raw::u64(out, 1);
+    raw::u64(out, 1);
+    raw::u64(out, 1);
+    raw::u32(out, 50'000);  // > the 10'000 sanity cap
+  }
+  EXPECT_FALSE(load_checkpoint(path).is_ok());
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, MissingModelVectorRejected) {
+  const std::string path = temp_path("asyncml_ckpt_nomodel.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    raw::v2_header(out);
+    raw::u32(out, 1);
+    raw::name(out, "alpha_bar");  // aux only; "model" never appears
+    raw::u64(out, 1);
+    const double value = 1.0;
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+  const auto loaded = load_checkpoint(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), support::StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
 TEST(Checkpoint, ResumeReproducesContinuation) {
   // The intended workflow: run K updates, checkpoint, restart from the file,
   // continue — the continued state matches an uninterrupted run because the

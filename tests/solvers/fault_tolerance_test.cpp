@@ -1,15 +1,14 @@
 // Fault-tolerance integration: injected task failures must be retried
 // (Spark semantics) and must not change results beyond floating-point noise.
 //
-// The fault injector fires *before* the task function runs, so stateful map
-// closures (SAGA's version table) are never half-applied — matching the
-// documented idempotency contract.
+// kFailTask fires *before* the task function runs, so stateful map closures
+// (SAGA's version table) are never half-applied — matching the documented
+// idempotency contract.
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-
 #include "data/synthetic.hpp"
+#include "engine/fault.hpp"
 #include "optim/asgd.hpp"
 #include "optim/objective.hpp"
 #include "optim/sgd.hpp"
@@ -33,20 +32,19 @@ SolverConfig fast_config(std::uint64_t updates) {
   return config;
 }
 
-engine::Cluster::Config faulty_config(int workers, engine::FaultInjector injector) {
+engine::Cluster::Config faulty_config(int workers, engine::FaultPlan faults = {}) {
   engine::Cluster::Config config;
   config.num_workers = workers;
   config.cores_per_worker = 1;
   config.network.time_scale = 0.0;
-  config.fault_injector = std::move(injector);
+  config.faults = std::move(faults);
   return config;
 }
 
 TEST(FaultTolerance, SyncSgdSurvivesTransientFaults) {
-  std::atomic<int> countdown{5};  // first five tasks fail
-  engine::Cluster cluster(faulty_config(2, [&](engine::WorkerId, const engine::TaskSpec&) {
-    return countdown.fetch_sub(1) > 0;
-  }));
+  engine::FaultPlan plan;
+  plan.fail_task({}, /*times=*/5);  // first five tasks fail
+  engine::Cluster cluster(faulty_config(2, plan));
   const Workload workload = tiny_workload(1);
   const RunResult result = SgdSolver::run(cluster, workload, fast_config(30));
   EXPECT_LT(result.final_error(), 0.5);
@@ -59,23 +57,21 @@ TEST(FaultTolerance, SyncResultIdenticalWithAndWithoutFaults) {
   const Workload workload = tiny_workload(2);
   const SolverConfig config = fast_config(20);
 
-  engine::Cluster clean(faulty_config(2, nullptr));
+  engine::Cluster clean(faulty_config(2));
   const RunResult a = SgdSolver::run(clean, workload, config);
 
-  std::atomic<int> countdown{3};
-  engine::Cluster faulty(faulty_config(2, [&](engine::WorkerId, const engine::TaskSpec&) {
-    return countdown.fetch_sub(1) > 0;
-  }));
+  engine::FaultPlan plan;
+  plan.fail_task({}, /*times=*/3);
+  engine::Cluster faulty(faulty_config(2, plan));
   const RunResult b = SgdSolver::run(faulty, workload, config);
 
   EXPECT_DOUBLE_EQ(a.final_error(), b.final_error());
 }
 
 TEST(FaultTolerance, AsgdRetriesFailedTasks) {
-  std::atomic<int> countdown{4};
-  engine::Cluster cluster(faulty_config(2, [&](engine::WorkerId, const engine::TaskSpec&) {
-    return countdown.fetch_sub(1) > 0;
-  }));
+  engine::FaultPlan plan;
+  plan.fail_task({}, /*times=*/4);
+  engine::Cluster cluster(faulty_config(2, plan));
   const Workload workload = tiny_workload(3);
   const RunResult result = AsgdSolver::run(cluster, workload, fast_config(60));
   EXPECT_EQ(result.updates, 60u);  // budget still met despite failures
@@ -85,9 +81,9 @@ TEST(FaultTolerance, AsgdRetriesFailedTasks) {
 
 TEST(FaultTolerance, PersistentSingleWorkerFaultHandledByRetryHop) {
   // Worker 0 never succeeds; retries hop to worker 1 and the job completes.
-  engine::Cluster cluster(faulty_config(2, [](engine::WorkerId w, const engine::TaskSpec&) {
-    return w == 0;
-  }));
+  engine::FaultPlan plan;
+  plan.fail_task({.worker = 0}, /*times=*/0);  // 0 = every match, forever
+  engine::Cluster cluster(faulty_config(2, plan));
   const Workload workload = tiny_workload(4);
   SolverConfig config = fast_config(10);
   const RunResult result = SgdSolver::run(cluster, workload, config);

@@ -1,0 +1,59 @@
+// History GC after a worker death: a task the crashed worker held pins its
+// dispatch version in the STAT min-inflight bound. Once the crash surfaces
+// as a synthesized failure and the retry completes on a survivor, nothing
+// may keep pinning the old version — gc_history must be able to prune it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/async_context.hpp"
+#include "engine/cluster.hpp"
+
+namespace asyncml::core {
+namespace {
+
+engine::Cluster::Config quiet_config(int workers) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 1;
+  config.network.time_scale = 0.0;
+  return config;
+}
+
+TEST(GcUnderDeath, CrashedWorkersTaskDoesNotPinHistoryForever) {
+  engine::Cluster::Config config = quiet_config(2);
+  // Worker 0 dies the moment it dequeues its first task: its version-0 task
+  // never runs and surfaces as a crash-synthesized failure instead.
+  config.faults.crash_worker(/*worker=*/0, /*at_task=*/1);
+  engine::Cluster cluster(config);
+  AsyncContext ac(cluster, /*num_partitions=*/2);
+
+  linalg::DenseVector w(4, 1.0);
+  HistoryBroadcast w_br = ac.async_broadcast(w);  // publish at version 0
+  ASSERT_TRUE(ac.history().id_of(0).has_value());
+
+  const auto fn = std::make_shared<const engine::TaskFn>(
+      [](engine::TaskContext& ctx) -> support::StatusOr<engine::Payload> {
+        return engine::Payload::wrap<int>(ctx.partition);
+      });
+  // Both partitions dispatch at version 0; worker 0's copy dies with it and
+  // is retried on worker 1 through collect's retry path.
+  auto results = ac.sync_round_fn(fn, SubmitOptions{});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(ac.retries(), 0u);
+  EXPECT_FALSE(cluster.worker_alive(0));
+
+  // Publish a newer model, then GC against the STAT bound. With the dead
+  // worker's registration unwound the bound has moved past version 0.
+  ac.advance_version();
+  w[0] = 2.0;
+  w_br = ac.async_broadcast(w);
+  const engine::Version bound = ac.gc_history();
+  EXPECT_GE(bound, 1u);
+  EXPECT_FALSE(ac.history().id_of(0).has_value());  // version 0 pruned
+  ASSERT_TRUE(ac.history().id_of(1).has_value());
+}
+
+}  // namespace
+}  // namespace asyncml::core

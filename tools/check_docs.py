@@ -13,6 +13,11 @@ Two gates:
    (substring `src/<module>/README.md`), so the per-module indexes stay
    discoverable from the architecture entry point.
 
+3. Test module registration: every `tests/<module>/` directory holding
+   `*_test.cpp` files must be listed in tests/CMakeLists.txt's
+   asyncml_add_test_module foreach — an unregistered directory is a test
+   suite that silently never runs.
+
 Exit code 0 = healthy; 1 = problems (each printed on its own line).
 """
 
@@ -70,12 +75,32 @@ def check_module_readmes() -> list[str]:
     return problems
 
 
+def check_test_modules() -> list[str]:
+    problems = []
+    cmake = REPO / "tests" / "CMakeLists.txt"
+    cmake_text = cmake.read_text(encoding="utf-8") if cmake.exists() else ""
+    if not cmake_text:
+        return ["tests/CMakeLists.txt is missing"]
+    match = re.search(r"foreach\(MODULE\s+([^)]*)\)", cmake_text)
+    registered = set(match.group(1).split()) if match else set()
+    for module_dir in sorted((REPO / "tests").iterdir()):
+        if not module_dir.is_dir() or not list(module_dir.glob("*_test.cpp")):
+            continue
+        if module_dir.name not in registered:
+            problems.append(
+                f"tests/{module_dir.name}/ is not registered in "
+                "tests/CMakeLists.txt (asyncml_add_test_module foreach)"
+            )
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
     files = markdown_files()
     for md in files:
         problems.extend(check_links(md))
     problems.extend(check_module_readmes())
+    problems.extend(check_test_modules())
     for problem in problems:
         print(problem)
     print(
