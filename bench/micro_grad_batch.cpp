@@ -135,9 +135,8 @@ CaseResult run_saga_case(const optim::Workload& workload, double fraction, int i
   registry->publish(w_old, /*version=*/0);
   registry->publish(w_new, /*version=*/1);
   const core::HistoryBroadcast handle(registry, /*pinned=*/1);
-  const auto hist_model = [handle](engine::Version v) -> const linalg::DenseVector& {
-    return handle.value_at(v);
-  };
+  const auto hist_model = [handle](engine::Version v, const core::ShardSet* mask)
+      -> const linalg::DenseVector& { return handle.value_at(v, mask); };
 
   const auto make_perrow = [&](std::shared_ptr<core::SampleVersionTable> table) {
     // The production per-row SAGA seq op (value_at per visited row). Samples

@@ -8,6 +8,10 @@ AsyncContext::AsyncContext(engine::Cluster& cluster, int num_partitions,
       coordinator_(cluster),
       scheduler_(cluster, coordinator_),
       registry_(std::make_shared<HistoryRegistry>(&cluster.store(), store_config)) {
+  // Size the per-shard byte accounting before any dispatch can count into it.
+  if (store_config.num_shards > 1) {
+    cluster.metrics().set_num_shards(store_config.num_shards);
+  }
   // Workers with a kJoinWorker fault event start outside the member set:
   // they own no partitions and receive no dispatch until poll_membership
   // admits them at their join version (engine/fault.hpp).

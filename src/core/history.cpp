@@ -17,14 +17,14 @@ std::optional<engine::BroadcastId> HistoryRegistry::id_of(
 }
 
 const linalg::DenseVector& HistoryRegistry::value_at(engine::Version version) const {
-  // On a worker thread, resolve through that worker's versioned model cache
-  // (materialized hit = free; miss fetches and charges the missing chain
-  // links). On the driver, the same resolution runs without charging.
-  if (engine::WorkerEnv* env = engine::current_worker_env();
-      env != nullptr && env->cache != nullptr) {
-    return store_.cache_for(env->id, env->cache, env->metrics).value_at(version);
-  }
-  return store_.driver_cache().value_at(version);
+  // Worker-vs-driver routing (charged worker cache vs free driver cache) and
+  // per-shard assembly both live in the sharded store.
+  return store_.value_at(version);
+}
+
+const linalg::DenseVector& HistoryRegistry::value_at(engine::Version version,
+                                                     const ShardSet* mask) const {
+  return store_.value_at(version, mask);
 }
 
 void HistoryRegistry::prune_below(engine::Version min_version) {

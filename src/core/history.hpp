@@ -27,10 +27,11 @@
 #include <optional>
 #include <vector>
 
+#include "core/shard_map.hpp"
 #include "engine/broadcast.hpp"
 #include "engine/types.hpp"
 #include "linalg/dense_vector.hpp"
-#include "store/model_store.hpp"
+#include "store/sharded_store.hpp"
 
 namespace asyncml::core {
 
@@ -53,6 +54,14 @@ class HistoryRegistry {
   /// never published or was GC'd — a logic error upstream.
   [[nodiscard]] const linalg::DenseVector& value_at(engine::Version version) const;
 
+  /// Masked resolution on a sharded model plane: fills only the shards in
+  /// `mask`, so coordinates outside them are unspecified in the returned
+  /// vector — callers must read only their support's coordinates (the batch
+  /// kernels pass their partition's shard-support set).  Null mask — and any
+  /// mask when the plane is unsharded — is a full materialization.
+  [[nodiscard]] const linalg::DenseVector& value_at(engine::Version version,
+                                                    const ShardSet* mask) const;
+
   /// Garbage-collects versions older than `min_version` (exact broadcast ids
   /// on the server and in every worker cache; the oldest retained version is
   /// rebased onto a fresh base snapshot when its delta chain crossed the
@@ -64,15 +73,27 @@ class HistoryRegistry {
   /// Oldest retained version (for prune policies); nullopt when empty.
   [[nodiscard]] std::optional<engine::Version> oldest() const;
 
-  /// The underlying delta-versioned store (chain metadata, publish stats).
-  [[nodiscard]] store::ModelStore& model_store() noexcept { return store_; }
+  /// The underlying delta-versioned store of shard 0 — with the default
+  /// single-shard config this is *the* model store, bit-exact with
+  /// pre-sharding builds (chain metadata, publish stats).
+  [[nodiscard]] store::ModelStore& model_store() noexcept {
+    return store_.shard(0);
+  }
   [[nodiscard]] const store::ModelStore& model_store() const noexcept {
+    return store_.shard(0);
+  }
+
+  /// The sharded model plane itself (per-shard stats, the ShardMap).
+  [[nodiscard]] store::ShardedModelStore& sharded_store() noexcept {
+    return store_;
+  }
+  [[nodiscard]] const store::ShardedModelStore& sharded_store() const noexcept {
     return store_;
   }
 
  private:
   // mutable: value_at() is logically const but materializes into caches.
-  mutable store::ModelStore store_;
+  mutable store::ShardedModelStore store_;
 };
 
 /// Copyable handle pinned to the version that was current at dispatch time —
@@ -96,6 +117,16 @@ class HistoryBroadcast {
   /// through the SampleVersionTable first, then calls this).
   [[nodiscard]] const linalg::DenseVector& value_at(engine::Version v) const {
     return registry_->value_at(v);
+  }
+
+  /// Masked reads on a sharded model plane (see HistoryRegistry::value_at):
+  /// only coordinates in `mask`'s shards are defined in the result.
+  [[nodiscard]] const linalg::DenseVector& value(const ShardSet* mask) const {
+    return registry_->value_at(pinned_, mask);
+  }
+  [[nodiscard]] const linalg::DenseVector& value_at(engine::Version v,
+                                                    const ShardSet* mask) const {
+    return registry_->value_at(v, mask);
   }
 
  private:

@@ -1,0 +1,200 @@
+#include "core/shard_route.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "core/async_context.hpp"
+#include "engine/actions.hpp"
+
+namespace asyncml::core {
+namespace {
+
+/// Positional left-to-right fold of one group — the single combine order used
+/// everywhere (worker tasks and driver fallbacks alike), so a group's sum is
+/// bit-identical no matter where it runs.
+linalg::GradVector fold_group(std::vector<linalg::GradVector> chunk) {
+  linalg::GradVector acc = std::move(chunk.front());
+  for (std::size_t i = 1; i < chunk.size(); ++i) acc.add(chunk[i]);
+  return acc;
+}
+
+linalg::GradVector combine_op(linalg::GradVector a, const linalg::GradVector& b) {
+  a.add(b);
+  return a;
+}
+
+/// One group awaiting its combine result.  The chunk is retained so a failed
+/// dispatch (or context shutdown) can fold on the driver instead.
+struct PendingGroup {
+  std::size_t shard = 0;
+  std::size_t group = 0;
+  std::vector<linalg::GradVector> chunk;
+  int attempts = 0;
+};
+
+}  // namespace
+
+linalg::GradVector tree_combine_async(AsyncContext& ac,
+                                      std::vector<linalg::GradVector> parts,
+                                      const ShardMap* map,
+                                      const linalg::GradVectorConfig& total_cfg,
+                                      const TreeCombineOptions& options) {
+  linalg::GradVector total(total_cfg);
+  if (parts.empty()) return total;
+
+  // Per-shard input levels.  A coordinate lives in exactly one shard and the
+  // split preserves the per-partition positional order, so each shard's tree
+  // replays the S=1 tree's addition sequence for its coordinates.
+  const bool sharded = map != nullptr && map->num_shards() > 1 &&
+                       map->scheme() == ShardScheme::kRange;
+  std::vector<std::vector<linalg::GradVector>> levels;
+  std::vector<std::uint32_t> offsets;
+  if (sharded) {
+    const std::uint32_t num_shards = map->num_shards();
+    levels.resize(num_shards);
+    offsets.resize(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      offsets[s] = map->range_bounds()[s];
+      levels[s].reserve(parts.size());
+    }
+    for (linalg::GradVector& part : parts) {
+      std::vector<linalg::GradVector> pieces =
+          part.split_ranges(map->range_bounds());
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        levels[s].push_back(std::move(pieces[s]));
+      }
+    }
+    parts.clear();
+  } else {
+    levels.push_back(std::move(parts));
+    offsets.push_back(0);
+  }
+
+  engine::Cluster& cluster = ac.cluster();
+  const int fanout = options.fanout < 2 ? 2 : options.fanout;
+  const int num_workers = cluster.num_workers();
+  int rr = 0;
+  const auto next_worker = [&]() -> engine::WorkerId {
+    for (int tries = 0; tries < num_workers; ++tries) {
+      const auto w = static_cast<engine::WorkerId>(rr++ % num_workers);
+      if (ac.scheduler().is_member(w) && cluster.worker_alive(w)) return w;
+    }
+    return -1;
+  };
+
+  std::map<engine::TaskId, PendingGroup> pending;
+  // Registers and ships one group's combine task; false leaves `g` intact for
+  // the driver-side fallback fold.
+  const auto dispatch_group = [&](PendingGroup& g) -> bool {
+    const engine::WorkerId worker = next_worker();
+    if (worker < 0) return false;
+    engine::TaskSpec spec;
+    spec.id = cluster.next_task_id();
+    spec.partition = engine::kNoPartition;
+    spec.seq = options.seq;
+    spec.model_version = options.model_version;
+    spec.fn = engine::make_combine_fn<linalg::GradVector>(g.chunk, &combine_op);
+    spec.service_floor_ms = 0.0;  // combine cost is the real fold time
+    spec.rng_seed = options.rng_seed;
+    // Non-identity registration: combine tasks have no (partition, seq)
+    // identity — their results are always delivered, and a crash surfaces as
+    // a synthesized failure on the failure queue.
+    ac.coordinator().on_dispatch(worker, 1, spec.model_version);
+    const engine::TaskId id = spec.id;
+    if (!cluster.submit(worker, std::move(spec))) {
+      engine::TaskSpec aborted;
+      aborted.partition = engine::kNoPartition;
+      aborted.seq = options.seq;
+      aborted.model_version = options.model_version;
+      ac.coordinator().on_dispatch_aborted(worker, aborted);
+      return false;
+    }
+    pending.emplace(id, std::move(g));
+    return true;
+  };
+
+  // Level rounds: every shard whose level still exceeds the fanout combines
+  // this round (all shards in lockstep — they share the level size).
+  while (true) {
+    bool any = false;
+    for (const auto& level : levels) {
+      if (static_cast<int>(level.size()) > fanout) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+
+    std::vector<std::vector<linalg::GradVector>> next(levels.size());
+    for (std::size_t s = 0; s < levels.size(); ++s) {
+      auto& level = levels[s];
+      if (static_cast<int>(level.size()) <= fanout) {
+        next[s] = std::move(level);
+        continue;
+      }
+      const std::size_t groups =
+          (level.size() + static_cast<std::size_t>(fanout) - 1) /
+          static_cast<std::size_t>(fanout);
+      next[s].resize(groups);
+      for (std::size_t gi = 0; gi < groups; ++gi) {
+        const std::size_t begin = gi * static_cast<std::size_t>(fanout);
+        const std::size_t end =
+            std::min(level.size(), begin + static_cast<std::size_t>(fanout));
+        PendingGroup g;
+        g.shard = s;
+        g.group = gi;
+        g.chunk.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          g.chunk.push_back(std::move(level[i]));
+        }
+        if (!dispatch_group(g)) next[s][gi] = fold_group(std::move(g.chunk));
+      }
+      level.clear();
+    }
+
+    using namespace std::chrono_literals;
+    while (!pending.empty()) {
+      if (auto collected = ac.coordinator().collect_for(2ms);
+          collected.has_value()) {
+        ac.scheduler().on_result_collected(collected->result.partition);
+        const auto it = pending.find(collected->result.id);
+        if (it == pending.end()) continue;  // foreign result; not ours to hold
+        next[it->second.shard][it->second.group] =
+            collected->result.payload.get<linalg::GradVector>();
+        pending.erase(it);
+        continue;
+      }
+      while (auto failed = ac.coordinator().try_collect_failure()) {
+        const auto it = pending.find(failed->id);
+        if (it == pending.end()) continue;
+        PendingGroup g = std::move(it->second);
+        pending.erase(it);
+        g.attempts += 1;
+        if (g.attempts >= 3 || !dispatch_group(g)) {
+          next[g.shard][g.group] = fold_group(std::move(g.chunk));
+        }
+      }
+      if (ac.coordinator().stopped()) {
+        // Shutdown: no further results will ever arrive — fold the remaining
+        // groups here (bit-identical: the fold order is positional).
+        for (auto& [id, g] : pending) {
+          next[g.shard][g.group] = fold_group(std::move(g.chunk));
+        }
+        pending.clear();
+      }
+    }
+    levels = std::move(next);
+  }
+
+  // Driver epilogue: fold each shard's remaining ≤fanout partials in order,
+  // then place the shard total at its range offset.
+  for (std::size_t s = 0; s < levels.size(); ++s) {
+    if (levels[s].empty()) continue;
+    total.merge_from(fold_group(std::move(levels[s])), offsets[s]);
+  }
+  return total;
+}
+
+}  // namespace asyncml::core

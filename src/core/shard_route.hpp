@@ -1,0 +1,70 @@
+#pragma once
+
+// Tree-structured gradient aggregation through the async path.
+//
+// The synchronous solvers' driver fold (sort results by partition, add one by
+// one) makes the coordinator loop the aggregation hot spot: one thread adds P
+// gradients per round while every worker idles.  tree_combine_async runs the
+// same reduction as log-depth combine *tasks* dispatched through the live
+// AsyncContext — registered with the coordinator (STAT-visible, result-queue
+// delivered, failure-retried) instead of the raw run_tasks_sync channel,
+// which cannot be used while the coordinator's drain thread owns the result
+// queue.
+//
+// Sharded composition: with a kRange ShardMap, every per-partition gradient
+// is first split along the shard bounds (GradVector::split_ranges) and S
+// independent trees run over the per-shard pieces — the partial aggregation
+// lands shard by shard, mirroring how the scatter into the sharded model
+// plane consumes it — and the driver merges the S shard totals back at their
+// range offsets.
+//
+// Determinism (docs/SHARDING.md): groups are formed positionally over the
+// partition-ordered inputs with a fixed fanout, and every combine adds in
+// group order, so each coordinate's addition sequence is a pure function of
+// (P, fanout) — independent of S (a coordinate lives in exactly one shard,
+// and that shard's tree groups by the same positions as the S=1 tree) and of
+// worker placement.  Tree order differs from the flat driver fold's order, so
+// CombineMode::kTree is a distinct — internally consistent — FP trajectory,
+// selected per solver run (optim/solver_config.hpp), never silently mixed.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shard_map.hpp"
+#include "engine/types.hpp"
+#include "linalg/grad_vector.hpp"
+
+namespace asyncml::core {
+
+class AsyncContext;
+
+/// How a synchronous solver folds its per-partition gradients.
+enum class CombineMode : std::uint8_t {
+  kDriver,  ///< flat driver-side fold in partition order (the reference)
+  kTree,    ///< log-depth combine tasks via tree_combine_async
+};
+
+struct TreeCombineOptions {
+  int fanout = 4;                     ///< combine fan-in per task
+  std::uint64_t seq = 0;              ///< dispatch round (task bookkeeping)
+  engine::Version model_version = 0;  ///< version tag carried by the tasks
+  std::uint64_t rng_seed = 1;
+};
+
+/// Reduces `parts` (per-partition gradients in partition order) to their sum
+/// with tree-structured combine tasks on the cluster's workers.  `map`
+/// selects the sharded composition (kRange maps with more than one shard run
+/// one tree per shard; null or single-shard maps run one tree over the full
+/// vectors).  Falls back to driver-side folding for groups that cannot be
+/// dispatched (no alive members, submit rejection, context shutdown) —
+/// bit-identically, since the fold order is positional either way.
+///
+/// Must not run concurrently with other in-flight tasks of the same context
+/// (the sync solvers call it after their round fully collected), like
+/// run_tasks_sync.
+[[nodiscard]] linalg::GradVector tree_combine_async(
+    AsyncContext& ac, std::vector<linalg::GradVector> parts,
+    const ShardMap* map, const linalg::GradVectorConfig& total_cfg,
+    const TreeCombineOptions& options);
+
+}  // namespace asyncml::core

@@ -16,6 +16,7 @@
 #include "engine/cluster.hpp"
 #include "engine/rdd.hpp"
 #include "linalg/dense_vector.hpp"
+#include "linalg/grad_vector.hpp"
 
 namespace asyncml::engine {
 
@@ -26,6 +27,9 @@ template <typename U>
   return sizeof(U);
 }
 [[nodiscard]] inline std::size_t payload_size_bytes(const linalg::DenseVector& v) {
+  return v.size_bytes();
+}
+[[nodiscard]] inline std::size_t payload_size_bytes(const linalg::GradVector& v) {
   return v.size_bytes();
 }
 

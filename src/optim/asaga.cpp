@@ -21,6 +21,8 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
       config.async_step_scale.value_or(1.0 / static_cast<double>(cluster.num_workers()));
 
   const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+  // Per-partition shard-support sets (sparse workloads on a sharded plane).
+  const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
 
@@ -46,7 +48,7 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   auto rebuild_factory = [&] {
     return ac.make_fn_factory(
         detail::saga_task_fn(workload, config, w_br, table, grad_cfg,
-                             config.batch_fraction),
+                             config.batch_fraction, support_table),
         opts);
   };
   core::AsyncScheduler::TaskFactory factory = rebuild_factory();

@@ -22,6 +22,8 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
                                    : 1.0 / static_cast<double>(cluster.num_workers());
   const double step_scale = config.async_step_scale.value_or(default_scale);
   const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+  // Per-partition shard-support sets (sparse workloads on a sharded plane).
+  const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
 
@@ -49,7 +51,8 @@ RunResult AsgdSolver::run(engine::Cluster& cluster, const Workload& workload,
   // Factory building this round's gradient tasks against the latest w_br.
   auto rebuild_factory = [&] {
     return ac.make_fn_factory(
-        detail::grad_task_fn(workload, config, w_br, grad_cfg, config.batch_fraction),
+        detail::grad_task_fn(workload, config, w_br, grad_cfg, config.batch_fraction,
+                             support_table),
         opts);
   };
   core::AsyncScheduler::TaskFactory factory = rebuild_factory();

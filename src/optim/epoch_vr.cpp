@@ -23,6 +23,8 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
       config.async_step_scale.value_or(1.0 / static_cast<double>(cluster.num_workers()));
 
   const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+  // Per-partition shard-support sets (sparse workloads on a sharded plane).
+  const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
 
@@ -50,7 +52,7 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
     full_opts.rng_seed = config.seed;
     auto full_results = ac.sync_round_fn(
         detail::grad_task_fn(workload, config, snapshot_br, grad_cfg,
-                             /*fraction=*/std::nullopt),
+                             /*fraction=*/std::nullopt, support_table),
         full_opts);
     GradCount mu_sum;
     for (core::TaggedResult& r : full_results) {
@@ -70,7 +72,7 @@ RunResult EpochVrSolver::run(engine::Cluster& cluster, const Workload& workload,
     auto rebuild_factory = [&] {
       return ac.make_fn_factory(
           detail::svrg_task_fn(workload, config, w_br, snapshot_br, grad_cfg,
-                               config.batch_fraction),
+                               config.batch_fraction, support_table),
           opts);
     };
     core::AsyncScheduler::TaskFactory factory = rebuild_factory();

@@ -19,6 +19,8 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
                                         config.batch_fraction, /*saga_two_pass=*/true);
 
   const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+  // Per-partition shard-support sets (sparse workloads on a sharded plane).
+  const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
 
@@ -62,7 +64,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   for (std::uint64_t k = k0; k < config.updates; ++k) {
     std::vector<core::TaggedResult> results = ac.sync_round_fn(
         detail::saga_task_fn(workload, config, w_br, table, grad_cfg,
-                             config.batch_fraction),
+                             config.batch_fraction, support_table),
         opts);
 
     GradHist total;

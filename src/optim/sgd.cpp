@@ -111,6 +111,9 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
           : config.cost.task_service_ms(*workload.dataset, workload.num_partitions(),
                                         config.batch_fraction);
   const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
+  // Per-partition shard-support sets (sparse workloads on a sharded plane):
+  // workers fetch only the shards their partition's support touches.
+  const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
 
@@ -142,7 +145,8 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
     core::HistoryBroadcast w_br = ac.async_broadcast(w);
 
     std::vector<core::TaggedResult> results = ac.sync_round_fn(
-        detail::grad_task_fn(workload, config, w_br, grad_cfg, config.batch_fraction),
+        detail::grad_task_fn(workload, config, w_br, grad_cfg, config.batch_fraction,
+                             support_table),
         opts);
     tasks += results.size();
 
@@ -155,8 +159,31 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
                 return a.result.partition < b.result.partition;
               });
     GradCount total{linalg::GradVector(grad_cfg)};
-    for (core::TaggedResult& r : results) {
-      total = comb(std::move(total), r.result.payload.get<GradCount>());
+    if (config.combine_mode == core::CombineMode::kTree) {
+      // Tree aggregation through the live context (core/shard_route.hpp):
+      // partition-ordered partials reduce as log-depth combine tasks — per
+      // shard on a sharded plane — instead of one driver hot loop. Safe here
+      // because the round is fully collected (no foreign tasks in flight).
+      std::vector<linalg::GradVector> parts;
+      parts.reserve(results.size());
+      for (core::TaggedResult& r : results) {
+        GradCount gc = r.result.payload.get<GradCount>();
+        if (gc.count == 0) continue;
+        total.count += gc.count;
+        parts.push_back(std::move(gc.grad));
+      }
+      core::TreeCombineOptions tree;
+      tree.fanout = config.combine_fanout;
+      tree.seq = k;
+      tree.model_version = ac.current_version();
+      tree.rng_seed = config.seed;
+      total.grad = core::tree_combine_async(
+          ac, std::move(parts), ac.history().sharded_store().shard_map(), grad_cfg,
+          tree);
+    } else {
+      for (core::TaggedResult& r : results) {
+        total = comb(std::move(total), r.result.payload.get<GradCount>());
+      }
     }
     if (total.count > 0) {
       total.grad.scale_into(-config.step(k) / static_cast<double>(total.count),

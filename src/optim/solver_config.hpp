@@ -12,6 +12,7 @@
 
 #include "core/barrier.hpp"
 #include "core/scheduler.hpp"
+#include "core/shard_route.hpp"
 #include "linalg/grad_vector.hpp"
 #include "optim/step_size.hpp"
 #include "optim/workload.hpp"
@@ -120,9 +121,24 @@ struct SolverConfig {
   std::optional<double> density_hint;
 
   /// Delta-versioned model store behind ASYNCbroadcast: delta vs
-  /// full-snapshot publishing, base-snapshot cadence, densify cutoff.
-  /// Only read by solvers publishing through the AsyncContext.
+  /// full-snapshot publishing, base-snapshot cadence, densify cutoff — and
+  /// the shard count of the sharded model plane (store_config.num_shards,
+  /// docs/SHARDING.md). Only read by solvers publishing through the
+  /// AsyncContext.
   store::StoreConfig store_config;
+
+  /// How synchronous rounds fold their per-partition gradients
+  /// (docs/SHARDING.md): kDriver is the flat partition-ordered driver fold
+  /// (the historical reference trajectory); kTree runs log-depth combine
+  /// tasks through the async path (core/shard_route.hpp) — per-shard trees
+  /// on a sharded plane. Each mode is bit-identical across shard counts and
+  /// placements, but the two modes are distinct FP association orders, so
+  /// switching changes the trajectory like changing the seed would. Read by
+  /// the synchronous engine-path solvers (ScheduledSgd).
+  core::CombineMode combine_mode = core::CombineMode::kDriver;
+
+  /// Combine fan-in per tree task (kTree only; clamped to ≥ 2).
+  int combine_fanout = 4;
 
   /// Model-history GC cadence: every `gc_every` updates the async solvers
   /// compact delta chains below the STAT minimum in-flight version

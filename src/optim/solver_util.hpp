@@ -12,6 +12,7 @@
 
 #include "core/async_context.hpp"
 #include "core/history.hpp"
+#include "core/shard_map.hpp"
 #include "data/dataset.hpp"
 #include "engine/metrics.hpp"
 #include "linalg/blas.hpp"
@@ -44,6 +45,41 @@ namespace asyncml::optim::detail {
 /// SampleVersionTable in core/history.hpp).
 inline constexpr engine::Version kNeverVisited = core::kNeverVisited;
 
+/// Per-partition shard-support sets of a sparse workload on a sharded model
+/// plane (docs/SHARDING.md): for each partition, the sorted set of shards its
+/// rows' column indices touch.  Fused task bodies pass their partition's set
+/// as the read mask, so a 0.2%-density batch materializes only the shards its
+/// support hits instead of assembling all S.  Null when masking cannot help:
+/// an unsharded plane, or a dense dataset (every row touches every shard).
+/// The ShardMap here is a pure function of (dim, S, scheme) — identical to
+/// the one the sharded store builds lazily at first publish.
+[[nodiscard]] inline std::shared_ptr<const std::vector<core::ShardSet>>
+shard_support_table(const Workload& workload, const SolverConfig& config) {
+  if (config.store_config.num_shards <= 1 || workload.dataset->is_dense()) {
+    return nullptr;
+  }
+  const core::ShardMap map(static_cast<std::uint32_t>(workload.dim()),
+                           config.store_config.num_shards,
+                           config.store_config.shard_scheme);
+  if (map.num_shards() <= 1) return nullptr;
+  const linalg::CsrMatrix& csr = workload.dataset->sparse_features();
+  auto table = std::make_shared<std::vector<core::ShardSet>>();
+  table->reserve(workload.partitions.size());
+  std::vector<std::uint8_t> hit(map.num_shards());
+  for (const data::RowRange& range : workload.partitions) {
+    std::fill(hit.begin(), hit.end(), std::uint8_t{0});
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      for (std::uint32_t col : csr.row(r).indices) hit[map.shard_of(col)] = 1;
+    }
+    core::ShardSet set;
+    for (std::uint32_t s = 0; s < map.num_shards(); ++s) {
+      if (hit[s] != 0) set.ids.push_back(s);
+    }
+    table->push_back(std::move(set));
+  }
+  return table;
+}
+
 inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.reset_waits();
   m.broadcast_bytes.reset();
@@ -60,6 +96,10 @@ inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.partitions_stolen.reset();
   m.tasks_speculated.reset();
   m.duplicate_results.reset();
+  m.shard_reads.reset();
+  m.shard_reads_partial.reset();
+  m.shard_touches.reset();
+  m.reset_shard_counters();
 }
 
 inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
@@ -82,6 +122,9 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
   r.partitions_stolen = m.partitions_stolen.load();
   r.tasks_speculated = m.tasks_speculated.load();
   r.duplicates_dropped = m.duplicate_results.load();
+  r.shard_reads = m.shard_reads.load();
+  r.shard_reads_partial = m.shard_reads_partial.load();
+  r.shard_touches = m.shard_touches.load();
 }
 
 /// Scheduler policy for a (workload, config) pair: the SolverConfig knobs
@@ -276,14 +319,18 @@ template <typename Handle>
 // bit-compatible reference (property sweeps, micro benches).  `fraction`
 // engaged = mini-batch sample; nullopt = full partition pass (epoch heads).
 
-/// Gradient-sum task body (Algorithms 1–2).
+/// Gradient-sum task body (Algorithms 1–2).  `support` is the per-partition
+/// shard-support table (shard_support_table); the fused bodies use it to
+/// mask their model reads on a sharded plane, the per-row reference path
+/// ignores it (full materialization, bit-identical values either way).
 template <typename Handle>
 [[nodiscard]] std::shared_ptr<const engine::TaskFn> grad_task_fn(
     const Workload& workload, const SolverConfig& config, Handle w_br,
-    linalg::GradVectorConfig grad_cfg, std::optional<double> fraction) {
+    linalg::GradVectorConfig grad_cfg, std::optional<double> fraction,
+    std::shared_ptr<const std::vector<core::ShardSet>> support = nullptr) {
   if (config.fused_kernels) {
     return make_grad_batch_fn(workload.dataset, workload.partitions, workload.loss,
-                              w_br, grad_cfg, fraction);
+                              w_br, grad_cfg, fraction, std::move(support));
   }
   const engine::Rdd<data::LabeledPoint> rdd =
       fraction.has_value() ? workload.points.sample(*fraction) : workload.points;
@@ -296,15 +343,17 @@ template <typename Handle>
 [[nodiscard]] inline std::shared_ptr<const engine::TaskFn> saga_task_fn(
     const Workload& workload, const SolverConfig& config, core::HistoryBroadcast w_br,
     std::shared_ptr<core::SampleVersionTable> table, linalg::GradVectorConfig grad_cfg,
-    std::optional<double> fraction) {
+    std::optional<double> fraction,
+    std::shared_ptr<const std::vector<core::ShardSet>> support = nullptr) {
   if (config.fused_kernels) {
     return make_saga_batch_fn(
         workload.dataset, workload.partitions, workload.loss, w_br, std::move(table),
         grad_cfg, fraction,
-        [w_br](engine::Version v) -> const linalg::DenseVector& {
-          return w_br.value_at(v);
+        [w_br](engine::Version v,
+               const core::ShardSet* mask) -> const linalg::DenseVector& {
+          return w_br.value_at(v, mask);
         },
-        w_br.version());
+        w_br.version(), std::move(support));
   }
   const engine::Rdd<data::LabeledPoint> rdd =
       fraction.has_value() ? workload.points.sample(*fraction) : workload.points;
@@ -317,10 +366,12 @@ template <typename Handle>
 [[nodiscard]] inline std::shared_ptr<const engine::TaskFn> svrg_task_fn(
     const Workload& workload, const SolverConfig& config, core::HistoryBroadcast w_br,
     core::HistoryBroadcast snapshot_br, linalg::GradVectorConfig grad_cfg,
-    std::optional<double> fraction) {
+    std::optional<double> fraction,
+    std::shared_ptr<const std::vector<core::ShardSet>> support = nullptr) {
   if (config.fused_kernels) {
     return make_svrg_batch_fn(workload.dataset, workload.partitions, workload.loss,
-                              w_br, snapshot_br, grad_cfg, fraction);
+                              w_br, snapshot_br, grad_cfg, fraction,
+                              std::move(support));
   }
   const engine::Rdd<data::LabeledPoint> rdd =
       fraction.has_value() ? workload.points.sample(*fraction) : workload.points;

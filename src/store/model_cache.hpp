@@ -43,10 +43,12 @@ class ModelStore;
 class VersionedModelCache {
  public:
   /// `bcache`/`metrics` may be null (the driver-side cache): resolution then
-  /// reads payloads without charging.
+  /// reads payloads without charging.  `shard_tag` ≥ 0 additionally attributes
+  /// every charged fetch to that shard's ClusterMetrics counters.
   VersionedModelCache(const ModelStore* store, engine::BroadcastCache* bcache,
-                      engine::ClusterMetrics* metrics)
-      : store_(store), bcache_(bcache), metrics_(metrics) {}
+                      engine::ClusterMetrics* metrics,
+                      std::int32_t shard_tag = -1)
+      : store_(store), bcache_(bcache), metrics_(metrics), shard_tag_(shard_tag) {}
 
   VersionedModelCache(const VersionedModelCache&) = delete;
   VersionedModelCache& operator=(const VersionedModelCache&) = delete;
@@ -77,6 +79,7 @@ class VersionedModelCache {
   const ModelStore* store_;
   engine::BroadcastCache* bcache_;   ///< null on the driver — no charging
   engine::ClusterMetrics* metrics_;  ///< null on the driver
+  std::int32_t shard_tag_ = -1;      ///< ≥0: attribute fetches to this shard
   mutable std::mutex mutex_;
   std::condition_variable resolved_cv_;
   std::unordered_map<engine::Version, std::shared_ptr<const linalg::DenseVector>>

@@ -287,7 +287,7 @@ VersionedModelCache& ModelStore::cache_for(engine::WorkerId worker,
   if (index >= worker_caches_.size()) worker_caches_.resize(index + 1);
   if (worker_caches_[index] == nullptr) {
     worker_caches_[index] =
-        std::make_unique<VersionedModelCache>(this, bcache, metrics);
+        std::make_unique<VersionedModelCache>(this, bcache, metrics, shard_tag_);
   }
   return *worker_caches_[index];
 }
@@ -320,6 +320,14 @@ std::optional<engine::Version> ModelStore::oldest() const {
   std::lock_guard lock(mutex_);
   if (entries_.empty()) return std::nullopt;
   return entries_.begin()->first;
+}
+
+std::optional<engine::Version> ModelStore::latest_at_or_below(
+    engine::Version version) const {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.upper_bound(version);
+  if (it == entries_.begin()) return std::nullopt;
+  return std::prev(it)->first;
 }
 
 engine::Version ModelStore::gc_floor() const {

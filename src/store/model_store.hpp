@@ -143,6 +143,19 @@ class ModelStore {
   /// Driver-side materialization cache: same resolution logic, no charging.
   [[nodiscard]] VersionedModelCache& driver_cache();
 
+  /// Newest published version ≤ `version` (nullopt when every entry is above
+  /// it or the store is empty).  The sharded plane uses this to translate a
+  /// global GC floor into each shard's sparser version set: a shard that
+  /// skipped publishes still resolves version v from its newest entry ≤ v.
+  [[nodiscard]] std::optional<engine::Version> latest_at_or_below(
+      engine::Version version) const;
+
+  /// Tags this store as shard `shard` of a sharded model plane (-1 = untagged,
+  /// the default): shard-tagged stores attribute their caches' fetch bytes to
+  /// ClusterMetrics::count_shard_fetch.  Set before any cache is created.
+  void set_shard_tag(std::int32_t shard) noexcept { shard_tag_ = shard; }
+  [[nodiscard]] std::int32_t shard_tag() const noexcept { return shard_tag_; }
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::optional<engine::Version> oldest() const;
   /// Versions below this have been GC'd (resolution aborts).
@@ -173,6 +186,7 @@ class ModelStore {
   std::uint32_t since_base_ = 0;      ///< deltas published since the last base
   engine::Version gc_floor_ = 0;
   StoreStats stats_;
+  std::int32_t shard_tag_ = -1;
 
   std::mutex caches_mutex_;
   std::vector<std::unique_ptr<VersionedModelCache>> worker_caches_;

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "core/shard_map.hpp"
+
 namespace asyncml::store {
 
 /// Delta nnz/dim ratio above which publishing a full base snapshot is cheaper
@@ -23,6 +25,16 @@ struct StoreConfig {
   /// Deltas touching more than this fraction of the coordinates densify into
   /// a base snapshot instead (see kDeltaDensifyThreshold for the break-even).
   double densify_threshold = kDeltaDensifyThreshold;
+
+  /// Coordinator shards the model plane is partitioned across (clamped to the
+  /// model dimension at first publish).  1 = the unsharded reference: the
+  /// ShardedModelStore delegates wholesale to a single ModelStore and every
+  /// trajectory is bit-exact with pre-sharding builds.  docs/SHARDING.md.
+  std::uint32_t num_shards = 1;
+
+  /// Feature-index partitioning scheme (kRange enables tree aggregation and
+  /// memcpy extract/scatter; see core/shard_map.hpp).
+  core::ShardScheme shard_scheme = core::ShardScheme::kRange;
 };
 
 }  // namespace asyncml::store

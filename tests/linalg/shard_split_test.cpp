@@ -1,0 +1,124 @@
+#include "linalg/grad_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace asyncml::linalg {
+namespace {
+
+// The wire-size contract of split_ranges (docs/SHARDING.md): splitting a
+// gradient along shard bounds never inflates what goes on the wire.
+//   * dense:  Σ pieces = 8 bytes per coordinate = the unsplit 8*dim exactly;
+//   * sparse: each non-empty piece re-pays the 8-byte nnz header once, so
+//             Σ pieces = 8*(non-empty pieces) + 12*total_nnz, and an empty
+//             piece ships nothing at all.
+
+GradVectorConfig sparse_cfg(std::size_t dim) {
+  // Threshold 1.0: stays sparse regardless of fill (pieces never densify).
+  return GradVectorConfig(dim, /*threshold=*/1.0, /*dense_start=*/false);
+}
+
+TEST(ShardSplit, DenseWireBytesArePreservedExactly) {
+  const std::size_t dim = 20;
+  GradVector g(GradVectorConfig(dim, 0.125, /*dense_start=*/true));
+  std::vector<double> values(dim);
+  for (std::size_t i = 0; i < dim; ++i) values[i] = static_cast<double>(i) + 0.5;
+  g.assign_dense(values);
+  ASSERT_TRUE(g.is_dense());
+  EXPECT_EQ(g.size_bytes(), dim * sizeof(double));
+
+  const std::vector<std::uint32_t> bounds = {0, 7, 13, 20};
+  const std::vector<GradVector> pieces = g.split_ranges(bounds);
+  ASSERT_EQ(pieces.size(), 3u);
+  std::size_t total = 0;
+  for (const GradVector& p : pieces) {
+    EXPECT_TRUE(p.is_dense());
+    total += p.size_bytes();
+  }
+  EXPECT_EQ(total, g.size_bytes());
+}
+
+TEST(ShardSplit, SparseWireBytesPayOneHeaderPerNonEmptyPiece) {
+  const std::size_t dim = 100;
+  GradVector g(sparse_cfg(dim));
+  // Support confined to shards 0 and 2 of bounds {0,25,50,75,100}; shards 1
+  // and 3 stay empty.
+  g.set(3, 1.0);
+  g.set(10, -2.0);
+  g.set(60, 4.0);
+  ASSERT_FALSE(g.is_dense());
+  EXPECT_EQ(g.size_bytes(), 8u + 3u * 12u);
+
+  const std::vector<std::uint32_t> bounds = {0, 25, 50, 75, 100};
+  const std::vector<GradVector> pieces = g.split_ranges(bounds);
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0].nnz(), 2u);
+  EXPECT_EQ(pieces[1].nnz(), 0u);
+  EXPECT_EQ(pieces[2].nnz(), 1u);
+  EXPECT_EQ(pieces[3].nnz(), 0u);
+
+  // Empty pieces ship zero bytes; non-empty ones 8 + 12*nnz.
+  EXPECT_EQ(pieces[0].size_bytes(), 8u + 2u * 12u);
+  EXPECT_EQ(pieces[1].size_bytes(), 0u);
+  EXPECT_EQ(pieces[2].size_bytes(), 8u + 1u * 12u);
+  EXPECT_EQ(pieces[3].size_bytes(), 0u);
+
+  std::size_t total = 0;
+  std::size_t non_empty = 0;
+  std::size_t total_nnz = 0;
+  for (const GradVector& p : pieces) {
+    total += p.size_bytes();
+    if (p.nnz() > 0) ++non_empty;
+    total_nnz += p.nnz();
+  }
+  EXPECT_EQ(total, 8u * non_empty + 12u * total_nnz);
+  EXPECT_EQ(total_nnz, g.nnz());
+}
+
+TEST(ShardSplit, PiecesAreReindexedToLocalCoordinates) {
+  const std::size_t dim = 40;
+  GradVector g(sparse_cfg(dim));
+  g.set(5, 1.5);
+  g.set(25, -3.0);
+  const std::vector<std::uint32_t> bounds = {0, 20, 40};
+  const std::vector<GradVector> pieces = g.split_ranges(bounds);
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].dim(), 20u);
+  EXPECT_EQ(pieces[1].dim(), 20u);
+  EXPECT_EQ(pieces[0].value_at(5), 1.5);
+  EXPECT_EQ(pieces[1].value_at(5), -3.0);  // global 25 - bound 20
+}
+
+TEST(ShardSplit, MergeFromRoundtripIsBitExact) {
+  const std::size_t dim = 64;
+  GradVector g(sparse_cfg(dim));
+  for (std::uint32_t i = 0; i < dim; i += 5) {
+    g.set(i, 0.1 * static_cast<double>(i) - 1.7);
+  }
+  const std::vector<std::uint32_t> bounds = {0, 10, 30, 31, 64};
+  std::vector<GradVector> pieces = g.split_ranges(bounds);
+
+  GradVector rebuilt(sparse_cfg(dim));
+  for (std::size_t s = 0; s < pieces.size(); ++s) {
+    rebuilt.merge_from(pieces[s], bounds[s]);
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    EXPECT_EQ(rebuilt.value_at(i), g.value_at(i)) << "coordinate " << i;
+  }
+  EXPECT_EQ(rebuilt.nnz(), g.nnz());
+}
+
+TEST(ShardSplit, MergeFromAccumulatesIntoExistingValues) {
+  GradVector acc(sparse_cfg(10));
+  acc.set(2, 1.0);
+  GradVector piece(sparse_cfg(4));
+  piece.set(0, 2.0);  // global 2 at offset 2
+  piece.set(3, 5.0);  // global 5
+  acc.merge_from(piece, /*offset=*/2);
+  EXPECT_EQ(acc.value_at(2), 3.0);
+  EXPECT_EQ(acc.value_at(5), 5.0);
+}
+
+}  // namespace
+}  // namespace asyncml::linalg

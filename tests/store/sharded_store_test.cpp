@@ -1,0 +1,184 @@
+#include "store/sharded_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "store/model_cache.hpp"
+#include "store/model_store.hpp"
+
+namespace asyncml::store {
+namespace {
+
+/// Shard count for the storm tests: ASYNCML_TEST_SHARDS overrides (the CI
+/// TSan leg runs the battery at S=4), default 4.
+std::uint32_t shards_from_env(std::uint32_t fallback = 4) {
+  const char* s = std::getenv("ASYNCML_TEST_SHARDS");
+  if (s == nullptr) return fallback;
+  const long v = std::strtol(s, nullptr, 10);
+  return v > 0 ? static_cast<std::uint32_t>(v) : fallback;
+}
+
+StoreConfig sharded_config(std::uint32_t num_shards) {
+  StoreConfig config;
+  config.num_shards = num_shards;
+  return config;
+}
+
+linalg::DenseVector make_model(std::size_t dim, double fill) {
+  return linalg::DenseVector(dim, fill);
+}
+
+TEST(ShardedStore, SingleShardDelegatesBitExactly) {
+  engine::BroadcastStore broadcasts_a;
+  engine::BroadcastStore broadcasts_b;
+  ShardedModelStore sharded(&broadcasts_a, sharded_config(1));
+  ModelStore reference(&broadcasts_b);
+
+  linalg::DenseVector w = make_model(16, 1.0);
+  for (engine::Version v = 0; v < 5; ++v) {
+    w[static_cast<std::size_t>(v) % 16] += 0.25;
+    sharded.publish(w, v);
+    reference.publish(w, v);
+  }
+  EXPECT_FALSE(sharded.sharded());
+  EXPECT_EQ(sharded.active_shards(), 1u);
+  EXPECT_EQ(sharded.shard_map(), nullptr);
+  EXPECT_EQ(sharded.size(), reference.size());
+  EXPECT_EQ(sharded.oldest(), reference.oldest());
+  for (engine::Version v = 0; v < 5; ++v) {
+    const linalg::DenseVector& a = sharded.value_at(v);
+    const linalg::DenseVector& b = reference.driver_cache().value_at(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  // Chain metadata identical too: same publish decisions, same wire sizes.
+  EXPECT_EQ(sharded.shard(0).stats().bases_published,
+            reference.stats().bases_published);
+  EXPECT_EQ(sharded.shard(0).stats().deltas_published,
+            reference.stats().deltas_published);
+}
+
+TEST(ShardedStore, PublishTouchesOnlyChangedShards) {
+  engine::BroadcastStore broadcasts;
+  ShardedModelStore store(&broadcasts, sharded_config(4));
+  linalg::DenseVector w = make_model(16, 1.0);  // 4 coords per shard
+  store.publish(w, 0);
+  ASSERT_TRUE(store.sharded());
+  ASSERT_EQ(store.active_shards(), 4u);
+  for (std::uint32_t s = 0; s < 4; ++s) EXPECT_EQ(store.shard(s).size(), 1u);
+
+  w[9] = 5.0;  // shard 2 owns [8, 12)
+  store.publish(w, 1);
+  EXPECT_EQ(store.shard(0).size(), 1u);
+  EXPECT_EQ(store.shard(1).size(), 1u);
+  EXPECT_EQ(store.shard(2).size(), 2u);
+  EXPECT_EQ(store.shard(3).size(), 1u);
+  EXPECT_EQ(store.size(), 2u);  // global versions, not per-shard entries
+
+  // Assembly at version 1 stitches untouched shards from their version-0
+  // entries (latest_at_or_below) and is bit-equal to the published model.
+  const linalg::DenseVector& got = store.value_at(1);
+  ASSERT_EQ(got.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(got[i], w[i]);
+  EXPECT_EQ(store.shard(2).latest_at_or_below(1), 1u);
+  EXPECT_EQ(store.shard(0).latest_at_or_below(1), 0u);
+}
+
+TEST(ShardedStore, MaskedReadDefinesMaskedShardsOnly) {
+  engine::BroadcastStore broadcasts;
+  ShardedModelStore store(&broadcasts, sharded_config(4));
+  linalg::DenseVector w(16);
+  for (std::size_t i = 0; i < 16; ++i) w[i] = static_cast<double>(i) + 1.0;
+  store.publish(w, 0);
+
+  core::ShardSet mask;
+  mask.ids = {1, 3};  // shards owning [4,8) and [12,16)
+  const linalg::DenseVector& got = store.value_at(0, &mask);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(got[i], w[i]);
+  for (std::size_t i = 12; i < 16; ++i) EXPECT_EQ(got[i], w[i]);
+
+  // Widening to a full read fills the remaining shards into the same entry.
+  const linalg::DenseVector& full = store.value_at(0);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(full[i], w[i]);
+}
+
+TEST(ShardedStore, GcTranslatesFloorPerShard) {
+  engine::BroadcastStore broadcasts;
+  ShardedModelStore store(&broadcasts, sharded_config(4));
+  linalg::DenseVector w = make_model(16, 1.0);
+  store.publish(w, 0);
+  // Versions 1..7 touch only shard 0; shard 3 never republishes after v0.
+  for (engine::Version v = 1; v <= 7; ++v) {
+    w[0] += 1.0;
+    store.publish(w, v);
+  }
+  ASSERT_EQ(store.shard(0).size(), 8u);
+  ASSERT_EQ(store.shard(3).size(), 1u);
+
+  store.gc_below(5);
+  // Shard 0's floor is its own entry at 5; shard 3 keeps version 0 — the
+  // entry any in-flight version >= 5 still resolves to.
+  EXPECT_EQ(store.shard(0).oldest(), 5u);
+  EXPECT_EQ(store.shard(3).oldest(), 0u);
+  EXPECT_EQ(store.oldest(), 5u);
+
+  const linalg::DenseVector& got = store.value_at(7);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(got[i], w[i]);
+}
+
+TEST(ShardedStore, IdOfResolvesThroughShardZeroTranslation) {
+  engine::BroadcastStore broadcasts;
+  ShardedModelStore store(&broadcasts, sharded_config(2));
+  EXPECT_FALSE(store.id_of(0).has_value());  // before the first publish
+  linalg::DenseVector w = make_model(8, 1.0);
+  store.publish(w, 0);
+  w[6] = 3.0;  // shard 1 only: shard 0 keeps serving version 0
+  store.publish(w, 1);
+  ASSERT_TRUE(store.id_of(1).has_value());
+  EXPECT_EQ(*store.id_of(1), *store.shard(0).id_of(0));
+  // Later versions translate down the same way (shard 0 last changed at 0).
+  ASSERT_TRUE(store.id_of(7).has_value());
+  EXPECT_EQ(*store.id_of(7), *store.shard(0).id_of(0));
+}
+
+TEST(ShardedStore, PublishResolveGcStorm) {
+  const std::uint32_t num_shards = shards_from_env();
+  engine::BroadcastStore broadcasts;
+  ShardedModelStore store(&broadcasts, sharded_config(num_shards));
+  const std::size_t dim = 64;
+  linalg::DenseVector w(dim);
+  std::map<engine::Version, linalg::DenseVector> published;
+
+  std::uint64_t rng = 12345;
+  const auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  for (engine::Version v = 0; v < 40; ++v) {
+    // Sparse update: a handful of coordinates, often confined to few shards.
+    const std::size_t touches = 1 + next() % 4;
+    for (std::size_t t = 0; t < touches; ++t) {
+      w[next() % dim] = static_cast<double>(next() % 1000) / 7.0;
+    }
+    store.publish(w, v);
+    published.emplace(v, w);
+    if (v % 8 == 7) {
+      const engine::Version floor = v - 4;
+      store.gc_below(floor);
+      published.erase(published.begin(), published.lower_bound(floor));
+    }
+    // Every retained version still assembles bit-exactly.
+    for (const auto& [q, want] : published) {
+      const linalg::DenseVector& got = store.value_at(q);
+      for (std::size_t i = 0; i < dim; ++i) {
+        ASSERT_EQ(got[i], want[i]) << "v=" << q << " i=" << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asyncml::store
