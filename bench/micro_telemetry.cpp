@@ -1,0 +1,107 @@
+// Microbenchmark — the span-telemetry subsystem's overhead budget.
+//
+// Runs the fig3-shaped ASGD workload (8 workers, 32 partitions, rcv1
+// stand-in, 6 ms service floor) with telemetry off and on, interleaved, and
+// compares min-of-k wall clocks. The service floor pins the wall time, so
+// the measurement isolates what full-rate recording adds to the task path:
+// the budget is < 1% (docs/TELEMETRY.md, "Overhead budget"), and the process
+// exits 1 when the measured overhead exceeds it — the CI bench-perf job
+// fails hard on a telemetry-cost regression.
+//
+// The telemetry-on run also writes the stage report next to BENCH_micro.json
+// (bench_results/TELEMETRY_fig3.json); tools/bench_diff.py --telemetry diffs
+// it against the checked-in TELEMETRY_fig3.baseline.json.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "harness.hpp"
+#include "telemetry/report.hpp"
+
+using namespace asyncml;
+
+namespace {
+
+constexpr int kWorkers = 8;
+constexpr int kPartitions = 32;
+constexpr std::uint64_t kIterations = 40;
+constexpr double kServiceFloorMs = 6.0;
+constexpr int kReps = 3;
+constexpr double kBudget = 0.01;  // < 1% wall-clock overhead, enforced below
+
+}  // namespace
+
+int main() {
+  bench::banner("Micro: span-telemetry overhead budget",
+                "full-rate per-task span recording costs < 1% wall clock on "
+                "the service-floor-pinned fig3 ASGD shape");
+
+  const bench::BenchDataset rcv1 = bench::load_dataset("rcv1", /*row_scale=*/2.0);
+  const optim::Workload workload =
+      optim::Workload::create(rcv1.data, kPartitions, optim::make_least_squares());
+  const bench::RunPlan plan =
+      bench::make_plan(rcv1, /*saga=*/false, kIterations, kPartitions, /*seed=*/11,
+                       kServiceFloorMs);
+
+  optim::SolverConfig off_config = plan.async_config;
+  optim::SolverConfig on_config = plan.async_config;
+  on_config.telemetry.enabled = true;
+  on_config.telemetry.export_path = bench::results_path("TELEMETRY_fig3.json");
+
+  // Interleaved off/on pairs: host noise (thermal drift, background load)
+  // hits both sides of each pair; min-of-k strips the rest.
+  double min_off = 0.0;
+  double min_on = 0.0;
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    engine::Cluster off_cluster(bench::cluster_config(kWorkers));
+    const optim::RunResult off =
+        optim::AsgdSolver::run(off_cluster, workload, off_config);
+    min_off = rep == 0 ? off.wall_ms : std::min(min_off, off.wall_ms);
+
+    engine::Cluster on_cluster(bench::cluster_config(kWorkers));
+    const optim::RunResult on =
+        optim::AsgdSolver::run(on_cluster, workload, on_config);
+    min_on = rep == 0 ? on.wall_ms : std::min(min_on, on.wall_ms);
+    if (on.telemetry != nullptr) {
+      records = on.telemetry->records;
+      dropped = on.telemetry->dropped;
+    }
+  }
+
+  const double overhead = min_on / min_off - 1.0;
+
+  metrics::Table table({"telemetry", "min wall ms (of " + std::to_string(kReps) + ")",
+                        "records", "dropped"});
+  table.add_row({"off", metrics::Table::num(min_off, 4), "-", "-"});
+  table.add_row({"on", metrics::Table::num(min_on, 4), std::to_string(records),
+                 std::to_string(dropped)});
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nmeasured overhead: " << metrics::Table::num(overhead * 100.0, 3)
+            << "% (budget " << metrics::Table::num(kBudget * 100.0, 1) << "%)\n";
+
+  bench::update_bench_json({
+      {"micro_telemetry.fig3.wall_off_ms", min_off},
+      {"micro_telemetry.fig3.wall_on_ms", min_on},
+      {"micro_telemetry.fig3.overhead_pct", overhead * 100.0},
+      {"micro_telemetry.fig3.records", static_cast<double>(records)},
+      {"micro_telemetry.fig3.dropped", static_cast<double>(dropped)},
+  });
+
+  if (records == 0) {
+    std::cerr << "FAIL: telemetry-on run harvested no span records\n";
+    return 1;
+  }
+  if (overhead > kBudget) {
+    std::cerr << "FAIL: telemetry overhead " << overhead * 100.0
+              << "% exceeds the " << kBudget * 100.0 << "% budget\n";
+    return 1;
+  }
+  std::cout << "shape check: the two wall clocks are floor-pinned and within "
+               "noise of each other; recording rides the sleeps, not the "
+               "critical path.\n";
+  return 0;
+}

@@ -61,6 +61,11 @@ std::optional<TaggedResult> AsyncContext::collect(
     auto collected = coordinator_.collect_for(2ms);
     if (collected.has_value()) {
       scheduler_.on_result_collected(collected->result.partition);
+      // Anchor for the driver-side accumulate segment: everything between
+      // this return and the next publish is solver accumulation work.
+      if (cluster_.telemetry().enabled()) {
+        last_collect_return_ = support::Clock::now();
+      }
       return collected;
     }
     if (!coordinator_.has_next() && coordinator_.stopped()) return std::nullopt;
@@ -106,7 +111,29 @@ void AsyncContext::poll_membership() {
 
 HistoryBroadcast AsyncContext::async_broadcast(const linalg::DenseVector& w) {
   const engine::Version version = coordinator_.current_version();
+  auto& recorder = cluster_.telemetry();
+  if (!recorder.enabled()) {
+    registry_->publish(w, version);
+    return HistoryBroadcast(registry_, version);
+  }
+  // Driver-side segments, one observation per update: accumulate = collect
+  // return -> publish start (the solver's apply/step work), then the publish
+  // itself as broadcast-publish.
+  const support::TimePoint publish_start = support::Clock::now();
+  if (last_collect_return_.time_since_epoch().count() != 0 &&
+      publish_start > last_collect_return_) {
+    recorder.charge_driver(
+        telemetry::Stage::kAccumulate,
+        static_cast<std::uint64_t>(
+            (publish_start - last_collect_return_).count()));
+    last_collect_return_ = support::TimePoint{};
+  }
   registry_->publish(w, version);
+  recorder.charge_driver(
+      telemetry::Stage::kBroadcastPublish,
+      static_cast<std::uint64_t>(
+          (support::Clock::now() - publish_start).count()));
+  recorder.note_update();
   return HistoryBroadcast(registry_, version);
 }
 

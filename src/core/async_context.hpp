@@ -223,6 +223,10 @@ class AsyncContext {
   std::shared_ptr<HistoryRegistry> registry_;
   std::uint64_t retries_ = 0;
   std::uint64_t max_retries_total_ = 10'000;
+  /// Telemetry anchor for the driver's accumulate segment: the instant the
+  /// last successful collect() returned. Epoch = unset (telemetry off, or no
+  /// collect yet this update).
+  support::TimePoint last_collect_return_{};
 };
 
 }  // namespace asyncml::core

@@ -104,6 +104,15 @@ void Coordinator::process_result(engine::TaskResult result) {
     duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
     cluster_.metrics().duplicate_results.add(1);
   } else if (result.ok()) {
+    // Harvest cycle: the coordinator's drain thread is the consumer side of
+    // the telemetry rings — staleness is recorded at processing time (same
+    // definition as tagged.staleness) and every harvest_every-th delivered
+    // result drains the per-thread rings, off the timed solver path.
+    auto& recorder = cluster_.telemetry();
+    if (recorder.enabled()) {
+      recorder.record_staleness(tagged.staleness);
+      recorder.on_result_processed();
+    }
     tagged.result = std::move(result);
     results_.push(std::move(tagged));
   } else {

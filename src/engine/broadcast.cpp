@@ -1,6 +1,7 @@
 #include "engine/broadcast.hpp"
 
 #include "support/thread_util.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace asyncml::engine {
 
@@ -28,6 +29,11 @@ std::size_t BroadcastStore::size() const {
 }
 
 Payload BroadcastCache::get_or_fetch(BroadcastId id, BroadcastClass cls) {
+  // Fetch-through from task code (data partitions, history payloads) counts
+  // as the calling task's model-fetch/materialize segment. The model chain
+  // walk charges through admit() under VersionedModelCache::value_at's own
+  // timer, so this never double-counts.
+  telemetry::ScopedStageTimer fetch_timer(telemetry::Stage::kModelFetch);
   {
     std::lock_guard lock(mutex_);
     if (const auto it = cache_.find(id); it != cache_.end()) {

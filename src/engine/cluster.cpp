@@ -26,6 +26,9 @@ Cluster::Cluster(Config config)
       faults_(config_.faults.empty()
                   ? nullptr
                   : std::make_unique<FaultState>(config_.faults)),
+      telemetry_(std::make_unique<telemetry::TelemetryRecorder>(
+          static_cast<std::size_t>(config_.num_workers),
+          static_cast<std::size_t>(config_.cores_per_worker))),
       metrics_(std::make_unique<ClusterMetrics>(config_.num_workers)),
       delay_owned_(config_.delay ? config_.delay : std::make_shared<const NoDelay>()) {
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
@@ -37,6 +40,7 @@ Cluster::Cluster(Config config)
     deps.metrics = metrics_.get();
     deps.results = &results_;
     deps.faults = faults_.get();
+    deps.telemetry = telemetry_.get();
     workers_.push_back(std::make_unique<Worker>(w, config_.cores_per_worker, deps));
   }
 }
@@ -50,6 +54,11 @@ bool Cluster::submit(WorkerId worker, TaskSpec spec) {
   // their real abort/unwind path (the scheduler's on_dispatch_aborted).
   if (faults_ != nullptr && faults_->should_reject_submit(worker, spec)) {
     return false;
+  }
+  // Queue-wait anchor: stamped only while telemetry is armed so the disabled
+  // path never reads the clock here.
+  if (telemetry_->enabled()) {
+    spec.enqueued_at = support::Clock::now();
   }
   return workers_[static_cast<std::size_t>(worker)]->submit(std::move(spec));
 }

@@ -20,6 +20,7 @@
 #include "engine/task.hpp"
 #include "engine/worker.hpp"
 #include "support/blocking_queue.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace asyncml::engine {
 
@@ -74,6 +75,13 @@ class Cluster {
   /// The compiled fault plan, or nullptr when the plan is empty.
   [[nodiscard]] FaultState* faults() noexcept { return faults_.get(); }
 
+  /// The cluster-wide span recorder. Always constructed (workers hold a
+  /// stable pointer) but inert until a solver arms it from
+  /// SolverConfig::telemetry; disabled it costs one relaxed load per task.
+  [[nodiscard]] telemetry::TelemetryRecorder& telemetry() noexcept {
+    return *telemetry_;
+  }
+
   /// Result channel: every completed task lands here exactly once.
   [[nodiscard]] support::BlockingQueue<TaskResult>& results() noexcept { return results_; }
 
@@ -91,6 +99,7 @@ class Cluster {
  private:
   Config config_;
   std::unique_ptr<FaultState> faults_;
+  std::unique_ptr<telemetry::TelemetryRecorder> telemetry_;
   BroadcastStore store_;
   std::unique_ptr<ClusterMetrics> metrics_;
   support::BlockingQueue<TaskResult> results_;

@@ -38,7 +38,9 @@
 //   kDelay            extra milliseconds at one pipeline stage: queue (before
 //                     execution), compute (inside the measured task time),
 //                     serialize (after compute, before the network charge),
-//                     network (with the result transfer).
+//                     network (with the result transfer; alias
+//                     kResultChannel, matching the telemetry segment the
+//                     delay is attributed to — docs/TELEMETRY.md).
 //   kJoinWorker       elastic membership: the worker starts OUTSIDE the
 //                     member set (no partitions, no dispatch) and joins when
 //                     the coordinator's model version reaches
@@ -74,8 +76,16 @@ enum class FaultKind : std::uint8_t {
   kJoinWorker,
 };
 
-/// Pipeline stage a kDelay event stretches.
-enum class FaultStage : std::uint8_t { kQueue, kCompute, kSerialize, kNetwork };
+/// Pipeline stage a kDelay event stretches. kResultChannel aliases kNetwork:
+/// the injected stall rides the result transfer, which telemetry attributes
+/// to its result_channel segment (the attribution tests pin this).
+enum class FaultStage : std::uint8_t {
+  kQueue,
+  kCompute,
+  kSerialize,
+  kNetwork,
+  kResultChannel = kNetwork,
+};
 
 /// Match keys of an event; an unset field matches anything.
 struct FaultKey {

@@ -43,6 +43,10 @@ struct TaskSpec {
   /// remotely). Unlike the service floor it is NOT scaled by the delay
   /// model: it models the network, not the machine.
   double migration_ms = 0.0;
+  /// Submit timestamp for the telemetry queue-wait segment. Stamped by
+  /// Cluster::submit only while telemetry is enabled; the epoch default
+  /// means "unstamped" and the worker records no queue wait.
+  support::TimePoint enqueued_at{};
 };
 
 struct TaskResult {

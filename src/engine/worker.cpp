@@ -5,6 +5,7 @@
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_util.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace asyncml::engine {
 
@@ -12,11 +13,23 @@ using support::Clock;
 using support::Status;
 using support::StatusCode;
 
+namespace {
+
+std::uint64_t ns_between(support::TimePoint from, support::TimePoint to) {
+  return to > from ? static_cast<std::uint64_t>((to - from).count()) : 0;
+}
+
+std::uint64_t ms_to_ns(double ms) {
+  return ms > 0.0 ? static_cast<std::uint64_t>(ms * 1e6) : 0;
+}
+
+}  // namespace
+
 Worker::Worker(WorkerId id, int cores, Deps deps)
     : id_(id), deps_(deps), cache_(deps.store, deps.network, deps.metrics) {
   threads_.reserve(static_cast<std::size_t>(cores));
   for (int c = 0; c < cores; ++c) {
-    threads_.emplace_back([this] { executor_loop(); });
+    threads_.emplace_back([this, c] { executor_loop(c); });
   }
 }
 
@@ -48,7 +61,7 @@ void Worker::bounce(const TaskSpec& spec) {
   deps_.results->push(std::move(result));
 }
 
-void Worker::executor_loop() {
+void Worker::executor_loop(int core) {
   support::set_current_thread_name("worker-" + std::to_string(id_));
   WorkerEnv env{id_, &cache_, deps_.metrics};
   set_current_worker_env(&env);
@@ -76,11 +89,28 @@ void Worker::executor_loop() {
                        .count()));
     }
 
+    // Telemetry gate: one relaxed atomic load per task when disabled; every
+    // trace touch below sits behind `traced`.
+    telemetry::TelemetryRecorder* const recorder = deps_.telemetry;
+    const bool traced = recorder != nullptr && recorder->enabled();
+    telemetry::TaskTrace trace;
+    if (traced && spec.enqueued_at.time_since_epoch().count() != 0) {
+      trace.charge(telemetry::Stage::kQueueWait,
+                   ns_between(spec.enqueued_at, received));
+    }
+
     // Injected queue-stage stall (the task sat in the mailbox "longer").
+    std::uint64_t queue_fault_ns = 0;
     if (deps_.faults != nullptr) {
       const double queue_ms =
           deps_.faults->stage_delay_ms(FaultStage::kQueue, id_, spec);
-      if (queue_ms > 0.0) support::precise_sleep_ms(queue_ms);
+      if (queue_ms > 0.0) {
+        support::precise_sleep_ms(queue_ms);
+        // Attributed to queue-wait: the fault models a task that sat in the
+        // mailbox longer, and kept out of the dequeue-delay window below.
+        queue_fault_ns = ms_to_ns(queue_ms);
+        if (traced) trace.charge(telemetry::Stage::kQueueWait, queue_fault_ns);
+      }
     }
 
     // Crash point: fires at dequeue, before any work — stateful closures
@@ -109,6 +139,15 @@ void Worker::executor_loop() {
     }
 
     support::Stopwatch watch;
+    if (traced) {
+      // Pickup -> task start: scheduling/migration latency on this side of
+      // the mailbox. The injected queue stall was charged to queue-wait
+      // above, so it is excluded here.
+      const std::uint64_t since_pickup = ns_between(received, watch.start());
+      trace.set(telemetry::Stage::kDequeueDelay,
+                since_pickup > queue_fault_ns ? since_pickup - queue_fault_ns
+                                              : 0);
+    }
     if (deps_.faults != nullptr && deps_.faults->should_fail_task(id_, spec)) {
       result.status = Status(StatusCode::kInternal, "injected fault");
     } else if (!spec.fn) {
@@ -121,6 +160,10 @@ void Worker::executor_loop() {
       ctx.rng = support::RngStream(spec.rng_seed)
                     .substream(static_cast<std::uint64_t>(spec.partition) + 1)
                     .substream(spec.seq);
+      // The task function materializes the model and wraps the payload deep
+      // inside store/optim code; the thread-local hook lets those callees
+      // charge kModelFetch/kSerialize without a recorder parameter.
+      if (traced) telemetry::set_active_trace(&trace);
       try {
         auto out = (*spec.fn)(ctx);
         if (out.is_ok()) {
@@ -133,6 +176,7 @@ void Worker::executor_loop() {
       } catch (...) {
         result.status = Status(StatusCode::kInternal, "task threw unknown exception");
       }
+      if (traced) telemetry::set_active_trace(nullptr);
       // Injected compute-stage stall lands inside the measured task time.
       if (deps_.faults != nullptr) {
         const double compute_ms =
@@ -141,6 +185,15 @@ void Worker::executor_loop() {
       }
     }
     result.compute_ms = watch.elapsed_ms();
+    if (traced) {
+      // Compute = task-function time minus what the hook attributed to model
+      // fetch and in-function serialization, so the three stages partition
+      // compute_ms exactly (the reconciliation invariant tests rely on).
+      const std::uint64_t fn_ns = ms_to_ns(result.compute_ms);
+      const std::uint64_t inner = trace.ns(telemetry::Stage::kModelFetch) +
+                                  trace.ns(telemetry::Stage::kSerialize);
+      trace.set(telemetry::Stage::kCompute, fn_ns > inner ? fn_ns - inner : 0);
+    }
 
     // Pad to the straggler-scaled service floor: this is where a slow machine
     // becomes slow. Computed *after* the real work so fast math on scaled-down
@@ -152,16 +205,26 @@ void Worker::executor_loop() {
       support::precise_sleep_ms(target_ms - result.compute_ms);
     }
     result.service_ms = watch.elapsed_ms();
+    if (traced) {
+      trace.set(telemetry::Stage::kServicePad,
+                ms_to_ns(result.service_ms - result.compute_ms));
+    }
 
     // Injected serialize-stage stall: after compute, before the wire.
     if (deps_.faults != nullptr) {
       const double serialize_ms =
           deps_.faults->stage_delay_ms(FaultStage::kSerialize, id_, spec);
-      if (serialize_ms > 0.0) support::precise_sleep_ms(serialize_ms);
+      if (serialize_ms > 0.0) {
+        support::precise_sleep_ms(serialize_ms);
+        if (traced) {
+          trace.charge(telemetry::Stage::kSerialize, ms_to_ns(serialize_ms));
+        }
+      }
     }
 
     // Charge the result payload's transfer to the driver (plus any injected
-    // network-stage stall).
+    // network-stage stall — FaultStage::kNetwork/kResultChannel — which by
+    // contract lands in the result-channel segment).
     double transfer_ms = 0.0;
     if (deps_.network != nullptr && result.payload.has_value()) {
       transfer_ms += deps_.network->transfer_ms(result.payload.bytes());
@@ -169,7 +232,12 @@ void Worker::executor_loop() {
     if (deps_.faults != nullptr) {
       transfer_ms += deps_.faults->stage_delay_ms(FaultStage::kNetwork, id_, spec);
     }
-    if (transfer_ms > 0.0) support::precise_sleep_ms(transfer_ms);
+    if (transfer_ms > 0.0) {
+      support::precise_sleep_ms(transfer_ms);
+      if (traced) {
+        trace.charge(telemetry::Stage::kResultChannel, ms_to_ns(transfer_ms));
+      }
+    }
 
     // A sibling executor may have crashed this worker while we were mid-task:
     // fail-stop means our result never made it off the machine either.
@@ -204,6 +272,18 @@ void Worker::executor_loop() {
 
     const bool duplicate = alive && deps_.faults != nullptr &&
                            deps_.faults->should_duplicate_result(id_, spec);
+
+    // Delivered, successful results only: the trace partitions compute_ms,
+    // and task_compute_ns counts completed tasks — recording failures would
+    // break the sums-reconcile invariant the telemetry tests pin.
+    if (traced && result.ok()) {
+      trace.worker = id_;
+      trace.partition = spec.partition;
+      trace.seq = spec.seq;
+      trace.model_version = spec.model_version;
+      recorder->record(static_cast<std::size_t>(id_),
+                       static_cast<std::size_t>(core), trace);
+    }
 
     result.finished_at = Clock::now();
     if (duplicate) {

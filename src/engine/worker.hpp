@@ -34,6 +34,10 @@
 #include "engine/task.hpp"
 #include "support/blocking_queue.hpp"
 
+namespace asyncml::telemetry {
+class TelemetryRecorder;
+}  // namespace asyncml::telemetry
+
 namespace asyncml::engine {
 
 class Worker {
@@ -45,6 +49,9 @@ class Worker {
     ClusterMetrics* metrics = nullptr;
     support::BlockingQueue<TaskResult>* results = nullptr;
     FaultState* faults = nullptr;  // optional, shared across the cluster
+    /// Cluster-owned span recorder; checked per task via a relaxed atomic
+    /// and otherwise free when telemetry is disabled.
+    telemetry::TelemetryRecorder* telemetry = nullptr;
   };
 
   Worker(WorkerId id, int cores, Deps deps);
@@ -74,7 +81,7 @@ class Worker {
   [[nodiscard]] BroadcastCache& cache() { return cache_; }
 
  private:
-  void executor_loop();
+  void executor_loop(int core);
   /// Pushes a synthesized kUnavailable failure for `spec` (no sleeps, no
   /// payload): the transport's dead-executor notification.
   void bounce(const TaskSpec& spec);

@@ -29,6 +29,17 @@ class TraceRecorder {
   /// Snapshot every `every` updates (update 0 is always recorded).
   explicit TraceRecorder(std::uint64_t every = 10) : every_(every == 0 ? 1 : every) {}
 
+  /// Pre-sizes snapshot storage for a run of `max_updates` updates so the
+  /// timed path never touches the allocator while the stopwatch runs
+  /// (snapshot growth moves, so reallocation was amortized-cheap — the
+  /// reservation removes the allocator spikes, not an asymptotic cost). The
+  /// +2 covers update 0 and the final unconditional snapshot. Measured cost
+  /// of a sampled snapshot: docs/BENCHMARKS.md ("Convergence-trace snapshot
+  /// cost").
+  void reserve_for(std::uint64_t max_updates) {
+    snapshots_.reserve(static_cast<std::size_t>(max_updates / every_ + 2));
+  }
+
   /// Called from the server loop after update `update` at `elapsed_ms`.
   /// Copies `w` only on sampled updates.
   void maybe_snapshot(std::uint64_t update, double elapsed_ms,

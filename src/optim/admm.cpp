@@ -47,6 +47,7 @@ RunResult AsyncAdmmSolver::run(engine::Cluster& cluster, const Workload& workloa
                                 : 1.0 / (2.0 * mean_norm_sq + config.rho);
 
   detail::reset_run_metrics(cluster.metrics());
+  detail::begin_telemetry(cluster, config);
 
   core::AsyncContext ac(cluster, partitions);
   auto state = std::make_shared<AdmmLocalState>(partitions, dim);
@@ -115,6 +116,7 @@ RunResult AsyncAdmmSolver::run(engine::Cluster& cluster, const Workload& workloa
   core::AsyncScheduler::TaskFactory factory = make_factory(z_br);
 
   metrics::TraceRecorder recorder(config.eval_every);
+  recorder.reserve_for(config.updates);
   support::Stopwatch watch;
   recorder.snapshot(0, 0.0, z);
 
@@ -151,6 +153,7 @@ RunResult AsyncAdmmSolver::run(engine::Cluster& cluster, const Workload& workloa
   result.tasks = updates;
   result.final_w = z;
   detail::fill_run_stats(result, cluster.metrics());
+  detail::finish_telemetry(result, cluster, config);
   result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
     return full_objective(*workload.dataset, *workload.loss, model);
   });

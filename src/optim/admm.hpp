@@ -43,6 +43,9 @@ struct AdmmConfig {
   std::uint64_t eval_every = 5;
   std::uint64_t seed = 1;
   core::BarrierControl barrier = core::barriers::asp();
+  /// Span-based telemetry (docs/TELEMETRY.md); same semantics as
+  /// SolverConfig::telemetry.
+  telemetry::TelemetryConfig telemetry;
 };
 
 class AsyncAdmmSolver {

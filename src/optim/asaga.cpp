@@ -25,6 +25,7 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
+  detail::begin_telemetry(cluster, config);
 
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   // History-writing tasks (SampleVersionTable updates) are not idempotent
@@ -54,6 +55,7 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   core::AsyncScheduler::TaskFactory factory = rebuild_factory();
 
   metrics::TraceRecorder recorder(config.eval_every);
+  recorder.reserve_for(config.updates);
   support::Stopwatch watch;
   recorder.snapshot(0, 0.0, w);
 
@@ -96,6 +98,7 @@ RunResult AsagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   result.tasks = updates;
   result.final_w = w;
   detail::fill_run_stats(result, cluster.metrics());
+  detail::finish_telemetry(result, cluster, config);
   result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
     return full_objective(*workload.dataset, *workload.loss, model);
   });

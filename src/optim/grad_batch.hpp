@@ -42,6 +42,7 @@
 #include "optim/loss.hpp"
 #include "optim/payloads.hpp"
 #include "support/scratch_arena.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace asyncml::optim::detail {
 
@@ -236,6 +237,8 @@ template <typename Handle>
           fused_grad_sum(*dataset, range, rows.span(), *loss, w.span(), out.grad,
                          arena);
         }
+        telemetry::ScopedStageTimer serialize_timer(
+            telemetry::Stage::kSerialize);
         const std::size_t bytes = payload_size_bytes(out);
         return engine::Payload::wrap<GradCount>(std::move(out), bytes);
       });
@@ -332,6 +335,8 @@ template <typename Handle, typename HistModel>
             table->set(range.begin + rows.span()[i], set_version);
           }
         }
+        telemetry::ScopedStageTimer serialize_timer(
+            telemetry::Stage::kSerialize);
         const std::size_t bytes = payload_size_bytes(out);
         return engine::Payload::wrap<GradHist>(std::move(out), bytes);
       });
@@ -438,6 +443,8 @@ inline void fused_grad_sum_pair(const data::Dataset& dataset,
                               snapshot_br.value(mask).span(), out.grad, out.hist,
                               arena);
         }
+        telemetry::ScopedStageTimer serialize_timer(
+            telemetry::Stage::kSerialize);
         const std::size_t bytes = payload_size_bytes(out);
         return engine::Payload::wrap<GradHist>(std::move(out), bytes);
       });

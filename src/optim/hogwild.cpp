@@ -55,6 +55,8 @@ RunResult HogwildSolver::run(const data::Dataset& dataset, const Loss& loss,
   SharedModel model(dim);
 
   metrics::TraceRecorder recorder(config.eval_every);
+  recorder.reserve_for(config.updates_per_thread *
+                       static_cast<std::uint64_t>(config.threads));
   support::Stopwatch watch;
   recorder.snapshot(0, 0.0, model.snapshot());
 

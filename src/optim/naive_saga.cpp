@@ -49,6 +49,7 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
   const linalg::GradVectorConfig grad_cfg = detail::grad_config(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
+  detail::begin_telemetry(cluster, config);
 
   const engine::Rdd<data::LabeledPoint> sampled =
       workload.points.sample(config.batch_fraction);
@@ -63,6 +64,7 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
   table.models.push_back(w);  // "store w in table" (Algorithm 3 line 2)
 
   metrics::TraceRecorder recorder(config.eval_every);
+  recorder.reserve_for(config.updates);
   support::Stopwatch watch;
   recorder.snapshot(0, 0.0, w);
 
@@ -150,6 +152,7 @@ RunResult NaiveSagaSolver::run(engine::Cluster& cluster, const Workload& workloa
   result.tasks = cluster.metrics().tasks_completed.load();
   result.final_w = w;
   detail::fill_run_stats(result, cluster.metrics());
+  detail::finish_telemetry(result, cluster, config);
   result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
     return full_objective(*workload.dataset, *workload.loss, model);
   });

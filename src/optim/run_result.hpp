@@ -5,10 +5,12 @@
 // worker wait time, modeled wire traffic).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "linalg/dense_vector.hpp"
 #include "metrics/trace.hpp"
+#include "telemetry/report.hpp"
 
 namespace asyncml::optim {
 
@@ -42,6 +44,10 @@ struct RunResult {
   std::uint64_t shard_reads = 0;
   std::uint64_t shard_reads_partial = 0;  ///< reads touching < S shards
   std::uint64_t shard_touches = 0;        ///< shard fills summed over reads
+
+  /// Harvested span telemetry (docs/TELEMETRY.md); null unless the run was
+  /// configured with SolverConfig::telemetry.enabled.
+  std::shared_ptr<const telemetry::TelemetryReport> telemetry;
 
   [[nodiscard]] double final_error() const { return metrics::final_error(trace); }
 };

@@ -23,6 +23,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
+  detail::begin_telemetry(cluster, config);
 
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   // History-writing tasks (SampleVersionTable updates) are not idempotent
@@ -57,6 +58,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   core::HistoryBroadcast w_br = ac.async_broadcast(w);
 
   metrics::TraceRecorder recorder(config.eval_every);
+  recorder.reserve_for(config.updates);
   support::Stopwatch watch;
   recorder.snapshot(k0, 0.0, w);
 
@@ -98,6 +100,7 @@ RunResult SagaSolver::run(engine::Cluster& cluster, const Workload& workload,
   result.tasks = cluster.metrics().tasks_completed.load();
   result.final_w = w;
   detail::fill_run_stats(result, cluster.metrics());
+  detail::finish_telemetry(result, cluster, config);
   result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
     return full_objective(*workload.dataset, *workload.loss, model);
   });

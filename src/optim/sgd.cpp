@@ -25,11 +25,13 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
   const linalg::GradVectorConfig grad_cfg = grad_config(workload, config);
 
   reset_run_metrics(cluster.metrics());
+  begin_telemetry(cluster, config);
 
   linalg::DenseVector w(dim);
   auto comb = grad_comb();
 
   metrics::TraceRecorder recorder(config.eval_every);
+  recorder.reserve_for(config.updates);
   support::Stopwatch watch;
   recorder.snapshot(0, 0.0, w);
 
@@ -89,6 +91,7 @@ RunResult run_sync_sgd(engine::Cluster& cluster, const Workload& workload,
   result.tasks = cluster.metrics().tasks_completed.load();
   result.final_w = w;
   fill_run_stats(result, cluster.metrics());
+  finish_telemetry(result, cluster, config);
   result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
     return full_objective(*workload.dataset, *workload.loss, model);
   });
@@ -116,6 +119,7 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
   const auto support_table = detail::shard_support_table(workload, config);
 
   detail::reset_run_metrics(cluster.metrics());
+  detail::begin_telemetry(cluster, config);
 
   core::AsyncContext ac(cluster, workload.num_partitions(), config.store_config);
   ac.scheduler().set_policy(detail::scheduler_policy(workload, config));
@@ -136,6 +140,7 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
     ac.restore(cp->model_version, cp->round);
   }
   metrics::TraceRecorder recorder(config.eval_every);
+  recorder.reserve_for(config.updates);
   support::Stopwatch watch;
   recorder.snapshot(k0, 0.0, w);
 
@@ -203,6 +208,7 @@ RunResult ScheduledSgdSolver::run(engine::Cluster& cluster, const Workload& work
   result.tasks = tasks;
   result.final_w = w;
   detail::fill_run_stats(result, cluster.metrics());
+  detail::finish_telemetry(result, cluster, config);
   result.trace = recorder.finalize([&](const linalg::DenseVector& model) {
     return full_objective(*workload.dataset, *workload.loss, model);
   });

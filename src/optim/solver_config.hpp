@@ -17,6 +17,7 @@
 #include "optim/step_size.hpp"
 #include "optim/workload.hpp"
 #include "store/store_config.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace asyncml::optim {
 
@@ -139,6 +140,15 @@ struct SolverConfig {
 
   /// Combine fan-in per tree task (kTree only; clamped to ≥ 2).
   int combine_fanout = 4;
+
+  /// Span-based telemetry (docs/TELEMETRY.md): per-task pipeline segments
+  /// recorded into lock-free per-thread rings, harvested every
+  /// `telemetry.harvest_every` processed results, surfaced as
+  /// RunResult::telemetry (+ optional JSON export). Off by default — the
+  /// disabled path is bit-and-timing-identical to not having the subsystem.
+  /// Read by the engine-path solvers (sgd/asgd/saga/asaga/naive_saga/
+  /// mllib_sgd/epoch_vr).
+  telemetry::TelemetryConfig telemetry;
 
   /// Model-history GC cadence: every `gc_every` updates the async solvers
   /// compact delta chains below the STAT minimum in-flight version

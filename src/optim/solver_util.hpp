@@ -127,6 +127,32 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
   r.shard_touches = m.shard_touches.load();
 }
 
+/// Arms the cluster's span recorder for this run when
+/// config.telemetry.enabled; otherwise a no-op — the recorder stays inert
+/// and no clock is read anywhere on the task path. Must run before the
+/// first dispatch (the recorder rebuilds its rings). Templated so every
+/// config struct carrying a `telemetry` member (SolverConfig, AdmmConfig)
+/// wires identically.
+template <typename Config>
+inline void begin_telemetry(engine::Cluster& cluster, const Config& config) {
+  if (!config.telemetry.enabled) return;
+  cluster.telemetry().configure(config.telemetry);
+}
+
+/// Final telemetry sweep: harvests what the cadence cycle has not drained
+/// yet, builds the report into `r.telemetry`, writes the JSON export when
+/// config.telemetry.export_path is set, and disarms the recorder so the
+/// cluster can host an untraced run next.
+template <typename Config>
+inline void finish_telemetry(RunResult& r, engine::Cluster& cluster,
+                             const Config& config) {
+  if (!config.telemetry.enabled) return;
+  r.telemetry = cluster.telemetry().finish();
+  if (!config.telemetry.export_path.empty() && r.telemetry != nullptr) {
+    r.telemetry->write_json(config.telemetry.export_path);
+  }
+}
+
 /// Scheduler policy for a (workload, config) pair: the SolverConfig knobs
 /// plus the workload's modeled per-partition bytes (the migration cost of a
 /// steal). Installed via ac.scheduler().set_policy by every solver that

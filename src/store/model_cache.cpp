@@ -6,10 +6,15 @@
 #include <iterator>
 
 #include "store/model_store.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace asyncml::store {
 
 const linalg::DenseVector& VersionedModelCache::value_at(engine::Version version) {
+  // Telemetry model-fetch segment: the whole resolution — hit or chain walk,
+  // including the modeled wire sleeps the admits charge — is the "fetch and
+  // materialize w" cost of the calling task. No-op off the executor threads.
+  telemetry::ScopedStageTimer fetch_timer(telemetry::Stage::kModelFetch);
   // Releases the single-flight latch when a resolution attempt must restart
   // (anchor invalidated / entry republished mid-flight).
   const auto abandon = [&](engine::Version v) {

@@ -63,6 +63,83 @@ double Histogram::quantile_ns(double q) const {
   return max_;
 }
 
+std::uint64_t Histogram::count_below(double threshold_ns) const {
+  std::uint64_t below = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    // Bucket i covers [2^i, 2^(i+1)); bucket 0 additionally absorbs [0, 1).
+    const double hi = std::exp2(i + 1);
+    if (hi > threshold_ns) break;
+    below += buckets_[i];
+  }
+  return below;
+}
+
+std::string Histogram::to_json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"sum_ns\":" << sum_
+     << ",\"min_ns\":" << min_ns() << ",\"max_ns\":" << max_
+     << ",\"buckets\":{";
+  bool first = true;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << i << "\":" << buckets_[i];
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+/// Finds `"key":` in `json` and parses the number that follows. Sufficient
+/// for the fixed shape to_json emits; not a general JSON parser.
+double scan_number(const std::string& json, const std::string& key,
+                   double fallback) {
+  const std::string needle = '"' + key + "\":";
+  const auto pos = json.find(needle);
+  if (pos == std::string::npos) return fallback;
+  try {
+    return std::stod(json.substr(pos + needle.size()));
+  } catch (...) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+Histogram Histogram::from_json(const std::string& json) {
+  Histogram h;
+  h.count_ = static_cast<std::uint64_t>(scan_number(json, "count", 0.0));
+  h.sum_ = scan_number(json, "sum_ns", 0.0);
+  h.min_ = scan_number(json, "min_ns", 0.0);
+  h.max_ = scan_number(json, "max_ns", 0.0);
+  const auto open = json.find("\"buckets\":{");
+  if (open != std::string::npos) {
+    std::size_t at = open + 11;
+    while (at < json.size() && json[at] != '}') {
+      if (json[at] != '"') {
+        ++at;
+        continue;
+      }
+      const auto key_end = json.find('"', at + 1);
+      const auto colon = json.find(':', key_end);
+      if (key_end == std::string::npos || colon == std::string::npos) break;
+      try {
+        const int bucket = std::stoi(json.substr(at + 1, key_end - at - 1));
+        const std::uint64_t n = std::stoull(json.substr(colon + 1));
+        if (bucket >= 0 && bucket < kBuckets) h.buckets_[bucket] += n;
+      } catch (...) {
+        break;
+      }
+      at = json.find_first_of(",}", colon);
+      if (at == std::string::npos) break;
+      if (json[at] == ',') ++at;
+    }
+  }
+  return h;
+}
+
 std::string Histogram::summary_ms() const {
   std::ostringstream os;
   os.setf(std::ios::fixed);

@@ -30,8 +30,23 @@ class Histogram {
   /// Approximate quantile (q in [0,1]) from bucket interpolation.
   [[nodiscard]] double quantile_ns(double q) const;
 
+  /// Number of recorded values in buckets that lie entirely below
+  /// `threshold_ns`. Exact when the threshold is a bucket boundary (a power
+  /// of two); otherwise a lower bound, since a bucket straddling the
+  /// threshold is excluded wholesale.
+  [[nodiscard]] std::uint64_t count_below(double threshold_ns) const;
+
   /// One-line human-readable summary in milliseconds.
   [[nodiscard]] std::string summary_ms() const;
+
+  /// Serialize to a single-line JSON object (sparse buckets). The bucket
+  /// layout (base-2 log over ns, 64 buckets) is stable, so the encoding
+  /// round-trips through from_json across runs and processes.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parse the to_json encoding back into a histogram. Unknown keys are
+  /// ignored; malformed input yields an empty histogram.
+  [[nodiscard]] static Histogram from_json(const std::string& json);
 
   void reset();
 

@@ -1,0 +1,54 @@
+#include "telemetry/recorder.hpp"
+
+#include "telemetry/report.hpp"
+
+namespace asyncml::telemetry {
+
+TelemetryRecorder::TelemetryRecorder(std::size_t num_workers,
+                                     std::size_t cores_per_worker)
+    : num_workers_(num_workers),
+      cores_per_worker_(cores_per_worker),
+      store_(num_workers) {}
+
+void TelemetryRecorder::configure(const TelemetryConfig& config) {
+  std::lock_guard lock(harvest_mutex_);
+  config_ = config;
+  store_.reset(config.reservoir_capacity, config.sample_seed);
+  processed_.store(0, std::memory_order_relaxed);
+  rings_.clear();
+  const std::size_t threads = num_workers_ * cores_per_worker_;
+  rings_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    rings_.push_back(std::make_unique<TraceRing>(config.ring_capacity));
+  }
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+}
+
+void TelemetryRecorder::on_result_processed() {
+  const std::uint64_t n =
+      processed_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t every = config_.harvest_every == 0 ? 1
+                                                        : config_.harvest_every;
+  if (n % every == 0) harvest();
+}
+
+void TelemetryRecorder::harvest() {
+  std::lock_guard lock(harvest_mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    const TraceRing::DrainStats stats =
+        ring->drain([this](const TaskTrace& trace) { store_.absorb(trace); });
+    dropped += stats.dropped;
+  }
+  store_.note_dropped(dropped);
+  store_.note_harvest();
+}
+
+std::shared_ptr<const TelemetryReport> TelemetryRecorder::finish() {
+  harvest();
+  disable();
+  return std::make_shared<const TelemetryReport>(
+      TelemetryReport::build(store_.snapshot()));
+}
+
+}  // namespace asyncml::telemetry

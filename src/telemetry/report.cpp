@@ -1,0 +1,131 @@
+#include "telemetry/report.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace asyncml::telemetry {
+
+namespace {
+
+StageSummary summarize(const std::string& name, const support::Histogram& h,
+                       double total_sum) {
+  StageSummary s;
+  s.name = name;
+  s.count = h.count();
+  s.sum_ns = h.mean_ns() * static_cast<double>(h.count());
+  s.mean_ns = h.mean_ns();
+  s.p50_ns = h.quantile_ns(0.5);
+  s.p99_ns = h.quantile_ns(0.99);
+  s.max_ns = h.max_ns();
+  s.share = total_sum > 0.0 ? s.sum_ns / total_sum : 0.0;
+  s.hist = h;
+  return s;
+}
+
+void append_summary(std::ostringstream& os, const StageSummary& s,
+                    bool with_hist) {
+  os << "{\"count\":" << s.count << ",\"sum_ns\":" << s.sum_ns
+     << ",\"mean_ns\":" << s.mean_ns << ",\"p50_ns\":" << s.p50_ns
+     << ",\"p99_ns\":" << s.p99_ns << ",\"max_ns\":" << s.max_ns
+     << ",\"share\":" << s.share;
+  if (with_hist) os << ",\"hist\":" << s.hist.to_json();
+  os << '}';
+}
+
+}  // namespace
+
+TelemetryReport TelemetryReport::build(const TelemetryStore::Snapshot& snap) {
+  TelemetryReport report;
+  report.records = snap.records;
+  report.dropped = snap.dropped;
+  report.harvests = snap.harvests;
+  report.updates = snap.updates;
+
+  double total_sum = 0.0;
+  for (const auto& h : snap.stages) {
+    total_sum += h.mean_ns() * static_cast<double>(h.count());
+  }
+  report.stages.reserve(snap.stages.size());
+  for (std::size_t s = 0; s < snap.stages.size(); ++s) {
+    report.stages.push_back(summarize(stage_name(static_cast<Stage>(s)),
+                                      snap.stages[s], total_sum));
+  }
+  report.staleness = summarize("staleness", snap.staleness, 0.0);
+
+  report.workers.reserve(snap.workers.size());
+  for (std::size_t w = 0; w < snap.workers.size(); ++w) {
+    WorkerBreakdown breakdown;
+    breakdown.worker = static_cast<int>(w);
+    double worker_sum = 0.0;
+    for (const auto& h : snap.workers[w]) {
+      worker_sum += h.mean_ns() * static_cast<double>(h.count());
+    }
+    for (std::size_t s = 0; s < snap.workers[w].size(); ++s) {
+      breakdown.stages.push_back(summarize(stage_name(static_cast<Stage>(s)),
+                                           snap.workers[w][s], worker_sum));
+    }
+    report.workers.push_back(std::move(breakdown));
+  }
+  report.samples = snap.samples;
+  return report;
+}
+
+std::string TelemetryReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"schema_version\": " << schema_version << ",\n  \"records\": "
+     << records << ",\n  \"dropped\": " << dropped << ",\n  \"harvests\": "
+     << harvests << ",\n  \"updates\": " << updates << ",\n  \"staleness\": ";
+  append_summary(os, staleness, /*with_hist=*/true);
+  os << ",\n  \"stages\": {";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    if (s != 0) os << ',';
+    os << "\n    \"" << stages[s].name << "\": ";
+    append_summary(os, stages[s], /*with_hist=*/true);
+  }
+  os << "\n  },\n  \"workers\": [";
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    if (w != 0) os << ',';
+    os << "\n    {\"worker\": " << workers[w].worker << ", \"stages\": {";
+    for (std::size_t s = 0; s < workers[w].stages.size(); ++s) {
+      if (s != 0) os << ',';
+      os << '"' << workers[w].stages[s].name << "\":";
+      append_summary(os, workers[w].stages[s], /*with_hist=*/false);
+    }
+    os << "}}";
+  }
+  os << "\n  ],\n  \"samples\": [";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TaskTrace& t = samples[i];
+    if (i != 0) os << ',';
+    os << "\n    {\"worker\":" << t.worker << ",\"partition\":" << t.partition
+       << ",\"seq\":" << t.seq << ",\"model_version\":" << t.model_version
+       << ",\"stages\":{";
+    for (std::size_t s = 0; s < kWorkerStages; ++s) {
+      if (s != 0) os << ',';
+      os << '"' << stage_name(static_cast<Stage>(s)) << "\":" << t.stage_ns[s];
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool TelemetryReport::write_json(const std::string& path) const {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "telemetry: cannot write report to %s\n",
+                 path.c_str());
+    return false;
+  }
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace asyncml::telemetry

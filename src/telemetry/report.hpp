@@ -1,0 +1,60 @@
+#pragma once
+
+// The harvested, run-level telemetry result and its versioned JSON export.
+//
+// A TelemetryReport is an immutable summary built from a TelemetryStore
+// snapshot at run end: per-stage summaries with share-of-total, per-worker
+// breakdowns, the staleness histogram, and the sampled whole-task traces.
+// to_json() emits schema_version 1 (docs/TELEMETRY.md documents the schema);
+// tools/bench_diff.py diffs two exports stage by stage.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/histogram.hpp"
+#include "telemetry/store.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace asyncml::telemetry {
+
+struct StageSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum_ns = 0.0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double max_ns = 0.0;
+  /// This stage's fraction of the total time across all stages.
+  double share = 0.0;
+  support::Histogram hist;
+};
+
+struct WorkerBreakdown {
+  int worker = 0;
+  std::vector<StageSummary> stages;  ///< worker-side stages only
+};
+
+struct TelemetryReport {
+  int schema_version = 1;
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t harvests = 0;
+  std::uint64_t updates = 0;
+  StageSummary staleness;  ///< unit: versions, not ns (name "staleness")
+  std::vector<StageSummary> stages;
+  std::vector<WorkerBreakdown> workers;
+  std::vector<TaskTrace> samples;
+
+  [[nodiscard]] static TelemetryReport build(
+      const TelemetryStore::Snapshot& snap);
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`, creating parent directories best-effort.
+  /// Returns false (and warns on stderr) when the file cannot be written.
+  bool write_json(const std::string& path) const;
+};
+
+}  // namespace asyncml::telemetry

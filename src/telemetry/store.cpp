@@ -1,0 +1,88 @@
+#include "telemetry/store.hpp"
+
+namespace asyncml::telemetry {
+
+TelemetryStore::TelemetryStore(std::size_t num_workers)
+    : stages_(kNumStages),
+      workers_(num_workers, std::vector<support::Histogram>(kWorkerStages)) {}
+
+void TelemetryStore::reset(std::size_t reservoir_capacity,
+                           std::uint64_t sample_seed) {
+  std::lock_guard lock(mutex_);
+  records_ = dropped_ = harvests_ = updates_ = 0;
+  staleness_.reset();
+  for (auto& h : stages_) h.reset();
+  for (auto& per_worker : workers_) {
+    for (auto& h : per_worker) h.reset();
+  }
+  reservoir_capacity_ = reservoir_capacity;
+  reservoir_seen_ = 0;
+  reservoir_rng_ = support::RngStream(sample_seed);
+  samples_.clear();
+  samples_.reserve(reservoir_capacity);
+}
+
+void TelemetryStore::absorb(const TaskTrace& trace) {
+  std::lock_guard lock(mutex_);
+  records_ += 1;
+  for (std::size_t s = 0; s < kWorkerStages; ++s) {
+    const auto ns = static_cast<double>(trace.stage_ns[s]);
+    stages_[s].record(ns);
+    if (trace.worker >= 0 &&
+        static_cast<std::size_t>(trace.worker) < workers_.size()) {
+      workers_[static_cast<std::size_t>(trace.worker)][s].record(ns);
+    }
+  }
+  // Reservoir sampling, Algorithm R: every trace seen so far is retained
+  // with equal probability reservoir_capacity / seen.
+  reservoir_seen_ += 1;
+  if (reservoir_capacity_ == 0) return;
+  if (samples_.size() < reservoir_capacity_) {
+    samples_.push_back(trace);
+  } else {
+    const std::uint64_t j = reservoir_rng_.next_below(reservoir_seen_);
+    if (j < reservoir_capacity_) samples_[j] = trace;
+  }
+}
+
+void TelemetryStore::charge_driver(Stage stage, std::uint64_t ns) {
+  std::lock_guard lock(mutex_);
+  stages_[static_cast<std::size_t>(stage)].record(static_cast<double>(ns));
+}
+
+void TelemetryStore::record_staleness(std::uint64_t staleness) {
+  std::lock_guard lock(mutex_);
+  staleness_.record(static_cast<double>(staleness));
+}
+
+void TelemetryStore::note_dropped(std::uint64_t n) {
+  if (n == 0) return;
+  std::lock_guard lock(mutex_);
+  dropped_ += n;
+}
+
+void TelemetryStore::note_harvest() {
+  std::lock_guard lock(mutex_);
+  harvests_ += 1;
+}
+
+void TelemetryStore::note_update() {
+  std::lock_guard lock(mutex_);
+  updates_ += 1;
+}
+
+TelemetryStore::Snapshot TelemetryStore::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.records = records_;
+  snap.dropped = dropped_;
+  snap.harvests = harvests_;
+  snap.updates = updates_;
+  snap.staleness = staleness_;
+  snap.stages = stages_;
+  snap.workers = workers_;
+  snap.samples = samples_;
+  return snap;
+}
+
+}  // namespace asyncml::telemetry

@@ -1,0 +1,74 @@
+#pragma once
+
+// Run-level aggregation target of the harvest cycle.
+//
+// Harvests drain the per-thread TraceRings into this store: per-stage
+// histograms, per-(worker, stage) breakdowns, the per-update staleness
+// histogram, and a seed-deterministic reservoir of whole-task span records
+// (Algorithm R) that keeps a uniform sample once the run outgrows the
+// reservoir. The store is mutex-protected — the lock-free requirement
+// applies to worker-side recording, and harvests amortize the lock over
+// whole ring batches off the timed solver path.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "support/histogram.hpp"
+#include "support/rng.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace asyncml::telemetry {
+
+class TelemetryStore {
+ public:
+  explicit TelemetryStore(std::size_t num_workers);
+
+  /// Drops all aggregates and re-arms the reservoir for a new run.
+  void reset(std::size_t reservoir_capacity, std::uint64_t sample_seed);
+
+  /// Absorb one harvested task trace (worker-side stages + reservoir).
+  void absorb(const TaskTrace& trace);
+
+  /// Charge a driver-side stage observation (accumulate, broadcast-publish).
+  void charge_driver(Stage stage, std::uint64_t ns);
+
+  /// Model-version lag of one processed update (version at apply time minus
+  /// the version the task read).
+  void record_staleness(std::uint64_t staleness);
+
+  void note_dropped(std::uint64_t n);
+  void note_harvest();
+  void note_update();
+
+  /// Point-in-time copy of every aggregate, for report building.
+  struct Snapshot {
+    std::uint64_t records = 0;    ///< task traces absorbed
+    std::uint64_t dropped = 0;    ///< ring records lost to overwrite
+    std::uint64_t harvests = 0;   ///< harvest cycles run
+    std::uint64_t updates = 0;    ///< driver updates observed
+    support::Histogram staleness;
+    std::vector<support::Histogram> stages;             ///< kNumStages
+    std::vector<std::vector<support::Histogram>> workers;  ///< [w][kWorkerStages]
+    std::vector<TaskTrace> samples;                     ///< reservoir content
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t records_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t harvests_ = 0;
+  std::uint64_t updates_ = 0;
+  support::Histogram staleness_;
+  std::vector<support::Histogram> stages_;
+  std::vector<std::vector<support::Histogram>> workers_;
+  // Reservoir (Algorithm R): deterministic given the seed and arrival order.
+  std::size_t reservoir_capacity_ = 0;
+  std::uint64_t reservoir_seen_ = 0;
+  support::RngStream reservoir_rng_{1};
+  std::vector<TaskTrace> samples_;
+};
+
+}  // namespace asyncml::telemetry

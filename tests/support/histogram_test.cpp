@@ -95,5 +95,79 @@ TEST(Histogram, SummaryMentionsCount) {
   EXPECT_NE(s.find("n=1"), std::string::npos);
 }
 
+TEST(Histogram, CountBelowExactAtPowerOfTwoBoundaries) {
+  // Buckets are [2^i, 2^(i+1)), so a power-of-two threshold lands exactly on
+  // a bucket edge and count_below is exact, not a bound.
+  Histogram h;
+  h.record(1.0);
+  h.record(2.0);
+  h.record(3.0);
+  h.record(4.0);
+  h.record(8.0);
+  EXPECT_EQ(h.count_below(2.0), 1u);
+  EXPECT_EQ(h.count_below(4.0), 3u);
+  EXPECT_EQ(h.count_below(8.0), 4u);
+  EXPECT_EQ(h.count_below(16.0), 5u);
+}
+
+TEST(Histogram, CountBelowIsLowerBoundOffBoundary) {
+  Histogram h;
+  h.record(3.0);  // bucket [2, 4)
+  // 3.5 cuts through the bucket: only fully-below buckets count.
+  EXPECT_EQ(h.count_below(3.5), 0u);
+  EXPECT_EQ(h.count_below(4.0), 1u);
+}
+
+TEST(Histogram, CountBelowEmptyAndZeroThreshold) {
+  Histogram h;
+  EXPECT_EQ(h.count_below(1e9), 0u);
+  h.record(5.0);
+  EXPECT_EQ(h.count_below(0.0), 0u);
+}
+
+TEST(Histogram, QuantileAtBucketEdgeCapsAtMax) {
+  // A single record exactly at a bucket's lower edge: the bucket midpoint
+  // (1536) exceeds the observed max, so the quantile caps at max.
+  Histogram h;
+  h.record(1024.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.5), 1024.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.99), 1024.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZeroAtEveryQ) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(1.0), 0.0);
+}
+
+TEST(Histogram, JsonRoundTripPreservesAggregates) {
+  Histogram h;
+  h.record(5e3);
+  h.record(1e6);
+  h.record(1e6);
+  h.record(7e8);
+  const Histogram back = Histogram::from_json(h.to_json());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_DOUBLE_EQ(back.min_ns(), h.min_ns());
+  EXPECT_DOUBLE_EQ(back.max_ns(), h.max_ns());
+  EXPECT_DOUBLE_EQ(back.mean_ns(), h.mean_ns());
+  EXPECT_DOUBLE_EQ(back.quantile_ns(0.5), h.quantile_ns(0.5));
+  EXPECT_DOUBLE_EQ(back.quantile_ns(0.99), h.quantile_ns(0.99));
+  EXPECT_EQ(back.count_below(1 << 20), h.count_below(1 << 20));
+}
+
+TEST(Histogram, JsonRoundTripEmpty) {
+  const Histogram back = Histogram::from_json(Histogram().to_json());
+  EXPECT_EQ(back.count(), 0u);
+  EXPECT_DOUBLE_EQ(back.max_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(back.quantile_ns(0.5), 0.0);
+}
+
+TEST(Histogram, FromJsonGarbageYieldsEmpty) {
+  const Histogram h = Histogram::from_json("not json at all");
+  EXPECT_EQ(h.count(), 0u);
+}
+
 }  // namespace
 }  // namespace asyncml::support

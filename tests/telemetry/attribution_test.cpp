@@ -1,0 +1,128 @@
+// Fault-stage -> telemetry-segment attribution: a seeded FaultPlan delay at
+// each injection stage must surface in the matching span segment and nowhere
+// else (docs/TELEMETRY.md, "Fault attribution").
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "engine/cluster.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/store.hpp"
+
+namespace asyncml::engine {
+namespace {
+
+using telemetry::Stage;
+
+Cluster::Config quiet_config() {
+  Cluster::Config config;
+  config.num_workers = 1;
+  config.cores_per_worker = 1;
+  config.network.time_scale = 0.0;
+  return config;
+}
+
+TaskSpec make_task(Cluster& cluster, PartitionId p) {
+  TaskSpec spec;
+  spec.id = cluster.next_task_id();
+  spec.partition = p;
+  spec.fn = std::make_shared<const TaskFn>(
+      [](TaskContext& ctx) -> support::StatusOr<Payload> {
+        return Payload::wrap<int>(ctx.partition);
+      });
+  return spec;
+}
+
+/// Runs one task through a telemetry-armed cluster and returns the
+/// harvested per-stage sums in ns.
+std::array<double, telemetry::kNumStages> run_one_task(Cluster& cluster) {
+  telemetry::TelemetryConfig config;
+  config.enabled = true;
+  cluster.telemetry().configure(config);
+
+  EXPECT_TRUE(cluster.submit(0, make_task(cluster, 0)));
+  const auto results = cluster.collect_n(1);
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok());
+
+  cluster.telemetry().harvest();
+  const auto snap = cluster.telemetry().store().snapshot();
+  EXPECT_EQ(snap.records, 1u);
+  std::array<double, telemetry::kNumStages> sums{};
+  for (std::size_t s = 0; s < telemetry::kNumStages; ++s) {
+    sums[s] = snap.stages[s].count() > 0
+                  ? snap.stages[s].mean_ns() *
+                        static_cast<double>(snap.stages[s].count())
+                  : 0.0;
+  }
+  return sums;
+}
+
+double ns(Stage stage, const std::array<double, telemetry::kNumStages>& sums) {
+  return sums[static_cast<std::size_t>(stage)];
+}
+
+TEST(FaultAttribution, ResultChannelDelayLandsInResultChannelSegment) {
+  Cluster::Config config = quiet_config();
+  // FaultStage::kResultChannel is the documented alias of kNetwork.
+  config.faults.delay(FaultStage::kResultChannel, 8.0, {}, /*times=*/1);
+  Cluster cluster(config);
+  const auto sums = run_one_task(cluster);
+  EXPECT_GE(ns(Stage::kResultChannel, sums), 7.5e6);
+  EXPECT_LT(ns(Stage::kSerialize, sums), 2e6);
+  EXPECT_LT(ns(Stage::kCompute, sums), 2e6);
+}
+
+TEST(FaultAttribution, QueueDelayLandsInQueueWaitNotDequeueDelay) {
+  Cluster::Config config = quiet_config();
+  config.faults.delay(FaultStage::kQueue, 6.0, {}, /*times=*/1);
+  Cluster cluster(config);
+  const auto sums = run_one_task(cluster);
+  EXPECT_GE(ns(Stage::kQueueWait, sums), 5.5e6);
+  // The stall is kept out of the pickup->start window.
+  EXPECT_LT(ns(Stage::kDequeueDelay, sums), 2e6);
+  EXPECT_LT(ns(Stage::kResultChannel, sums), 2e6);
+}
+
+TEST(FaultAttribution, SerializeDelayLandsInSerializeNotCompute) {
+  Cluster::Config config = quiet_config();
+  config.faults.delay(FaultStage::kSerialize, 6.0, {}, /*times=*/1);
+  Cluster cluster(config);
+  const auto sums = run_one_task(cluster);
+  EXPECT_GE(ns(Stage::kSerialize, sums), 5.5e6);
+  EXPECT_LT(ns(Stage::kCompute, sums), 2e6);
+}
+
+TEST(FaultAttribution, ComputeDelayLandsInComputeSegment) {
+  Cluster::Config config = quiet_config();
+  config.faults.delay(FaultStage::kCompute, 8.0, {}, /*times=*/1);
+  Cluster cluster(config);
+  const auto sums = run_one_task(cluster);
+  EXPECT_GE(ns(Stage::kCompute, sums), 7.5e6);
+  EXPECT_LT(ns(Stage::kSerialize, sums), 2e6);
+  EXPECT_LT(ns(Stage::kQueueWait, sums), 2e6);
+}
+
+TEST(FaultAttribution, CleanTaskChargesNoFaultSegments) {
+  Cluster cluster(quiet_config());
+  const auto sums = run_one_task(cluster);
+  // No faults, zero-cost network, no service floor: everything is micro-scale.
+  EXPECT_LT(ns(Stage::kQueueWait, sums), 2e6);
+  EXPECT_LT(ns(Stage::kResultChannel, sums), 2e6);
+  EXPECT_LT(ns(Stage::kServicePad, sums), 2e6);
+}
+
+TEST(FaultAttribution, DisabledRecorderRecordsNothing) {
+  Cluster::Config config = quiet_config();
+  config.faults.delay(FaultStage::kNetwork, 2.0, {}, /*times=*/1);
+  Cluster cluster(config);
+  ASSERT_FALSE(cluster.telemetry().enabled());
+  ASSERT_TRUE(cluster.submit(0, make_task(cluster, 0)));
+  ASSERT_EQ(cluster.collect_n(1).size(), 1u);
+  cluster.telemetry().harvest();
+  EXPECT_EQ(cluster.telemetry().store().snapshot().records, 0u);
+}
+
+}  // namespace
+}  // namespace asyncml::engine

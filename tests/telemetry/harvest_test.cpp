@@ -1,0 +1,249 @@
+// Harvest-cycle tests: cadence, reservoir determinism, recorder
+// concurrency, and the end-to-end reconciliation invariants through real
+// solver runs (stage sums partition the measured task compute time; the
+// disabled path leaves the trajectory bit-identical).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "optim/asgd.hpp"
+#include "optim/objective.hpp"
+#include "optim/sgd.hpp"
+#include "telemetry/recorder.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/store.hpp"
+
+namespace asyncml::telemetry {
+namespace {
+
+TaskTrace make_trace(std::uint64_t seq) {
+  TaskTrace trace;
+  trace.worker = 0;
+  trace.partition = static_cast<std::int32_t>(seq % 4);
+  trace.seq = seq;
+  trace.stage_ns[static_cast<std::size_t>(Stage::kCompute)] = 1000 + seq;
+  return trace;
+}
+
+std::vector<std::uint64_t> reservoir_seqs(std::uint64_t seed) {
+  TelemetryStore store(1);
+  store.reset(/*reservoir_capacity=*/8, seed);
+  for (std::uint64_t i = 0; i < 500; ++i) store.absorb(make_trace(i));
+  std::vector<std::uint64_t> seqs;
+  for (const TaskTrace& t : store.snapshot().samples) seqs.push_back(t.seq);
+  return seqs;
+}
+
+TEST(TelemetryStore, ReservoirIsSeedDeterministic) {
+  const auto a = reservoir_seqs(42);
+  const auto b = reservoir_seqs(42);
+  ASSERT_EQ(a.size(), 8u);
+  EXPECT_EQ(a, b);  // same seed + same arrival order => same retained sample
+  EXPECT_NE(a, reservoir_seqs(43));
+}
+
+TEST(TelemetryStore, ReservoirKeepsEverythingBelowCapacity) {
+  TelemetryStore store(1);
+  store.reset(/*reservoir_capacity=*/16, /*seed=*/1);
+  for (std::uint64_t i = 0; i < 10; ++i) store.absorb(make_trace(i));
+  const auto snap = store.snapshot();
+  EXPECT_EQ(snap.samples.size(), 10u);
+  EXPECT_EQ(snap.records, 10u);
+}
+
+TEST(TelemetryStore, AggregatesPerWorkerAndPerStage) {
+  TelemetryStore store(2);
+  store.reset(4, 1);
+  TaskTrace t = make_trace(0);
+  t.worker = 1;
+  t.stage_ns[static_cast<std::size_t>(Stage::kQueueWait)] = 500;
+  store.absorb(t);
+  const auto snap = store.snapshot();
+  const auto queue = static_cast<std::size_t>(Stage::kQueueWait);
+  EXPECT_EQ(snap.stages[queue].count(), 1u);
+  EXPECT_EQ(snap.workers[1][queue].count(), 1u);
+  EXPECT_EQ(snap.workers[0][queue].count(), 0u);
+}
+
+TEST(TelemetryRecorder, HarvestCadenceFiresEveryN) {
+  TelemetryRecorder recorder(1, 1);
+  TelemetryConfig config;
+  config.enabled = true;
+  config.harvest_every = 4;
+  recorder.configure(config);
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    recorder.record(0, 0, make_trace(i));
+    recorder.on_result_processed();
+  }
+  const auto snap = recorder.store().snapshot();
+  EXPECT_EQ(snap.harvests, 2u);  // results 4 and 8 triggered cycles
+  EXPECT_EQ(snap.records, 8u);
+}
+
+TEST(TelemetryRecorder, FinishSweepsAndDisables) {
+  TelemetryRecorder recorder(1, 1);
+  TelemetryConfig config;
+  config.enabled = true;
+  config.harvest_every = 1000;  // cadence never fires; finish must sweep
+  recorder.configure(config);
+  ASSERT_TRUE(recorder.enabled());
+
+  for (std::uint64_t i = 0; i < 5; ++i) recorder.record(0, 0, make_trace(i));
+  const auto report = recorder.finish();
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->records, 5u);
+  EXPECT_FALSE(recorder.enabled());
+}
+
+TEST(TelemetryRecorder, ConcurrentRecordAndHarvestAccountsEveryPush) {
+  // Two executor threads record into their own rings while harvests run
+  // concurrently: the run-level totals must balance (drained + dropped ==
+  // pushed), and TSan must stay quiet (the CI TSan leg runs this module).
+  constexpr std::uint64_t kPerThread = 5'000;
+  TelemetryRecorder recorder(1, 2);
+  TelemetryConfig config;
+  config.enabled = true;
+  config.ring_capacity = 64;  // force overwrite pressure
+  recorder.configure(config);
+
+  std::vector<std::thread> producers;
+  for (std::size_t core = 0; core < 2; ++core) {
+    producers.emplace_back([&recorder, core] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        recorder.record(0, core, make_trace(i));
+      }
+    });
+  }
+  for (int sweep = 0; sweep < 200; ++sweep) recorder.harvest();
+  for (auto& t : producers) t.join();
+  recorder.harvest();
+
+  const auto snap = recorder.store().snapshot();
+  EXPECT_EQ(snap.records + snap.dropped, 2 * kPerThread);
+}
+
+// ---- End-to-end through real solver runs --------------------------------
+
+engine::Cluster::Config quiet_config(int workers) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 2;
+  config.network.time_scale = 0.0;
+  return config;
+}
+
+optim::Workload tiny_workload(std::uint64_t seed) {
+  const auto problem = data::synthetic::tiny(240, 10, 0.0, seed);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  return optim::Workload::create(dataset, 8, optim::make_least_squares());
+}
+
+optim::SolverConfig traced_config() {
+  optim::SolverConfig config;
+  config.updates = 20;
+  config.batch_fraction = 0.3;
+  config.service_floor_ms = 0.1;
+  config.eval_every = 10;
+  config.telemetry.enabled = true;
+  config.telemetry.ring_capacity = 4096;  // no overwrite in a 160-task run
+  return config;
+}
+
+const StageSummary* find_stage(const TelemetryReport& report, const char* name) {
+  for (const StageSummary& s : report.stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(TelemetryEndToEnd, SyncSgdStageSumsReconcileWithTaskComputeNs) {
+  engine::Cluster cluster(quiet_config(4));
+  const optim::Workload workload = tiny_workload(1);
+  const optim::RunResult result =
+      optim::SgdSolver::run(cluster, workload, traced_config());
+
+  ASSERT_NE(result.telemetry, nullptr);
+  const TelemetryReport& report = *result.telemetry;
+  // Synchronous rounds, no faults: every task is delivered and recorded.
+  EXPECT_EQ(report.records, result.tasks);
+  EXPECT_EQ(report.dropped, 0u);
+
+  // The reconciliation invariant: model-fetch + compute + serialize
+  // partition each task's measured function time, so the run-level sums
+  // match the engine's task_compute_ns counter up to fp noise.
+  const auto* fetch = find_stage(report, "model_fetch");
+  const auto* compute = find_stage(report, "compute");
+  const auto* serialize = find_stage(report, "serialize");
+  ASSERT_NE(fetch, nullptr);
+  ASSERT_NE(compute, nullptr);
+  ASSERT_NE(serialize, nullptr);
+  const double stage_sum = fetch->sum_ns + compute->sum_ns + serialize->sum_ns;
+  const double engine_sum =
+      static_cast<double>(cluster.metrics().task_compute_ns.load());
+  EXPECT_NEAR(stage_sum, engine_sum, 1e-3 * engine_sum + 1.0);
+}
+
+TEST(TelemetryEndToEnd, AsgdReportCarriesStalenessAndDriverStages) {
+  engine::Cluster cluster(quiet_config(4));
+  const optim::Workload workload = tiny_workload(2);
+  optim::SolverConfig config = traced_config();
+  config.updates = 60;
+  const optim::RunResult result =
+      optim::AsgdSolver::run(cluster, workload, config);
+
+  ASSERT_NE(result.telemetry, nullptr);
+  const TelemetryReport& report = *result.telemetry;
+  // Every collected update was processed by the coordinator first.
+  EXPECT_GE(report.staleness.count, config.updates);
+  // One publish per update plus the initial pre-loop broadcast.
+  EXPECT_GE(report.updates, config.updates);
+
+  const auto* publish = find_stage(report, "broadcast_publish");
+  ASSERT_NE(publish, nullptr);
+  EXPECT_GE(publish->count, config.updates);
+  const auto* accumulate = find_stage(report, "accumulate");
+  ASSERT_NE(accumulate, nullptr);
+  EXPECT_GT(accumulate->count, 0u);
+  EXPECT_FALSE(report.samples.empty());
+}
+
+TEST(TelemetryEndToEnd, DisabledRunLeavesTrajectoryBitIdentical) {
+  // Telemetry off must be indistinguishable from not having the subsystem;
+  // the sync path is deterministic, so the final model pins it bit-for-bit.
+  const auto run_once = [](bool enabled) {
+    engine::Cluster cluster(quiet_config(4));
+    optim::SolverConfig config;
+    config.updates = 15;
+    config.batch_fraction = 0.3;
+    config.service_floor_ms = 0.1;
+    config.telemetry.enabled = enabled;
+    return optim::SgdSolver::run(cluster, tiny_workload(3), config);
+  };
+  const optim::RunResult off = run_once(false);
+  const optim::RunResult on = run_once(true);
+  EXPECT_EQ(off.telemetry, nullptr);
+  ASSERT_NE(on.telemetry, nullptr);
+  ASSERT_EQ(off.final_w.size(), on.final_w.size());
+  for (std::size_t i = 0; i < off.final_w.size(); ++i) {
+    EXPECT_EQ(off.final_w[i], on.final_w[i]) << "component " << i;
+  }
+}
+
+TEST(TelemetryEndToEnd, SharesSumToOneAcrossStages) {
+  engine::Cluster cluster(quiet_config(2));
+  const optim::Workload workload = tiny_workload(4);
+  const optim::RunResult result =
+      optim::SgdSolver::run(cluster, workload, traced_config());
+  ASSERT_NE(result.telemetry, nullptr);
+  double total_share = 0.0;
+  for (const StageSummary& s : result.telemetry->stages) total_share += s.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace asyncml::telemetry

@@ -18,9 +18,16 @@ Exit code is 0 unless --strict is passed AND a hard (bit-identity) invariant
 broke. All wall-clock-derived metrics are advisory — shared CI runners are
 noisy — so timing drift never fails the job.
 
+With --telemetry-baseline/--telemetry-current the tool additionally diffs two
+span-telemetry reports (TelemetryReport::to_json, docs/TELEMETRY.md): per-stage
+p50/p99 and share-of-total, plus record/drop totals. Telemetry drift is always
+advisory — it never affects the exit code, even under --strict.
+
 Usage:
   python3 tools/bench_diff.py --baseline bench_results/BENCH_micro.baseline.json \
-      --current build/bench_results/BENCH_micro.json [--tolerance 0.3] [--strict]
+      --current build/bench_results/BENCH_micro.json [--tolerance 0.3] [--strict] \
+      [--telemetry-baseline bench_results/TELEMETRY_fig3.baseline.json \
+       --telemetry-current build/bench_results/TELEMETRY_fig3.json]
 """
 
 import argparse
@@ -42,22 +49,25 @@ def classify(key: str) -> str:
     return "info"
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
-    parser.add_argument("--tolerance", type=float, default=0.3,
-                        help="relative drift allowed on timing/ratio metrics")
-    parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero when a hard invariant breaks")
-    args = parser.parse_args()
+def flatten_telemetry(report: dict) -> dict:
+    """Flattens a schema-1 telemetry report to the flat-metric shape the
+    main diff loop prints: per-stage p50/p99 (lower-better advisory via the
+    _ns suffix) and share-of-total / volume counters (info)."""
+    out = {}
+    for name, stage in sorted(report.get("stages", {}).items()):
+        out[f"telemetry.{name}.p50_ns"] = stage.get("p50_ns")
+        out[f"telemetry.{name}.p99_ns"] = stage.get("p99_ns")
+        out[f"telemetry.{name}.share"] = stage.get("share")
+    staleness = report.get("staleness", {})
+    out["telemetry.staleness.p50_versions"] = staleness.get("p50_ns")
+    out["telemetry.staleness.p99_versions"] = staleness.get("p99_ns")
+    out["telemetry.records"] = report.get("records")
+    out["telemetry.dropped"] = report.get("dropped")
+    return out
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.current) as f:
-        current = json.load(f)
 
-    regressions, invariant_failures = [], []
+def print_diff(baseline: dict, current: dict, tolerance: float,
+               regressions: list, invariant_failures: list) -> None:
     keys = sorted(set(baseline) | set(current))
     width = max((len(k) for k in keys), default=0)
     print(f"{'metric'.ljust(width)}  {'baseline':>12}  {'current':>12}  status")
@@ -83,10 +93,10 @@ def main() -> int:
                 # runners are noisy — report loudly, never fail --strict.
                 status = f"OVER LIMIT ({ADAPTIVE_OVER_DENSE_LIMIT})"
                 regressions.append(key)
-            elif kind == "lower_better" and base > 0 and cur / base > 1 + args.tolerance:
+            elif kind == "lower_better" and base > 0 and cur / base > 1 + tolerance:
                 status = f"regressed {cur / base:.2f}x"
                 regressions.append(key)
-            elif kind == "higher_better" and cur > 0 and base / cur > 1 + args.tolerance:
+            elif kind == "higher_better" and cur > 0 and base / cur > 1 + tolerance:
                 status = f"regressed {base / cur:.2f}x"
                 regressions.append(key)
 
@@ -94,6 +104,47 @@ def main() -> int:
             return f"{v:12.4g}" if isinstance(v, (int, float)) else f"{'-':>12}"
 
         print(f"{key.ljust(width)}  {fmt(base)}  {fmt(cur)}  {status}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="relative drift allowed on timing/ratio metrics")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a hard invariant breaks")
+    parser.add_argument("--telemetry-baseline",
+                        help="checked-in span-telemetry report to diff against")
+    parser.add_argument("--telemetry-current",
+                        help="freshly exported span-telemetry report")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    regressions, invariant_failures = [], []
+    print_diff(baseline, current, args.tolerance, regressions, invariant_failures)
+
+    if args.telemetry_baseline and args.telemetry_current:
+        with open(args.telemetry_baseline) as f:
+            tel_base = json.load(f)
+        with open(args.telemetry_current) as f:
+            tel_cur = json.load(f)
+        if tel_base.get("schema_version") != tel_cur.get("schema_version"):
+            print(f"\ntelemetry schema mismatch: baseline v"
+                  f"{tel_base.get('schema_version')} vs current v"
+                  f"{tel_cur.get('schema_version')} — skipping stage diff")
+        else:
+            # Advisory by construction: telemetry drift is host timing and is
+            # kept out of invariant_failures so it can never fail --strict.
+            print("\nspan-telemetry stage diff (advisory):")
+            tel_regressions = []
+            print_diff(flatten_telemetry(tel_base), flatten_telemetry(tel_cur),
+                       args.tolerance, tel_regressions, [])
+            print(f"{len(tel_regressions)} telemetry drift(s) (advisory only).")
 
     print(f"\n{len(regressions)} timing/ratio regression(s), "
           f"{len(invariant_failures)} invariant failure(s).")
