@@ -148,5 +148,76 @@ int main() {
                "locality-structured sparsity is pinned by "
                "tests/properties/shard_equivalence_test.cpp and measured by "
                "bench_micro_shard_route.\n";
+
+  // ---- Charged vs measured wire bytes (docs/TRANSPORT.md). ----------------
+  // The same seeded ASGD run twice: over the in-process backend, whose wire
+  // counters record the *charged* (modeled) payload bytes, and over the
+  // Unix-socket backend, whose counters record the *measured* frame bytes
+  // actually moved between processes — one ClusterMetrics path for both.
+  // Measured may exceed charged only by framing overhead (20-byte header +
+  // msgpack field tags per frame); anything beyond that allowance is flagged
+  // as divergence. The lz4 delta chain legitimately undershoots — that gap
+  // is the compression win, reported as a ratio.
+  const bench::BenchDataset wire_ds = bench::load_dataset("rcv1", /*row_scale=*/1.0);
+  const optim::Workload wire_workload =
+      optim::Workload::create(wire_ds.data, kPartitions, optim::make_least_squares());
+  const bench::RunPlan wire_plan =
+      bench::make_plan(wire_ds, /*saga=*/false, /*sync_iterations=*/8, kPartitions,
+                       /*seed=*/11, /*service_floor_ms=*/2.0);
+
+  engine::Cluster charged_cluster(bench::cluster_config(kWorkers));
+  const optim::RunResult charged_run =
+      optim::AsgdSolver::run(charged_cluster, wire_workload, wire_plan.async_config);
+
+  engine::Cluster::Config socket_cfg = bench::cluster_config(kWorkers);
+  socket_cfg.transport.backend = transport::Backend::kUnixSocket;
+  engine::Cluster measured_cluster(std::move(socket_cfg));
+  const optim::RunResult measured_run =
+      optim::AsgdSolver::run(measured_cluster, wire_workload, wire_plan.async_config);
+
+  // Generous per-frame allowance for header + msgpack structure around the
+  // payload bins; real overhead is far below this.
+  constexpr std::uint64_t kFrameAllowanceBytes = 256;
+  const char* kChannelNames[engine::kNumWireChannels] = {"task", "result", "model",
+                                                         "control"};
+  metrics::Table wire_table({"channel", "charged KB", "measured sent KB",
+                             "measured recv KB", "frames", "verdict"});
+  bool diverged = false;
+  for (std::size_t ch = 0; ch < engine::kNumWireChannels; ++ch) {
+    const auto& charged = charged_run.wire[ch];
+    const auto& measured = measured_run.wire[ch];
+    const std::uint64_t allowance = measured.frames * kFrameAllowanceBytes;
+    std::string verdict = "ok";
+    if (measured.bytes_sent > charged.bytes_sent + allowance) {
+      verdict = "DIVERGED (+" +
+                std::to_string(measured.bytes_sent - charged.bytes_sent) + " B)";
+      diverged = true;
+    } else if (charged.bytes_sent > 0 &&
+               measured.bytes_sent + allowance < charged.bytes_sent) {
+      // Undershoot = the lz4 delta chain compressing below the modeled size.
+      verdict = "compressed " +
+                metrics::Table::num(static_cast<double>(charged.bytes_sent) /
+                                        static_cast<double>(std::max<std::uint64_t>(
+                                            1, measured.bytes_sent)),
+                                    3) +
+                "x";
+    }
+    wire_table.add_row(
+        {kChannelNames[ch],
+         metrics::Table::num(static_cast<double>(charged.bytes_sent) / 1024.0, 4),
+         metrics::Table::num(static_cast<double>(measured.bytes_sent) / 1024.0, 4),
+         metrics::Table::num(static_cast<double>(measured.bytes_received) / 1024.0, 4),
+         std::to_string(measured.frames), verdict});
+  }
+  std::cout << "\ncharged (in-process) vs measured (unix-socket) wire bytes, "
+               "ASGD on rcv1 (err "
+            << metrics::Table::num(charged_run.final_error()) << " vs "
+            << metrics::Table::num(measured_run.final_error()) << "):\n";
+  wire_table.print(std::cout);
+  std::cout << (diverged
+                    ? "WARNING: measured bytes exceed charged + framing allowance "
+                      "— the cost model and the real wire disagree.\n"
+                    : "shape check: measured stays within framing overhead of "
+                      "charged (delta channel may undershoot via lz4).\n");
   return 0;
 }

@@ -89,12 +89,15 @@ std::optional<TaggedResult> AsyncContext::collect(
 }
 
 void AsyncContext::poll_membership() {
+  // Joins are FaultPlan-driven, but deaths are not: a worker can die for
+  // real (the transport's wire process SIGKILLed or disconnected) on a run
+  // with no fault plan at all, and its partitions must still fail over.
   auto* faults = cluster_.faults();
-  if (faults == nullptr) return;  // fault-free run: membership is static
   for (int w = 0; w < cluster_.num_workers(); ++w) {
     if (!scheduler_.is_member(w)) {
       // Dormant worker: admit once the model version reaches its join point
       // (it must still be alive — a crash event can precede the join).
+      if (faults == nullptr) continue;
       const auto join = faults->join_version(w);
       if (join.has_value() && coordinator_.current_version() >= *join &&
           cluster_.worker_alive(w)) {

@@ -18,6 +18,10 @@
 #include "engine/payload.hpp"
 #include "engine/types.hpp"
 
+namespace asyncml::transport {
+class Channel;
+}  // namespace asyncml::transport
+
 namespace asyncml::engine {
 
 /// Driver-side authoritative map id -> payload. Thread-safe.
@@ -46,11 +50,16 @@ class BroadcastStore {
 /// Per-worker cache with fetch-through to the store. A miss charges the
 /// network model (sleep) and counts fetched bytes; a hit is free — this is
 /// exactly the saving the ASYNCbroadcaster exploits for historical gradients.
+///
+/// With a transport channel attached, a miss instead round-trips the payload
+/// over the worker's wire (transport/transport.hpp): the in-process backend
+/// returns the same modeled charge to sleep, the socket backends spend real
+/// wall time and hand back the decoded echo, which is what gets cached.
 class BroadcastCache {
  public:
   BroadcastCache(const BroadcastStore* store, const NetworkModel* net,
-                 ClusterMetrics* metrics)
-      : store_(store), net_(net), metrics_(metrics) {}
+                 ClusterMetrics* metrics, transport::Channel* channel = nullptr)
+      : store_(store), net_(net), metrics_(metrics), channel_(channel) {}
 
   /// Returns the payload for `id`, fetching and caching on first access.
   /// `cls` labels the charged bytes for the base/delta traffic split.
@@ -84,6 +93,7 @@ class BroadcastCache {
   const BroadcastStore* store_;
   const NetworkModel* net_;
   ClusterMetrics* metrics_;
+  transport::Channel* channel_;
   mutable std::mutex mutex_;
   std::unordered_map<BroadcastId, Payload> cache_;
 };

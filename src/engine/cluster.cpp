@@ -30,7 +30,15 @@ Cluster::Cluster(Config config)
           static_cast<std::size_t>(config_.num_workers),
           static_cast<std::size_t>(config_.cores_per_worker))),
       metrics_(std::make_unique<ClusterMetrics>(config_.num_workers)),
+      transport_(transport::make_transport(config_.transport, config_.num_workers,
+                                           &config_.network, metrics_.get())),
       delay_owned_(config_.delay ? config_.delay : std::make_shared<const NoDelay>()) {
+  // Bring the wire up before any worker exists: socket backends spawn and
+  // handshake one endpoint process per worker here. Failure is loud — a
+  // cluster without its wire is unusable.
+  if (support::Status s = transport_->start(); !s.is_ok()) {
+    throw std::runtime_error("Cluster: transport start failed: " + s.to_string());
+  }
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (WorkerId w = 0; w < config_.num_workers; ++w) {
     Worker::Deps deps;
@@ -41,6 +49,7 @@ Cluster::Cluster(Config config)
     deps.results = &results_;
     deps.faults = faults_.get();
     deps.telemetry = telemetry_.get();
+    deps.channel = &transport_->channel(w);
     workers_.push_back(std::make_unique<Worker>(w, config_.cores_per_worker, deps));
   }
 }
@@ -55,8 +64,15 @@ bool Cluster::submit(WorkerId worker, TaskSpec spec) {
   if (faults_ != nullptr && faults_->should_reject_submit(worker, spec)) {
     return false;
   }
+  // Dispatch-plane round trip: the spec's wire header travels to the
+  // worker's endpoint and the decoded echo overwrites it (socket backends);
+  // the in-process channel is a no-op. A failed ship still delivers the spec
+  // — the worker sees its dead wire and bounces it as kUnavailable, which is
+  // how callers that raced the death learn about it.
+  (void)transport_->channel(worker).ship_task(spec);
   // Queue-wait anchor: stamped only while telemetry is armed so the disabled
-  // path never reads the clock here.
+  // path never reads the clock here. After the wire round trip so transit
+  // never counts as queue wait.
   if (telemetry_->enabled()) {
     spec.enqueued_at = support::Clock::now();
   }
@@ -76,7 +92,10 @@ std::vector<TaskResult> Cluster::collect_n(std::size_t n) {
 
 void Cluster::shutdown() {
   if (shut_down_.exchange(true)) return;
+  // Workers first (their channels must stay valid while executor threads
+  // drain), then the wire, then the result queue.
   for (auto& worker : workers_) worker->stop();
+  transport_->stop();
   results_.close();
 }
 

@@ -21,6 +21,7 @@
 #include "engine/worker.hpp"
 #include "support/blocking_queue.hpp"
 #include "telemetry/recorder.hpp"
+#include "transport/transport.hpp"
 
 namespace asyncml::engine {
 
@@ -36,6 +37,11 @@ class Cluster {
     /// Declarative failure schedule (crashes, drops, delays, joins); an empty
     /// plan costs nothing at runtime. See engine/fault.hpp.
     FaultPlan faults;
+    /// Which wire the cluster runs on (docs/TRANSPORT.md). The default
+    /// in-process backend reproduces the pre-seam engine bit for bit; the
+    /// Unix-socket and TCP backends spawn one wire-endpoint process per
+    /// worker and move every frame for real.
+    transport::TransportConfig transport;
   };
 
   explicit Cluster(Config config);
@@ -75,6 +81,10 @@ class Cluster {
   /// The compiled fault plan, or nullptr when the plan is empty.
   [[nodiscard]] FaultState* faults() noexcept { return faults_.get(); }
 
+  /// The transport backing this cluster (chaos tests use kill_worker to
+  /// SIGKILL a socket worker's wire process for real).
+  [[nodiscard]] transport::Transport& transport() noexcept { return *transport_; }
+
   /// The cluster-wide span recorder. Always constructed (workers hold a
   /// stable pointer) but inert until a solver arms it from
   /// SolverConfig::telemetry; disabled it costs one relaxed load per task.
@@ -102,6 +112,9 @@ class Cluster {
   std::unique_ptr<telemetry::TelemetryRecorder> telemetry_;
   BroadcastStore store_;
   std::unique_ptr<ClusterMetrics> metrics_;
+  /// Constructed after metrics_ (channels count into it) and destroyed after
+  /// workers_ (their channels point into it).
+  std::unique_ptr<transport::Transport> transport_;
   support::BlockingQueue<TaskResult> results_;
   std::shared_ptr<const DelayModel> delay_owned_;
   std::vector<std::unique_ptr<Worker>> workers_;

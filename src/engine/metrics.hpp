@@ -8,6 +8,7 @@
 // per-worker histogram.  Byte counters track the modeled wire traffic of
 // broadcasts, fetches, and results.
 
+#include <array>
 #include <cassert>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,20 @@ namespace asyncml::engine {
 /// and sparse model deltas — and the byte accounting keeps them apart so the
 /// benches can report how much of the broadcast traffic the deltas saved.
 enum class BroadcastClass { kSnapshot, kDelta };
+
+/// Logical wire channel a transport frame travels on. Every backend counts
+/// into the same per-channel table: the in-process backend records the
+/// *charged* (modeled) bytes, the socket backends record *measured* frame
+/// bytes — one ClusterMetrics path for both, so fig3 can print charged vs
+/// measured side by side and flag divergence beyond framing overhead.
+enum class WireChannel : std::uint8_t {
+  kTask = 0,     ///< dispatch-plane task headers
+  kResult = 1,   ///< worker→driver task results
+  kModel = 2,    ///< broadcast/base/delta fetches
+  kControl = 3,  ///< hello/shutdown/error traffic
+};
+
+inline constexpr std::size_t kNumWireChannels = 4;
 
 class ClusterMetrics {
  public:
@@ -148,7 +163,39 @@ class ClusterMetrics {
   support::RelaxedCounter shard_reads_partial;  ///< masked reads touching < S shards
   support::RelaxedCounter shard_touches;        ///< shard fills summed over reads
 
+  /// Per-channel wire accounting. `bytes_sent` is the data-bearing request
+  /// frame of a round trip, `bytes_received` its ack — modeled payload bytes
+  /// on the in-process backend, actual frame bytes (header + msgpack + lz4)
+  /// on the socket backends.
+  struct WireCounters {
+    support::RelaxedCounter frames;
+    support::RelaxedCounter bytes_sent;
+    support::RelaxedCounter bytes_received;
+  };
+
+  /// Counts one round trip on channel `ch`.
+  void count_wire(WireChannel ch, std::size_t sent, std::size_t received) {
+    WireCounters& c = wire_[static_cast<std::size_t>(ch)];
+    c.frames.add(1);
+    c.bytes_sent.add(sent);
+    c.bytes_received.add(received);
+  }
+
+  [[nodiscard]] const WireCounters& wire(WireChannel ch) const {
+    return wire_[static_cast<std::size_t>(ch)];
+  }
+
+  /// Zeroes the wire table (run boundaries, like reset_shard_counters).
+  void reset_wire_counters() {
+    for (WireCounters& c : wire_) {
+      c.frames.reset();
+      c.bytes_sent.reset();
+      c.bytes_received.reset();
+    }
+  }
+
  private:
+  std::array<WireCounters, kNumWireChannels> wire_{};
   std::vector<support::Histogram> wait_hists_;
   mutable std::vector<support::Padded<std::mutex>> wait_mutexes_;
   std::vector<std::unique_ptr<ShardCounters>> shard_counters_;

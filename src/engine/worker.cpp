@@ -6,6 +6,7 @@
 #include "support/stopwatch.hpp"
 #include "support/thread_util.hpp"
 #include "telemetry/recorder.hpp"
+#include "transport/transport.hpp"
 
 namespace asyncml::engine {
 
@@ -26,7 +27,9 @@ std::uint64_t ms_to_ns(double ms) {
 }  // namespace
 
 Worker::Worker(WorkerId id, int cores, Deps deps)
-    : id_(id), deps_(deps), cache_(deps.store, deps.network, deps.metrics) {
+    : id_(id),
+      deps_(deps),
+      cache_(deps.store, deps.network, deps.metrics, deps.channel) {
   threads_.reserve(static_cast<std::size_t>(cores));
   for (int c = 0; c < cores; ++c) {
     threads_.emplace_back([this, c] { executor_loop(c); });
@@ -38,6 +41,11 @@ Worker::~Worker() { stop(); }
 bool Worker::submit(TaskSpec spec) {
   if (deps_.metrics != nullptr) deps_.metrics->task_messages.add(1);
   return mailbox_.push(std::move(spec));
+}
+
+bool Worker::alive() const noexcept {
+  if (dead_.load(std::memory_order_acquire)) return false;
+  return deps_.channel == nullptr || deps_.channel->alive();
 }
 
 void Worker::stop() {
@@ -75,6 +83,11 @@ void Worker::executor_loop(int core) {
 
     // Fail-stop: a dead worker computes nothing; every dequeued task bounces
     // straight back as a transport-level failure (no sleeps, no side effects).
+    // A dead wire (killed peer process, I/O failure) is the same condition
+    // discovered from the other end.
+    if (deps_.channel != nullptr && !deps_.channel->alive()) {
+      dead_.store(true, std::memory_order_release);
+    }
     if (dead_.load(std::memory_order_acquire)) {
       bounce(spec);
       continue;
@@ -222,11 +235,29 @@ void Worker::executor_loop(int core) {
       }
     }
 
-    // Charge the result payload's transfer to the driver (plus any injected
-    // network-stage stall — FaultStage::kNetwork/kResultChannel — which by
-    // contract lands in the result-channel segment).
+    // Ship the result over the worker's wire and charge the transfer (plus
+    // any injected network-stage stall — FaultStage::kNetwork/kResultChannel
+    // — which by contract lands in the result-channel segment and stays a
+    // local sleep on every backend). The in-process channel hands back the
+    // modeled transfer to sleep, bit-identical to the channel-less path;
+    // socket channels spend real wall time on the round trip and return the
+    // decoded echo, which is what the driver consumes. A failed ship means
+    // the result never left the machine: fail-stop, synthesized kUnavailable.
     double transfer_ms = 0.0;
-    if (deps_.network != nullptr && result.payload.has_value()) {
+    std::uint64_t wire_ns = 0;
+    if (deps_.channel != nullptr) {
+      support::StatusOr<transport::ShipReceipt> shipped =
+          deps_.channel->ship_result(result);
+      if (shipped.is_ok()) {
+        transfer_ms += shipped.value().charge_ms;
+        wire_ns = shipped.value().wire_ns;
+        result = std::move(shipped.value().result);
+      } else {
+        dead_.store(true, std::memory_order_release);
+        result.status = Status(StatusCode::kUnavailable, "worker crashed");
+        result.payload = Payload();
+      }
+    } else if (deps_.network != nullptr && result.payload.has_value()) {
       transfer_ms += deps_.network->transfer_ms(result.payload.bytes());
     }
     if (deps_.faults != nullptr) {
@@ -234,9 +265,10 @@ void Worker::executor_loop(int core) {
     }
     if (transfer_ms > 0.0) {
       support::precise_sleep_ms(transfer_ms);
-      if (traced) {
-        trace.charge(telemetry::Stage::kResultChannel, ms_to_ns(transfer_ms));
-      }
+    }
+    if (traced && (transfer_ms > 0.0 || wire_ns > 0)) {
+      trace.charge(telemetry::Stage::kResultChannel,
+                   ms_to_ns(transfer_ms) + wire_ns);
     }
 
     // A sibling executor may have crashed this worker while we were mid-task:

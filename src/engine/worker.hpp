@@ -38,6 +38,10 @@ namespace asyncml::telemetry {
 class TelemetryRecorder;
 }  // namespace asyncml::telemetry
 
+namespace asyncml::transport {
+class Channel;
+}  // namespace asyncml::transport
+
 namespace asyncml::engine {
 
 class Worker {
@@ -52,6 +56,11 @@ class Worker {
     /// Cluster-owned span recorder; checked per task via a relaxed atomic
     /// and otherwise free when telemetry is disabled.
     telemetry::TelemetryRecorder* telemetry = nullptr;
+    /// This worker's transport channel (transport/transport.hpp). Null keeps
+    /// the legacy modeled-sleep path; set, every result and broadcast fetch
+    /// round-trips through it, and a dead wire fail-stops the worker exactly
+    /// like a kCrashWorker fault.
+    transport::Channel* channel = nullptr;
   };
 
   Worker(WorkerId id, int cores, Deps deps);
@@ -72,10 +81,9 @@ class Worker {
   [[nodiscard]] int cores() const noexcept { return static_cast<int>(threads_.size()); }
   [[nodiscard]] std::size_t mailbox_depth() const { return mailbox_.size(); }
 
-  /// False once a kCrashWorker fault has fired on this worker (fail-stop).
-  [[nodiscard]] bool alive() const noexcept {
-    return !dead_.load(std::memory_order_acquire);
-  }
+  /// False once a kCrashWorker fault has fired on this worker, or its
+  /// transport channel has gone dead (fail-stop either way).
+  [[nodiscard]] bool alive() const noexcept;
 
   /// The worker's broadcast cache (exposed for cache-behaviour tests).
   [[nodiscard]] BroadcastCache& cache() { return cache_; }

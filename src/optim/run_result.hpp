@@ -4,10 +4,12 @@
 // trace and the run-level statistics the paper reports (wall time, mean
 // worker wait time, modeled wire traffic).
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "engine/metrics.hpp"
 #include "linalg/dense_vector.hpp"
 #include "metrics/trace.hpp"
 #include "telemetry/report.hpp"
@@ -44,6 +46,17 @@ struct RunResult {
   std::uint64_t shard_reads = 0;
   std::uint64_t shard_reads_partial = 0;  ///< reads touching < S shards
   std::uint64_t shard_touches = 0;        ///< shard fills summed over reads
+
+  /// Per-channel transport wire accounting (docs/TRANSPORT.md), indexed by
+  /// engine::WireChannel. On the in-process backend these are the *charged*
+  /// (modeled) bytes; on the socket backends they are *measured* frame bytes
+  /// — same counters, so charged-vs-measured comparisons read one path.
+  struct WireChannelStats {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes_sent = 0;      ///< data-bearing request frames
+    std::uint64_t bytes_received = 0;  ///< ack frames
+  };
+  std::array<WireChannelStats, engine::kNumWireChannels> wire{};
 
   /// Harvested span telemetry (docs/TELEMETRY.md); null unless the run was
   /// configured with SolverConfig::telemetry.enabled.

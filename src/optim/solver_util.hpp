@@ -100,6 +100,7 @@ inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.shard_reads_partial.reset();
   m.shard_touches.reset();
   m.reset_shard_counters();
+  m.reset_wire_counters();
 }
 
 inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
@@ -125,6 +126,10 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
   r.shard_reads = m.shard_reads.load();
   r.shard_reads_partial = m.shard_reads_partial.load();
   r.shard_touches = m.shard_touches.load();
+  for (std::size_t ch = 0; ch < engine::kNumWireChannels; ++ch) {
+    const auto& w = m.wire(static_cast<engine::WireChannel>(ch));
+    r.wire[ch] = {w.frames.load(), w.bytes_sent.load(), w.bytes_received.load()};
+  }
 }
 
 /// Arms the cluster's span recorder for this run when

@@ -1,0 +1,131 @@
+#include "transport/endpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "transport/frame.hpp"
+#include "transport/socket.hpp"
+#include "transport/wire.hpp"
+
+namespace asyncml::transport {
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+namespace {
+
+void log_endpoint(std::int32_t worker, const std::string& what) {
+  std::fprintf(stderr, "asyncml_worker[%d]: %s\n", worker, what.c_str());
+}
+
+/// Acks `frame` with the canonical re-encoding of its decoded body. A body
+/// that fails to decode earns a kError ack instead — framing stayed aligned,
+/// so the stream survives and the driver sees the decode verdict as a
+/// Status.
+Status serve_frame(int fd, const Frame& frame, const EndpointOptions& opts) {
+  StatusOr<std::vector<std::uint8_t>> reencoded = [&]() -> StatusOr<std::vector<std::uint8_t>> {
+    StatusOr<std::vector<std::uint8_t>> message = frame.message_bytes();
+    if (!message.is_ok()) return message.status();
+    return reencode_message(frame.kind(), message.value());
+  }();
+
+  std::vector<std::uint8_t> ack;
+  if (reencoded.is_ok()) {
+    const std::uint8_t type = ack_type(frame.kind());
+    // Mirror the request's compression so both directions of the lz4 path
+    // get exercised.
+    ack = frame.compressed() ? encode_frame_lz4(type, reencoded.value())
+                             : encode_frame(type, reencoded.value());
+  } else {
+    ErrorMsg err;
+    err.code = static_cast<std::uint32_t>(reencoded.status().code());
+    err.message = reencoded.status().message();
+    ack = encode_frame(ack_type(FrameKind::kError), encode_error(err));
+  }
+  return write_all(fd, ack, opts.hello_deadline_ms);
+}
+
+/// Sends the hello and validates the driver's ack. The driver may pipeline
+/// its first request right behind the ack, so a coalesced read can deliver
+/// more than one frame here: only the first is the ack, and any frames
+/// behind it are left in `pending` for the serve loop.
+Status send_hello(int fd, const EndpointOptions& opts, FrameDecoder& decoder,
+                  std::vector<Frame>& pending) {
+  HelloMsg msg;
+  msg.worker = opts.worker;
+  const std::vector<std::uint8_t> hello =
+      encode_frame(static_cast<std::uint8_t>(FrameKind::kHello), encode_hello(msg));
+  if (Status s = write_all(fd, hello, opts.hello_deadline_ms); !s.is_ok()) return s;
+
+  std::array<std::uint8_t, 4096> buf;
+  while (pending.empty()) {
+    StatusOr<std::size_t> n = read_some(fd, buf, opts.hello_deadline_ms);
+    if (!n.is_ok()) return n.status();
+    if (Status s = decoder.feed({buf.data(), n.value()}, pending); !s.is_ok()) return s;
+  }
+  const Frame ack = std::move(pending.front());
+  pending.erase(pending.begin());
+  if (!ack.is_ack() || ack.kind() != FrameKind::kHello) {
+    return Status(StatusCode::kUnavailable, "handshake: expected a kHello ack");
+  }
+  StatusOr<std::vector<std::uint8_t>> body = ack.message_bytes();
+  if (!body.is_ok()) return body.status();
+  HelloMsg echo;
+  if (Status s = decode_hello(body.value(), echo); !s.is_ok()) return s;
+  if (echo.protocol != kProtocolVersion || echo.worker != opts.worker) {
+    return Status(StatusCode::kFailedPrecondition, "handshake: driver hello mismatch");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+int run_worker_endpoint(int fd, const EndpointOptions& opts) {
+  FrameDecoder decoder(opts.max_frame_bytes);
+  std::vector<Frame> frames;  // may already hold pipelined post-hello requests
+  if (Status s = send_hello(fd, opts, decoder, frames); !s.is_ok()) {
+    log_endpoint(opts.worker, "handshake failed: " + s.to_string());
+    return 1;
+  }
+
+  std::array<std::uint8_t, 65536> buf;
+  for (;;) {
+    for (Frame& frame : frames) {
+      if (frame.is_ack()) {
+        log_endpoint(opts.worker, "protocol violation: ack frame from driver");
+        return 1;
+      }
+      if (frame.kind() == FrameKind::kShutdown) {
+        const std::vector<std::uint8_t> ack =
+            encode_frame(ack_type(FrameKind::kShutdown), {});
+        (void)write_all(fd, ack, opts.hello_deadline_ms);
+        return 0;
+      }
+      if (Status s = serve_frame(fd, frame, opts); !s.is_ok()) {
+        log_endpoint(opts.worker, "ack write failed: " + s.to_string());
+        return 1;
+      }
+    }
+    frames.clear();
+    // Block without a deadline: requests arrive at the driver's cadence and
+    // a closed driver shows up as EOF.
+    StatusOr<std::size_t> n = read_some(fd, buf, /*deadline_ms=*/-1.0);
+    if (!n.is_ok()) {
+      // Driver went away. Mid-frame EOF is a torn frame — either way there
+      // is nobody left to serve.
+      return 0;
+    }
+    if (Status s = decoder.feed({buf.data(), n.value()}, frames); !s.is_ok()) {
+      // Framing is lost for good; report and die so the driver's next I/O
+      // fails fast.
+      log_endpoint(opts.worker, "stream poisoned: " + s.to_string());
+      return 1;
+    }
+  }
+}
+
+}  // namespace asyncml::transport

@@ -1,0 +1,32 @@
+#pragma once
+
+// Worker-side wire endpoint: the loop tools/asyncml_worker runs after
+// connecting back to the driver. It speaks first (kHello naming its worker
+// id), then serves request/ack round trips: each incoming frame is decoded,
+// validated, and canonically *re-encoded* before the ack goes back — the
+// codec-oracle step that makes a serialization bug corrupt trajectories
+// instead of hiding (the driver consumes the decoded echo, and the
+// conformance suite compares backends bit-for-bit).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/status.hpp"
+
+namespace asyncml::transport {
+
+struct EndpointOptions {
+  std::int32_t worker = -1;
+  std::size_t max_frame_bytes = 64ull << 20;
+  /// Handshake deadline; the serve loop itself blocks without one (requests
+  /// arrive at the driver's cadence) and exits on EOF.
+  double hello_deadline_ms = 10000.0;
+};
+
+/// Runs the endpoint on an already-connected socket until a kShutdown frame
+/// (clean exit) or peer EOF. Returns a process exit code: 0 on clean
+/// shutdown or driver EOF, 1 on an unrecoverable stream error (framing
+/// poison, handshake failure, write failure).
+[[nodiscard]] int run_worker_endpoint(int fd, const EndpointOptions& opts);
+
+}  // namespace asyncml::transport

@@ -1,0 +1,39 @@
+#pragma once
+
+// LZ4 block-format codec, implemented in-tree.
+//
+// The container ships no lz4 library, so the transport carries its own
+// implementation of the LZ4 *block* format (token / literals / 16-bit offset
+// / match sequences). The compressor is a greedy single-pass hash-table
+// matcher — deterministic for a given input, which the canonical-encoding
+// tests rely on. The decompressor is strictly bounds-checked on both input
+// and output and returns Status on any malformed block: truncated literal or
+// match runs, offsets past the written prefix, and size mismatches all fail
+// without reading or writing out of bounds (the frame-fuzz suite drives
+// mutated blocks through it).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace asyncml::transport {
+
+/// Worst-case compressed size for `n` input bytes (all-literal encoding).
+[[nodiscard]] constexpr std::size_t lz4_compress_bound(std::size_t n) {
+  return n + n / 255 + 16;
+}
+
+/// Compresses `src` into a fresh LZ4 block. Never fails: incompressible
+/// input degrades to a literal run slightly larger than the input.
+[[nodiscard]] std::vector<std::uint8_t> lz4_compress(std::span<const std::uint8_t> src);
+
+/// Decompresses a block into exactly `dst.size()` bytes (the caller knows
+/// the raw length from the frame header). Non-OK — with nothing written out
+/// of bounds — on any malformed input.
+[[nodiscard]] support::Status lz4_decompress(std::span<const std::uint8_t> src,
+                                             std::span<std::uint8_t> dst);
+
+}  // namespace asyncml::transport

@@ -1,0 +1,303 @@
+#include "transport/msgpack.hpp"
+
+#include <cstring>
+
+namespace asyncml::transport {
+
+using support::Status;
+using support::StatusCode;
+
+namespace {
+
+Status type_error(const char* expected, std::uint8_t got) {
+  return Status(StatusCode::kInvalidArgument,
+                std::string("msgpack: expected ") + expected + ", got tag 0x" +
+                    [](std::uint8_t b) {
+                      constexpr char kHex[] = "0123456789abcdef";
+                      return std::string{kHex[b >> 4], kHex[b & 0xF]};
+                    }(got));
+}
+
+}  // namespace
+
+void MsgWriter::write_uint(std::uint64_t v) {
+  if (v < 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xFF) {
+    out_.push_back(0xCC);
+    out_.push_back(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xFFFF) {
+    out_.push_back(0xCD);
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xFFFFFFFFull) {
+    out_.push_back(0xCE);
+    for (int s = 24; s >= 0; s -= 8) out_.push_back(static_cast<std::uint8_t>(v >> s));
+  } else {
+    out_.push_back(0xCF);
+    for (int s = 56; s >= 0; s -= 8) out_.push_back(static_cast<std::uint8_t>(v >> s));
+  }
+}
+
+void MsgWriter::write_int(std::int64_t v) {
+  if (v >= 0) {
+    write_uint(static_cast<std::uint64_t>(v));
+    return;
+  }
+  if (v >= -32) {
+    out_.push_back(static_cast<std::uint8_t>(v));  // negative fixint
+  } else if (v >= -128) {
+    out_.push_back(0xD0);
+    out_.push_back(static_cast<std::uint8_t>(v));
+  } else if (v >= -32768) {
+    out_.push_back(0xD1);
+    const auto u = static_cast<std::uint16_t>(v);
+    out_.push_back(static_cast<std::uint8_t>(u >> 8));
+    out_.push_back(static_cast<std::uint8_t>(u));
+  } else if (v >= -2147483648ll) {
+    out_.push_back(0xD2);
+    const auto u = static_cast<std::uint32_t>(v);
+    for (int s = 24; s >= 0; s -= 8) out_.push_back(static_cast<std::uint8_t>(u >> s));
+  } else {
+    out_.push_back(0xD3);
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int s = 56; s >= 0; s -= 8) out_.push_back(static_cast<std::uint8_t>(u >> s));
+  }
+}
+
+void MsgWriter::write_double(double v) {
+  out_.push_back(0xCB);
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int s = 56; s >= 0; s -= 8) out_.push_back(static_cast<std::uint8_t>(bits >> s));
+}
+
+void MsgWriter::write_str(std::string_view s) {
+  const std::size_t n = s.size();
+  if (n < 32) {
+    out_.push_back(static_cast<std::uint8_t>(0xA0 | n));
+  } else if (n <= 0xFF) {
+    out_.push_back(0xD9);
+    out_.push_back(static_cast<std::uint8_t>(n));
+  } else if (n <= 0xFFFF) {
+    out_.push_back(0xDA);
+    out_.push_back(static_cast<std::uint8_t>(n >> 8));
+    out_.push_back(static_cast<std::uint8_t>(n));
+  } else {
+    out_.push_back(0xDB);
+    for (int s2 = 24; s2 >= 0; s2 -= 8) {
+      out_.push_back(static_cast<std::uint8_t>(n >> s2));
+    }
+  }
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void MsgWriter::write_bin(std::span<const std::uint8_t> data) {
+  const std::size_t n = data.size();
+  if (n <= 0xFF) {
+    out_.push_back(0xC4);
+    out_.push_back(static_cast<std::uint8_t>(n));
+  } else if (n <= 0xFFFF) {
+    out_.push_back(0xC5);
+    out_.push_back(static_cast<std::uint8_t>(n >> 8));
+    out_.push_back(static_cast<std::uint8_t>(n));
+  } else {
+    out_.push_back(0xC6);
+    for (int s = 24; s >= 0; s -= 8) out_.push_back(static_cast<std::uint8_t>(n >> s));
+  }
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void MsgWriter::begin_array(std::size_t n) {
+  if (n < 16) {
+    out_.push_back(static_cast<std::uint8_t>(0x90 | n));
+  } else if (n <= 0xFFFF) {
+    out_.push_back(0xDC);
+    out_.push_back(static_cast<std::uint8_t>(n >> 8));
+    out_.push_back(static_cast<std::uint8_t>(n));
+  } else {
+    out_.push_back(0xDD);
+    for (int s = 24; s >= 0; s -= 8) out_.push_back(static_cast<std::uint8_t>(n >> s));
+  }
+}
+
+Status MsgReader::need(std::size_t n) const {
+  if (static_cast<std::size_t>(end_ - p_) < n) {
+    return Status(StatusCode::kInvalidArgument, "msgpack: truncated input");
+  }
+  return Status::ok();
+}
+
+std::uint64_t MsgReader::take_be(std::size_t n) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) v = v << 8 | *p_++;
+  return v;
+}
+
+Status MsgReader::read_nil() {
+  if (Status s = need(1); !s.is_ok()) return s;
+  if (*p_ != 0xC0) return type_error("nil", *p_);
+  ++p_;
+  return Status::ok();
+}
+
+Status MsgReader::read_bool(bool& out) {
+  if (Status s = need(1); !s.is_ok()) return s;
+  const std::uint8_t tag = *p_;
+  if (tag != 0xC2 && tag != 0xC3) return type_error("bool", tag);
+  ++p_;
+  out = tag == 0xC3;
+  return Status::ok();
+}
+
+Status MsgReader::read_uint(std::uint64_t& out) {
+  if (Status s = need(1); !s.is_ok()) return s;
+  const std::uint8_t tag = *p_;
+  if (tag < 0x80) {
+    ++p_;
+    out = tag;
+    return Status::ok();
+  }
+  std::size_t width;
+  switch (tag) {
+    case 0xCC: width = 1; break;
+    case 0xCD: width = 2; break;
+    case 0xCE: width = 4; break;
+    case 0xCF: width = 8; break;
+    default: return type_error("uint", tag);
+  }
+  if (Status s = need(1 + width); !s.is_ok()) return s;
+  ++p_;
+  out = take_be(width);
+  return Status::ok();
+}
+
+Status MsgReader::read_int(std::int64_t& out) {
+  if (Status s = need(1); !s.is_ok()) return s;
+  const std::uint8_t tag = *p_;
+  if (tag >= 0xE0) {  // negative fixint
+    ++p_;
+    out = static_cast<std::int8_t>(tag);
+    return Status::ok();
+  }
+  std::size_t width;
+  switch (tag) {
+    case 0xD0: width = 1; break;
+    case 0xD1: width = 2; break;
+    case 0xD2: width = 4; break;
+    case 0xD3: width = 8; break;
+    default: {
+      // Any unsigned encoding that fits is accepted (writers use the
+      // shortest form, so a small signed field may arrive as a fixint).
+      std::uint64_t u = 0;
+      if (Status s = read_uint(u); !s.is_ok()) return s;
+      if (u > 0x7FFFFFFFFFFFFFFFull) {
+        return Status(StatusCode::kInvalidArgument, "msgpack: uint overflows int64");
+      }
+      out = static_cast<std::int64_t>(u);
+      return Status::ok();
+    }
+  }
+  if (Status s = need(1 + width); !s.is_ok()) return s;
+  ++p_;
+  const std::uint64_t raw = take_be(width);
+  switch (width) {
+    case 1: out = static_cast<std::int8_t>(raw); break;
+    case 2: out = static_cast<std::int16_t>(raw); break;
+    case 4: out = static_cast<std::int32_t>(raw); break;
+    default: out = static_cast<std::int64_t>(raw); break;
+  }
+  return Status::ok();
+}
+
+Status MsgReader::read_double(double& out) {
+  if (Status s = need(1); !s.is_ok()) return s;
+  if (*p_ != 0xCB) return type_error("float64", *p_);
+  if (Status s = need(9); !s.is_ok()) return s;
+  ++p_;
+  out = std::bit_cast<double>(take_be(8));
+  return Status::ok();
+}
+
+Status MsgReader::read_str(std::string& out) {
+  if (Status s = need(1); !s.is_ok()) return s;
+  const std::uint8_t tag = *p_;
+  std::size_t len;
+  std::size_t header;
+  if ((tag & 0xE0) == 0xA0) {
+    len = tag & 0x1F;
+    header = 1;
+  } else if (tag == 0xD9) {
+    if (Status s = need(2); !s.is_ok()) return s;
+    len = p_[1];
+    header = 2;
+  } else if (tag == 0xDA) {
+    if (Status s = need(3); !s.is_ok()) return s;
+    len = static_cast<std::size_t>(p_[1]) << 8 | p_[2];
+    header = 3;
+  } else if (tag == 0xDB) {
+    if (Status s = need(5); !s.is_ok()) return s;
+    len = static_cast<std::size_t>(p_[1]) << 24 | static_cast<std::size_t>(p_[2]) << 16 |
+          static_cast<std::size_t>(p_[3]) << 8 | p_[4];
+    header = 5;
+  } else {
+    return type_error("str", tag);
+  }
+  if (Status s = need(header + len); !s.is_ok()) return s;
+  p_ += header;
+  out.assign(reinterpret_cast<const char*>(p_), len);
+  p_ += len;
+  return Status::ok();
+}
+
+Status MsgReader::read_bin(std::span<const std::uint8_t>& out) {
+  if (Status s = need(1); !s.is_ok()) return s;
+  const std::uint8_t tag = *p_;
+  std::size_t len;
+  std::size_t header;
+  if (tag == 0xC4) {
+    if (Status s = need(2); !s.is_ok()) return s;
+    len = p_[1];
+    header = 2;
+  } else if (tag == 0xC5) {
+    if (Status s = need(3); !s.is_ok()) return s;
+    len = static_cast<std::size_t>(p_[1]) << 8 | p_[2];
+    header = 3;
+  } else if (tag == 0xC6) {
+    if (Status s = need(5); !s.is_ok()) return s;
+    len = static_cast<std::size_t>(p_[1]) << 24 | static_cast<std::size_t>(p_[2]) << 16 |
+          static_cast<std::size_t>(p_[3]) << 8 | p_[4];
+    header = 5;
+  } else {
+    return type_error("bin", tag);
+  }
+  if (Status s = need(header + len); !s.is_ok()) return s;
+  p_ += header;
+  out = {p_, len};
+  p_ += len;
+  return Status::ok();
+}
+
+Status MsgReader::read_array(std::size_t& count) {
+  if (Status s = need(1); !s.is_ok()) return s;
+  const std::uint8_t tag = *p_;
+  if ((tag & 0xF0) == 0x90) {
+    ++p_;
+    count = tag & 0x0F;
+    return Status::ok();
+  }
+  if (tag == 0xDC) {
+    if (Status s = need(3); !s.is_ok()) return s;
+    ++p_;
+    count = static_cast<std::size_t>(take_be(2));
+    return Status::ok();
+  }
+  if (tag == 0xDD) {
+    if (Status s = need(5); !s.is_ok()) return s;
+    ++p_;
+    count = static_cast<std::size_t>(take_be(4));
+    return Status::ok();
+  }
+  return type_error("array", tag);
+}
+
+}  // namespace asyncml::transport

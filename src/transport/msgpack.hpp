@@ -1,0 +1,73 @@
+#pragma once
+
+// Minimal msgpack codec for the transport's typed wire messages.
+//
+// Implements exactly the subset the wire schema uses — nil, bool, unsigned
+// and signed integers, float64, str, bin, and arrays — with spec-conformant
+// big-endian multi-byte encodings, so the frames are real msgpack (an
+// external decoder would read them). The reader is strict: every accessor
+// bounds-checks before touching the buffer and returns Status on a type
+// mismatch or truncation; nothing throws and no read can allocate more than
+// the remaining buffer length (bin/str spans point into the caller's
+// buffer).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace asyncml::transport {
+
+class MsgWriter {
+ public:
+  void write_nil() { out_.push_back(0xC0); }
+  void write_bool(bool v) { out_.push_back(v ? 0xC3 : 0xC2); }
+  void write_uint(std::uint64_t v);
+  void write_int(std::int64_t v);
+  void write_double(double v);
+  void write_str(std::string_view s);
+  void write_bin(std::span<const std::uint8_t> data);
+  void begin_array(std::size_t n);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class MsgReader {
+ public:
+  explicit MsgReader(std::span<const std::uint8_t> data)
+      : p_(data.data()), end_(data.data() + data.size()) {}
+
+  [[nodiscard]] support::Status read_nil();
+  [[nodiscard]] support::Status read_bool(bool& out);
+  [[nodiscard]] support::Status read_uint(std::uint64_t& out);
+  [[nodiscard]] support::Status read_int(std::int64_t& out);
+  [[nodiscard]] support::Status read_double(double& out);
+  [[nodiscard]] support::Status read_str(std::string& out);
+  /// Zero-copy: `out` points into the reader's buffer, valid only while the
+  /// buffer lives.
+  [[nodiscard]] support::Status read_bin(std::span<const std::uint8_t>& out);
+  [[nodiscard]] support::Status read_array(std::size_t& count);
+
+  [[nodiscard]] bool at_end() const { return p_ == end_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  [[nodiscard]] support::Status need(std::size_t n) const;
+  [[nodiscard]] std::uint64_t take_be(std::size_t n);
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace asyncml::transport

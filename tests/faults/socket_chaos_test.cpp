@@ -1,0 +1,191 @@
+// Fault plane × real wire (ISSUE 9 satellite): the declarative FaultPlan
+// machinery must behave identically when the cluster runs over the
+// Unix-socket backend — crash_worker fail-stop, drop_result, and
+// kNetwork-stage delays all compose with genuine frame traffic — and a
+// *real* SIGKILL of a worker's wire process (Cluster::transport().
+// kill_worker) must ride the same failover path as an injected crash.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/async_context.hpp"
+#include "data/synthetic.hpp"
+#include "engine/cluster.hpp"
+#include "optim/asgd.hpp"
+#include "optim/objective.hpp"
+
+namespace asyncml::core {
+namespace {
+
+engine::Cluster::Config socket_config(int workers) {
+  engine::Cluster::Config config;
+  config.num_workers = workers;
+  config.cores_per_worker = 1;
+  config.network.time_scale = 0.0;
+  config.transport.backend = transport::Backend::kUnixSocket;
+  return config;
+}
+
+std::shared_ptr<const engine::TaskFn> trivial_fn() {
+  return std::make_shared<const engine::TaskFn>(
+      [](engine::TaskContext& ctx) -> support::StatusOr<engine::Payload> {
+        return engine::Payload::wrap<int>(ctx.partition);
+      });
+}
+
+// An injected kCrashWorker over the socket backend: the worker fail-stops,
+// its in-flight tasks come back as synthesized kUnavailable, and the
+// scheduler fails its partitions over to the survivor — same contract as
+// the in-process plan, now with the dead worker's frames never shipped.
+TEST(SocketChaos, InjectedCrashFailsOverLikeInProcess) {
+  engine::Cluster::Config config = socket_config(2);
+  config.faults.crash_worker(/*worker=*/1, /*at_task=*/3);
+  engine::Cluster cluster(config);
+  AsyncContext ac(cluster, /*num_partitions=*/4);
+
+  const auto fn = trivial_fn();
+  for (int round = 0; round < 6; ++round) {
+    auto results = ac.sync_round_fn(fn, SubmitOptions{});
+    ASSERT_EQ(results.size(), 4u) << "round " << round;
+    for (const TaggedResult& r : results) {
+      EXPECT_TRUE(r.result.ok());
+    }
+    ac.advance_version();
+  }
+
+  EXPECT_FALSE(cluster.worker_alive(1));
+  EXPECT_FALSE(ac.scheduler().is_member(1));
+  EXPECT_EQ(ac.scheduler().partitions_of(0).size(), 4u);
+  EXPECT_GT(ac.retries(), 0u);
+  EXPECT_EQ(cluster.faults()->stats().workers_crashed, 1u);
+}
+
+// The real thing: SIGKILL the wire process of a worker mid-run. The channel
+// discovers the death on its next round trip, the worker fail-stops exactly
+// like an injected crash, and the rounds keep completing on the survivor.
+TEST(SocketChaos, RealSigkillOfTheWireProcessFailsOver) {
+  engine::Cluster cluster(socket_config(2));
+  AsyncContext ac(cluster, /*num_partitions=*/4);
+
+  const auto fn = trivial_fn();
+  // A clean round first: both workers pulling their weight over the wire.
+  auto results = ac.sync_round_fn(fn, SubmitOptions{});
+  ASSERT_EQ(results.size(), 4u);
+  ac.advance_version();
+
+  cluster.transport().kill_worker(1);  // SIGKILL, not a simulation
+
+  for (int round = 0; round < 5; ++round) {
+    results = ac.sync_round_fn(fn, SubmitOptions{});
+    ASSERT_EQ(results.size(), 4u) << "round " << round;
+    for (const TaggedResult& r : results) {
+      EXPECT_TRUE(r.result.ok());
+    }
+    ac.advance_version();
+  }
+
+  EXPECT_FALSE(cluster.worker_alive(1));
+  EXPECT_FALSE(ac.scheduler().is_member(1));
+  EXPECT_EQ(ac.scheduler().partitions_of(0).size(), 4u);
+  EXPECT_TRUE(cluster.worker_alive(0));
+  EXPECT_GT(ac.retries(), 0u);
+}
+
+// drop_result over the wire: the result frame round-trips (the ship happens
+// before the driver-side fault plane swallows the payload), the worker stays
+// healthy, and — exactly as in-process — only the lost-task rescue sweep can
+// un-wedge the partition. The rescue itself then rides the socket too.
+TEST(SocketChaos, DroppedResultsAreRescuedOverTheWire) {
+  engine::Cluster::Config config = socket_config(2);
+  config.faults.drop_result({.partition = 1}, /*times=*/2);
+  engine::Cluster cluster(config);
+  AsyncContext ac(cluster, /*num_partitions=*/4);
+
+  SchedulerPolicy policy;
+  policy.lost_task_factor = 5.0;  // well inside the round with a ~1 ms median
+  ac.scheduler().set_policy(policy);
+
+  // A task long enough for the EWMA median to be nonzero, so the lost-task
+  // horizon actually arms.
+  const auto fn = std::make_shared<const engine::TaskFn>(
+      [](engine::TaskContext& ctx) -> support::StatusOr<engine::Payload> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return engine::Payload::wrap<int>(ctx.partition);
+      });
+  for (int round = 0; round < 3; ++round) {
+    auto results = ac.sync_round_fn(fn, SubmitOptions{});
+    ASSERT_EQ(results.size(), 4u) << "round " << round;
+    ac.advance_version();
+  }
+  EXPECT_EQ(cluster.faults()->stats().results_dropped, 2u);
+  EXPECT_GE(cluster.metrics().tasks_speculated.load(), 2u);
+  EXPECT_TRUE(cluster.worker_alive(0));
+  EXPECT_TRUE(cluster.worker_alive(1));
+}
+
+// kNetwork-stage delays stay a *local modeled sleep* on every backend — they
+// stack on top of the real wire time instead of replacing it, so a fault
+// plan tuned in-process keeps its meaning over sockets.
+TEST(SocketChaos, NetworkStageDelaysApplyOnTopOfRealWireTime) {
+  engine::Cluster::Config config = socket_config(1);
+  config.faults.delay(engine::FaultStage::kNetwork, /*delay_ms=*/5.0,
+                      {.worker = 0}, /*times=*/2);
+  engine::Cluster cluster(config);
+  AsyncContext ac(cluster, /*num_partitions=*/2);
+
+  const auto fn = trivial_fn();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < 2; ++round) {
+    auto results = ac.sync_round_fn(fn, SubmitOptions{});
+    ASSERT_EQ(results.size(), 2u);
+    ac.advance_version();
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed_ms, 10.0) << "two 5 ms injected delays must be observable";
+  EXPECT_EQ(cluster.faults()->stats().delays_injected, 2u);
+}
+
+// End-to-end acceptance: ASGD over the socket backend rides through an
+// injected crash AND a real SIGKILL of a different worker, still spends its
+// full update budget, and converges.
+TEST(SocketChaos, AsgdSurvivesInjectedAndRealCrashesOverTheWire) {
+  const auto problem = data::synthetic::tiny(120, 6, 0.0, /*seed=*/21);
+  auto dataset = std::make_shared<const data::Dataset>(problem.dataset);
+  const optim::Workload workload =
+      optim::Workload::create(dataset, 4, optim::make_least_squares());
+
+  engine::Cluster::Config config = socket_config(3);
+  config.faults.crash_worker(/*worker=*/0, /*at_task=*/10);
+  engine::Cluster cluster(config);
+
+  optim::SolverConfig solver;
+  solver.updates = 80;
+  solver.batch_fraction = 0.3;
+  solver.step = optim::inverse_decay_step(0.05, 1.0, 0.01);
+  solver.service_floor_ms = 0.0;
+  solver.eval_every = 20;
+  solver.seed = 7;
+
+  // Kill worker 2's wire process for real, shortly into the run, from a
+  // separate thread — the race against dispatch is the point.
+  std::thread killer([&cluster] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    cluster.transport().kill_worker(2);
+  });
+  const optim::RunResult result = optim::AsgdSolver::run(cluster, workload, solver);
+  killer.join();
+
+  EXPECT_EQ(result.updates, 80u);
+  EXPECT_LT(result.final_error(), 0.5);
+  EXPECT_FALSE(cluster.worker_alive(0));
+  EXPECT_FALSE(cluster.worker_alive(2));
+  EXPECT_EQ(cluster.faults()->stats().workers_crashed, 1u);
+}
+
+}  // namespace
+}  // namespace asyncml::core

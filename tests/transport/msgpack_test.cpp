@@ -1,0 +1,212 @@
+// Mini-msgpack codec (ISSUE 9): shortest-form spec-conformant encodings at
+// every width boundary, and a strict reader that bounds-checks before every
+// access — truncation and type confusion return Status, never UB.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "transport/msgpack.hpp"
+
+namespace asyncml::transport {
+namespace {
+
+TEST(Msgpack, UintBoundariesRoundTripShortestForm) {
+  // (value, encoded length): msgpack's shortest-form widths at each boundary.
+  const std::pair<std::uint64_t, std::size_t> cases[] = {
+      {0, 1},          {127, 1},                      // positive fixint
+      {128, 2},        {255, 2},                      // uint8
+      {256, 3},        {65535, 3},                    // uint16
+      {65536, 5},      {0xFFFFFFFFull, 5},            // uint32
+      {0x100000000ull, 9},
+      {std::numeric_limits<std::uint64_t>::max(), 9},  // uint64
+  };
+  for (const auto& [value, encoded_len] : cases) {
+    MsgWriter w;
+    w.write_uint(value);
+    ASSERT_EQ(w.bytes().size(), encoded_len) << value;
+    MsgReader r(w.bytes());
+    std::uint64_t out = 1;
+    ASSERT_TRUE(r.read_uint(out).is_ok()) << value;
+    EXPECT_EQ(out, value);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Msgpack, IntBoundariesRoundTrip) {
+  const std::int64_t cases[] = {
+      0,    -1,     -32,                         // negative fixint
+      -33,  -128,                                // int8
+      -129, -32768,                              // int16
+      -32769,
+      std::numeric_limits<std::int32_t>::min(),  // int32
+      static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::min()) - 1,
+      std::numeric_limits<std::int64_t>::min(),  // int64
+      127,  128,    65536,
+      std::numeric_limits<std::int64_t>::max(),
+  };
+  for (std::int64_t value : cases) {
+    MsgWriter w;
+    w.write_int(value);
+    MsgReader r(w.bytes());
+    std::int64_t out = 1;
+    ASSERT_TRUE(r.read_int(out).is_ok()) << value;
+    EXPECT_EQ(out, value) << value;
+  }
+}
+
+// Non-negative write_int emits unsigned encodings; read_int must accept them
+// (the wire schema writes some fields with write_uint and reads with
+// read_int when the domain is signed).
+TEST(Msgpack, ReadIntAcceptsUnsignedEncodingsThatFit) {
+  MsgWriter w;
+  w.write_uint(300);
+  MsgReader r(w.bytes());
+  std::int64_t out = 0;
+  ASSERT_TRUE(r.read_int(out).is_ok());
+  EXPECT_EQ(out, 300);
+
+  // …but an unsigned value past int64 range must be refused, not wrapped.
+  MsgWriter w2;
+  w2.write_uint(std::numeric_limits<std::uint64_t>::max());
+  MsgReader r2(w2.bytes());
+  EXPECT_FALSE(r2.read_int(out).is_ok());
+}
+
+TEST(Msgpack, DoublePreservesExactBits) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.5,
+                          3.141592653589793,
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN()};
+  for (double value : cases) {
+    MsgWriter w;
+    w.write_double(value);
+    ASSERT_EQ(w.bytes().size(), 9u);  // always float64, never truncated
+    MsgReader r(w.bytes());
+    double out = 0;
+    ASSERT_TRUE(r.read_double(out).is_ok());
+    std::uint64_t in_bits = 0;
+    std::uint64_t out_bits = 0;
+    std::memcpy(&in_bits, &value, 8);
+    std::memcpy(&out_bits, &out, 8);
+    EXPECT_EQ(in_bits, out_bits) << value;
+  }
+}
+
+TEST(Msgpack, StrAndBinRoundTrip) {
+  const std::string strs[] = {"", "x", std::string(31, 'a'), std::string(32, 'b'),
+                              std::string(300, 'c')};
+  for (const auto& s : strs) {
+    MsgWriter w;
+    w.write_str(s);
+    MsgReader r(w.bytes());
+    std::string out;
+    ASSERT_TRUE(r.read_str(out).is_ok());
+    EXPECT_EQ(out, s);
+  }
+
+  for (std::size_t n : {std::size_t{0}, std::size_t{255}, std::size_t{256},
+                        std::size_t{70000}}) {
+    std::vector<std::uint8_t> data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(i);
+    MsgWriter w;
+    w.write_bin(data);
+    MsgReader r(w.bytes());
+    std::span<const std::uint8_t> out;
+    ASSERT_TRUE(r.read_bin(out).is_ok());
+    ASSERT_EQ(out.size(), n);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+  }
+}
+
+TEST(Msgpack, ArrayHeadersRoundTrip) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{15}, std::size_t{16},
+                        std::size_t{65535}, std::size_t{65536}}) {
+    MsgWriter w;
+    w.begin_array(n);
+    MsgReader r(w.bytes());
+    std::size_t out = 0;
+    ASSERT_TRUE(r.read_array(out).is_ok()) << n;
+    EXPECT_EQ(out, n);
+  }
+}
+
+TEST(Msgpack, NilAndBoolRoundTrip) {
+  MsgWriter w;
+  w.write_nil();
+  w.write_bool(true);
+  w.write_bool(false);
+  MsgReader r(w.bytes());
+  bool b = false;
+  ASSERT_TRUE(r.read_nil().is_ok());
+  ASSERT_TRUE(r.read_bool(b).is_ok());
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(r.read_bool(b).is_ok());
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Msgpack, TypeMismatchReturnsStatus) {
+  MsgWriter w;
+  w.write_str("hello");
+  MsgReader r(w.bytes());
+  std::uint64_t u = 0;
+  EXPECT_FALSE(r.read_uint(u).is_ok());
+
+  MsgWriter w2;
+  w2.write_uint(7);
+  MsgReader r2(w2.bytes());
+  double d = 0;
+  EXPECT_FALSE(r2.read_double(d).is_ok());
+}
+
+TEST(Msgpack, TruncationAtEveryPrefixReturnsStatus) {
+  // A buffer cut at any byte must fail cleanly on whichever read hits the
+  // cut; no read may fabricate data or scan past the end.
+  MsgWriter w;
+  w.write_uint(1234567);
+  w.write_double(2.5);
+  w.write_str("abcdef");
+  w.write_bin(std::vector<std::uint8_t>{9, 8, 7});
+  const auto& full = w.bytes();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    MsgReader r({full.data(), cut});
+    std::uint64_t u = 0;
+    double d = 0;
+    std::string s;
+    std::span<const std::uint8_t> bin;
+    const bool ok = r.read_uint(u).is_ok() && r.read_double(d).is_ok() &&
+                    r.read_str(s).is_ok() && r.read_bin(bin).is_ok();
+    EXPECT_FALSE(ok) << "cut at " << cut;
+  }
+}
+
+TEST(Msgpack, ReadPastEndFails) {
+  MsgReader r(std::span<const std::uint8_t>{});
+  std::uint64_t u = 0;
+  EXPECT_FALSE(r.read_uint(u).is_ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+// A bin length field lying past the remaining buffer must fail without
+// allocating or forming a span past the end.
+TEST(Msgpack, BinLengthLieFails) {
+  std::vector<std::uint8_t> buf = {0xC4, 0xFF, 1, 2, 3};  // bin8 claiming 255 bytes
+  MsgReader r(buf);
+  std::span<const std::uint8_t> out;
+  EXPECT_FALSE(r.read_bin(out).is_ok());
+}
+
+}  // namespace
+}  // namespace asyncml::transport

@@ -1,0 +1,332 @@
+// Typed wire schema (ISSUE 9): every message that crosses a channel must
+// round-trip value-exactly, and encodings must be *canonical* — for each
+// value, encode∘decode∘encode is byte-identical. The endpoint relay
+// re-encodes everything it receives, so canonicality is what makes the
+// socket backends bit-compatible with the in-process oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "linalg/grad_vector.hpp"
+#include "optim/payloads.hpp"
+#include "store/model_delta.hpp"
+#include "transport/wire.hpp"
+
+namespace asyncml::transport {
+namespace {
+
+linalg::GradVector sparse_grad(std::size_t dim, std::initializer_list<std::uint32_t> idx) {
+  linalg::GradVector g(linalg::GradVectorConfig(dim, /*threshold=*/0.9,
+                                                /*dense_start=*/false));
+  double v = 0.5;
+  for (std::uint32_t i : idx) {
+    g.set(i, v);
+    v = v * 1.7 + 0.1;
+  }
+  return g;
+}
+
+linalg::GradVector dense_grad(std::size_t dim) {
+  linalg::GradVector g(linalg::GradVectorConfig(dim, /*threshold=*/0.1,
+                                                /*dense_start=*/true));
+  std::vector<double> vals(dim);
+  for (std::size_t i = 0; i < dim; ++i) vals[i] = 0.25 * static_cast<double>(i) - 3.0;
+  g.assign_dense(vals);
+  return g;
+}
+
+void expect_bitwise_equal(const linalg::GradVector& a, const linalg::GradVector& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  EXPECT_EQ(a.is_dense(), b.is_dense()) << "representation must be preserved";
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.size_bytes(), b.size_bytes()) << "modeled wire size must be preserved";
+  EXPECT_TRUE(linalg::bitwise_equal(a.to_dense(), b.to_dense()));
+}
+
+// ---------------------------------------------------------------------------
+// Control messages.
+
+TEST(Wire, HelloRoundTrips) {
+  HelloMsg in;
+  in.worker = 7;
+  const auto bytes = encode_hello(in);
+  HelloMsg out;
+  out.worker = -1;
+  ASSERT_TRUE(decode_hello(bytes, out).is_ok());
+  EXPECT_EQ(out.protocol, kProtocolVersion);
+  EXPECT_EQ(out.worker, 7);
+  EXPECT_EQ(encode_hello(out), bytes);  // canonical
+}
+
+TEST(Wire, ErrorRoundTripsAndMaterializes) {
+  ErrorMsg in;
+  in.code = static_cast<std::uint32_t>(support::StatusCode::kInvalidArgument);
+  in.message = "bad frame body";
+  const auto bytes = encode_error(in);
+  ErrorMsg out;
+  ASSERT_TRUE(decode_error(bytes, out).is_ok());
+  EXPECT_EQ(out.code, in.code);
+  EXPECT_EQ(out.message, in.message);
+
+  const support::Status s = error_to_status(out);
+  EXPECT_EQ(s.code(), support::StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad frame body");
+
+  ErrorMsg junk;
+  junk.code = 250;  // not a StatusCode — degrade, don't fail
+  EXPECT_EQ(error_to_status(junk).code(), support::StatusCode::kInternal);
+}
+
+TEST(Wire, DecodingTruncatedControlMessagesFails) {
+  const auto hello = encode_hello(HelloMsg{});
+  HelloMsg out;
+  for (std::size_t cut = 0; cut < hello.size(); ++cut) {
+    EXPECT_FALSE(decode_hello({hello.data(), cut}, out).is_ok()) << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plane.
+
+TEST(Wire, TaskSpecRoundTripsAndIsCanonical) {
+  engine::TaskSpec spec;
+  spec.id = 0x1234567890ull;
+  spec.partition = 17;
+  spec.seq = 42;
+  spec.model_version = 9;
+  spec.service_floor_ms = 6.25;
+  spec.rng_seed = 0xDEADBEEFCAFEull;
+  spec.migration_ms = 0.125;
+
+  const TaskSpecMsg msg = to_wire(spec);
+  const auto bytes = encode_task_spec(msg);
+  TaskSpecMsg decoded;
+  ASSERT_TRUE(decode_task_spec(bytes, decoded).is_ok());
+  EXPECT_EQ(encode_task_spec(decoded), bytes);
+
+  engine::TaskSpec rebuilt;
+  apply_wire(decoded, rebuilt);
+  EXPECT_EQ(rebuilt.id, spec.id);
+  EXPECT_EQ(rebuilt.partition, spec.partition);
+  EXPECT_EQ(rebuilt.seq, spec.seq);
+  EXPECT_EQ(rebuilt.model_version, spec.model_version);
+  EXPECT_EQ(rebuilt.service_floor_ms, spec.service_floor_ms);
+  EXPECT_EQ(rebuilt.rng_seed, spec.rng_seed);
+  EXPECT_EQ(rebuilt.migration_ms, spec.migration_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+
+TEST(Wire, GradCountPayloadRoundTripsSparse) {
+  optim::GradCount gc;
+  gc.grad = sparse_grad(1000, {3, 999, 17, 501, 4});
+  gc.count = 32;
+  const std::size_t modeled = optim::payload_size_bytes(gc);
+  const engine::Payload payload = engine::Payload::wrap(std::move(gc), modeled);
+
+  const EncodedPayload enc = encode_payload(payload);
+  ASSERT_EQ(enc.kind, PayloadKind::kGradCount);
+  EXPECT_EQ(enc.modeled_bytes, modeled);
+
+  auto decoded = decode_payload(enc.kind, enc.body, enc.modeled_bytes, nullptr);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().bytes(), modeled) << "charged bytes are backend-invariant";
+  const auto& out = decoded.value().get<optim::GradCount>();
+  EXPECT_EQ(out.count, 32u);
+  expect_bitwise_equal(payload.get<optim::GradCount>().grad, out.grad);
+
+  // Canonical: re-encoding the decoded value reproduces the bytes.
+  EXPECT_EQ(encode_payload(decoded.value()).body, enc.body);
+}
+
+TEST(Wire, GradHistPayloadRoundTripsDense) {
+  optim::GradHist gh;
+  gh.grad = dense_grad(64);
+  gh.hist = sparse_grad(64, {1, 2, 63});
+  gh.count = 8;
+  const std::size_t modeled = optim::payload_size_bytes(gh);
+  const engine::Payload payload = engine::Payload::wrap(std::move(gh), modeled);
+
+  const EncodedPayload enc = encode_payload(payload);
+  ASSERT_EQ(enc.kind, PayloadKind::kGradHist);
+  auto decoded = decode_payload(enc.kind, enc.body, enc.modeled_bytes, nullptr);
+  ASSERT_TRUE(decoded.is_ok());
+  const auto& out = decoded.value().get<optim::GradHist>();
+  expect_bitwise_equal(payload.get<optim::GradHist>().grad, out.grad);
+  expect_bitwise_equal(payload.get<optim::GradHist>().hist, out.hist);
+  EXPECT_EQ(encode_payload(decoded.value()).body, enc.body);
+}
+
+TEST(Wire, ModelDeltaEnvelopeIsCanonicalAndCompressible) {
+  store::ModelDelta delta;
+  delta.parent = 12;
+  delta.values = sparse_grad(4096, {9, 4000, 77, 2048, 3, 100});
+  const std::size_t modeled = delta.wire_bytes();
+  const engine::Payload payload = engine::Payload::wrap(std::move(delta), modeled);
+
+  EXPECT_EQ(envelope_frame_kind(payload), FrameKind::kModelDelta);
+  const auto env = encode_payload_envelope(payload);
+  auto decoded = decode_payload_envelope(env, nullptr);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().bytes(), modeled);
+  const auto& out = decoded.value().get<store::ModelDelta>();
+  EXPECT_EQ(out.parent, 12u);
+  expect_bitwise_equal(payload.get<store::ModelDelta>().values, out.values);
+  EXPECT_EQ(encode_payload_envelope(decoded.value()), env);
+}
+
+TEST(Wire, DenseVectorEnvelopeIsBase) {
+  linalg::DenseVector w(128);
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = 1.0 / (1.0 + double(i));
+  const std::size_t modeled = w.size() * sizeof(double);
+  const engine::Payload payload = engine::Payload::wrap(std::move(w), modeled);
+
+  EXPECT_EQ(envelope_frame_kind(payload), FrameKind::kModelBase);
+  const auto env = encode_payload_envelope(payload);
+  auto decoded = decode_payload_envelope(env, nullptr);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(linalg::bitwise_equal(payload.get<linalg::DenseVector>(),
+                                    decoded.value().get<linalg::DenseVector>()));
+  EXPECT_EQ(encode_payload_envelope(decoded.value()), env);
+}
+
+TEST(Wire, OpaquePayloadNeedsLocalSource) {
+  // An unregistered type crosses as metadata only; reconstruction requires
+  // the local original, and honestly fails without one.
+  struct Unregistered {
+    int x = 5;
+  };
+  const engine::Payload payload = engine::Payload::wrap(Unregistered{}, 4096);
+  const EncodedPayload enc = encode_payload(payload);
+  EXPECT_EQ(enc.kind, PayloadKind::kOpaque);
+  EXPECT_EQ(enc.modeled_bytes, 4096u);
+  EXPECT_TRUE(enc.body.empty());
+
+  EXPECT_FALSE(decode_payload(enc.kind, enc.body, enc.modeled_bytes, nullptr).is_ok());
+
+  auto decoded = decode_payload(enc.kind, enc.body, enc.modeled_bytes, &payload);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().get<Unregistered>().x, 5);
+  EXPECT_EQ(decoded.value().bytes(), 4096u);
+}
+
+TEST(Wire, EmptyPayloadRoundTripsAsNone) {
+  const engine::Payload empty;
+  const EncodedPayload enc = encode_payload(empty);
+  EXPECT_EQ(enc.kind, PayloadKind::kNone);
+  auto decoded = decode_payload(enc.kind, enc.body, enc.modeled_bytes, nullptr);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_FALSE(decoded.value().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Result plane.
+
+TEST(Wire, TaskResultRoundTripsWithPayloadAndStatus) {
+  engine::TaskResult result;
+  result.id = 77;
+  result.worker = 3;
+  result.partition = 12;
+  result.seq = 5;
+  result.model_version = 21;
+  result.status = support::Status(support::StatusCode::kCancelled, "dropped by fault");
+  optim::GradCount gc;
+  gc.grad = sparse_grad(256, {0, 128, 255});
+  gc.count = 16;
+  result.payload = engine::Payload::wrap(std::move(gc), 44);
+  result.compute_ms = 1.5;
+  result.service_ms = 6.0;
+
+  const TaskResultMsg msg = to_wire(result);
+  const auto bytes = encode_task_result(msg);
+  TaskResultMsg decoded_msg;
+  ASSERT_TRUE(decode_task_result(bytes, decoded_msg).is_ok());
+  EXPECT_EQ(encode_task_result(decoded_msg), bytes);  // canonical
+
+  auto rebuilt = from_wire(decoded_msg, nullptr);
+  ASSERT_TRUE(rebuilt.is_ok());
+  const engine::TaskResult& out = rebuilt.value();
+  EXPECT_EQ(out.id, result.id);
+  EXPECT_EQ(out.worker, result.worker);
+  EXPECT_EQ(out.partition, result.partition);
+  EXPECT_EQ(out.seq, result.seq);
+  EXPECT_EQ(out.model_version, result.model_version);
+  EXPECT_EQ(out.status.code(), support::StatusCode::kCancelled);
+  EXPECT_EQ(out.status.message(), "dropped by fault");
+  EXPECT_EQ(out.compute_ms, result.compute_ms);
+  EXPECT_EQ(out.service_ms, result.service_ms);
+  EXPECT_EQ(out.payload.bytes(), 44u);
+  expect_bitwise_equal(result.payload.get<optim::GradCount>().grad,
+                       out.payload.get<optim::GradCount>().grad);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint relay.
+
+TEST(Wire, ReencodeMessageIsIdentityForEveryKind) {
+  // The relay's contract: decode + canonical re-encode echoes the bytes.
+  engine::TaskSpec spec;
+  spec.id = 5;
+  spec.rng_seed = 99;
+  const auto spec_bytes = encode_task_spec(to_wire(spec));
+  auto r1 = reencode_message(FrameKind::kTaskSpec, spec_bytes);
+  ASSERT_TRUE(r1.is_ok());
+  EXPECT_EQ(r1.value(), spec_bytes);
+
+  engine::TaskResult result;
+  result.id = 6;
+  optim::GradCount gc;
+  gc.grad = sparse_grad(64, {2, 61});
+  result.payload = engine::Payload::wrap(std::move(gc), 32);
+  const auto result_bytes = encode_task_result(to_wire(result));
+  auto r2 = reencode_message(FrameKind::kTaskResult, result_bytes);
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(r2.value(), result_bytes);
+
+  store::ModelDelta delta;
+  delta.parent = 2;
+  delta.values = sparse_grad(512, {100, 5});
+  const std::size_t modeled = delta.wire_bytes();
+  const auto env = encode_payload_envelope(engine::Payload::wrap(std::move(delta), modeled));
+  auto r3 = reencode_message(FrameKind::kModelDelta, env);
+  ASSERT_TRUE(r3.is_ok());
+  EXPECT_EQ(r3.value(), env);
+
+  const auto hello = encode_hello(HelloMsg{});
+  auto r4 = reencode_message(FrameKind::kHello, hello);
+  ASSERT_TRUE(r4.is_ok());
+  EXPECT_EQ(r4.value(), hello);
+}
+
+TEST(Wire, ReencodeMessageRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {0xFF, 0x00, 0x13, 0x37};
+  EXPECT_FALSE(reencode_message(FrameKind::kTaskSpec, garbage).is_ok());
+  EXPECT_FALSE(reencode_message(FrameKind::kTaskResult, garbage).is_ok());
+  EXPECT_FALSE(reencode_message(FrameKind::kModelDelta, garbage).is_ok());
+}
+
+// Sparse entries are emitted in ascending index order regardless of the hash
+// table's iteration order — two equal-valued vectors built in different
+// insertion orders must encode identically.
+TEST(Wire, SparseEncodingIsInsertionOrderIndependent) {
+  linalg::GradVector a(linalg::GradVectorConfig(100, 0.9, false));
+  linalg::GradVector b(linalg::GradVectorConfig(100, 0.9, false));
+  a.set(3, 1.0);
+  a.set(50, 2.0);
+  a.set(99, 3.0);
+  b.set(99, 3.0);
+  b.set(3, 1.0);
+  b.set(50, 2.0);
+
+  optim::GradCount ga{std::move(a), 1};
+  optim::GradCount gb{std::move(b), 1};
+  const auto ea = encode_payload(engine::Payload::wrap(std::move(ga), 44));
+  const auto eb = encode_payload(engine::Payload::wrap(std::move(gb), 44));
+  EXPECT_EQ(ea.body, eb.body);
+}
+
+}  // namespace
+}  // namespace asyncml::transport
