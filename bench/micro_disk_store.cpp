@@ -1,0 +1,221 @@
+// Microbenchmark — the durable tier's hot costs (docs/DURABILITY.md).
+//
+// Three numbers the durability knobs trade against:
+//
+//   * blob write / read ns per payload (header + CRC + sha256 + file I/O,
+//     fsync off so the content pipeline is what's measured, not the device);
+//   * checkpoint file size, v3 pointer vs the self-contained v2 snapshot —
+//     the v3 payload lives in the blob store, deduped against published
+//     bases, so the pointer is O(1) regardless of model dimension;
+//   * cold-restore wall time: manifest replay + restore_from_manifest + the
+//     lazy chain walk that faults one full delta chain in from disk — the
+//     restart-without-replay path a rejoining coordinator pays once.
+//
+// No google-benchmark dependency: plain wall-clock over enough iterations to
+// dominate timer noise.
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "optim/checkpoint.hpp"
+#include "store/disk/disk_tier.hpp"
+#include "store/model_cache.hpp"
+#include "store/model_store.hpp"
+
+using namespace asyncml;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+store::DiskTierConfig tier_config(const std::string& dir) {
+  store::DiskTierConfig cfg;
+  cfg.enabled = true;
+  cfg.dir = dir;
+  cfg.fsync = false;  // measure the pipeline, not the device's flush latency
+  return cfg;
+}
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("asyncml_bench_" + name)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+engine::Payload payload_of(const linalg::DenseVector& w) {
+  return engine::Payload::wrap<linalg::DenseVector>(w, w.size_bytes());
+}
+
+linalg::DenseVector make_model(std::size_t dim, std::uint64_t salt) {
+  linalg::DenseVector w(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    w[i] = static_cast<double>((i * 2654435761u + salt) % 1000) / 997.0;
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Micro: durable disk tier — blob I/O, checkpoint size, cold restore",
+                "durability is write-through after commit: blob costs are off the "
+                "update path, a v3 checkpoint is an O(1) pointer, and a restart "
+                "anchors on the manifest instead of replaying updates");
+
+  constexpr std::size_t kDim = 16384;   // 128 KiB payloads
+  constexpr int kIoIters = 200;
+  constexpr engine::Version kChain = 64;  // one base + 63 deltas to cold-restore
+
+  std::vector<std::pair<std::string, double>> json;
+  std::vector<std::string> rows;
+  metrics::Table table({"metric", "value"});
+
+  // -- blob write / read ns --------------------------------------------------
+  const std::string io_dir = scratch_dir("disk_io");
+  {
+    auto tier = store::disk::DiskTier::open(tier_config(io_dir),
+                                            store::disk::OpenMode::kFresh)
+                    .value();
+    std::vector<support::Sha256Digest> digests;
+    digests.reserve(kIoIters);
+    support::Stopwatch write_watch;
+    for (int i = 0; i < kIoIters; ++i) {
+      digests.push_back(
+          tier->put_payload(payload_of(make_model(kDim, i))).value());
+    }
+    const double write_ns = write_watch.elapsed_ms() * 1e6 / kIoIters;
+
+    // Cold reads: a fresh tier instance, so every fetch is a verified file
+    // read (hash + CRC), not an LRU hit.
+    tier.reset();
+    auto cold = store::disk::DiskTier::open(tier_config(io_dir),
+                                            store::disk::OpenMode::kResume)
+                    .value();
+    support::Stopwatch read_watch;
+    for (const auto& d : digests) {
+      if (!cold->fetch_payload(d).is_ok()) std::abort();
+    }
+    const double read_ns = read_watch.elapsed_ms() * 1e6 / kIoIters;
+
+    table.add_row({"blob write ns (128 KiB payload)",
+                   std::to_string(static_cast<long long>(write_ns))});
+    table.add_row({"blob read ns (verified, cold)",
+                   std::to_string(static_cast<long long>(read_ns))});
+    json.emplace_back("micro_disk_store.io.write_ns", write_ns);
+    json.emplace_back("micro_disk_store.io.read_ns", read_ns);
+    std::ostringstream os;
+    os << "blob_io," << write_ns << ',' << read_ns;
+    rows.push_back(os.str());
+  }
+  fs::remove_all(io_dir);
+
+  // -- checkpoint size: v3 pointer vs v2 snapshot ----------------------------
+  const std::string ck_dir = scratch_dir("disk_ckpt");
+  {
+    auto tier = store::disk::DiskTier::open(tier_config(ck_dir),
+                                            store::disk::OpenMode::kFresh)
+                    .value();
+    optim::SolverCheckpoint cp;
+    cp.update_index = 100;
+    cp.model_version = 100;
+    cp.round = 200;
+    cp.model = make_model(kDim, 1);
+    cp.counters["tasks_completed"] = 400;
+
+    const std::string v2_path = ck_dir + "/ckpt_v2";
+    if (!optim::save_checkpoint(v2_path, cp).is_ok()) std::abort();
+
+    store::disk::CheckpointRecord rec;
+    rec.update_index = cp.update_index;
+    rec.model_version = cp.model_version;
+    rec.round = cp.round;
+    rec.model_digest = tier->put_payload(payload_of(cp.model)).value();
+    rec.counters.assign(cp.counters.begin(), cp.counters.end());
+    if (!tier->append_checkpoint(rec).is_ok()) std::abort();
+    const std::string v3_path = ck_dir + "/ckpt_v3";
+    if (!optim::save_checkpoint_v3(v3_path, tier->dir(), cp.update_index).is_ok()) {
+      std::abort();
+    }
+
+    const double v2_bytes = static_cast<double>(fs::file_size(v2_path));
+    const double v3_bytes = static_cast<double>(fs::file_size(v3_path));
+    table.add_row({"checkpoint bytes (v2 self-contained)",
+                   std::to_string(static_cast<long long>(v2_bytes))});
+    table.add_row({"checkpoint bytes (v3 pointer)",
+                   std::to_string(static_cast<long long>(v3_bytes))});
+    json.emplace_back("micro_disk_store.ckpt.v2_bytes", v2_bytes);
+    json.emplace_back("micro_disk_store.ckpt.v3_bytes", v3_bytes);
+    json.emplace_back("micro_disk_store.ckpt.v2_over_v3", v2_bytes / v3_bytes);
+    std::ostringstream os;
+    os << "ckpt_bytes," << v2_bytes << ',' << v3_bytes;
+    rows.push_back(os.str());
+  }
+  fs::remove_all(ck_dir);
+
+  // -- cold restore: manifest replay + lazy chain fault-in -------------------
+  const std::string re_dir = scratch_dir("disk_restore");
+  {
+    {
+      auto tier = store::disk::DiskTier::open(tier_config(re_dir),
+                                              store::disk::OpenMode::kFresh)
+                      .value();
+      engine::BroadcastStore broadcasts;
+      store::StoreConfig cfg;
+      cfg.base_interval = kChain;  // one long delta chain
+      store::ModelStore model_store(&broadcasts, cfg);
+      model_store.attach_disk(tier.get(), 0);
+      support::RngStream rng(7);
+      linalg::DenseVector w(kDim);
+      for (engine::Version v = 0; v < kChain; ++v) {
+        for (int t = 0; t < 16; ++t) {
+          w[rng.next_below(kDim)] += rng.uniform(-1.0, 1.0);
+        }
+        model_store.publish(w, v);
+      }
+    }
+
+    constexpr int kRestoreIters = 20;
+    double total_ms = 0.0;
+    for (int it = -2; it < kRestoreIters; ++it) {  // negatives warm the page cache
+      support::Stopwatch watch;
+      auto tier = store::disk::DiskTier::open(tier_config(re_dir),
+                                              store::disk::OpenMode::kResume)
+                      .value();
+      engine::BroadcastStore broadcasts;
+      store::StoreConfig cfg;
+      cfg.base_interval = kChain;
+      store::ModelStore model_store(&broadcasts, cfg);
+      model_store.attach_disk(tier.get(), 0);
+      model_store.restore_from_manifest(tier->restored().shards.at(0), 0,
+                                        kChain - 1);
+      const linalg::DenseVector& w =
+          model_store.driver_cache().value_at(kChain - 1);
+      if (w.size() != kDim) std::abort();
+      if (it >= 0) total_ms += watch.elapsed_ms();
+    }
+    const double restore_ms = total_ms / kRestoreIters;
+    table.add_row({"cold restore ms (64-version chain)",
+                   metrics::Table::num(restore_ms, 3)});
+    json.emplace_back("micro_disk_store.restore.walk_ms", restore_ms);
+    std::ostringstream os;
+    os << "cold_restore," << restore_ms << ",0";
+    rows.push_back(os.str());
+  }
+  fs::remove_all(re_dir);
+
+  bench::write_csv("micro_disk_store.csv", "case,a,b", rows);
+  bench::update_bench_json(json);
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nshape check: the v3 pointer stays O(1) while v2 scales with "
+               "dim; cold restore is a manifest replay plus one chain "
+               "fault-in — milliseconds, independent of how many updates the "
+               "killed run had executed.\n";
+  return 0;
+}

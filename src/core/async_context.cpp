@@ -27,10 +27,28 @@ AsyncContext::AsyncContext(engine::Cluster& cluster, int num_partitions,
     if (any_dormant) scheduler_.set_members(std::move(members));
   }
   scheduler_.set_num_partitions(num_partitions);
+  // Route the disk tier's counters/fault seams into this run before the
+  // first publish can lazily open it. No-op while the tier stays disabled.
+  registry_->sharded_store().set_disk_hooks(&cluster.metrics().disk,
+                                            cluster.faults());
   coordinator_.start();
 }
 
 AsyncContext::~AsyncContext() { coordinator_.stop(); }
+
+void AsyncContext::restore(engine::Version version, std::uint64_t round) {
+  coordinator_.restore_version(version);
+  scheduler_.resume_round(round);
+  if (registry_->sharded_store().config().disk.enabled) {
+    if (support::Status s = registry_->sharded_store().restore_from_disk(version);
+        !s.is_ok()) {
+      std::fprintf(stderr,
+                   "AsyncContext::restore: disk tier resume failed: %s\n",
+                   s.to_string().c_str());
+      std::abort();
+    }
+  }
+}
 
 std::optional<TaggedResult> AsyncContext::collect(
     const AsyncScheduler::TaskFactory* retry_factory) {

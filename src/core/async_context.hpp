@@ -77,10 +77,12 @@ class AsyncContext {
   /// a resumed run: tasks pin the model version, and the batch RNG keys on
   /// the round seq — both streams must continue where the interrupted run
   /// stopped, not restart at zero.
-  void restore(engine::Version version, std::uint64_t round) {
-    coordinator_.restore_version(version);
-    scheduler_.resume_round(round);
-  }
+  /// When the store's disk tier is enabled this also reopens the tier in
+  /// resume mode and anchors the model plane on the manifest (restart without
+  /// replay, docs/DURABILITY.md); a tier that cannot be reopened aborts —
+  /// silently resuming without the durable state the checkpoint names would
+  /// fake a successful durable restore.
+  void restore(engine::Version version, std::uint64_t round);
 
   /// Replaces the total failed-task retry budget (default 10'000). Chaos
   /// runs push far more injected failures through collect() than a healthy

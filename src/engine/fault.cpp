@@ -69,6 +69,22 @@ FaultPlan& FaultPlan::join_worker(WorkerId worker, Version at_version) {
   return add({.kind = FaultKind::kJoinWorker, .key = key, .join_version = at_version});
 }
 
+FaultPlan& FaultPlan::fail_write(std::uint64_t times, std::uint64_t after) {
+  return add({.kind = FaultKind::kDiskFailWrite, .key = {}, .after = after, .times = times});
+}
+
+FaultPlan& FaultPlan::torn_write(std::uint64_t times, std::uint64_t after) {
+  return add({.kind = FaultKind::kDiskTornWrite, .key = {}, .after = after, .times = times});
+}
+
+FaultPlan& FaultPlan::corrupt_blob(std::uint64_t times, std::uint64_t after) {
+  return add({.kind = FaultKind::kDiskCorruptBlob, .key = {}, .after = after, .times = times});
+}
+
+FaultPlan& FaultPlan::fail_read(std::uint64_t times, std::uint64_t after) {
+  return add({.kind = FaultKind::kDiskFailRead, .key = {}, .after = after, .times = times});
+}
+
 FaultPlan& FaultPlan::add(FaultEvent event) {
   events_.push_back(event);
   return *this;
@@ -144,6 +160,57 @@ double FaultState::stage_delay_ms(FaultStage stage, WorkerId worker,
     if (fired) stats_.delays_injected += 1;
   }
   return total;
+}
+
+DiskWriteFault FaultState::next_disk_write_fault() {
+  // One blob write advances the occurrence counter of EVERY disk-write event
+  // (the seams are keyless: the window counts write operations). Priority
+  // when several fire on the same write: fail > torn > corrupt.
+  bool fail = false;
+  bool torn = false;
+  bool corrupt = false;
+  {
+    std::lock_guard lock(mutex_);
+    const auto& events = plan_.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultEvent& event = events[i];
+      if (event.kind != FaultKind::kDiskFailWrite &&
+          event.kind != FaultKind::kDiskTornWrite &&
+          event.kind != FaultKind::kDiskCorruptBlob) {
+        continue;
+      }
+      matches_[i] += 1;
+      if (!in_window(event, matches_[i])) continue;
+      if (event.kind == FaultKind::kDiskFailWrite) fail = true;
+      if (event.kind == FaultKind::kDiskTornWrite) torn = true;
+      if (event.kind == FaultKind::kDiskCorruptBlob) corrupt = true;
+    }
+    if (fail) {
+      stats_.disk_writes_failed += 1;
+    } else if (torn) {
+      stats_.disk_writes_torn += 1;
+    } else if (corrupt) {
+      stats_.blobs_corrupted += 1;
+    }
+  }
+  if (fail) return DiskWriteFault::kFail;
+  if (torn) return DiskWriteFault::kTorn;
+  if (corrupt) return DiskWriteFault::kCorrupt;
+  return DiskWriteFault::kNone;
+}
+
+bool FaultState::should_fail_disk_read() {
+  std::lock_guard lock(mutex_);
+  bool fired = false;
+  const auto& events = plan_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    if (event.kind != FaultKind::kDiskFailRead) continue;
+    matches_[i] += 1;
+    fired = fired || in_window(event, matches_[i]);
+  }
+  if (fired) stats_.disk_reads_failed += 1;
+  return fired;
 }
 
 bool FaultState::starts_dormant(WorkerId worker) const {

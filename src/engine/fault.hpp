@@ -74,6 +74,14 @@ enum class FaultKind : std::uint8_t {
   kDuplicateResult,
   kDelay,
   kJoinWorker,
+  // Disk seams, evaluated inside the blob store (store/disk/blob_store.cpp).
+  // They carry no task identity: FaultKey is ignored and the occurrence
+  // window counts blob operations, in the deterministic driver-side order
+  // writes happen (docs/DURABILITY.md).
+  kDiskFailWrite,    ///< blob write returns kUnavailable (transient; retried)
+  kDiskTornWrite,    ///< blob published truncated mid-payload (crash image)
+  kDiskCorruptBlob,  ///< one payload bit flipped before the write
+  kDiskFailRead,     ///< blob read returns kUnavailable (transient; retried)
 };
 
 /// Pipeline stage a kDelay event stretches. kResultChannel aliases kNetwork:
@@ -126,6 +134,11 @@ class FaultPlan {
   FaultPlan& delay(FaultStage stage, double delay_ms, FaultKey key = {},
                    std::uint64_t times = 0, std::uint64_t after = 0);
   FaultPlan& join_worker(WorkerId worker, Version at_version);
+  // Disk seams (occurrence windows count blob writes/reads, not tasks).
+  FaultPlan& fail_write(std::uint64_t times = 1, std::uint64_t after = 0);
+  FaultPlan& torn_write(std::uint64_t times = 1, std::uint64_t after = 0);
+  FaultPlan& corrupt_blob(std::uint64_t times = 1, std::uint64_t after = 0);
+  FaultPlan& fail_read(std::uint64_t times = 1, std::uint64_t after = 0);
   FaultPlan& add(FaultEvent event);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
@@ -145,7 +158,16 @@ struct FaultStats {
   std::uint64_t results_dropped = 0;
   std::uint64_t results_duplicated = 0;
   std::uint64_t delays_injected = 0;
+  std::uint64_t disk_writes_failed = 0;  ///< kDiskFailWrite firings
+  std::uint64_t disk_writes_torn = 0;    ///< kDiskTornWrite firings
+  std::uint64_t blobs_corrupted = 0;     ///< kDiskCorruptBlob firings
+  std::uint64_t disk_reads_failed = 0;   ///< kDiskFailRead firings
 };
+
+/// What the blob store should do to the write it is about to perform.
+/// Priority when several events fire on the same write: fail > torn >
+/// corrupt (a failed write never reaches the disk to be torn).
+enum class DiskWriteFault : std::uint8_t { kNone, kFail, kTorn, kCorrupt };
 
 /// Runtime of a FaultPlan: thread-safe matching with per-event occurrence
 /// counters. One instance is shared by the Cluster and all its Workers; the
@@ -168,6 +190,15 @@ class FaultState {
   /// Total extra milliseconds injected at `stage` for this task.
   [[nodiscard]] double stage_delay_ms(FaultStage stage, WorkerId worker,
                                       const TaskSpec& spec);
+
+  // -- disk seams (store/disk/blob_store.cpp) --------------------------------
+
+  /// Consulted once per blob write attempt; advances the matching disk-write
+  /// events' occurrence counters and returns the highest-priority firing
+  /// fault (kNone when no event fires).
+  [[nodiscard]] DiskWriteFault next_disk_write_fault();
+  /// Consulted once per blob read attempt (kDiskFailRead).
+  [[nodiscard]] bool should_fail_disk_read();
 
   // -- elastic membership ----------------------------------------------------
 

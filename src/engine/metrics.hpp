@@ -40,6 +40,46 @@ enum class WireChannel : std::uint8_t {
 
 inline constexpr std::size_t kNumWireChannels = 4;
 
+/// Counters of the content-addressed disk tier under the model store
+/// (store/disk/, docs/DURABILITY.md). A DiskTier owned by a cluster-attached
+/// store counts into ClusterMetrics::disk; standalone tiers (checkpoint
+/// loaders, unit tests) count into a private instance.
+struct DiskTierMetrics {
+  support::RelaxedCounter blob_writes;       ///< blobs published (post-dedup)
+  support::RelaxedCounter blob_write_bytes;  ///< payload bytes written
+  support::RelaxedCounter blob_reads;        ///< blob file reads (LRU misses)
+  support::RelaxedCounter blob_read_bytes;   ///< payload bytes read from disk
+  support::RelaxedCounter blob_dedup_hits;   ///< writes satisfied by an existing object
+  support::RelaxedCounter lru_hits;          ///< reads served from the LRU layer
+  support::RelaxedCounter quarantines;       ///< corrupt/truncated blobs quarantined
+  support::RelaxedCounter recovery_walks;    ///< chain walks restarted around a bad blob
+  support::RelaxedCounter bases_republished; ///< fallback bases re-published over lost chains
+  support::RelaxedCounter write_retries;     ///< transient write-error retries
+  support::RelaxedCounter read_retries;      ///< transient read-error retries
+  support::RelaxedCounter manifest_appends;  ///< manifest records appended
+  support::RelaxedCounter faulted_in;        ///< payloads rehydrated from disk into memory
+  support::RelaxedCounter write_ns;          ///< wall time inside blob writes
+  support::RelaxedCounter read_ns;           ///< wall time inside blob reads
+
+  void reset() {
+    blob_writes.reset();
+    blob_write_bytes.reset();
+    blob_reads.reset();
+    blob_read_bytes.reset();
+    blob_dedup_hits.reset();
+    lru_hits.reset();
+    quarantines.reset();
+    recovery_walks.reset();
+    bases_republished.reset();
+    write_retries.reset();
+    read_retries.reset();
+    manifest_appends.reset();
+    faulted_in.reset();
+    write_ns.reset();
+    read_ns.reset();
+  }
+};
+
 class ClusterMetrics {
  public:
   explicit ClusterMetrics(int num_workers)
@@ -157,6 +197,9 @@ class ClusterMetrics {
   support::RelaxedCounter partitions_stolen;  ///< ownership transfers
   support::RelaxedCounter tasks_speculated;   ///< speculative replicas dispatched
   support::RelaxedCounter duplicate_results;  ///< replica results dropped (first-wins)
+
+  // Durable disk tier under the model store (store/disk/).
+  DiskTierMetrics disk;
 
   // Sharded-model-plane read accounting (store/sharded_store.hpp).
   support::RelaxedCounter shard_reads;          ///< model materializations

@@ -1,8 +1,17 @@
 #include "optim/checkpoint.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <new>
+#include <vector>
+
+#include "engine/payload.hpp"
+#include "store/disk/blob_store.hpp"
+#include "store/disk/manifest.hpp"
+#include "store/store_config.hpp"
+#include "transport/wire.hpp"
 
 namespace asyncml::optim {
 
@@ -14,6 +23,7 @@ namespace {
 
 constexpr char kMagicV1[8] = {'A', 'M', 'L', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'A', 'M', 'L', 'C', 'K', 'P', 'T', '2'};
+constexpr char kMagicV3[8] = {'A', 'M', 'L', 'C', 'K', 'P', 'T', '3'};
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -112,6 +122,85 @@ Status read_vectors(std::istream& in, SolverCheckpoint& checkpoint) {
   return Status::ok();
 }
 
+/// Materializes the dense vector stored under `digest`, or nullopt when the
+/// blob is missing/corrupt (the blob store quarantines it) or holds a payload
+/// of an unexpected kind.
+std::optional<linalg::DenseVector> fetch_dense(store::disk::BlobStore& blobs,
+                                               const support::Sha256Digest& digest) {
+  auto bytes = blobs.get(digest);
+  if (!bytes.is_ok()) return std::nullopt;
+  auto payload = transport::decode_payload_envelope(bytes.value(),
+                                                    /*opaque_source=*/nullptr);
+  if (!payload.is_ok() || !payload.value().holds<linalg::DenseVector>()) {
+    return std::nullopt;
+  }
+  return payload.value().get<linalg::DenseVector>();
+}
+
+/// v3 load: the stream holds only a pointer (store_dir + advisory index); the
+/// actual state is replayed read-only from the tier's manifest and blobs —
+/// deliberately *not* through DiskTier, which would open a second manifest
+/// writer against a directory the resumed run is about to reopen.
+StatusOr<SolverCheckpoint> load_checkpoint_v3(std::istream& in) {
+  auto dir = read_name(in);
+  if (!dir.is_ok()) return dir.status();
+  const std::string store_dir = std::move(dir).value();
+  std::uint64_t advisory_index = 0;
+  if (!read_u64(in, advisory_index)) {
+    return Status(StatusCode::kInvalidArgument, "checkpoint: truncated v3 pointer");
+  }
+
+  const std::string manifest_path = store_dir + "/MANIFEST";
+  std::ifstream mf(manifest_path, std::ios::binary);
+  if (!mf) {
+    return Status(StatusCode::kDataLoss,
+                  "checkpoint: v3 store manifest missing: " + manifest_path);
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(mf)), std::istreambuf_iterator<char>());
+  auto decoded = store::disk::decode_manifest(bytes);
+  if (!decoded.is_ok()) return decoded.status();
+  const store::disk::ManifestState state = std::move(decoded).value();
+  if (state.checkpoints.empty()) {
+    return Status(StatusCode::kDataLoss,
+                  "checkpoint: no checkpoint records in " + manifest_path);
+  }
+
+  store::DiskTierConfig cfg;
+  cfg.dir = store_dir;
+  store::disk::BlobStore blobs(store_dir, cfg);
+  if (Status s = blobs.init(); !s.is_ok()) return s;
+
+  // Newest record first; a record with any unverifiable blob falls back to
+  // the next older one — any intact checkpoint k resumes bit-exactly at k.
+  for (auto it = state.checkpoints.rbegin(); it != state.checkpoints.rend(); ++it) {
+    const store::disk::CheckpointRecord& rec = *it;
+    std::optional<linalg::DenseVector> model = fetch_dense(blobs, rec.model_digest);
+    if (!model.has_value()) continue;
+    SolverCheckpoint cp;
+    cp.update_index = rec.update_index;
+    cp.model_version = rec.model_version;
+    cp.round = rec.round;
+    cp.model = std::move(*model);
+    cp.store_dir = store_dir;
+    for (const auto& [name, value] : rec.counters) cp.counters[name] = value;
+    bool aux_ok = true;
+    for (const auto& [name, digest] : rec.aux) {
+      std::optional<linalg::DenseVector> vec = fetch_dense(blobs, digest);
+      if (!vec.has_value()) {
+        aux_ok = false;
+        break;
+      }
+      cp.aux.emplace(name, std::move(*vec));
+    }
+    if (!aux_ok) continue;
+    return cp;
+  }
+  return Status(StatusCode::kDataLoss,
+                "checkpoint: every checkpoint record in " + manifest_path +
+                    " has lost or corrupt blobs");
+}
+
 }  // namespace
 
 Status save_checkpoint(const std::string& path, const SolverCheckpoint& checkpoint) {
@@ -143,6 +232,27 @@ Status save_checkpoint(const std::string& path, const SolverCheckpoint& checkpoi
   return Status::ok();
 }
 
+Status save_checkpoint_v3(const std::string& path, const std::string& store_dir,
+                          std::uint64_t update_index) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status(StatusCode::kInternal, "checkpoint: cannot create " + tmp);
+    out.write(kMagicV3, sizeof(kMagicV3));
+    write_name(out, store_dir);
+    write_u64(out, update_index);
+    if (!out) return Status(StatusCode::kInternal, "checkpoint: write failed");
+  }
+  // Atomic pointer flip: a reader sees the old pointer or the new one, never
+  // a torn file (the durable state both point into is append-only anyway).
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status(StatusCode::kInternal, "checkpoint: rename failed: " + ec.message());
+  }
+  return Status::ok();
+}
+
 StatusOr<SolverCheckpoint> load_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status(StatusCode::kNotFound, "checkpoint: cannot open " + path);
@@ -150,6 +260,9 @@ StatusOr<SolverCheckpoint> load_checkpoint(const std::string& path) {
   char magic[sizeof(kMagicV2)] = {};
   if (!in.read(magic, sizeof(magic))) {
     return Status(StatusCode::kInvalidArgument, "checkpoint: bad magic");
+  }
+  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    return load_checkpoint_v3(in);
   }
   const bool v2 = std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
   if (!v2 && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {

@@ -26,6 +26,17 @@
 // magic, a vector length that overruns the file — is a non-OK Status, never
 // a crash: claimed sizes are validated against the actual file size before
 // any allocation.
+//
+// Format v3 ("AMLCKPT3", docs/DURABILITY.md): the checkpoint file shrinks to
+// a pointer — the disk-tier directory plus an advisory update index.  The
+// real state lives in the tier: checkpoint records in the append-only
+// MANIFEST naming sha256-addressed model/aux blobs.  Loading replays the
+// manifest read-only and walks the checkpoint records newest → oldest,
+// returning the first record whose blobs all verify (hash + CRC); a corrupt
+// blob is quarantined by the blob store and the loader falls back to the
+// next older record — bit-exact, since *any* intact checkpoint k resumes
+// exactly at update k.  v3 is written by maybe_checkpoint when the store's
+// disk tier is enabled; v1/v2 files keep loading unchanged.
 
 #include <cstdint>
 #include <map>
@@ -49,10 +60,21 @@ struct SolverCheckpoint {
   std::map<std::string, std::uint64_t> counters;
   /// Named auxiliary vectors (e.g. SAGA's "alpha_bar", ADMM's duals).
   std::map<std::string, linalg::DenseVector> aux;
+  /// Disk-tier directory this checkpoint was loaded from (v3 only; empty for
+  /// v1/v2). Informational — the resumed run re-opens the tier through its
+  /// own StoreConfig.
+  std::string store_dir;
 };
 
 [[nodiscard]] support::Status save_checkpoint(const std::string& path,
                                               const SolverCheckpoint& checkpoint);
+
+/// Writes a v3 pointer checkpoint: `store_dir` (the disk tier holding the
+/// actual state) + the advisory update index, published by atomic rename so a
+/// crash mid-write can never leave a torn pointer at `path`.
+[[nodiscard]] support::Status save_checkpoint_v3(const std::string& path,
+                                                 const std::string& store_dir,
+                                                 std::uint64_t update_index);
 
 [[nodiscard]] support::StatusOr<SolverCheckpoint> load_checkpoint(
     const std::string& path);

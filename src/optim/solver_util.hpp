@@ -101,6 +101,7 @@ inline void reset_run_metrics(engine::ClusterMetrics& m) {
   m.shard_touches.reset();
   m.reset_shard_counters();
   m.reset_wire_counters();
+  m.disk.reset();
 }
 
 inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
@@ -130,6 +131,10 @@ inline void fill_run_stats(RunResult& r, const engine::ClusterMetrics& m) {
     const auto& w = m.wire(static_cast<engine::WireChannel>(ch));
     r.wire[ch] = {w.frames.load(), w.bytes_sent.load(), w.bytes_received.load()};
   }
+  r.disk = {m.disk.blob_writes.load(),   m.disk.blob_write_bytes.load(),
+            m.disk.blob_reads.load(),    m.disk.blob_read_bytes.load(),
+            m.disk.lru_hits.load(),      m.disk.quarantines.load(),
+            m.disk.recovery_walks.load(), m.disk.manifest_appends.load()};
 }
 
 /// Arms the cluster's span recorder for this run when
@@ -216,6 +221,49 @@ inline void maybe_checkpoint(const SolverConfig& config, core::AsyncContext& ac,
   cp.counters["tasks_failed"] = failed;
   cp.counters["duplicates_dropped"] = ac.coordinator().duplicates_dropped();
   cp.counters["retries"] = ac.retries();
+
+  // With the disk tier live, checkpoint through it (v3): model/aux become
+  // content-addressed blobs, the record rides the manifest, and the
+  // checkpoint file shrinks to a pointer. Any step failing (an injected
+  // write fault that exhausts its retries, a full disk) degrades loudly to
+  // the self-contained v2 format — durability of *this* snapshot is
+  // preserved either way.
+  if (config.store_config.disk.enabled) {
+    if (auto* tier = ac.history().sharded_store().disk_tier(); tier != nullptr) {
+      store::disk::CheckpointRecord rec;
+      rec.update_index = cp.update_index;
+      rec.model_version = cp.model_version;
+      rec.round = cp.round;
+      rec.counters.assign(cp.counters.begin(), cp.counters.end());
+      bool ok = false;
+      // The checkpointed model is written as its own blob: solvers snapshot
+      // *after* advance_version, so `w` is not yet published (and content
+      // addressing dedups the write when it is).
+      if (auto digest = tier->put_payload(engine::Payload::wrap<linalg::DenseVector>(
+              cp.model, cp.model.size_bytes()));
+          digest.is_ok()) {
+        rec.model_digest = digest.value();
+        ok = true;
+      }
+      for (const auto& [name, vec] : cp.aux) {
+        if (!ok) break;
+        auto digest = tier->put_payload(
+            engine::Payload::wrap<linalg::DenseVector>(vec, vec.size_bytes()));
+        ok = digest.is_ok();
+        if (ok) rec.aux.emplace_back(name, digest.value());
+      }
+      if (ok) ok = tier->append_checkpoint(rec).is_ok();
+      if (ok) {
+        ok = save_checkpoint_v3(config.checkpoint_path, tier->dir(), update_index)
+                 .is_ok();
+      }
+      if (ok) return;
+      std::fprintf(stderr,
+                   "maybe_checkpoint: disk-tier checkpoint failed; writing a "
+                   "self-contained v2 checkpoint instead\n");
+    }
+  }
+
   const support::Status saved = save_checkpoint(config.checkpoint_path, cp);
   if (!saved.is_ok()) {
     std::fprintf(stderr, "maybe_checkpoint: cannot write '%s': %s\n",

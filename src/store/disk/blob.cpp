@@ -1,0 +1,74 @@
+#include "store/disk/blob.hpp"
+
+#include <cstring>
+
+#include "support/crc32.hpp"
+
+namespace asyncml::store::disk {
+
+using support::Status;
+using support::StatusCode;
+using support::StatusOr;
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'M', 'L', 'B', 'L', 'O', 'B', '1'};
+
+void put_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_blob(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> file(kBlobHeaderBytes + payload.size());
+  std::memcpy(file.data(), kMagic, sizeof(kMagic));
+  put_u32le(file.data() + 8, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(file.data() + 12, support::crc32(payload));
+  if (!payload.empty()) {
+    std::memcpy(file.data() + kBlobHeaderBytes, payload.data(), payload.size());
+  }
+  return file;
+}
+
+StatusOr<std::span<const std::uint8_t>> decode_blob(
+    std::span<const std::uint8_t> file) {
+  if (file.size() < kBlobHeaderBytes) {
+    return Status(StatusCode::kDataLoss, "blob: truncated header");
+  }
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status(StatusCode::kDataLoss, "blob: bad magic");
+  }
+  const std::uint32_t claimed = get_u32le(file.data() + 8);
+  const std::size_t actual = file.size() - kBlobHeaderBytes;
+  if (claimed != actual) {
+    return Status(StatusCode::kDataLoss,
+                  "blob: payload length " + std::to_string(claimed) +
+                      " disagrees with file size " + std::to_string(actual));
+  }
+  const std::span<const std::uint8_t> payload = file.subspan(kBlobHeaderBytes);
+  if (support::crc32(payload) != get_u32le(file.data() + 12)) {
+    return Status(StatusCode::kDataLoss, "blob: payload CRC mismatch");
+  }
+  return payload;
+}
+
+StatusOr<std::span<const std::uint8_t>> decode_blob(
+    std::span<const std::uint8_t> file, const support::Sha256Digest& expected) {
+  auto payload = decode_blob(file);
+  if (!payload.is_ok()) return payload;
+  if (support::sha256(payload.value()) != expected) {
+    return Status(StatusCode::kDataLoss, "blob: content hash mismatch");
+  }
+  return payload;
+}
+
+}  // namespace asyncml::store::disk

@@ -1,0 +1,51 @@
+#pragma once
+
+// On-disk blob format of the content-addressed tier (docs/DURABILITY.md).
+//
+// A blob file is one payload wrapped in a 16-byte integrity header:
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------------
+//        0     8  magic   "AMLBLOB1"
+//        8     4  u32 LE  payload length in bytes
+//       12     4  u32 LE  CRC-32 (IEEE) of the payload bytes
+//       16     n  payload
+//
+// The file name is the lowercase hex SHA-256 of the *payload* (not the
+// header), so the name is the content address: identical payloads share one
+// object, and a reader can prove it got back exactly what was written by
+// re-hashing.  CRC catches bit rot cheaply; the hash check catches a file
+// whose name lies about its content.
+//
+// decode_blob is a pure function over bytes — the fuzz battery
+// (tests/store/disk_fuzz_test.cpp) drives it with torn files, lying lengths,
+// and bit flips: every malformed input must return a non-OK Status (never
+// crash, never silently accept).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/sha256.hpp"
+#include "support/status.hpp"
+
+namespace asyncml::store::disk {
+
+inline constexpr std::size_t kBlobHeaderBytes = 16;
+
+/// Payload -> complete blob file image (header + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_blob(
+    std::span<const std::uint8_t> payload);
+
+/// Validates a blob file image and returns a view of its payload (into
+/// `file`). Checks, in order: minimum length, magic, claimed length against
+/// the actual file size (both directions — a lying length never reads out of
+/// bounds or silently drops a tail), and the payload CRC.
+[[nodiscard]] support::StatusOr<std::span<const std::uint8_t>> decode_blob(
+    std::span<const std::uint8_t> file);
+
+/// decode_blob + content-address check: the payload must hash to `expected`.
+[[nodiscard]] support::StatusOr<std::span<const std::uint8_t>> decode_blob(
+    std::span<const std::uint8_t> file, const support::Sha256Digest& expected);
+
+}  // namespace asyncml::store::disk

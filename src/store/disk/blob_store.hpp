@@ -1,0 +1,91 @@
+#pragma once
+
+// Content-addressed blob store: the object half of the disk tier.
+//
+// Layout under the root directory:
+//
+//   objects/<sha256-hex>   published blobs (blob.hpp format)
+//   tmp/                   in-flight writes; publish = fsync + atomic rename
+//   quarantine/<hex>[.n]   blobs that failed an integrity check on read
+//
+// put() is crash-safe by construction: the blob is staged in tmp/ and only
+// an atomic rename makes it visible under objects/, so a reader never
+// observes a partially written object *name* (a torn write that loses the
+// fsync race is exactly what the header CRC + hash verification on read
+// catch).  Content addressing makes writes idempotent: an existing object of
+// the right size is a free dedup hit.
+//
+// get() verifies header CRC and the sha256 content address on every read; a
+// corrupt or truncated blob is moved into quarantine/ (kept for post-mortem,
+// never re-served) and surfaces as kDataLoss so the caller can fall back to
+// an intact ancestor.  Transient failures (injected fail_write/fail_read)
+// surface as kUnavailable and are retried with bounded exponential backoff
+// per DiskTierConfig::max_attempts.
+//
+// Fault seams (engine/fault.hpp kDiskFailWrite/kDiskTornWrite/
+// kDiskCorruptBlob/kDiskFailRead) are evaluated here, once per attempt, so
+// chaos plans exercise exactly the failure surface real disks have.
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/fault.hpp"
+#include "engine/metrics.hpp"
+#include "store/store_config.hpp"
+#include "support/sha256.hpp"
+#include "support/status.hpp"
+
+namespace asyncml::store::disk {
+
+class BlobStore {
+ public:
+  /// `metrics` may be null (a standalone store counts nowhere); `faults` may
+  /// be null (no injection). Call init() before any put/get.
+  BlobStore(std::string root, DiskTierConfig config,
+            engine::DiskTierMetrics* metrics = nullptr,
+            engine::FaultState* faults = nullptr);
+
+  BlobStore(const BlobStore&) = delete;
+  BlobStore& operator=(const BlobStore&) = delete;
+
+  /// Creates objects/, tmp/, and quarantine/ under the root.
+  [[nodiscard]] support::Status init();
+
+  /// Publishes `payload` and returns its content address. Idempotent;
+  /// kUnavailable after max_attempts transient failures.
+  [[nodiscard]] support::StatusOr<support::Sha256Digest> put(
+      std::span<const std::uint8_t> payload);
+
+  /// Reads and verifies the payload of `digest`. kNotFound when no such
+  /// object exists; kDataLoss when it exists but fails verification (the
+  /// object is quarantined first); kUnavailable after transient failures.
+  [[nodiscard]] support::StatusOr<std::vector<std::uint8_t>> get(
+      const support::Sha256Digest& digest);
+
+  [[nodiscard]] bool contains(const support::Sha256Digest& digest) const;
+
+  [[nodiscard]] std::string object_path(const support::Sha256Digest& digest) const;
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  /// Moves a failed object into quarantine/ (never overwrites an earlier
+  /// quarantined copy of the same digest).
+  void quarantine(const support::Sha256Digest& digest);
+
+  /// One write attempt; `fault` mutates the file image per the seam.
+  [[nodiscard]] support::Status write_object(const support::Sha256Digest& digest,
+                                             std::span<const std::uint8_t> payload,
+                                             engine::DiskWriteFault fault);
+
+  std::string root_;
+  DiskTierConfig cfg_;
+  engine::DiskTierMetrics* metrics_;
+  engine::FaultState* faults_;
+  std::uint64_t tmp_seq_ = 0;  ///< unique tmp-file suffix (guarded by seq_mutex_)
+  std::mutex seq_mutex_;
+};
+
+}  // namespace asyncml::store::disk

@@ -7,6 +7,7 @@
 #include <limits>
 #include <utility>
 
+#include "store/disk/disk_tier.hpp"
 #include "store/model_cache.hpp"
 
 namespace asyncml::store {
@@ -41,8 +42,10 @@ engine::BroadcastId ModelStore::publish(const linalg::DenseVector& w,
       // The replaced version cannot serve as its own delta parent, so the
       // new entry starts a fresh base.
       replacing_parent = version == prev_version_;
-      if (it->second.has_base()) replaced.push_back(it->second.base_id);
-      if (it->second.has_delta()) replaced.push_back(it->second.delta_id);
+      // Lazy restored entries hold no broadcast (id 0) — only in-memory
+      // payloads need erasing; their blobs stay on disk untouched.
+      if (it->second.base_id != 0) replaced.push_back(it->second.base_id);
+      if (it->second.delta_id != 0) replaced.push_back(it->second.delta_id);
     }
   }
 
@@ -100,6 +103,13 @@ engine::BroadcastId ModelStore::publish(const linalg::DenseVector& w,
       stats_.bases_published += 1;
       stats_.base_bytes_published += entry.base_bytes;
     }
+    // A fresh base above the restore anchor re-anchors every later
+    // resolution in memory — the restored history no longer needs GC
+    // protection.
+    if (restore_anchor_.has_value() && version > *restore_anchor_ &&
+        entry.base_id != 0) {
+      restore_anchor_.reset();
+    }
   }
   prev_ = w;
   prev_version_ = version;
@@ -114,7 +124,107 @@ engine::BroadcastId ModelStore::publish(const linalg::DenseVector& w,
       cache->invalidate(version, replaced);
     }
   }
+
+  if (tier_ != nullptr) {
+    // Write-through AFTER the in-memory commit: the live run never waits on
+    // or reads from disk, so trajectories are bit-identical with the tier on
+    // or off. A write failure degrades durability (the manifest simply lacks
+    // this version), never correctness.
+    disk::PublishRecord rec;
+    rec.shard = manifest_shard_;
+    rec.version = version;
+    rec.parent = entry.parent;
+    bool complete = true;
+    if (entry.base_id != 0) {
+      auto digest = tier_->put_payload(broadcasts_->get(entry.base_id));
+      if (digest.is_ok()) {
+        rec.has_base = true;
+        rec.base_digest = digest.value();
+        rec.base_bytes = entry.base_bytes;
+      } else {
+        complete = false;
+      }
+    }
+    if (entry.delta_id != 0) {
+      auto digest = tier_->put_payload(broadcasts_->get(entry.delta_id));
+      if (digest.is_ok()) {
+        rec.has_delta = true;
+        rec.delta_digest = digest.value();
+        rec.delta_bytes = entry.delta_bytes;
+      } else {
+        complete = false;
+      }
+    }
+    support::Status appended = support::Status::ok();
+    if (complete) appended = tier_->append_publish(rec);
+    if (!complete || !appended.is_ok()) {
+      std::fprintf(stderr,
+                   "ModelStore: disk write-through of version %llu failed "
+                   "(%s); continuing in-memory\n",
+                   static_cast<unsigned long long>(version),
+                   appended.is_ok() ? "blob write" : appended.to_string().c_str());
+    } else {
+      std::lock_guard lock(mutex_);
+      if (const auto it = entries_.find(version); it != entries_.end()) {
+        it->second.base_hash = rec.base_digest;
+        it->second.delta_hash = rec.delta_digest;
+      }
+    }
+  }
   return entry.has_base() ? entry.base_id : entry.delta_id;
+}
+
+void ModelStore::attach_disk(disk::DiskTier* tier, std::uint32_t manifest_shard) {
+  tier_ = tier;
+  manifest_shard_ = manifest_shard;
+}
+
+void ModelStore::restore_from_manifest(
+    const std::map<std::uint64_t, disk::PublishRecord>& records,
+    std::uint64_t floor, engine::Version anchor) {
+  // A restored chain must terminate at a snapshot: entries below the oldest
+  // base-carrying record at/above the manifest floor would dangle (their
+  // parents were GC'd before the crash), so the floor rounds up to it.
+  std::uint64_t effective_floor = floor;
+  bool found_base = false;
+  for (const auto& [version, rec] : records) {
+    if (version < floor) continue;
+    if (rec.has_base) {
+      effective_floor = version;
+      found_base = true;
+      break;
+    }
+  }
+  std::lock_guard lock(mutex_);
+  if (!found_base) {
+    // Nothing on disk can anchor a walk; the resumed run's first publish
+    // starts a fresh base. GC floor still honors the manifest.
+    gc_floor_ = std::max(gc_floor_, floor);
+    return;
+  }
+  for (const auto& [version, rec] : records) {
+    if (version < effective_floor) continue;
+    VersionEntry entry;
+    entry.parent = rec.parent;
+    entry.base_bytes = rec.base_bytes;
+    entry.delta_bytes = rec.delta_bytes;
+    if (rec.has_base) entry.base_hash = rec.base_digest;
+    if (rec.has_delta) entry.delta_hash = rec.delta_digest;
+    entry.kind = entry.has_base() ? EntryKind::kBase : EntryKind::kDelta;
+    entries_[version] = entry;
+  }
+  gc_floor_ = std::max(gc_floor_, effective_floor);
+  // Clamp GC to the version the run resumes at (or the newest restored one
+  // below it): until a new base is published above it, collecting it would
+  // unlink the only anchor the resumed run has.
+  auto it = entries_.upper_bound(anchor);
+  restore_anchor_ =
+      it == entries_.begin() ? entries_.begin()->first : std::prev(it)->first;
+}
+
+std::optional<engine::Version> ModelStore::restore_anchor() const {
+  std::lock_guard lock(mutex_);
+  return restore_anchor_;
 }
 
 std::optional<VersionEntry> ModelStore::entry_of(engine::Version version) const {
@@ -130,9 +240,66 @@ std::optional<engine::BroadcastId> ModelStore::id_of(engine::Version version) co
   return entry->has_base() ? entry->base_id : entry->delta_id;
 }
 
+bool ModelStore::ensure_payload_locked(engine::Version version, VersionEntry& e,
+                                       bool base) const {
+  engine::BroadcastId& id = base ? e.base_id : e.delta_id;
+  support::Sha256Digest& hash = base ? e.base_hash : e.delta_hash;
+  if (id != 0) return true;
+  if (support::sha256_is_zero(hash)) return false;
+  support::StatusOr<engine::Payload> payload =
+      tier_ != nullptr
+          ? tier_->fetch_payload(hash)
+          : support::StatusOr<engine::Payload>(support::Status(
+                support::StatusCode::kFailedPrecondition, "no disk tier attached"));
+  if (!payload.is_ok()) {
+    std::fprintf(stderr,
+                 "ModelStore: disk fault-in of version %llu %s failed (%s); "
+                 "falling back to an intact ancestor\n",
+                 static_cast<unsigned long long>(version), base ? "base" : "delta",
+                 payload.status().to_string().c_str());
+    // The blob is gone (quarantined or unreadable): forget the address so
+    // the rewalk plans around it.
+    hash = {};
+    return false;
+  }
+  id = broadcasts_->put(std::move(payload).value());
+  return true;
+}
+
 std::vector<ChainLink> ModelStore::chain_locked(
     engine::Version version,
     const std::unordered_set<engine::Version>* anchors) const {
+  std::vector<ChainLink> chain;
+  while (true) {
+    chain.clear();
+    switch (walk_locked(version, anchors, chain)) {
+      case WalkOutcome::kOk:
+        return chain;
+      case WalkOutcome::kRetry:
+        // A lazy entry's blob was lost; its hash is cleared, so the next
+        // walk plans a different chain. Each retry clears at least one
+        // hash — the loop terminates.
+        if (tier_ != nullptr) tier_->metrics().recovery_walks.add(1);
+        continue;
+      case WalkOutcome::kNoBase:
+        // Every snapshot below is gone. Install the nearest intact
+        // ancestor's value as a fresh base under `version` — loud, counted,
+        // and the only alternative to aborting after real data loss.
+        if (!repair_locked(version)) {
+          std::fprintf(stderr,
+                       "ModelStore: version %llu has no intact snapshot or "
+                       "ancestor left to recover from\n",
+                       static_cast<unsigned long long>(version));
+          std::abort();
+        }
+        continue;
+    }
+  }
+}
+
+ModelStore::WalkOutcome ModelStore::walk_locked(
+    engine::Version version, const std::unordered_set<engine::Version>* anchors,
+    std::vector<ChainLink>& out) const {
   // Walk from `version` toward older versions collecting delta links, keeping
   // the cheapest base stop seen so far; commit to a materialized anchor only
   // while its accumulated delta cost still beats every base plan.
@@ -164,34 +331,43 @@ std::vector<ChainLink> ModelStore::chain_locked(
     return payload;
   };
   // Assembles the final chain from the best base stop: [base] + deltas above.
-  const auto base_plan = [&] {
-    assert(best_base_cost != std::numeric_limits<std::size_t>::max());
-    const VersionEntry& base_entry = entries_.at(best_base);
-    std::vector<ChainLink> chain;
-    chain.push_back(ChainLink{best_base, base_entry.base_id,
-                              base_entry.base_bytes, /*is_base=*/true,
-                              pinned_payload(base_entry.base_id, best_base)});
-    for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
-      if (it->version > best_base) chain.push_back(std::move(*it));
+  const auto base_plan = [&]() -> WalkOutcome {
+    if (best_base_cost == std::numeric_limits<std::size_t>::max()) {
+      return WalkOutcome::kNoBase;
     }
-    return chain;
+    VersionEntry& base_entry = entries_.at(best_base);
+    if (!ensure_payload_locked(best_base, base_entry, /*base=*/true)) {
+      return WalkOutcome::kRetry;
+    }
+    out.push_back(ChainLink{best_base, base_entry.base_id, base_entry.base_bytes,
+                            /*is_base=*/true,
+                            pinned_payload(base_entry.base_id, best_base)});
+    for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+      if (it->version > best_base) out.push_back(std::move(*it));
+    }
+    return WalkOutcome::kOk;
   };
 
   engine::Version u = version;
   while (true) {
     const auto it = entries_.find(u);
-    if (it == entries_.end()) die(u);
-    const VersionEntry& e = it->second;
+    if (it == entries_.end()) {
+      // Mid-chain gap: a restored chain referencing a version the manifest
+      // floor dropped (the pre-crash GC rebase was in-memory only). The
+      // chain is broken here — fall back to the best base above the gap.
+      if (u != version) return base_plan();
+      die(u);
+    }
+    VersionEntry& e = it->second;
 
     if (u != version && anchors != nullptr && anchors->contains(u)) {
       if (delta_cost <= best_base_cost) {
         // Materialized anchor wins: [anchor] + deltas above it.
-        std::vector<ChainLink> chain;
-        chain.push_back(ChainLink{u, 0, 0, /*is_base=*/false, engine::Payload{}});
+        out.push_back(ChainLink{u, 0, 0, /*is_base=*/false, engine::Payload{}});
         for (auto dit = deltas.rbegin(); dit != deltas.rend(); ++dit) {
-          chain.push_back(std::move(*dit));
+          out.push_back(std::move(*dit));
         }
-        return chain;
+        return WalkOutcome::kOk;
       }
       return base_plan();
     }
@@ -206,11 +382,59 @@ std::vector<ChainLink> ModelStore::chain_locked(
     // cheaper anchor can exist below: take the best base seen.
     if (!e.has_delta() || delta_cost >= best_base_cost) return base_plan();
 
+    if (!ensure_payload_locked(u, e, /*base=*/false)) return WalkOutcome::kRetry;
     deltas.push_back(ChainLink{u, e.delta_id, e.delta_bytes, /*is_base=*/false,
                                pinned_payload(e.delta_id, u)});
     delta_cost += e.delta_bytes;
     u = e.parent;
   }
+}
+
+bool ModelStore::repair_locked(engine::Version version) const {
+  // Newest-first over versions strictly below: the closest intact ancestor
+  // loses the fewest updates.
+  auto it = entries_.upper_bound(version);
+  while (it != entries_.begin()) {
+    --it;
+    const engine::Version candidate = it->first;
+    if (candidate >= version) continue;
+    std::vector<ChainLink> chain;
+    bool usable = false;
+    for (;;) {
+      chain.clear();
+      const WalkOutcome outcome = walk_locked(candidate, nullptr, chain);
+      if (outcome == WalkOutcome::kOk) {
+        usable = true;
+        break;
+      }
+      if (outcome == WalkOutcome::kNoBase) break;  // next older candidate
+      // kRetry: a hash was cleared; the rewalk plans differently.
+    }
+    if (!usable) continue;
+    assert(!chain.empty() && chain.front().is_base);
+    linalg::DenseVector w = chain.front().payload.get<linalg::DenseVector>();
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      chain[i].payload.get<ModelDelta>().apply_to(w.span());
+    }
+    VersionEntry& entry = entries_[version];
+    entry.base_bytes = w.size_bytes();
+    entry.base_id = broadcasts_->put(engine::Payload::wrap<linalg::DenseVector>(
+        std::move(w), entry.base_bytes));
+    entry.base_hash = {};
+    entry.delta_id = 0;
+    entry.delta_bytes = 0;
+    entry.delta_hash = {};
+    entry.kind = EntryKind::kBase;
+    if (tier_ != nullptr) tier_->metrics().bases_republished.add(1);
+    std::fprintf(stderr,
+                 "ModelStore: version %llu lost to corruption; re-published "
+                 "version %llu's model as its base (staleness absorbed, run "
+                 "continues)\n",
+                 static_cast<unsigned long long>(version),
+                 static_cast<unsigned long long>(candidate));
+    return true;
+  }
+  return false;
 }
 
 std::vector<ChainLink> ModelStore::chain_for(
@@ -232,49 +456,79 @@ linalg::DenseVector ModelStore::materialize_locked(engine::Version version) cons
 
 void ModelStore::gc_below(engine::Version min_version) {
   std::vector<engine::BroadcastId> erased;
+  bool floor_advanced = false;
+  bool dropped_entries = false;
   {
     std::lock_guard lock(mutex_);
-    gc_floor_ = std::max(gc_floor_, min_version);
-    const auto first_keep = entries_.lower_bound(min_version);
-    if (entries_.begin() == first_keep) return;  // nothing below the cut
-    if (first_keep == entries_.end()) {
-      // Everything is below the cut; the next publish cannot chain onto a
-      // GC'd parent, so force it to start a fresh base.
-      has_prev_ = false;
-    } else if (first_keep->second.has_delta() &&
-               first_keep->second.parent < min_version) {
-      // The oldest retained version's delta chains below the cut. Drop the
-      // dangling delta; if that leaves the version without a payload,
-      // materialize it first and rebase it onto a fresh base snapshot.
-      VersionEntry& entry = first_keep->second;
-      if (!entry.has_base()) {
-        linalg::DenseVector w = materialize_locked(first_keep->first);
-        entry.base_bytes = w.size_bytes();
-        entry.base_id = broadcasts_->put(engine::Payload::wrap<linalg::DenseVector>(
-            std::move(w), entry.base_bytes));
-        stats_.compactions += 1;
-      }
-      broadcasts_->erase(entry.delta_id);
-      erased.push_back(entry.delta_id);
-      entry.delta_id = 0;
-      entry.delta_bytes = 0;
-      entry.kind = EntryKind::kBase;
+    if (restore_anchor_.has_value()) {
+      // Never collect the disk-restore anchor out from under a pending
+      // rehydrate: every lazy chain in entries_ bottoms out at or above it.
+      min_version = std::min(min_version, *restore_anchor_);
     }
-    for (auto it = entries_.begin(); it != first_keep;) {
-      // Exact ids, never an id threshold: foreign broadcasts may interleave.
-      if (it->second.has_base()) {
-        broadcasts_->erase(it->second.base_id);
-        erased.push_back(it->second.base_id);
+    if (min_version > gc_floor_) {
+      gc_floor_ = min_version;
+      floor_advanced = true;
+    }
+    const auto first_keep = entries_.lower_bound(min_version);
+    if (entries_.begin() != first_keep) {
+      dropped_entries = true;
+      if (first_keep == entries_.end()) {
+        // Everything is below the cut; the next publish cannot chain onto a
+        // GC'd parent, so force it to start a fresh base.
+        has_prev_ = false;
+      } else if (first_keep->second.has_delta() &&
+                 first_keep->second.parent < min_version) {
+        // The oldest retained version's delta chains below the cut. Drop the
+        // dangling delta; if that leaves the version without a payload,
+        // materialize it first and rebase it onto a fresh base snapshot.
+        VersionEntry& entry = first_keep->second;
+        if (!entry.has_base()) {
+          linalg::DenseVector w = materialize_locked(first_keep->first);
+          entry.base_bytes = w.size_bytes();
+          entry.base_id = broadcasts_->put(engine::Payload::wrap<linalg::DenseVector>(
+              std::move(w), entry.base_bytes));
+          entry.base_hash = {};
+          stats_.compactions += 1;
+        }
+        if (entry.delta_id != 0) {
+          broadcasts_->erase(entry.delta_id);
+          erased.push_back(entry.delta_id);
+        }
+        entry.delta_id = 0;
+        entry.delta_bytes = 0;
+        entry.delta_hash = {};  // un-fetched lazy delta: just forget the address
+        entry.kind = EntryKind::kBase;
       }
-      if (it->second.has_delta()) {
-        broadcasts_->erase(it->second.delta_id);
-        erased.push_back(it->second.delta_id);
+      for (auto it = entries_.begin(); it != first_keep;) {
+        // Exact ids, never an id threshold: foreign broadcasts may interleave.
+        // Lazy restored entries (id 0, hash set) have nothing in memory.
+        if (it->second.base_id != 0) {
+          broadcasts_->erase(it->second.base_id);
+          erased.push_back(it->second.base_id);
+        }
+        if (it->second.delta_id != 0) {
+          broadcasts_->erase(it->second.delta_id);
+          erased.push_back(it->second.delta_id);
+        }
+        it = entries_.erase(it);
       }
-      it = entries_.erase(it);
     }
   }
-  for (VersionedModelCache* cache : snapshot_caches()) {
-    cache->drop_below(min_version, erased);
+  if (dropped_entries) {
+    for (VersionedModelCache* cache : snapshot_caches()) {
+      cache->drop_below(min_version, erased);
+    }
+  }
+  // The durable floor record makes the retained range self-describing: a
+  // restart re-derives its GC bound from the manifest, never from replay.
+  if (tier_ != nullptr && floor_advanced) {
+    if (support::Status s = tier_->append_gc_floor(manifest_shard_, min_version);
+        !s.is_ok()) {
+      std::fprintf(stderr,
+                   "ModelStore: gc-floor manifest append failed (%s); "
+                   "continuing in-memory\n",
+                   s.to_string().c_str());
+    }
   }
 }
 

@@ -46,10 +46,16 @@
 #include "engine/broadcast.hpp"
 #include "engine/types.hpp"
 #include "linalg/dense_vector.hpp"
+#include "store/disk/manifest.hpp"
 #include "store/model_delta.hpp"
 #include "store/store_config.hpp"
+#include "support/sha256.hpp"
 
 namespace asyncml::store {
+
+namespace disk {
+class DiskTier;
+}  // namespace disk
 
 class VersionedModelCache;
 
@@ -58,18 +64,29 @@ enum class EntryKind : std::uint8_t { kBase, kDelta };
 /// Server-side metadata of one published version.  A version can carry a
 /// base snapshot, a delta against its parent, or both (dual-published
 /// scheduled bases).
+///
+/// With a disk tier attached, a payload can exist in two places: registered
+/// with the BroadcastStore (id != 0) and/or durable under a content address
+/// (hash != 0).  A restored entry starts lazy — hash set, id 0 — and the
+/// resolution walk faults the blob in on first use (docs/DURABILITY.md).
 struct VersionEntry {
   /// Primary representation: kBase whenever a snapshot exists.
   EntryKind kind = EntryKind::kBase;
   /// Version this entry's delta applies on top of (meaningful with a delta).
   engine::Version parent = 0;
-  engine::BroadcastId base_id = 0;   ///< 0 = no snapshot payload
-  engine::BroadcastId delta_id = 0;  ///< 0 = no delta payload
+  engine::BroadcastId base_id = 0;   ///< 0 = snapshot not in memory
+  engine::BroadcastId delta_id = 0;  ///< 0 = delta not in memory
   std::size_t base_bytes = 0;        ///< modeled wire size of the snapshot
   std::size_t delta_bytes = 0;       ///< modeled wire size of the delta
+  support::Sha256Digest base_hash{};   ///< content address on disk (0 = none)
+  support::Sha256Digest delta_hash{};  ///< content address on disk (0 = none)
 
-  [[nodiscard]] bool has_base() const noexcept { return base_id != 0; }
-  [[nodiscard]] bool has_delta() const noexcept { return delta_id != 0; }
+  [[nodiscard]] bool has_base() const noexcept {
+    return base_id != 0 || !support::sha256_is_zero(base_hash);
+  }
+  [[nodiscard]] bool has_delta() const noexcept {
+    return delta_id != 0 || !support::sha256_is_zero(delta_hash);
+  }
 };
 
 /// One link of a resolution chain, with the payload pinned at snapshot time
@@ -163,11 +180,63 @@ class ModelStore {
   [[nodiscard]] StoreStats stats() const;
   [[nodiscard]] const StoreConfig& config() const noexcept { return cfg_; }
 
+  // -- durable disk tier (docs/DURABILITY.md) --------------------------------
+
+  /// Attaches the durable tier: every publish writes through to it (snapshot
+  /// and delta blobs + a manifest record under `manifest_shard`) and the
+  /// resolution walk faults lazy entries in from it.  The tier is shared
+  /// across shards and outlives the store; call before the first publish.
+  void attach_disk(disk::DiskTier* tier, std::uint32_t manifest_shard);
+
+  /// Rebuilds the version map from replayed manifest records: each record
+  /// becomes a lazy entry (content hashes set, no in-memory payload) so a
+  /// restarted coordinator serves history without replaying updates.  Only
+  /// records at or above the newest base-carrying version ≤ `floor`... more
+  /// precisely: the GC floor re-derives as the oldest version whose chain is
+  /// fully on disk — records below the oldest base-carrying version are
+  /// dropped (their chains would dangle).  `anchor` is the version the run
+  /// resumes at; GC is clamped to it until a newer base is published, so a
+  /// restore can never have its anchor collected from under it.
+  void restore_from_manifest(
+      const std::map<std::uint64_t, disk::PublishRecord>& records,
+      std::uint64_t floor, engine::Version anchor);
+
+  /// The version GC is currently clamped to after a restore (nullopt once a
+  /// newer base has been published). Exposed for the GC regression tests.
+  [[nodiscard]] std::optional<engine::Version> restore_anchor() const;
+
  private:
-  /// chain_for body; requires mutex_ held.
+  enum class WalkOutcome : std::uint8_t {
+    kOk,     ///< chain assembled
+    kRetry,  ///< a lazy entry failed to fault in; its hash was cleared — rewalk
+    kNoBase, ///< no reachable snapshot anywhere below: needs repair
+  };
+
+  /// chain_for body; requires mutex_ held. Retries walks around disk
+  /// fault-in failures and repairs an unmaterializable version by
+  /// re-publishing its nearest intact ancestor as a fresh base.
   [[nodiscard]] std::vector<ChainLink> chain_locked(
       engine::Version version,
       const std::unordered_set<engine::Version>* anchors) const;
+
+  /// One walk attempt; requires mutex_ held.
+  [[nodiscard]] WalkOutcome walk_locked(
+      engine::Version version, const std::unordered_set<engine::Version>* anchors,
+      std::vector<ChainLink>& out) const;
+
+  /// Ensures the base (or delta) payload of `e` is registered in memory,
+  /// faulting it in from the disk tier when the entry is lazy. On a failed
+  /// fault-in (corrupt/quarantined/unreadable blob) the content hash is
+  /// cleared — the payload is gone — and false is returned. Requires mutex_.
+  [[nodiscard]] bool ensure_payload_locked(engine::Version version, VersionEntry& e,
+                                           bool base) const;
+
+  /// Last-resort fallback after data loss: materializes the newest intact
+  /// version ≤ `version` and installs its value as a fresh base snapshot
+  /// under `version` (counted in DiskTierMetrics::bases_republished, warned —
+  /// never silent). Returns false when no version below is intact either.
+  /// Requires mutex_ held.
+  [[nodiscard]] bool repair_locked(engine::Version version) const;
 
   /// Materializes `version` server-side (GC rebase); requires mutex_ held.
   [[nodiscard]] linalg::DenseVector materialize_locked(engine::Version version) const;
@@ -179,7 +248,9 @@ class ModelStore {
   StoreConfig cfg_;
 
   mutable std::mutex mutex_;
-  std::map<engine::Version, VersionEntry> entries_;
+  // mutable: the logically-const resolution walk faults lazy entries in from
+  // disk (registering their payloads and recording the broadcast ids here).
+  mutable std::map<engine::Version, VersionEntry> entries_;
   linalg::DenseVector prev_;          ///< last published model (diff source)
   engine::Version prev_version_ = 0;
   bool has_prev_ = false;
@@ -187,6 +258,10 @@ class ModelStore {
   engine::Version gc_floor_ = 0;
   StoreStats stats_;
   std::int32_t shard_tag_ = -1;
+  disk::DiskTier* tier_ = nullptr;    ///< durable tier (null = in-memory only)
+  std::uint32_t manifest_shard_ = 0;  ///< this store's shard id in the manifest
+  /// Set by restore_from_manifest; GC clamps to it until a newer base lands.
+  std::optional<engine::Version> restore_anchor_;
 
   std::mutex caches_mutex_;
   std::vector<std::unique_ptr<VersionedModelCache>> worker_caches_;

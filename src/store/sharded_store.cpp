@@ -1,6 +1,7 @@
 #include "store/sharded_store.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 #include "store/model_cache.hpp"
@@ -22,6 +23,22 @@ ShardedModelStore::ShardedModelStore(engine::BroadcastStore* broadcasts,
 
 engine::BroadcastId ShardedModelStore::publish(const linalg::DenseVector& w,
                                                engine::Version version) {
+  if (cfg_.disk.enabled && tier_ == nullptr) {
+    // First publish of a non-resumed run: open a fresh tier (rotating any
+    // stale manifest aside). Failure downgrades to in-memory, once, loudly.
+    auto tier = disk::DiskTier::open(cfg_.disk, disk::OpenMode::kFresh,
+                                     disk_metrics_, disk_faults_);
+    if (tier.is_ok()) {
+      tier_ = std::move(tier).value();
+      if (!sharded()) attach_shard(0);
+    } else {
+      std::fprintf(stderr,
+                   "ShardedModelStore: disk tier open failed (%s); running "
+                   "in-memory only\n",
+                   tier.status().to_string().c_str());
+      cfg_.disk.enabled = false;
+    }
+  }
   if (!sharded()) return shards_[0]->publish(w, version);
 
   if (map_ == nullptr) {
@@ -33,6 +50,10 @@ engine::BroadcastId ShardedModelStore::publish(const linalg::DenseVector& w,
       auto shard = std::make_unique<ModelStore>(broadcasts_, cfg_);
       shard->set_shard_tag(static_cast<std::int32_t>(s));
       shards_.push_back(std::move(shard));
+    }
+    if (tier_ != nullptr) {
+      for (std::uint32_t s = 0; s < map_->num_shards(); ++s) attach_shard(s);
+      pending_restore_anchor_.reset();
     }
   }
   assert(w.size() == map_->dim() && "model dimension changed across publishes");
@@ -195,6 +216,47 @@ StoreStats ShardedModelStore::aggregate_stats() const {
     total.compactions += s.compactions;
   }
   return total;
+}
+
+void ShardedModelStore::set_disk_hooks(engine::DiskTierMetrics* metrics,
+                                       engine::FaultState* faults) {
+  disk_metrics_ = metrics;
+  disk_faults_ = faults;
+}
+
+support::Status ShardedModelStore::restore_from_disk(engine::Version anchor) {
+  if (!cfg_.disk.enabled) {
+    return support::Status(support::StatusCode::kFailedPrecondition,
+                           "sharded_store: disk tier disabled");
+  }
+  if (tier_ == nullptr) {
+    auto tier = disk::DiskTier::open(cfg_.disk, disk::OpenMode::kResume,
+                                     disk_metrics_, disk_faults_);
+    if (!tier.is_ok()) return tier.status();
+    tier_ = std::move(tier).value();
+  }
+  pending_restore_anchor_ = anchor;
+  if (!sharded()) {
+    attach_shard(0);
+    pending_restore_anchor_.reset();
+  }
+  // S > 1: the shards (and the ShardMap) do not exist until the dimension is
+  // known at the first publish — the stashed anchor makes attach_shard replay
+  // each shard's slice of the manifest then.
+  return support::Status::ok();
+}
+
+void ShardedModelStore::attach_shard(std::uint32_t s) {
+  shards_[s]->attach_disk(tier_.get(), s);
+  if (!pending_restore_anchor_.has_value()) return;  // fresh run: nothing to replay
+  const disk::ManifestState& st = tier_->restored();
+  static const std::map<std::uint64_t, disk::PublishRecord> kNoRecords;
+  const auto rec_it = st.shards.find(s);
+  const auto floor_it = st.gc_floors.find(s);
+  shards_[s]->restore_from_manifest(
+      rec_it != st.shards.end() ? rec_it->second : kNoRecords,
+      floor_it != st.gc_floors.end() ? floor_it->second : 0,
+      *pending_restore_anchor_);
 }
 
 std::shared_ptr<ShardedModelStore::AssemblyEntry> ShardedModelStore::assembly_entry(

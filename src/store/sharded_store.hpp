@@ -51,7 +51,9 @@
 #include "engine/broadcast.hpp"
 #include "engine/types.hpp"
 #include "linalg/dense_vector.hpp"
+#include "store/disk/disk_tier.hpp"
 #include "store/model_store.hpp"
+#include "support/status.hpp"
 
 namespace asyncml::store {
 
@@ -115,6 +117,26 @@ class ShardedModelStore {
   /// Publish stats summed over shards.
   [[nodiscard]] StoreStats aggregate_stats() const;
 
+  // ---- Durable disk tier (store/disk/, docs/DURABILITY.md) ---------------
+
+  /// Routes the tier's counters into cluster metrics and its fault seams into
+  /// the run's FaultState. Call before the first publish (AsyncContext ctor);
+  /// both may be null.
+  void set_disk_hooks(engine::DiskTierMetrics* metrics, engine::FaultState* faults);
+
+  /// The tier, or null: disabled, or enabled but before the first publish
+  /// (the tier opens lazily with the first publish, kFresh).
+  [[nodiscard]] disk::DiskTier* disk_tier() noexcept { return tier_.get(); }
+
+  /// Restart-without-replay: opens the tier in kResume mode (manifest replay,
+  /// torn tail truncated) and anchors the store on the replayed publishes at
+  /// or below `anchor` (the checkpointed model version). With S == 1 the
+  /// shard replays immediately; with S > 1 the replay is deferred to the
+  /// first publish, when the ShardMap (and thus the shards) exist.
+  ///
+  /// Must run before the first publish of the resumed run.
+  [[nodiscard]] support::Status restore_from_disk(engine::Version anchor);
+
  private:
   struct AssemblyEntry {
     explicit AssemblyEntry(std::size_t dim, std::uint32_t num_shards)
@@ -132,8 +154,19 @@ class ShardedModelStore {
   /// Drops assembly entries of exactly `version` (republish) across workers.
   void drop_assembly_at(engine::Version version);
 
+  /// Attaches shard `s` to the tier and, when a deferred restore is pending,
+  /// replays its slice of the manifest into the shard.
+  void attach_shard(std::uint32_t s);
+
   engine::BroadcastStore* broadcasts_;
   StoreConfig cfg_;
+
+  // Disk tier: owned here (shards borrow it), opened lazily at first publish
+  // (kFresh) or eagerly by restore_from_disk (kResume).
+  std::unique_ptr<disk::DiskTier> tier_;
+  engine::DiskTierMetrics* disk_metrics_ = nullptr;
+  engine::FaultState* disk_faults_ = nullptr;
+  std::optional<engine::Version> pending_restore_anchor_;
 
   // Built at construction (S == 1) or first publish (S > 1); immutable after.
   std::unique_ptr<core::ShardMap> map_;

@@ -2,11 +2,42 @@
 
 // Configuration of the delta-versioned model store (src/store/).
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "core/shard_map.hpp"
 
 namespace asyncml::store {
+
+/// Knobs of the content-addressed disk tier beneath the model store
+/// (store/disk/, docs/DURABILITY.md). Off by default: with `enabled` false no
+/// disk code runs anywhere on the publish/resolve paths.
+struct DiskTierConfig {
+  bool enabled = false;
+
+  /// Root directory of the tier: `objects/` (sha256-named blobs), `tmp/`
+  /// (in-flight writes, published by atomic rename), `quarantine/` (blobs
+  /// that failed their integrity check), and the append-only `MANIFEST`.
+  std::string dir;
+
+  /// Byte budget of the in-memory LRU above the blob files; hot chain links
+  /// and freshly written payloads are served from here without touching disk.
+  std::size_t lru_bytes = std::size_t{64} << 20;
+
+  /// Attempts per blob operation on a *transient* error (kUnavailable —
+  /// injected fail_write/fail_read or a real EINTR-ish failure). Corruption
+  /// is never retried: the same bytes would fail the same check.
+  std::uint32_t max_attempts = 4;
+
+  /// Base backoff between attempts, doubled each retry.
+  double retry_backoff_ms = 0.5;
+
+  /// fsync blobs before the publishing rename and the manifest after each
+  /// append. Off trades crash-safety of the last few records for speed
+  /// (docs/DURABILITY.md §atomicity); tests keep it on.
+  bool fsync = true;
+};
 
 /// Delta nnz/dim ratio above which publishing a full base snapshot is cheaper
 /// than a delta: the wire break-even of the (u32 index, f64 value) encoding is
@@ -35,6 +66,11 @@ struct StoreConfig {
   /// Feature-index partitioning scheme (kRange enables tree aggregation and
   /// memcpy extract/scatter; see core/shard_map.hpp).
   core::ShardScheme shard_scheme = core::ShardScheme::kRange;
+
+  /// Durable disk tier beneath the store. Write-through + read-fault-in only:
+  /// a live run never *reads* from disk, so trajectories are bit-identical
+  /// with the tier on or off; restores and cold joiners anchor on it.
+  DiskTierConfig disk;
 };
 
 }  // namespace asyncml::store

@@ -1,0 +1,36 @@
+#include "support/crc32.hpp"
+
+#include <array>
+
+namespace asyncml::support {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    state = kCrcTable[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace asyncml::support

@@ -1,0 +1,27 @@
+#pragma once
+
+// IEEE CRC-32 (the zlib/PNG polynomial, reflected, table-driven).
+//
+// One implementation serves every integrity check in the tree: the transport
+// frames it originally lived in (transport/frame.hpp keeps a thin alias) and
+// the disk tier's blob + manifest records (store/disk/).  The disk store must
+// not depend on the transport layer, hence the home here in support/.
+
+#include <cstdint>
+#include <span>
+
+namespace asyncml::support {
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final xor, polynomial 0xEDB88320).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: `crc32_update(crc32_init(), chunk)` chained over chunks,
+/// then `crc32_final` — equal to crc32() over the concatenation.
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         std::span<const std::uint8_t> data);
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace asyncml::support

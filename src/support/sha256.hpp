@@ -1,0 +1,66 @@
+#pragma once
+
+// SHA-256 (FIPS 180-4), dependency-free and incremental.
+//
+// The disk tier (store/disk/) content-addresses every blob by the SHA-256 of
+// its payload: the digest IS the filename, so identical payloads dedup to one
+// object and a read can prove it got back exactly the bytes that were
+// written.  The incremental Sha256 class hashes streams chunk by chunk
+// (update/finalize); the free functions cover the one-shot and hex cases.
+//
+// Tested against the FIPS 180-4 known-answer vectors plus incremental-split
+// equivalence in tests/support/sha256_test.cpp.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace asyncml::support {
+
+/// A SHA-256 digest. Value type; all-zero is used as "no digest" by callers
+/// (the hash of any real payload is never all-zero in practice).
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  /// Restarts the hash (a finalized instance can be reused).
+  void reset();
+
+  /// Absorbs `data`; chunk boundaries do not affect the digest.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Pads, finishes, and returns the digest. The instance must be reset()
+  /// before further updates.
+  [[nodiscard]] Sha256Digest finalize();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot digest of `data`.
+[[nodiscard]] Sha256Digest sha256(std::span<const std::uint8_t> data);
+
+/// Lowercase 64-char hex of a digest (the blob filename).
+[[nodiscard]] std::string sha256_hex(const Sha256Digest& digest);
+
+/// Parses a 64-char hex string; nullopt on bad length or non-hex characters.
+[[nodiscard]] std::optional<Sha256Digest> sha256_from_hex(const std::string& hex);
+
+/// True when the digest is all-zero (the "no digest" sentinel).
+[[nodiscard]] inline bool sha256_is_zero(const Sha256Digest& digest) noexcept {
+  for (const std::uint8_t b : digest) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace asyncml::support

@@ -11,6 +11,7 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kCancelled: return "CANCELLED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -22,6 +22,11 @@ enum class StatusCode {
   kCancelled,
   kInternal,
   kUnavailable,
+  /// Unrecoverable corruption: stored bytes fail their integrity check
+  /// (CRC/hash mismatch, truncated blob). Unlike kUnavailable this is not
+  /// transient — retrying the same read returns the same corrupt bytes; the
+  /// disk tier quarantines the object and falls back to an intact ancestor.
+  kDataLoss,
 };
 
 [[nodiscard]] const char* status_code_name(StatusCode code) noexcept;

@@ -35,9 +35,14 @@ enum class Stage : std::uint8_t {
   kResultChannel,     ///< modeled transfer of the result to the coordinator
   kAccumulate,        ///< driver: collect return -> publish start
   kBroadcastPublish,  ///< driver: publishing the new model version
+  kDiskIo,            ///< disk-tier blob I/O. An attribution *overlay*, not a
+                      ///< pipeline segment: worker-side fault-ins run inside
+                      ///< kModelFetch (so fetch time already contains it);
+                      ///< driver-side write-through spill is charged per
+                      ///< update next to kBroadcastPublish.
 };
 
-inline constexpr std::size_t kNumStages = 9;
+inline constexpr std::size_t kNumStages = 10;
 inline constexpr std::size_t kWorkerStages = 7;  ///< first N stages are per-task
 
 [[nodiscard]] inline const char* stage_name(Stage stage) {
@@ -51,6 +56,7 @@ inline constexpr std::size_t kWorkerStages = 7;  ///< first N stages are per-tas
     case Stage::kResultChannel: return "result_channel";
     case Stage::kAccumulate: return "accumulate";
     case Stage::kBroadcastPublish: return "broadcast_publish";
+    case Stage::kDiskIo: return "disk_io";
   }
   return "unknown";
 }

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstring>
 
+#include "support/crc32.hpp"
 #include "transport/lz4.hpp"
 
 namespace asyncml::transport {
@@ -14,20 +15,6 @@ using support::StatusOr;
 namespace {
 
 constexpr std::array<std::uint8_t, 4> kMagic = {'A', 'M', 'F', '1'};
-
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
 
 void put_u32le(std::uint8_t* p, std::uint32_t v) {
   p[0] = static_cast<std::uint8_t>(v);
@@ -50,11 +37,9 @@ bool valid_kind(std::uint8_t type) {
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const std::uint8_t b : data) {
-    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  // One CRC-32 for the whole tree; the table lives in support/crc32.cpp so
+  // the disk tier shares it without depending on the transport layer.
+  return support::crc32(data);
 }
 
 StatusOr<std::vector<std::uint8_t>> Frame::message_bytes() const {

@@ -1,0 +1,103 @@
+// Blob format unit tests (store/disk/blob.hpp): round-trip, and one test per
+// corruption class — every malformed image must come back as a non-OK Status,
+// never a crash or a silent accept (the seeded battery in disk_fuzz_test.cpp
+// extends this to random mutations).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "store/disk/blob.hpp"
+#include "support/sha256.hpp"
+
+namespace asyncml::store::disk {
+namespace {
+
+std::vector<std::uint8_t> sample_payload(std::size_t n) {
+  std::vector<std::uint8_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return payload;
+}
+
+TEST(DiskBlob, RoundTrip) {
+  const auto payload = sample_payload(300);
+  const auto file = encode_blob(payload);
+  ASSERT_EQ(file.size(), kBlobHeaderBytes + payload.size());
+
+  const auto decoded = decode_blob(file);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), decoded.value().begin()));
+
+  const auto verified = decode_blob(file, support::sha256(payload));
+  EXPECT_TRUE(verified.is_ok());
+}
+
+TEST(DiskBlob, EmptyPayloadRoundTrips) {
+  const auto file = encode_blob({});
+  const auto decoded = decode_blob(file);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().size(), 0u);
+}
+
+TEST(DiskBlob, TruncatedHeaderRejected) {
+  const auto file = encode_blob(sample_payload(64));
+  for (std::size_t n = 0; n < kBlobHeaderBytes; ++n) {
+    const auto decoded = decode_blob({file.data(), n});
+    EXPECT_FALSE(decoded.is_ok()) << "header prefix of " << n << " bytes accepted";
+  }
+}
+
+TEST(DiskBlob, BadMagicRejected) {
+  auto file = encode_blob(sample_payload(64));
+  file[0] ^= 0x01;
+  EXPECT_FALSE(decode_blob(file).is_ok());
+}
+
+// A crash image: the rename happened but the payload tail never hit the disk.
+TEST(DiskBlob, TornPayloadRejected) {
+  const auto payload = sample_payload(128);
+  auto file = encode_blob(payload);
+  file.resize(kBlobHeaderBytes + payload.size() / 2);
+  EXPECT_FALSE(decode_blob(file).is_ok());
+}
+
+// A lying length field must never read out of bounds (claimed > actual) nor
+// silently drop a tail (claimed < actual).
+TEST(DiskBlob, LyingLengthRejectedBothDirections) {
+  const auto payload = sample_payload(128);
+  auto shorter = encode_blob(payload);
+  shorter[8] = static_cast<std::uint8_t>(payload.size() / 2);
+  shorter[9] = shorter[10] = shorter[11] = 0;
+  EXPECT_FALSE(decode_blob(shorter).is_ok());
+
+  auto longer = encode_blob(payload);
+  longer[8] = 0xFF;
+  longer[9] = 0xFF;
+  longer[10] = 0xFF;
+  longer[11] = 0x7F;
+  EXPECT_FALSE(decode_blob(longer).is_ok());
+}
+
+TEST(DiskBlob, FlippedPayloadBitFailsCrc) {
+  const auto payload = sample_payload(256);
+  auto file = encode_blob(payload);
+  file[kBlobHeaderBytes + 100] ^= 0x10;
+  EXPECT_FALSE(decode_blob(file).is_ok());
+}
+
+// CRC intact but the content does not match the name it was stored under —
+// the hash check is what catches a file whose name lies.
+TEST(DiskBlob, WrongContentAddressRejected) {
+  const auto payload = sample_payload(64);
+  const auto file = encode_blob(payload);
+  EXPECT_TRUE(decode_blob(file, support::sha256(payload)).is_ok());
+  const auto other = support::sha256(sample_payload(65));
+  EXPECT_FALSE(decode_blob(file, other).is_ok());
+}
+
+}  // namespace
+}  // namespace asyncml::store::disk

@@ -1,0 +1,250 @@
+// Manifest grammar tests (store/disk/manifest.hpp): record round-trips,
+// torn-tail tolerance with the valid_bytes resume contract, unknown-type
+// forward compatibility, last-wins publish semantics, and the append-only
+// writer's truncate-on-resume behaviour against a real file.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "store/disk/manifest.hpp"
+#include "support/sha256.hpp"
+
+namespace asyncml::store::disk {
+namespace {
+
+// TEST_TMPDIR first (CI isolates parallel chaos legs with it; older gtest
+// releases ignore it in ::testing::TempDir()).
+std::string test_tmp() {
+  const char* env = std::getenv("TEST_TMPDIR");
+  if (env != nullptr && env[0] != '\0') {
+    std::string dir(env);
+    if (dir.back() != '/') dir.push_back('/');
+    return dir;
+  }
+  return ::testing::TempDir();
+}
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+support::Sha256Digest digest_of(const char* s) {
+  const std::string str(s);
+  return support::sha256({reinterpret_cast<const std::uint8_t*>(str.data()),
+                          str.size()});
+}
+
+PublishRecord sample_publish(std::uint32_t shard, std::uint64_t version) {
+  PublishRecord r;
+  r.shard = shard;
+  r.version = version;
+  r.parent = version > 0 ? version - 1 : 0;
+  r.has_base = version % 4 == 0;
+  r.has_delta = version % 4 != 0;
+  if (r.has_base) {
+    r.base_digest = digest_of("base");
+    r.base_bytes = 800;
+  }
+  if (r.has_delta) {
+    r.delta_digest = digest_of("delta");
+    r.delta_bytes = 96;
+  }
+  return r;
+}
+
+std::vector<std::uint8_t> file_with(
+    const std::vector<std::vector<std::uint8_t>>& records) {
+  std::vector<std::uint8_t> file = manifest_header();
+  for (const auto& r : records) file.insert(file.end(), r.begin(), r.end());
+  return file;
+}
+
+TEST(DiskManifest, PublishRecordRoundTrips) {
+  const PublishRecord rec = sample_publish(3, 8);
+  const auto file = file_with({encode_publish_record(rec)});
+  const auto decoded = decode_manifest(file);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const ManifestState& state = decoded.value();
+  EXPECT_EQ(state.records, 1u);
+  EXPECT_FALSE(state.torn_tail);
+  EXPECT_EQ(state.valid_bytes, file.size());
+  ASSERT_TRUE(state.shards.contains(3));
+  ASSERT_TRUE(state.shards.at(3).contains(8));
+  const PublishRecord& got = state.shards.at(3).at(8);
+  EXPECT_EQ(got.parent, rec.parent);
+  EXPECT_EQ(got.has_base, rec.has_base);
+  EXPECT_EQ(got.has_delta, rec.has_delta);
+  EXPECT_EQ(got.base_digest, rec.base_digest);
+  EXPECT_EQ(got.delta_digest, rec.delta_digest);
+  EXPECT_EQ(got.base_bytes, rec.base_bytes);
+  EXPECT_EQ(got.delta_bytes, rec.delta_bytes);
+}
+
+TEST(DiskManifest, GcFloorMaxWins) {
+  const auto file = file_with({encode_gc_floor_record(0, 5),
+                               encode_gc_floor_record(0, 12),
+                               encode_gc_floor_record(0, 9),
+                               encode_gc_floor_record(2, 3)});
+  const auto decoded = decode_manifest(file);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().gc_floors.at(0), 12u);
+  EXPECT_EQ(decoded.value().gc_floors.at(2), 3u);
+}
+
+TEST(DiskManifest, CheckpointRecordRoundTrips) {
+  CheckpointRecord rec;
+  rec.update_index = 40;
+  rec.model_version = 37;
+  rec.round = 160;
+  rec.model_digest = digest_of("model");
+  rec.counters = {{"tasks_completed", 640}, {"retries", 2}};
+  rec.aux = {{"alpha_bar", digest_of("alpha")}};
+  const auto file = file_with({encode_checkpoint_record(rec)});
+  const auto decoded = decode_manifest(file);
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded.value().checkpoints.size(), 1u);
+  const CheckpointRecord& got = decoded.value().checkpoints[0];
+  EXPECT_EQ(got.update_index, 40u);
+  EXPECT_EQ(got.model_version, 37u);
+  EXPECT_EQ(got.round, 160u);
+  EXPECT_EQ(got.model_digest, rec.model_digest);
+  ASSERT_EQ(got.counters.size(), 2u);
+  EXPECT_EQ(got.counters[0].first, "tasks_completed");
+  EXPECT_EQ(got.counters[0].second, 640u);
+  ASSERT_EQ(got.aux.size(), 1u);
+  EXPECT_EQ(got.aux[0].first, "alpha_bar");
+  EXPECT_EQ(got.aux[0].second, rec.aux[0].second);
+}
+
+TEST(DiskManifest, BadHeaderIsAnError) {
+  EXPECT_FALSE(decode_manifest(bytes_of("NOTAMANI")).is_ok());
+  EXPECT_FALSE(decode_manifest(bytes_of("AML")).is_ok());
+  EXPECT_FALSE(decode_manifest({}).is_ok());
+}
+
+TEST(DiskManifest, EmptyManifestIsValid) {
+  const auto decoded = decode_manifest(manifest_header());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().records, 0u);
+  EXPECT_FALSE(decoded.value().torn_tail);
+}
+
+// A crash mid-append leaves a torn tail: replay must keep every record
+// before the tear and report valid_bytes at the last intact boundary.
+TEST(DiskManifest, TornTailKeepsIntactPrefix) {
+  const auto r1 = encode_publish_record(sample_publish(0, 1));
+  const auto r2 = encode_publish_record(sample_publish(0, 2));
+  auto file = file_with({r1, r2});
+  const std::uint64_t intact = manifest_header().size() + r1.size();
+  // Cut the second record at every possible interior point.
+  for (std::size_t cut = intact + 1; cut < file.size(); ++cut) {
+    const auto decoded = decode_manifest({file.data(), cut});
+    ASSERT_TRUE(decoded.is_ok()) << "cut " << cut;
+    EXPECT_TRUE(decoded.value().torn_tail);
+    EXPECT_EQ(decoded.value().records, 1u);
+    EXPECT_EQ(decoded.value().valid_bytes, intact);
+  }
+}
+
+// A record whose CRC fails ends the replay there too — a tear that flipped
+// bits rather than cutting the file.
+TEST(DiskManifest, CrcFailingRecordEndsReplay) {
+  const auto r1 = encode_publish_record(sample_publish(0, 1));
+  const auto r2 = encode_publish_record(sample_publish(0, 2));
+  auto file = file_with({r1, r2});
+  file[manifest_header().size() + r1.size() + kRecordHeaderBytes + 3] ^= 0x40;
+  const auto decoded = decode_manifest(file);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().torn_tail);
+  EXPECT_EQ(decoded.value().records, 1u);
+  EXPECT_EQ(decoded.value().valid_bytes, manifest_header().size() + r1.size());
+}
+
+// Unknown record type with a valid CRC: skipped, counted, replay continues —
+// an old reader over a new writer's log.
+TEST(DiskManifest, UnknownTypeWithValidCrcIsSkipped) {
+  auto unknown = encode_gc_floor_record(0, 7);
+  // Rewriting the type invalidates nothing but the type byte — the CRC covers
+  // only the body — so this is a valid record of an unknown kind.
+  unknown[0] = 200;
+  const auto tail = encode_publish_record(sample_publish(1, 9));
+  const auto decoded = decode_manifest(file_with({unknown, tail}));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().skipped_unknown, 1u);
+  EXPECT_FALSE(decoded.value().torn_tail);
+  EXPECT_TRUE(decoded.value().shards.contains(1));
+}
+
+TEST(DiskManifest, DuplicatePublishLastWins) {
+  PublishRecord first = sample_publish(0, 5);
+  first.base_bytes = 111;
+  first.has_base = true;
+  PublishRecord second = first;
+  second.base_bytes = 222;
+  const auto decoded = decode_manifest(
+      file_with({encode_publish_record(first), encode_publish_record(second)}));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().shards.at(0).at(5).base_bytes, 222u);
+}
+
+// Writer resume contract: open(truncate_to=valid_bytes) cuts the torn tail so
+// post-restart appends land where the next replay will read them.
+TEST(DiskManifestWriter, ResumeTruncatesTornTailThenAppends) {
+  const std::string path = test_tmp() + "manifest_resume_test";
+  std::remove(path.c_str());
+
+  ManifestWriter w;
+  ASSERT_TRUE(w.open(path, 0, /*do_fsync=*/false).is_ok());
+  ASSERT_TRUE(w.append(encode_publish_record(sample_publish(0, 1))).is_ok());
+  ASSERT_TRUE(w.append(encode_publish_record(sample_publish(0, 2))).is_ok());
+  w.close();
+
+  // Tear the file mid-second-record, like a crash during the append.
+  std::uint64_t full = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    full = static_cast<std::uint64_t>(in.tellg());
+  }
+  const std::uint64_t torn = full - 5;
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(torn)), 0);
+
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto replay = decode_manifest(bytes);
+  ASSERT_TRUE(replay.is_ok());
+  ASSERT_TRUE(replay.value().torn_tail);
+  const std::uint64_t valid = replay.value().valid_bytes;
+
+  ManifestWriter resumed;
+  ASSERT_TRUE(resumed.open(path, valid, /*do_fsync=*/true).is_ok());
+  ASSERT_TRUE(resumed.append(encode_publish_record(sample_publish(0, 3))).is_ok());
+  resumed.close();
+
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const auto final_replay = decode_manifest(bytes);
+  ASSERT_TRUE(final_replay.is_ok());
+  EXPECT_FALSE(final_replay.value().torn_tail);
+  EXPECT_EQ(final_replay.value().records, 2u);  // v1 and the post-resume v3
+  EXPECT_TRUE(final_replay.value().shards.at(0).contains(1));
+  EXPECT_FALSE(final_replay.value().shards.at(0).contains(2));  // torn away
+  EXPECT_TRUE(final_replay.value().shards.at(0).contains(3));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace asyncml::store::disk

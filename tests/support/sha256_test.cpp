@@ -1,0 +1,104 @@
+// FIPS 180-4 known-answer tests for the dependency-free SHA-256 the disk
+// tier content-addresses blobs with (support/sha256.hpp), plus the
+// incremental-split equivalence the streaming interface promises and the
+// hex round-trip the blob filenames rely on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/sha256.hpp"
+
+namespace asyncml::support {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::string hex_of(const std::string& s) { return sha256_hex(sha256(bytes_of(s))); }
+
+// NIST FIPS 180-4 (and SHA-2 test-vector appendix) known answers.
+TEST(Sha256, FipsKnownAnswerVectors) {
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // Two-block message ("abcdbcde...nopq", 448 bits).
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // 896-bit message spanning the padding boundary.
+  EXPECT_EQ(hex_of("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                   "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionRepeatedAs) {
+  const std::string a(1'000'000, 'a');
+  EXPECT_EQ(hex_of(a),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Every message length crossing the 64-byte block boundary digests the same
+// whether fed whole or split at any point — chunking must be invisible.
+TEST(Sha256, IncrementalSplitsMatchOneShot) {
+  std::vector<std::uint8_t> data(200);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  for (std::size_t len : {0u, 1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    const std::span<const std::uint8_t> msg(data.data(), len);
+    const Sha256Digest oneshot = sha256(msg);
+    for (std::size_t cut = 0; cut <= len; cut += (len < 8 ? 1 : 7)) {
+      Sha256 h;
+      h.update(msg.subspan(0, cut));
+      h.update(msg.subspan(cut));
+      EXPECT_EQ(h.finalize(), oneshot) << "len " << len << " cut " << cut;
+    }
+  }
+}
+
+TEST(Sha256, ResetReusesAnInstance) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  const Sha256Digest first = h.finalize();
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(h.finalize(), first);
+  h.reset();
+  h.update(bytes_of("abd"));
+  EXPECT_NE(h.finalize(), first);
+}
+
+TEST(Sha256, HexRoundTrip) {
+  const Sha256Digest digest = sha256(bytes_of("round trip"));
+  const std::string hex = sha256_hex(digest);
+  ASSERT_EQ(hex.size(), 64u);
+  const auto parsed = sha256_from_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, digest);
+}
+
+TEST(Sha256, FromHexRejectsMalformedInput) {
+  EXPECT_FALSE(sha256_from_hex("").has_value());
+  EXPECT_FALSE(sha256_from_hex("abc").has_value());
+  EXPECT_FALSE(sha256_from_hex(std::string(63, 'a')).has_value());
+  EXPECT_FALSE(sha256_from_hex(std::string(65, 'a')).has_value());
+  std::string bad(64, 'a');
+  bad[10] = 'g';  // non-hex character
+  EXPECT_FALSE(sha256_from_hex(bad).has_value());
+}
+
+TEST(Sha256, ZeroSentinel) {
+  Sha256Digest zero{};
+  EXPECT_TRUE(sha256_is_zero(zero));
+  zero[31] = 1;
+  EXPECT_FALSE(sha256_is_zero(zero));
+  EXPECT_FALSE(sha256_is_zero(sha256(bytes_of(""))));
+}
+
+}  // namespace
+}  // namespace asyncml::support
